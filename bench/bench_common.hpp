@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the same rows/series as one figure of the paper.
+// Durations of the transient benches honour the DS_BENCH_FAST
+// environment variable (any non-empty value shortens them) so CI runs
+// stay quick while full-length paper runs remain one flag away.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "util/table.hpp"
+
+namespace ds::bench {
+
+/// Figure labels (a)..(g) in the paper's order.
+inline std::string AppLabel(std::size_t index) {
+  return std::string(1, static_cast<char>('a' + index)) + ") " +
+         apps::ParsecSuite()[index].name;
+}
+
+inline bool FastMode() {
+  const char* v = std::getenv("DS_BENCH_FAST");
+  return v != nullptr && *v != '\0';
+}
+
+/// Transient duration: `full` seconds normally, `fast` under fast mode.
+inline double Duration(double full, double fast) {
+  return FastMode() ? fast : full;
+}
+
+/// When DS_BENCH_CSV_DIR is set, dumps `table` to <dir>/<name>.csv so
+/// the figure data can be plotted externally. No-op otherwise.
+inline void MaybeWriteCsv(const util::Table& table, const std::string& name) {
+  const char* dir = std::getenv("DS_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  table.WriteCsv(std::string(dir) + "/" + name + ".csv");
+}
+
+}  // namespace ds::bench

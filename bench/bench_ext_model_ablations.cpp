@@ -1,0 +1,124 @@
+// Extension: model-component ablations. Each row removes one modelling
+// ingredient and reports how the Fig. 5-B headline (swaptions, 185 W,
+// 16 nm) shifts -- quantifying why each component is in the model.
+//
+//   * leakage-temperature feedback off  (leakage frozen at the ambient)
+//   * temperature-dependent leakage off at budget time (optimistic TDP
+//     accounting: leakage at ambient instead of T_DTM)
+//   * convection-only package (lateral conduction removed: every tile
+//     couples straight down; the classic "resistor to ambient" model)
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "power/leakage.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const core::DarkSiliconEstimator estimator(plat);
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const std::size_t nominal = plat.ladder().NominalLevel();
+  const power::VfLevel& vf = plat.ladder()[nominal];
+
+  util::PrintBanner(std::cout,
+                    "Extension: model ablations (swaptions, 185 W, 16 nm)");
+  util::Table t({"model", "active cores", "peak T [C]", "power [W]",
+                 "comment"});
+
+  // Full model (the reference).
+  const core::Estimate full =
+      estimator.UnderPowerBudget(app, 8, nominal, 185.0);
+  t.Row()
+      .Cell("full model")
+      .Cell(full.active_cores)
+      .Cell(full.peak_temp_c, 1)
+      .Cell(full.total_power_w, 1)
+      .Cell("reference");
+
+  // (a) No leakage-temperature feedback: evaluate the same mapping with
+  // leakage frozen at the ambient temperature.
+  {
+    const auto mask = core::ActiveMask(plat.num_cores(), full.active_set);
+    const double amb = plat.thermal_model().ambient_c();
+    const apps::Instance inst = full.workload.instances().front();
+    std::vector<double> p(plat.num_cores());
+    for (std::size_t c = 0; c < plat.num_cores(); ++c)
+      p[c] = mask[c] ? inst.CorePower(plat.power_model(), amb)
+                     : plat.power_model().DarkCorePower(amb);
+    const std::vector<double> temps = plat.solver().Solve(p);
+    double total = 0.0;
+    for (const double v : p) total += v;
+    t.Row()
+        .Cell("no leakage-T feedback")
+        .Cell(full.active_cores)
+        .Cell(util::MaxElement(temps), 1)
+        .Cell(total, 1)
+        .Cell("underestimates peak");
+  }
+
+  // (b) Optimistic budgeting: leakage accounted at the ambient instead
+  // of at T_DTM admits more cores -- and the result runs hotter.
+  {
+    const power::PowerModel& pm = plat.power_model();
+    const double amb = plat.thermal_model().ambient_c();
+    const double p_core = pm.TotalPower(app.Activity(8), app.ceff22_nf,
+                                        app.pind22, vf.vdd, vf.freq, amb);
+    const std::size_t m =
+        std::min<std::size_t>(static_cast<std::size_t>(185.0 / (8 * p_core)),
+                              plat.num_cores() / 8);
+    apps::Workload w;
+    w.AddN({&app, 8, vf.freq, vf.vdd}, m);
+    const core::Estimate e =
+        estimator.EvaluateWorkload(w, core::MappingPolicy::kContiguous);
+    t.Row()
+        .Cell("budget leakage @ ambient")
+        .Cell(e.active_cores)
+        .Cell(e.peak_temp_c, 1)
+        .Cell(e.total_power_w, 1)
+        .Cell("admits extra cores, runs hotter");
+  }
+
+  // (c) Convection-only package: remove all lateral conduction by
+  // making the die/spreader/sink laterally non-conductive -- every
+  // tile sees its private slice of the heat path.
+  {
+    thermal::PackageParams pkg;  // defaults
+    // Vertical conduction intact; lateral killed via conductivity in
+    // the lateral formula only -- approximate by an extremely
+    // anisotropic (thin) structure: set conductivities high but
+    // rebuild a model whose tiles are isolated using a custom network:
+    // simplest faithful proxy -- a one-core chip scaled up.
+    const thermal::Floorplan one(1, 1, plat.floorplan().core_width_mm(),
+                                 plat.floorplan().core_height_mm());
+    // Per-tile sink/spreader share so the total package matches.
+    pkg.spreader_side /= 10.0;
+    pkg.sink_side /= 10.0;
+    pkg.convection_resistance *= 100.0;  // 1/100th of the sink area
+    pkg.convection_capacitance /= 100.0;
+    const thermal::RcModel rc(one, pkg);
+    const thermal::SteadyStateSolver solver(rc);
+    const apps::Instance inst = full.workload.instances().front();
+    const double p_core =
+        inst.CorePower(plat.power_model(), full.peak_temp_c);
+    const std::vector<double> temps =
+        solver.Solve(std::vector<double>{p_core});
+    t.Row()
+        .Cell("no lateral spreading")
+        .Cell(full.active_cores)
+        .Cell(util::MaxElement(temps), 1)
+        .Cell(full.total_power_w, 1)
+        .Cell("per-tile private heat path");
+  }
+
+  t.Print(std::cout);
+  std::cout << "\nEvery simplification moves the estimate: temperature "
+               "feedback and conservative budget-time leakage are load-"
+               "bearing (Observation 1), and lateral spreading is what "
+               "makes mapping decisions (Sec. 4) matter at all.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Extension: the uncore's bite out of the dark-silicon budget
+// (companion session paper [8], "Core vs Uncore: The Heart of
+// Darkness"). For each application, 8 instances x 8 threads on the
+// 16 nm chip: NoC traffic, router/link power, latency, and the thermal
+// effect of accounting (or not accounting) for the uncore power.
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "bench_common.hpp"
+#include "core/estimator.hpp"
+#include "core/tsp.hpp"
+#include "noc/mesh.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const core::DarkSiliconEstimator estimator(plat);
+  const noc::MeshNoc mesh(plat.floorplan());
+  const std::size_t level = plat.ladder().NominalLevel();
+  const power::VfLevel& vf = plat.ladder()[level];
+  const std::size_t instances = 8;
+
+  util::PrintBanner(std::cout,
+                    "Extension: uncore (mesh NoC) share of the budget, "
+                    "16 nm, 8 instances x 8 threads");
+  util::Table t({"app", "traffic [GB/s]", "NoC P [W]", "core P [W]",
+                 "uncore %", "avg lat [cyc]", "peak link %",
+                 "peak T w/o NoC", "peak T w/ NoC"});
+  for (std::size_t a = 0; a < apps::ParsecSuite().size(); ++a) {
+    const apps::AppProfile& app = apps::ParsecSuite()[a];
+    apps::Workload w;
+    w.AddN({&app, 8, vf.freq, vf.vdd}, instances);
+    const auto active = core::SelectCores(plat, instances * 8,
+                                          core::MappingPolicy::kContiguous);
+    const noc::NocResult nr = mesh.Evaluate(w, active);
+    const core::Estimate without = estimator.EvaluateWorkload(w, active);
+    const core::Estimate with = estimator.EvaluateWorkloadWithUncore(
+        w, active, nr.per_core_power_w);
+    t.Row()
+        .Cell(bench::AppLabel(a))
+        .Cell(nr.total_traffic_gbs, 1)
+        .Cell(nr.total_power_w, 1)
+        .Cell(without.total_power_w, 1)
+        .Cell(100.0 * nr.total_power_w /
+                  (nr.total_power_w + without.total_power_w),
+              1)
+        .Cell(nr.avg_latency_cycles, 1)
+        .Cell(100.0 * nr.peak_link_utilization, 1)
+        .Cell(without.peak_temp_c, 1)
+        .Cell(with.peak_temp_c, 1);
+  }
+  t.Print(std::cout);
+  std::cout << "\nCommunication-heavy applications (canneal, dedup, "
+               "ferret) lose a measurable slice of the thermal budget to "
+               "the uncore -- ignoring it overestimates how many cores "
+               "can be lit.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension: thermal-trigger boosting (the paper's Sec. 6 controller)
+// vs RAPL-style power-limit boosting (Sandy Bridge, paper ref [21]).
+// Same workload as Fig. 11: 12 x264 instances, 8 threads, 16 nm.
+//
+// The thermal controller rides the temperature limit; RAPL rides a
+// power average (PL1) with bursts to PL2. The comparison shows the two
+// regimes the paper contrasts: thermal headroom vs power budgets.
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "bench_common.hpp"
+#include "core/boosting.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const core::BoostingSimulator sim(plat, apps::AppByName("x264"), 12, 8);
+  const double duration = bench::Duration(20.0, 5.0);
+
+  std::size_t base = 0;
+  if (!sim.MaxSafeConstantLevel(500.0, &base)) return 1;
+
+  util::PrintBanner(std::cout,
+                    "Extension: thermal-trigger vs RAPL boosting (x264 "
+                    "x12, 16 nm, " + util::FormatFixed(duration, 0) + " s)");
+  util::Table t({"controller", "avg GIPS", "avg P [W]", "max P [W]",
+                 "max T [C]"});
+  const core::BoostTrace thermal =
+      sim.RunBoosting(base, plat.tdtm_c(), 500.0, duration);
+  t.Row()
+      .Cell("thermal trigger (80 C)")
+      .Cell(thermal.avg_gips, 1)
+      .Cell(thermal.avg_power_w, 0)
+      .Cell(thermal.max_power_w, 0)
+      .Cell(thermal.max_temp_c, 1);
+  const core::BoostTrace per_inst = sim.RunPerInstanceBoosting(
+      base, plat.tdtm_c(), 500.0, duration);
+  t.Row()
+      .Cell("per-instance domains (80 C)")
+      .Cell(per_inst.avg_gips, 1)
+      .Cell(per_inst.avg_power_w, 0)
+      .Cell(per_inst.max_power_w, 0)
+      .Cell(per_inst.max_temp_c, 1);
+  for (const double pl1 : {220.0, 250.0, 280.0}) {
+    const core::BoostTrace rapl = sim.RunRaplBoosting(
+        base, pl1, pl1 + 80.0, 1.0, plat.tdtm_c(), duration);
+    t.Row()
+        .Cell("RAPL PL1=" + util::FormatFixed(pl1, 0) + " PL2=" +
+              util::FormatFixed(pl1 + 80.0, 0))
+        .Cell(rapl.avg_gips, 1)
+        .Cell(rapl.avg_power_w, 0)
+        .Cell(rapl.max_power_w, 0)
+        .Cell(rapl.max_temp_c, 1);
+  }
+  t.Print(std::cout);
+  std::cout << "\nA PL1 chosen below the thermal capacity leaves "
+               "performance on the table; one chosen above it degenerates "
+               "to the thermal trigger -- power budgets only match the "
+               "thermal truth at one operating point (the paper's "
+               "Observation 1, now for controllers).\n";
+  return 0;
+}

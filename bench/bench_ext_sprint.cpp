@@ -1,0 +1,52 @@
+// Extension: computational sprinting -- how long the thermal
+// capacitance lets the chip run above its sustainable (TSP) operating
+// point before T_DTM. The separation of time constants behind the
+// paper's Fig. 11 transients (die: milliseconds, sink: ~14 s), turned
+// into a usable budget: sprint duration vs core count and v/f level,
+// from a cold chip and from a half-loaded one.
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "bench_common.hpp"
+#include "core/sprint.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const core::SprintAnalysis sprint(plat);
+  const double max_s = bench::Duration(120.0, 30.0);
+
+  util::PrintBanner(std::cout,
+                    "Extension: sprint budget (swaptions, 16 nm)");
+  util::Table t({"instances", "cores", "f [GHz]", "from", "start T [C]",
+                 "steady T [C]", "sprint [s]", "GIPS while sprinting"});
+  for (const std::size_t instances : {8UL, 10UL, 12UL}) {
+    for (const double freq : {3.6, 4.0}) {
+      const std::size_t level = plat.ladder().LevelAtOrBelow(freq);
+      for (const double idle : {0.0, 0.5}) {
+        const core::SprintResult r = sprint.Measure(
+            app, instances, 8, level, idle,
+            core::MappingPolicy::kContiguous, max_s);
+        t.Row()
+            .Cell(instances)
+            .Cell(instances * 8)
+            .Cell(freq, 1)
+            .Cell(idle == 0.0 ? "cold chip" : "50% load")
+            .Cell(r.start_peak_c, 1)
+            .Cell(r.steady_peak_c, 1)
+            .Cell(r.unlimited ? std::string("sustained")
+                              : util::FormatFixed(r.duration_s, 1))
+            .Cell(r.sprint_gips, 1);
+      }
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nA configuration whose steady state violates T_DTM can "
+               "still run for seconds to minutes on the package's heat "
+               "capacity -- the budget the paper's boosting controller "
+               "spends in 200 MHz slices.\n";
+  return 0;
+}

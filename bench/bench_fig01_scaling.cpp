@@ -1,0 +1,31 @@
+// Figure 1 (table): ITRS/FinFET scaling factors and the derived per-node
+// parameters (core area, nominal V/f, Eq. (2) fitting factor).
+#include <iostream>
+
+#include "power/technology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  util::PrintBanner(std::cout,
+                    "Figure 1: technology scaling factors (vs 22 nm)");
+  util::Table t({"node", "Vdd", "Frequency", "Capacitance", "Area",
+                 "core area [mm2]", "V_nom [V]", "f_nom [GHz]", "k (Eq.2)"});
+  for (const power::TechNode node : power::kAllNodes) {
+    const power::TechnologyParams& p = power::Tech(node);
+    t.Row()
+        .Cell(p.name)
+        .Cell(p.vdd_scale, 2)
+        .Cell(p.freq_scale, 2)
+        .Cell(p.cap_scale, 2)
+        .Cell(p.area_scale, 2)
+        .Cell(p.core_area_mm2, 1)
+        .Cell(p.nominal_vdd, 3)
+        .Cell(p.nominal_freq, 1)
+        .Cell(p.k_fit, 2);
+  }
+  t.Print(std::cout);
+  std::cout << "\nPaper reference: areas 9.6 / 5.1 / 2.7 / 1.4 mm2;"
+               " k = 3.7 at 22 nm.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 2: frequency vs voltage from Eq. (2) at 22 nm (k = 3.7,
+// Vth = 178 mV), annotated with the NTC / STC / boosting regions.
+#include <iostream>
+
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+const char* RegionName(ds::power::VoltageRegion r) {
+  switch (r) {
+    case ds::power::VoltageRegion::kNearThreshold:
+      return "NTC";
+    case ds::power::VoltageRegion::kSuperThreshold:
+      return "STC";
+    case ds::power::VoltageRegion::kBoosting:
+      return "boost";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  using namespace ds;
+  const power::TechnologyParams& tech = power::Tech(power::TechNode::N22);
+  const power::VfCurve curve(tech);
+
+  util::PrintBanner(std::cout, "Figure 2: f-V relation, 22 nm");
+  std::cout << "k = " << util::FormatFixed(curve.k(), 2)
+            << ", Vth = " << util::FormatFixed(curve.vth() * 1e3, 0)
+            << " mV, V_nom = " << util::FormatFixed(curve.nominal_vdd(), 2)
+            << " V\n";
+  util::Table t({"Vdd [V]", "f [GHz]", "region"});
+  for (double v = 0.20; v <= 1.50 + 1e-9; v += 0.05) {
+    t.Row().Cell(v, 2).Cell(curve.FrequencyAt(v), 3).Cell(
+        RegionName(curve.RegionOf(v)));
+  }
+  t.Print(std::cout);
+  ds::bench::MaybeWriteCsv(t, "fig02_vf_curve");
+
+  // Round-trip anchor points the paper quotes.
+  std::cout << "\nInverse check: V(3.4 GHz) = "
+            << util::FormatFixed(curve.VoltageFor(3.4), 3)
+            << " V (nominal), V(1 GHz, 11 nm) = "
+            << util::FormatFixed(
+                   power::VfCurve(power::Tech(power::TechNode::N11))
+                       .VoltageFor(1.0),
+                   3)
+            << " V (paper's NTC point: 0.46 V)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 3: Eq. (1) power model for an H.264 encoder (x264), single
+// thread, 22 nm, over the 0..4 GHz range. The paper overlays McPAT
+// samples on the model; here the model *is* the characterization (see
+// DESIGN.md), so the bench prints the model with its component split
+// (dynamic / leakage / independent) and verifies the cubic shape the
+// paper emphasizes (P_dyn grows ~cubically in f along the Eq. (2) curve).
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "power/power_model.hpp"
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  const power::TechnologyParams& tech = power::Tech(power::TechNode::N22);
+  const power::VfCurve curve(tech);
+  const power::PowerModel pm(tech);
+  const apps::AppProfile& app = apps::AppByName("x264");
+  const double temp_c = 65.0;  // typical single-core die temperature
+
+  util::PrintBanner(
+      std::cout, "Figure 3: power model, H.264 (x264), 1 thread, 22 nm");
+  util::Table t({"f [GHz]", "Vdd [V]", "P_dyn [W]", "P_leak [W]",
+                 "P_ind [W]", "P_total [W]"});
+  const double activity = app.Activity(1);
+  for (double f = 0.4; f <= 4.0 + 1e-9; f += 0.2) {
+    const double v = curve.VoltageFor(f);
+    const double p_dyn = pm.DynamicPower(activity, app.ceff22_nf, v, f);
+    const double p_leak = pm.LeakagePower(v, temp_c);
+    const double p_ind = pm.IndependentPower(app.pind22, v);
+    t.Row()
+        .Cell(f, 1)
+        .Cell(v, 3)
+        .Cell(p_dyn, 2)
+        .Cell(p_leak, 2)
+        .Cell(p_ind, 2)
+        .Cell(p_dyn + p_leak + p_ind, 2);
+  }
+  t.Print(std::cout);
+
+  // Cubic-shape check the paper calls out: doubling f along the curve
+  // should multiply dynamic power by ~8 in the high-voltage limit.
+  const double p2 = pm.DynamicPower(activity, app.ceff22_nf,
+                                    curve.VoltageFor(2.0), 2.0);
+  const double p4 = pm.DynamicPower(activity, app.ceff22_nf,
+                                    curve.VoltageFor(4.0), 4.0);
+  std::cout << "\nP_dyn(4 GHz) / P_dyn(2 GHz) = "
+            << util::FormatFixed(p4 / p2, 2)
+            << " (cubic f-P relation: ~6-8x expected)\n";
+  return 0;
+}

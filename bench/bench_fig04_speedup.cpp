@@ -1,0 +1,28 @@
+// Figure 4: speed-up vs number of parallel threads for x264, bodytrack
+// and canneal (Amdahl curves calibrated to the paper's gem5 results at
+// 2 GHz; the "parallelism wall" motivating multi-instance mapping).
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  util::PrintBanner(std::cout,
+                    "Figure 4: speed-up vs parallel threads (2 GHz core)");
+  const char* names[] = {"x264", "bodytrack", "canneal"};
+  util::Table t({"threads", "x264", "bodytrack", "canneal"});
+  for (const std::size_t n : {1UL, 2UL, 4UL, 8UL, 16UL, 32UL, 48UL, 64UL}) {
+    util::Table& row = t.Row().Cell(n);
+    for (const char* name : names)
+      row.Cell(apps::AppByName(name).Speedup(n), 2);
+  }
+  t.Print(std::cout);
+  ds::bench::MaybeWriteCsv(t, "fig04_speedup");
+  std::cout << "\nPaper band at 64 threads: x264 ~3x, bodytrack ~2.4x, "
+               "canneal ~1.7x.\nInstances in all experiments use at most "
+            << apps::kMaxThreadsPerInstance
+            << " dependent threads (Sec. 2.3).\n";
+  return 0;
+}

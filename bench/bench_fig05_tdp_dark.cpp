@@ -1,0 +1,59 @@
+// Figure 5: dark silicon under two TDP values (optimistic 220 W and
+// pessimistic 185 W), 16 nm, 100 cores, 8 threads per instance, v/f
+// levels 2.8 .. 3.6 GHz -- plus the per-application peak temperatures
+// that expose the optimistic TDP's thermal violations.
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "bench_common.hpp"
+#include "core/estimator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  core::DarkSiliconEstimator estimator(plat);
+  const auto& suite = apps::ParsecSuite();
+  const double freqs[] = {2.8, 3.0, 3.2, 3.4, 3.6};
+
+  for (const double tdp : {220.0, 185.0}) {
+    util::PrintBanner(std::cout,
+                      (tdp == 220.0 ? "Figure 5-A: TDP = 220 W (optimistic)"
+                                    : "Figure 5-B: TDP = 185 W (pessimistic)"));
+    util::Table t({"app", "f [GHz]", "active %", "dark %", "power [W]",
+                   "peak T [C]", "violation"});
+    double max_dark = 0.0;
+    std::string max_dark_app;
+    bool any_violation = false;
+    for (std::size_t a = 0; a < suite.size(); ++a) {
+      for (const double f : freqs) {
+        const std::size_t level = plat.ladder().LevelAtOrBelow(f);
+        const core::Estimate e =
+            estimator.UnderPowerBudget(suite[a], 8, level, tdp);
+        t.Row()
+            .Cell(bench::AppLabel(a))
+            .Cell(f, 1)
+            .Cell(100.0 * (1.0 - e.dark_fraction), 1)
+            .Cell(100.0 * e.dark_fraction, 1)
+            .Cell(e.total_power_w, 1)
+            .Cell(e.peak_temp_c, 1)
+            .Cell(e.thermal_violation ? "YES" : "no");
+        if (f == 3.6 && e.dark_fraction > max_dark) {
+          max_dark = e.dark_fraction;
+          max_dark_app = suite[a].name;
+        }
+        any_violation = any_violation || e.thermal_violation;
+      }
+    }
+    t.Print(std::cout);
+    bench::MaybeWriteCsv(t, tdp == 220.0 ? "fig05a_tdp220" : "fig05b_tdp185");
+    std::cout << "max dark silicon at 3.6 GHz: "
+              << util::FormatFixed(100.0 * max_dark, 1) << "% (" << max_dark_app
+              << "); thermal violations: " << (any_violation ? "YES" : "no")
+              << "\n";
+  }
+  std::cout << "\nPaper: up to ~37% dark at 220 W (with violations), up to "
+               "~46% at 185 W (no violations), worst case swaptions.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 12: total performance and total power vs number of active
+// cores for the H.264 encoder at 16 nm, boosting vs constant frequency.
+// One new 8-thread instance per 8 active cores (paper caption). The
+// boosting points use the validated quasi-steady model (see
+// BoostingSimulator::EstimateBoosting); the constant points use the
+// highest steady-state-safe level per core count.
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/boosting.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const apps::AppProfile& app = apps::AppByName("x264");
+  const double power_cap = 500.0;
+
+  util::PrintBanner(std::cout,
+                    "Figure 12: performance & power vs active cores "
+                    "(x264, 16 nm)");
+  util::Table t({"cores", "const f [GHz]", "const GIPS", "const P [W]",
+                 "boost GIPS", "boost avg P [W]", "boost peak P [W]"});
+  for (std::size_t instances = 1; instances <= 12; ++instances) {
+    const core::BoostingSimulator sim(plat, app, instances, 8);
+    std::size_t level = 0;
+    if (!sim.MaxSafeConstantLevel(power_cap, &level)) continue;
+    const core::Estimate steady = sim.SteadyAtLevel(level);
+    const auto boost = sim.EstimateBoosting(plat.tdtm_c(), power_cap);
+    t.Row()
+        .Cell(instances * 8)
+        .Cell(plat.ladder()[level].freq, 1)
+        .Cell(sim.GipsAtLevel(level), 1)
+        .Cell(steady.total_power_w, 0)
+        .Cell(boost.avg_gips, 1)
+        .Cell(boost.avg_power_w, 0)
+        .Cell(boost.peak_power_w, 0);
+  }
+  t.Print(std::cout);
+  ds::bench::MaybeWriteCsv(t, "fig12_boost_cores");
+  std::cout << "\nPaper: boosting's performance edge is small while its "
+               "peak power grows substantially with the core count.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Boosting demo: watch the Turbo-Boost-style closed loop drive the
+// chip-wide frequency against the 80 C limit (the paper's Sec. 6).
+//
+// Usage: ./boosting_demo [app] [instances] [seconds]
+//   app        Parsec name (default x264)
+//   instances  8-thread instances to run (default 12)
+//   seconds    simulated time (default 5)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/boosting.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string app_name = argc > 1 ? argv[1] : "x264";
+  const std::size_t instances =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 12;
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 5.0;
+
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const apps::AppProfile& app = apps::AppByName(app_name);
+  const core::BoostingSimulator sim(plat, app, instances, 8);
+
+  std::size_t level = 0;
+  if (!sim.MaxSafeConstantLevel(500.0, &level)) {
+    std::cerr << "no thermally safe constant level for this workload\n";
+    return 1;
+  }
+  std::cout << instances << " instances of " << app.name
+            << " (8 threads each) on " << plat.num_cores()
+            << " cores @ 16 nm\n"
+            << "highest thermally safe constant level: "
+            << util::FormatFixed(plat.ladder()[level].freq, 1) << " GHz ("
+            << util::FormatFixed(sim.GipsAtLevel(level), 1) << " GIPS)\n\n";
+
+  const core::BoostTrace boost =
+      sim.RunBoosting(level, plat.tdtm_c(), 500.0, seconds);
+  util::Table t({"t [s]", "GIPS", "peak T [C]", "power [W]"});
+  const std::size_t stride = std::max<std::size_t>(1, boost.time_s.size() / 25);
+  for (std::size_t i = 0; i < boost.time_s.size(); i += stride) {
+    t.Row()
+        .Cell(boost.time_s[i], 2)
+        .Cell(boost.gips[i], 1)
+        .Cell(boost.peak_temp_c[i], 2)
+        .Cell(boost.power_w[i], 0);
+  }
+  t.Print(std::cout);
+  std::cout << "\nboosting average: "
+            << util::FormatFixed(boost.avg_gips, 1) << " GIPS (+"
+            << util::FormatFixed(
+                   100.0 * (boost.avg_gips / sim.GipsAtLevel(level) - 1.0), 1)
+            << "% vs constant), max temperature "
+            << util::FormatFixed(boost.max_temp_c, 2)
+            << " C, peak power " << util::FormatFixed(boost.max_power_w, 0)
+            << " W\n"
+            << "The quasi-steady model predicts "
+            << util::FormatFixed(
+                   sim.EstimateBoosting(plat.tdtm_c(), 500.0).avg_gips, 1)
+            << " GIPS.\n";
+  return 0;
+}

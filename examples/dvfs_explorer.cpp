@@ -1,0 +1,58 @@
+// DVFS trade-off explorer (the paper's Sec. 3.3): for one application,
+// sweep the v/f ladder and report the dark-silicon / performance
+// trade-off under a TDP, plus the TLP/ILP-aware sweet spot.
+//
+// Usage: ./dvfs_explorer [app] [tdp_w] [node]
+//   app    Parsec name (default x264)
+//   tdp_w  power budget in watts (default 185)
+//   node   16nm | 11nm | 8nm (default 16nm)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string app_name = argc > 1 ? argv[1] : "x264";
+  const double tdp = argc > 2 ? std::atof(argv[2]) : 185.0;
+  const std::string node_name = argc > 3 ? argv[3] : "16nm";
+
+  const apps::AppProfile& app = apps::AppByName(app_name);
+  arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechByName(node_name).node);
+  const core::DarkSiliconEstimator estimator(plat);
+
+  std::cout << app.name << " on " << plat.num_cores() << " cores @ "
+            << plat.tech().name << ", TDP = " << tdp << " W\n"
+            << "TLP: serial fraction "
+            << util::FormatFixed(app.serial_fraction, 2) << " (speed-up at 8 "
+            << "threads: " << util::FormatFixed(app.Speedup(8), 2)
+            << "x); ILP: " << util::FormatFixed(app.ipc, 1) << " IPC\n\n";
+
+  util::Table t({"f [GHz]", "Vdd [V]", "threads", "active %", "dark %",
+                 "GIPS", "peak T [C]"});
+  const std::size_t nominal = plat.ladder().NominalLevel();
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    for (std::size_t level = 0; level <= nominal; level += 2) {
+      const core::Estimate e =
+          estimator.UnderPowerBudget(app, threads, level, tdp);
+      t.Row()
+          .Cell(plat.ladder()[level].freq, 1)
+          .Cell(plat.ladder()[level].vdd, 2)
+          .Cell(threads)
+          .Cell(100.0 * (1.0 - e.dark_fraction), 1)
+          .Cell(100.0 * e.dark_fraction, 1)
+          .Cell(e.total_gips, 1)
+          .Cell(e.peak_temp_c, 1);
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nObservation 2 of the paper: scaling down v/f reduces dark "
+               "silicon; the best GIPS point depends on the app's TLP/ILP "
+               "balance.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Full-system demo: every subsystem of the repository in one loop --
+// job arrivals, thermal-safe admission with dispersed placement, the
+// NoC's uncore power, a Turbo-Boost/DTM DVFS governor on a live
+// transient thermal model, and Arrhenius aging.
+//
+// Usage: ./full_system [seconds] [arrival_rate] [--no-boost] [--no-noc]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "sim/chip_sim.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const util::ArgParser args(argc, argv);
+  sim::SimConfig cfg;
+  if (!args.positionals().empty())
+    cfg.duration_s = std::atof(args.positionals()[0].c_str());
+  if (args.positionals().size() > 1)
+    cfg.arrival_rate = std::atof(args.positionals()[1].c_str());
+  cfg.enable_boost = !args.Has("no-boost");
+  cfg.enable_noc = !args.Has("no-noc");
+
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const sim::ChipSimulator simulator(plat, cfg);
+  const sim::FullSimResult r = simulator.Run();
+
+  util::Table t({"t [s]", "jobs", "active", "f [GHz]", "GIPS", "P [W]",
+                 "peak T [C]"});
+  const std::size_t stride = std::max<std::size_t>(1, r.trace.size() / 25);
+  for (std::size_t i = 0; i < r.trace.size(); i += stride) {
+    const sim::SimSnapshot& s = r.trace[i];
+    t.Row()
+        .Cell(s.time_s, 2)
+        .Cell(s.running_jobs)
+        .Cell(s.active_cores)
+        .Cell(s.freq_ghz, 1)
+        .Cell(s.gips, 1)
+        .Cell(s.power_w, 0)
+        .Cell(s.peak_temp_c, 1);
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nsummary over " << cfg.duration_s << " s:\n"
+            << "  jobs arrived/completed: " << r.jobs_arrived << "/"
+            << r.jobs_completed << "\n"
+            << "  avg GIPS " << util::FormatFixed(r.avg_gips, 1)
+            << ", avg power " << util::FormatFixed(r.avg_power_w, 0)
+            << " W, energy " << util::FormatFixed(r.energy_j / 1e3, 2)
+            << " kJ\n"
+            << "  max temperature " << util::FormatFixed(r.max_temp_c, 2)
+            << " C, time above T_DTM "
+            << util::FormatFixed(r.time_above_tdtm_s, 3) << " s\n"
+            << "  avg active cores "
+            << util::FormatFixed(r.avg_active_cores, 1) << ", avg NoC power "
+            << util::FormatFixed(r.avg_noc_power_w, 1) << " W\n"
+            << "  aging imbalance (max/mean wear) "
+            << util::FormatFixed(r.aging_imbalance, 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Pareto explorer: the performance / power / energy-efficiency design
+// space of one application on one chip (the trade-off the paper's
+// Sec. 3.3 and Sec. 6 navigate). Sweeps (threads, v/f level) for a
+// fixed instance count, evaluates each point thermally, and marks the
+// performance-power Pareto front and the best energy-delay product.
+//
+// Usage: ./pareto_explorer [app] [instances] [node]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string app_name = argc > 1 ? argv[1] : "x264";
+  const std::size_t instances =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  const std::string node = argc > 3 ? argv[3] : "16nm";
+
+  arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechByName(node).node);
+  const apps::AppProfile& app = apps::AppByName(app_name);
+  const core::DarkSiliconEstimator estimator(plat);
+
+  struct Point {
+    std::size_t threads;
+    double freq;
+    double gips;
+    double power;
+    double edp;  // energy-delay product per unit work ~ P / GIPS^2
+    bool feasible;
+    bool pareto = false;
+  };
+  std::vector<Point> points;
+  for (std::size_t threads = 1; threads <= 8; ++threads) {
+    if (instances * threads > plat.num_cores()) continue;
+    for (std::size_t level = 0; level <= plat.ladder().NominalLevel();
+         level += 2) {
+      const power::VfLevel& vf = plat.ladder()[level];
+      apps::Workload w;
+      w.AddN({&app, threads, vf.freq, vf.vdd}, instances);
+      const core::Estimate e =
+          estimator.EvaluateWorkload(w, core::MappingPolicy::kSpread);
+      Point p{threads, vf.freq, e.total_gips, e.total_power_w,
+              e.total_power_w / (e.total_gips * e.total_gips),
+              !e.thermal_violation};
+      points.push_back(p);
+    }
+  }
+
+  // Pareto front among feasible points: no other point has both more
+  // GIPS and less power.
+  for (Point& p : points) {
+    if (!p.feasible) continue;
+    p.pareto = std::none_of(points.begin(), points.end(), [&](const Point& q) {
+      return q.feasible && q.gips >= p.gips && q.power <= p.power &&
+             (q.gips > p.gips || q.power < p.power);
+    });
+  }
+
+  std::cout << app.name << " x" << instances << " instances on "
+            << plat.tech().name << " (" << plat.num_cores() << " cores)\n\n";
+  util::Table t({"threads", "f [GHz]", "GIPS", "power [W]", "EDP x1e3",
+                 "thermal", "Pareto"});
+  const Point* best_edp = nullptr;
+  for (const Point& p : points) {
+    if (p.feasible && (best_edp == nullptr || p.edp < best_edp->edp))
+      best_edp = &p;
+    t.Row()
+        .Cell(p.threads)
+        .Cell(p.freq, 1)
+        .Cell(p.gips, 1)
+        .Cell(p.power, 1)
+        .Cell(1e3 * p.edp, 3)
+        .Cell(p.feasible ? "ok" : "VIOLATES")
+        .Cell(p.pareto ? "*" : "");
+  }
+  t.Print(std::cout);
+  if (best_edp != nullptr) {
+    std::cout << "\nbest energy-delay product: " << best_edp->threads
+              << " threads @ " << util::FormatFixed(best_edp->freq, 1)
+              << " GHz (" << util::FormatFixed(best_edp->gips, 1)
+              << " GIPS at " << util::FormatFixed(best_edp->power, 1)
+              << " W)\n";
+  }
+  return 0;
+}

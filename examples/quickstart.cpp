@@ -1,0 +1,69 @@
+// Quickstart: build the paper's 16 nm 100-core platform, estimate dark
+// silicon for one application under two TDP values (Sec. 3.1), and
+// compute the Thermal Safe Power curve (Sec. 5).
+//
+// Run: ./quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "core/tsp.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ds;
+
+  // 1. The platform: 100 Alpha-class cores at 16 nm, HotSpot-style
+  //    thermal package, 200 MHz DVFS ladder (all from the paper).
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  std::cout << "Platform: " << plat.num_cores() << " cores @ "
+            << plat.tech().name << ", die "
+            << util::FormatFixed(plat.floorplan().die_width_mm(), 1) << " x "
+            << util::FormatFixed(plat.floorplan().die_height_mm(), 1)
+            << " mm, nominal " << plat.tech().nominal_freq << " GHz\n";
+
+  // 2. Dark silicon for the most power-hungry application (swaptions)
+  //    at the maximum nominal v/f level, under the paper's two TDPs.
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  core::DarkSiliconEstimator estimator(plat);
+  const std::size_t nominal = plat.ladder().NominalLevel();
+
+  util::Table t({"TDP [W]", "active", "dark %", "power [W]", "peak T [C]",
+                 "violation", "GIPS"});
+  for (const double tdp : {220.0, 185.0}) {
+    const core::Estimate e =
+        estimator.UnderPowerBudget(app, 8, nominal, tdp);
+    t.Row()
+        .Cell(tdp, 0)
+        .Cell(e.active_cores)
+        .Cell(100.0 * e.dark_fraction, 1)
+        .Cell(e.total_power_w, 1)
+        .Cell(e.peak_temp_c, 1)
+        .Cell(e.thermal_violation ? "YES" : "no")
+        .Cell(e.total_gips, 1);
+  }
+  util::PrintBanner(std::cout, "Dark silicon under TDP (swaptions, 8 thr)");
+  t.Print(std::cout);
+
+  // 3. Temperature as the constraint instead (Sec. 3.2).
+  const core::Estimate et = estimator.UnderTemperature(app, 8, nominal);
+  std::cout << "\nTemperature-constrained (T_DTM = " << plat.tdtm_c()
+            << " C): " << et.active_cores << " active cores, "
+            << util::FormatFixed(100.0 * et.dark_fraction, 1)
+            << "% dark, peak "
+            << util::FormatFixed(et.peak_temp_c, 1) << " C, "
+            << util::FormatFixed(et.total_power_w, 1) << " W\n";
+
+  // 4. TSP: the safe per-core power budget as a function of the number
+  //    of active cores, for worst-case and patterned mappings.
+  core::Tsp tsp(plat);
+  util::Table t2({"active cores", "TSP worst [W]", "TSP spread [W]"});
+  for (const std::size_t m : {20UL, 40UL, 60UL, 80UL, 100UL}) {
+    t2.Row().Cell(m).Cell(tsp.WorstCase(m), 2).Cell(tsp.BestCase(m), 2);
+  }
+  util::PrintBanner(std::cout, "Thermal Safe Power");
+  t2.Print(std::cout);
+  return 0;
+}

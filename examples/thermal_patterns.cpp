@@ -1,0 +1,76 @@
+// Thermal patterning explorer: how the *placement* of a fixed workload
+// changes the chip's thermal profile (the paper's Sec. 4 / DaSim idea).
+//
+// Maps the same workload (N instances of one app at nominal v/f) with
+// each mapping policy and renders the resulting steady-state heat maps.
+//
+// Usage: ./thermal_patterns [app] [active_cores]
+//   app          one of the Parsec names (default swaptions)
+//   active_cores number of active cores (default 60)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "core/mapping.hpp"
+#include "core/tsp.hpp"
+#include "thermal/thermal_map.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string app_name = argc > 1 ? argv[1] : "swaptions";
+  const std::size_t count =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 60;
+
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  if (count > plat.num_cores()) {
+    std::cerr << "at most " << plat.num_cores() << " cores\n";
+    return 1;
+  }
+  const apps::AppProfile& app = apps::AppByName(app_name);
+  const core::DarkSiliconEstimator estimator(plat);
+  const core::Tsp tsp(plat);
+  const std::size_t level = plat.ladder().NominalLevel();
+  const power::VfLevel& vf = plat.ladder()[level];
+
+  apps::Workload w;
+  w.AddN({&app, 8, vf.freq, vf.vdd}, count / 8);
+  if (count % 8 != 0) w.Add({&app, count % 8, vf.freq, vf.vdd});
+
+  std::cout << "Workload: " << w.size() << " instances of " << app.name
+            << " @ " << util::FormatFixed(vf.freq, 1) << " GHz ("
+            << count << " of " << plat.num_cores() << " cores active)\n";
+
+  util::Table t({"policy", "peak T [C]", "P_total [W]", "TSP budget [W]",
+                 "T_DTM"});
+  for (const core::MappingPolicy policy :
+       {core::MappingPolicy::kContiguous, core::MappingPolicy::kDensest,
+        core::MappingPolicy::kCheckerboard, core::MappingPolicy::kSpread}) {
+    const auto set = core::SelectCores(plat, count, policy);
+    const core::Estimate e = estimator.EvaluateWorkload(w, set);
+    t.Row()
+        .Cell(core::MappingPolicyName(policy))
+        .Cell(e.peak_temp_c, 1)
+        .Cell(e.total_power_w, 0)
+        .Cell(tsp.ForMapping(set), 2)
+        .Cell(e.thermal_violation ? "EXCEEDED" : "ok");
+
+    const std::vector<bool> mask = core::ActiveMask(plat.num_cores(), set);
+    const apps::Instance& inst = e.workload.instances().front();
+    const std::vector<double> temps = plat.solver().SolveWithFeedback(
+        [&](std::size_t c, double temp) {
+          return mask[c] ? inst.CorePower(plat.power_model(), temp)
+                         : plat.power_model().DarkCorePower(temp);
+        });
+    std::cout << "\n" << core::MappingPolicyName(policy)
+              << " ('!' = above 80 C):\n"
+              << thermal::RenderAsciiMap(plat.floorplan(), temps, 55.0, 80.0,
+                                         plat.tdtm_c());
+  }
+  std::cout << "\n";
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "apps/app_profile.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ds::apps {
+
+double AppProfile::Speedup(std::size_t threads) const {
+  assert(threads >= 1);
+  const double n = static_cast<double>(threads);
+  return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n);
+}
+
+double AppProfile::Activity(std::size_t threads) const {
+  return Speedup(threads) / static_cast<double>(threads);
+}
+
+double AppProfile::InstanceGips(std::size_t threads, double freq_ghz) const {
+  return ipc * freq_ghz * Speedup(threads);
+}
+
+const std::vector<AppProfile>& ParsecSuite() {
+  // Calibration notes (see DESIGN.md "Substitutions"):
+  //  * serial fractions reproduce the Fig. 4 speed-up band (x264 ~3x,
+  //    bodytrack ~2.4x, canneal ~1.7x at 64 threads) and the canneal
+  //    "does not scale" behaviour of Fig. 14;
+  //  * C_eff/P_ind make swaptions the most power-hungry app (Fig. 5:
+  //    ~37% dark silicon at TDP 220 W, ~46% at 185 W, 16 nm, 3.6 GHz)
+  //    and canneal the least;
+  //  * IPCs sit in the Alpha 21264 4-wide out-of-order range and scale
+  //    total system performance into the GIPS bands of Figs. 7 and 10-13.
+  // The two rightmost columns drive the NoC substrate (src/noc):
+  // inter-thread and memory traffic in bytes per instruction, from the
+  // Parsec communication characterization (canneal and the pipeline
+  // programs dedup/ferret communicate heavily; the data-parallel
+  // kernels barely at all).
+  static const std::vector<AppProfile> suite = {
+      //  name           Ceff22  Pind22  serial  IPC   comm  mem
+      {"x264",           1.40,   0.90,   0.300,  2.20, 0.30, 0.15},
+      {"blackscholes",   0.85,   0.75,   0.050,  1.60, 0.05, 0.02},
+      {"bodytrack",      1.30,   0.85,   0.390,  1.70, 0.40, 0.35},
+      {"ferret",         1.55,   0.90,   0.200,  1.90, 0.60, 0.35},
+      {"canneal",        0.95,   0.75,   0.580,  0.90, 0.90, 1.60},
+      {"dedup",          1.25,   0.80,   0.250,  1.40, 0.70, 0.60},
+      {"swaptions",      1.20,   1.00,   0.080,  1.80, 0.10, 0.05},
+  };
+  return suite;
+}
+
+const AppProfile& AppByName(const std::string& name) {
+  for (const AppProfile& app : ParsecSuite())
+    if (app.name == name) return app;
+  throw std::invalid_argument("AppByName: unknown application " + name);
+}
+
+}  // namespace ds::apps

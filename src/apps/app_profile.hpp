@@ -1,0 +1,57 @@
+// Application model.
+//
+// The paper characterizes each Parsec application by four quantities
+// that fully determine its behaviour in every experiment:
+//   * effective switching capacitance C_eff (Eq. (1)), at 22 nm,
+//   * independent power P_ind (Eq. (1)), at 22 nm,
+//   * Thread-Level Parallelism, expressed as the Amdahl serial fraction
+//     behind the speed-up curves of Fig. 4,
+//   * Instruction-Level Parallelism, expressed as sustained IPC on the
+//     4-wide out-of-order Alpha 21264 core (performance is reported in
+//     GIPS = IPC * f(GHz) summed over instances, as in Figs. 7-14).
+//
+// An application instance runs 1..8 dependent parallel threads
+// (Sec. 2.3); with n threads on n cores, each core's activity factor is
+// speedup(n)/n (threads stall on synchronization, so utilization decays
+// exactly as the parallel efficiency).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ds::apps {
+
+struct AppProfile {
+  std::string name;
+  double ceff22_nf;        // [nF] effective capacitance at 22 nm, alpha = 1
+  double pind22;           // [W] execution-mode power at 22 nm
+  double serial_fraction;  // Amdahl serial fraction (TLP: lower = better)
+  double ipc;              // sustained instructions per cycle (ILP)
+  // On-chip communication intensity, used by the NoC substrate:
+  double comm_bytes_per_instr = 0.0;  // inter-thread traffic
+  double mem_bytes_per_instr = 0.0;   // traffic to the memory controllers
+
+  /// Amdahl speed-up with n parallel threads: 1 / (s + (1-s)/n).
+  double Speedup(std::size_t threads) const;
+
+  /// Per-core activity factor when running n dependent threads on n
+  /// cores: parallel efficiency speedup(n)/n.
+  double Activity(std::size_t threads) const;
+
+  /// Performance of one instance [GIPS]: IPC * f * speedup(n).
+  double InstanceGips(std::size_t threads, double freq_ghz) const;
+};
+
+/// Maximum threads per application instance (Sec. 2.3).
+inline constexpr std::size_t kMaxThreadsPerInstance = 8;
+
+/// The seven Parsec applications used by the paper, in its figure order:
+/// (a) x264, (b) blackscholes, (c) bodytrack, (d) ferret, (e) canneal,
+/// (f) dedup, (g) swaptions.
+const std::vector<AppProfile>& ParsecSuite();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const AppProfile& AppByName(const std::string& name);
+
+}  // namespace ds::apps

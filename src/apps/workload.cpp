@@ -1,0 +1,55 @@
+#include "apps/workload.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ds::apps {
+
+double Instance::CorePower(const power::PowerModel& pm, double temp_c) const {
+  return pm.TotalPower(app->Activity(threads), app->ceff22_nf, app->pind22,
+                       vdd, freq, temp_c);
+}
+
+void Workload::Add(Instance instance) {
+  if (instance.app == nullptr)
+    throw std::invalid_argument("Workload::Add: null application");
+  if (instance.threads < 1 || instance.threads > kMaxThreadsPerInstance)
+    throw std::invalid_argument("Workload::Add: invalid thread count");
+  instances_.push_back(instance);
+}
+
+void Workload::AddN(const Instance& instance, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) Add(instance);
+}
+
+std::size_t Workload::TotalCores() const {
+  std::size_t n = 0;
+  for (const Instance& inst : instances_) n += inst.threads;
+  return n;
+}
+
+double Workload::TotalGips() const {
+  double g = 0.0;
+  for (const Instance& inst : instances_) g += inst.Gips();
+  return g;
+}
+
+double Workload::TotalPower(const power::PowerModel& pm, double temp_c) const {
+  double p = 0.0;
+  for (const Instance& inst : instances_)
+    p += static_cast<double>(inst.threads) * inst.CorePower(pm, temp_c);
+  return p;
+}
+
+std::vector<double> Workload::PerCorePowers(const power::PowerModel& pm,
+                                            double temp_c) const {
+  std::vector<double> powers;
+  powers.reserve(TotalCores());
+  for (const Instance& inst : instances_) {
+    const double p = inst.CorePower(pm, temp_c);
+    for (std::size_t t = 0; t < inst.threads; ++t) powers.push_back(p);
+  }
+  return powers;
+}
+
+}  // namespace ds::apps

@@ -1,0 +1,60 @@
+// Workloads: collections of application instances with operating points.
+//
+// A workload is what gets mapped onto a chip: each instance runs one
+// application with 1..8 dependent threads at one voltage/frequency
+// level (per-instance DVFS, as in the paper's Sec. 3.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "power/power_model.hpp"
+
+namespace ds::apps {
+
+struct Instance {
+  const AppProfile* app;
+  std::size_t threads;  // 1..kMaxThreadsPerInstance
+  double freq;          // [GHz]
+  double vdd;           // [V], on the node's Eq. (2) curve
+
+  /// Performance of this instance [GIPS].
+  double Gips() const { return app->InstanceGips(threads, freq); }
+
+  /// Power of one of this instance's cores [W] at temperature `temp_c`.
+  double CorePower(const power::PowerModel& pm, double temp_c) const;
+};
+
+class Workload {
+ public:
+  Workload() = default;
+
+  void Add(Instance instance);
+  void AddN(const Instance& instance, std::size_t count);
+  void Clear() { instances_.clear(); }
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  std::size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+
+  /// Number of cores the workload occupies (one core per thread).
+  std::size_t TotalCores() const;
+
+  /// Aggregate performance [GIPS].
+  double TotalGips() const;
+
+  /// Aggregate power [W] with every core at temperature `temp_c`.
+  double TotalPower(const power::PowerModel& pm, double temp_c) const;
+
+  /// Per-core power vector in instance order (instance 0's threads
+  /// first, then instance 1's, ...), all cores at `temp_c`.
+  std::vector<double> PerCorePowers(const power::PowerModel& pm,
+                                    double temp_c) const;
+
+ private:
+  std::vector<Instance> instances_;
+};
+
+}  // namespace ds::apps

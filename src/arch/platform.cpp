@@ -1,0 +1,42 @@
+#include "arch/platform.hpp"
+
+#include <stdexcept>
+
+namespace ds::arch {
+
+Platform::Platform(power::TechNode node, std::size_t num_cores,
+                   double ladder_step_ghz)
+    : tech_(&power::Tech(node)),
+      floorplan_(
+          thermal::Floorplan::MakeGrid(num_cores, tech_->core_area_mm2)),
+      ladder_(*tech_, 1.0, tech_->boost_max_freq, ladder_step_ghz),
+      power_model_(*tech_),
+      vf_curve_(*tech_) {}
+
+Platform Platform::PaperPlatform(power::TechNode node) {
+  switch (node) {
+    case power::TechNode::N16:
+      return Platform(node, 100);
+    case power::TechNode::N11:
+      return Platform(node, 198);
+    case power::TechNode::N8:
+      return Platform(node, 361);
+    case power::TechNode::N22:
+      break;
+  }
+  throw std::invalid_argument(
+      "Platform::PaperPlatform: 22 nm is the calibration node only");
+}
+
+const thermal::RcModel& Platform::thermal_model() const {
+  if (!rc_) rc_ = std::make_unique<thermal::RcModel>(floorplan_);
+  return *rc_;
+}
+
+const thermal::SteadyStateSolver& Platform::solver() const {
+  if (!solver_)
+    solver_ = std::make_unique<thermal::SteadyStateSolver>(thermal_model());
+  return *solver_;
+}
+
+}  // namespace ds::arch

@@ -1,0 +1,64 @@
+// Platform: a manycore chip = technology node + floorplan + DVFS ladder
+// + thermal model, with the expensive thermal assets (conductance
+// factorization, influence matrix) built lazily and cached.
+//
+// The paper's three platforms keep total die area roughly constant
+// (~510 mm^2) while scaling the node:
+//   100 cores @ 16 nm (5.1 mm^2/core), 198 @ 11 nm (2.7), 361 @ 8 nm (1.4).
+#pragma once
+
+#include <memory>
+
+#include "power/dvfs.hpp"
+#include "power/power_model.hpp"
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+
+namespace ds::arch {
+
+class Platform {
+ public:
+  /// A chip of `num_cores` cores at `node`, with the node's default
+  /// 200 MHz DVFS ladder. Core area comes from the node's table.
+  /// `ladder_step_ghz` overrides the v/f granularity (the paper's
+  /// controller moves one step per millisecond, so the step size sets
+  /// how close the constant-frequency baseline can sit to T_DTM).
+  Platform(power::TechNode node, std::size_t num_cores,
+           double ladder_step_ghz = 0.2);
+
+  /// The paper's platform for a node (Sec. 2.1 pairing above).
+  /// Throws std::invalid_argument for 22 nm (never thermally simulated).
+  static Platform PaperPlatform(power::TechNode node);
+
+  const power::TechnologyParams& tech() const { return *tech_; }
+  const thermal::Floorplan& floorplan() const { return floorplan_; }
+  std::size_t num_cores() const { return floorplan_.num_cores(); }
+  const power::DvfsLadder& ladder() const { return ladder_; }
+  const power::PowerModel& power_model() const { return power_model_; }
+  const power::VfCurve& vf_curve() const { return vf_curve_; }
+
+  /// Thermal RC network (built on first use, cached).
+  const thermal::RcModel& thermal_model() const;
+
+  /// Steady-state solver with factored conductance (cached).
+  const thermal::SteadyStateSolver& solver() const;
+
+  /// Thermal threshold that triggers DTM (paper: 80 C).
+  double tdtm_c() const { return tdtm_c_; }
+  void set_tdtm_c(double t) { tdtm_c_ = t; }
+
+ private:
+  const power::TechnologyParams* tech_;
+  thermal::Floorplan floorplan_;
+  power::DvfsLadder ladder_;
+  power::PowerModel power_model_;
+  power::VfCurve vf_curve_;
+  double tdtm_c_ = power::kTdtmC;
+  mutable std::unique_ptr<thermal::RcModel> rc_;
+  mutable std::unique_ptr<thermal::SteadyStateSolver> solver_;
+};
+
+}  // namespace ds::arch

@@ -1,0 +1,118 @@
+#include "arch/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ds::arch {
+namespace {
+
+/// Smooth systematic field over the die, normalized to zero mean and
+/// unit RMS over the tile grid: tilted plane + radial bowl, with the
+/// plane direction, bowl centre and mixing drawn from the seed.
+std::vector<double> SystematicField(const thermal::Floorplan& fp,
+                                    util::Rng& rng) {
+  const double w = fp.die_width_mm();
+  const double h = fp.die_height_mm();
+  const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+  const double cx = rng.Uniform(0.25 * w, 0.75 * w);
+  const double cy = rng.Uniform(0.25 * h, 0.75 * h);
+  const double mix = rng.Uniform(0.3, 0.7);  // plane vs bowl weight
+
+  std::vector<double> field(fp.num_cores());
+  for (std::size_t i = 0; i < fp.num_cores(); ++i) {
+    const double x = fp.CenterX(i);
+    const double y = fp.CenterY(i);
+    const double plane =
+        (std::cos(angle) * (x - w / 2.0) + std::sin(angle) * (y - h / 2.0)) /
+        std::max(w, h);
+    const double r = std::hypot(x - cx, y - cy) / std::max(w, h);
+    field[i] = mix * plane + (1.0 - mix) * (r * r - 0.25);
+  }
+  // Normalize to zero mean, unit RMS.
+  const double mean =
+      std::accumulate(field.begin(), field.end(), 0.0) /
+      static_cast<double>(field.size());
+  double rms = 0.0;
+  for (double& v : field) {
+    v -= mean;
+    rms += v * v;
+  }
+  rms = std::sqrt(rms / static_cast<double>(field.size()));
+  if (rms > 1e-12)
+    for (double& v : field) v /= rms;
+  return field;
+}
+
+}  // namespace
+
+VariationMap VariationMap::Generate(const thermal::Floorplan& fp,
+                                    std::uint64_t seed,
+                                    const VariationParams& params) {
+  util::Rng rng(seed);
+  const std::vector<double> sys_leak = SystematicField(fp, rng);
+  const std::vector<double> sys_freq = SystematicField(fp, rng);
+
+  std::vector<double> leakage(fp.num_cores());
+  std::vector<double> freq(fp.num_cores());
+  for (std::size_t i = 0; i < fp.num_cores(); ++i) {
+    const double log_leak =
+        params.leakage_sigma_systematic * sys_leak[i] +
+        rng.Normal(0.0, params.leakage_sigma_random);
+    leakage[i] = std::exp(log_leak);
+    // Fast (leaky) corners are also the fast-frequency corners:
+    // frequency variation is positively correlated with leakage.
+    const double df = params.freq_sigma_systematic * sys_leak[i] * 0.5 +
+                      params.freq_sigma_systematic * sys_freq[i] * 0.5 +
+                      rng.Normal(0.0, params.freq_sigma_random);
+    freq[i] = std::max(0.5, 1.0 + df);
+  }
+  return VariationMap(std::move(leakage), std::move(freq));
+}
+
+VariationMap VariationMap::Uniform(std::size_t num_cores) {
+  return VariationMap(std::vector<double>(num_cores, 1.0),
+                      std::vector<double>(num_cores, 1.0));
+}
+
+std::vector<std::size_t> VariationMap::LowestLeakageCores(
+    std::size_t count) const {
+  if (count > num_cores())
+    throw std::invalid_argument(
+        "VariationMap::LowestLeakageCores: count exceeds core count");
+  std::vector<std::size_t> idx(num_cores());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return leakage_[a] < leakage_[b];
+  });
+  idx.resize(count);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+std::vector<std::size_t> VariationMap::FastestCores(
+    std::size_t count) const {
+  if (count > num_cores())
+    throw std::invalid_argument(
+        "VariationMap::FastestCores: count exceeds core count");
+  std::vector<std::size_t> idx(num_cores());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return freq_[a] > freq_[b];
+  });
+  idx.resize(count);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+double VariationMap::MinFrequencyFactor(
+    const std::vector<std::size_t>& active) const {
+  double m = 1e300;
+  for (const std::size_t c : active) m = std::min(m, freq_[c]);
+  return active.empty() ? 1.0 : m;
+}
+
+}  // namespace ds::arch

@@ -1,0 +1,78 @@
+// Process variation maps.
+//
+// The dark-silicon management work the paper builds on (DaSim [5],
+// Hayat [3]) is *variability-aware*: cores on the same die differ in
+// leakage current and maximum stable frequency because of within-die
+// process variation. This module synthesizes deterministic, spatially
+// correlated variation maps in the standard systematic + random
+// decomposition:
+//
+//   factor(core) = exp( systematic(x, y) + random(core) )
+//
+// where systematic(x, y) is a smooth across-die gradient (a randomly
+// oriented plane plus a radial bowl, the usual first-order model of
+// lens aberration and etch non-uniformity) and random(core) is i.i.d.
+// Gaussian. Leakage factors are lognormal around 1 with sigma ~0.2-0.3
+// (ITRS-era within-die spread); frequency factors are tighter (~5%).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "thermal/floorplan.hpp"
+
+namespace ds::arch {
+
+struct VariationParams {
+  double leakage_sigma_systematic = 0.20;  // lognormal sigma, smooth part
+  double leakage_sigma_random = 0.10;      // lognormal sigma, per-core
+  double freq_sigma_systematic = 0.04;     // relative, smooth part
+  double freq_sigma_random = 0.02;         // relative, per-core
+};
+
+/// Per-core multiplicative variation factors for one die.
+class VariationMap {
+ public:
+  /// Deterministic generation from a seed (same seed, same map).
+  static VariationMap Generate(const thermal::Floorplan& fp,
+                               std::uint64_t seed,
+                               const VariationParams& params = {});
+
+  /// A no-variation map (all factors exactly 1).
+  static VariationMap Uniform(std::size_t num_cores);
+
+  std::size_t num_cores() const { return leakage_.size(); }
+
+  /// Multiplies the core's leakage current; lognormal around ~1.
+  double LeakageFactor(std::size_t core) const { return leakage_[core]; }
+
+  /// Multiplies the core's maximum stable frequency; ~1 +- a few %.
+  /// A core may only run ladder levels whose frequency is below
+  /// factor * nominal maximum.
+  double FrequencyFactor(std::size_t core) const { return freq_[core]; }
+
+  const std::vector<double>& leakage_factors() const { return leakage_; }
+  const std::vector<double>& frequency_factors() const { return freq_; }
+
+  /// Indices of the `count` cores with the lowest leakage factors
+  /// (ties broken by index; used by variability-aware mapping).
+  std::vector<std::size_t> LowestLeakageCores(std::size_t count) const;
+
+  /// Indices of the `count` cores with the highest frequency factors
+  /// (chip-wide DVFS is derated by the *slowest active* core, so
+  /// picking fast cores recovers nominal frequency).
+  std::vector<std::size_t> FastestCores(std::size_t count) const;
+
+  /// The chip-wide frequency derating of an active set: the minimum
+  /// frequency factor over its cores.
+  double MinFrequencyFactor(const std::vector<std::size_t>& active) const;
+
+ private:
+  VariationMap(std::vector<double> leakage, std::vector<double> freq)
+      : leakage_(std::move(leakage)), freq_(std::move(freq)) {}
+
+  std::vector<double> leakage_;
+  std::vector<double> freq_;
+};
+
+}  // namespace ds::arch

@@ -1,0 +1,261 @@
+#include "core/dsrem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ds::core {
+namespace {
+
+constexpr double kThermalMarginC = 0.2;  // stop raising this close to TDTM
+
+}  // namespace
+
+JobList MakeJobList(const std::vector<const apps::AppProfile*>& apps,
+                    std::size_t count) {
+  JobList jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    jobs.push_back(apps[i % apps.size()]);
+  return jobs;
+}
+
+Estimate TdpMap::Run(const JobList& jobs, double tdp_w) const {
+  const arch::Platform& plat = estimator_.platform();
+  const std::size_t level = plat.ladder().NominalLevel();
+  const power::VfLevel& vf = plat.ladder()[level];
+  const std::size_t n = plat.num_cores();
+
+  apps::Workload w;
+  double used = 0.0;
+  std::size_t cores_used = 0;
+  for (const apps::AppProfile* app : jobs) {
+    const std::size_t threads = apps::kMaxThreadsPerInstance;
+    const double p = estimator_.BudgetCorePower(*app, threads, level) *
+                     static_cast<double>(threads);
+    // "Once TDP is reached, no more applications can be mapped."
+    if (cores_used + threads > n || used + p > tdp_w) break;
+    w.Add({app, threads, vf.freq, vf.vdd});
+    used += p;
+    cores_used += threads;
+  }
+  if (w.empty()) {
+    Estimate empty;
+    return empty;
+  }
+  return estimator_.EvaluateWorkload(w, MappingPolicy::kContiguous);
+}
+
+apps::Workload DsRem::PackUnderTdp(const JobList& jobs, double tdp_w) const {
+  const arch::Platform& plat = estimator_.platform();
+  const power::DvfsLadder& ladder = plat.ladder();
+  const std::size_t nominal = ladder.NominalLevel();
+  const std::size_t n = plat.num_cores();
+
+  // The job set is fixed, so this is a resource-allocation problem:
+  // maximize total GIPS over per-job (threads, level) subject to the
+  // TDP and the core count. Marginal-utility greedy: every job starts
+  // minimal (1 thread, lowest level); then the single upgrade -- one
+  // more thread or one level up for one job -- with the best marginal
+  // GIPS per unit of the binding resource is applied until nothing fits.
+  struct Alloc {
+    const apps::AppProfile* app;
+    std::size_t threads;
+    std::size_t level;
+    bool placed;
+  };
+  std::vector<Alloc> allocs;
+  allocs.reserve(jobs.size());
+
+  double power_left = tdp_w;
+  std::size_t cores_left = n;
+  auto job_power = [&](const Alloc& a, std::size_t threads,
+                       std::size_t level) {
+    return estimator_.BudgetCorePower(*a.app, threads, level) *
+           static_cast<double>(threads);
+  };
+
+  for (const apps::AppProfile* app : jobs) {
+    Alloc a{app, 1, 0, false};
+    const double p = job_power(a, 1, 0);
+    if (cores_left >= 1 && p <= power_left) {
+      a.placed = true;
+      power_left -= p;
+      cores_left -= 1;
+    }
+    allocs.push_back(a);
+  }
+
+  while (true) {
+    double best_score = 0.0;
+    std::size_t best_job = allocs.size();
+    bool best_is_thread = false;
+    for (std::size_t j = 0; j < allocs.size(); ++j) {
+      Alloc& a = allocs[j];
+      if (!a.placed) continue;
+      const double p_now = job_power(a, a.threads, a.level);
+      const double gips_now =
+          a.app->InstanceGips(a.threads, ladder[a.level].freq);
+      // Upgrade 1: one more thread.
+      if (a.threads < apps::kMaxThreadsPerInstance && cores_left >= 1) {
+        const double dp = job_power(a, a.threads + 1, a.level) - p_now;
+        if (dp <= power_left) {
+          const double dg =
+              a.app->InstanceGips(a.threads + 1, ladder[a.level].freq) -
+              gips_now;
+          const double cost = std::max(dp / tdp_w,
+                                       1.0 / static_cast<double>(n));
+          if (dg / cost > best_score) {
+            best_score = dg / cost;
+            best_job = j;
+            best_is_thread = true;
+          }
+        }
+      }
+      // Upgrade 2: one level up (stage 1 stays at or below nominal).
+      if (a.level < nominal) {
+        const double dp = job_power(a, a.threads, a.level + 1) - p_now;
+        if (dp <= power_left) {
+          const double dg =
+              a.app->InstanceGips(a.threads, ladder[a.level + 1].freq) -
+              gips_now;
+          const double cost = std::max(dp / tdp_w, 1e-12);
+          if (dg / cost > best_score) {
+            best_score = dg / cost;
+            best_job = j;
+            best_is_thread = false;
+          }
+        }
+      }
+    }
+    if (best_job == allocs.size()) break;
+    Alloc& a = allocs[best_job];
+    const double p_before = job_power(a, a.threads, a.level);
+    if (best_is_thread) {
+      ++a.threads;
+      --cores_left;
+    } else {
+      ++a.level;
+    }
+    power_left -= job_power(a, a.threads, a.level) - p_before;
+  }
+
+  apps::Workload w;
+  for (const Alloc& a : allocs) {
+    if (!a.placed) continue;
+    const power::VfLevel& vf = ladder[a.level];
+    w.Add({a.app, a.threads, vf.freq, vf.vdd});
+  }
+  return w;
+}
+
+Estimate DsRem::Run(const JobList& jobs, double tdp_w) const {
+  const arch::Platform& plat = estimator_.platform();
+  const power::DvfsLadder& ladder = plat.ladder();
+  const std::size_t nominal = ladder.NominalLevel();
+
+  apps::Workload w = PackUnderTdp(jobs, tdp_w);
+  if (w.empty()) return Estimate{};
+
+  // Stage 2: temperature is the real constraint. Work on a mutable
+  // copy of the instance list; placement is DaSim-style patterning.
+  std::vector<apps::Instance> insts = w.instances();
+  auto rebuild = [&]() {
+    apps::Workload out;
+    for (const apps::Instance& i : insts) out.Add(i);
+    return out;
+  };
+  auto evaluate = [&](const apps::Workload& wl) {
+    return estimator_.EvaluateWorkload(wl, MappingPolicy::kSpread);
+  };
+
+  Estimate current = evaluate(rebuild());
+
+  // (a) Remove thermal violations: step down the level of the
+  // highest-frequency instance until feasible (or floor reached).
+  while (current.thermal_violation) {
+    std::size_t hottest = insts.size();
+    double f_max = 0.0;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (insts[i].freq > f_max) {
+        f_max = insts[i].freq;
+        hottest = i;
+      }
+    }
+    if (hottest == insts.size()) break;
+    const std::size_t lvl = ladder.LevelAtOrBelow(insts[hottest].freq);
+    if (lvl == 0) {
+      // Cannot throttle further: drop the instance entirely.
+      insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(hottest));
+      if (insts.empty()) return Estimate{};
+    } else {
+      const power::VfLevel& vf = ladder[lvl - 1];
+      insts[hottest].freq = vf.freq;
+      insts[hottest].vdd = vf.vdd;
+    }
+    current = evaluate(rebuild());
+  }
+
+  // (b) Exploit thermal headroom: repeatedly apply the single upgrade
+  // -- one v/f level (up to nominal) or one more thread -- with the
+  // largest GIPS gain, as long as the peak temperature allows it. A
+  // rejected upgrade freezes its instance (its neighbourhood of the
+  // thermal map is saturated).
+  std::vector<bool> frozen(insts.size(), false);
+  while (true) {
+    std::size_t total_cores = 0;
+    for (const apps::Instance& inst : insts) total_cores += inst.threads;
+
+    std::size_t best = insts.size();
+    bool best_is_thread = false;
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (frozen[i]) continue;
+      const std::size_t lvl = ladder.LevelAtOrBelow(insts[i].freq);
+      if (lvl < nominal) {
+        const double gain =
+            insts[i].app->InstanceGips(insts[i].threads,
+                                       ladder[lvl + 1].freq) -
+            insts[i].Gips();
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = i;
+          best_is_thread = false;
+        }
+      }
+      if (insts[i].threads < apps::kMaxThreadsPerInstance &&
+          total_cores < plat.num_cores()) {
+        const double gain =
+            insts[i].app->InstanceGips(insts[i].threads + 1,
+                                       insts[i].freq) -
+            insts[i].Gips();
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = i;
+          best_is_thread = true;
+        }
+      }
+    }
+    if (best == insts.size()) break;
+
+    const apps::Instance saved = insts[best];
+    if (best_is_thread) {
+      ++insts[best].threads;
+    } else {
+      const std::size_t lvl = ladder.LevelAtOrBelow(insts[best].freq);
+      insts[best].freq = ladder[lvl + 1].freq;
+      insts[best].vdd = ladder[lvl + 1].vdd;
+    }
+    Estimate trial = evaluate(rebuild());
+    if (trial.thermal_violation ||
+        trial.peak_temp_c > plat.tdtm_c() - kThermalMarginC) {
+      insts[best] = saved;  // revert; this instance is at its limit
+      frozen[best] = true;
+    } else {
+      current = std::move(trial);
+    }
+  }
+  return current;
+}
+
+}  // namespace ds::core

@@ -1,0 +1,61 @@
+// Resource-management policies of Sec. 4:
+//
+// Both policies operate on a *job list*: a fixed queue of application
+// instances to run (DsRem's original formulation in [19] manages a
+// given set of applications, not an unbounded stream). Each job is
+// placed at most once.
+//
+//  * TdpMap -- the TDP-based baseline: jobs are mapped in order, each
+//    with 8 threads at the maximum nominal v/f level; once the next job
+//    would exceed the TDP, no more applications are mapped (Sec. 4).
+//
+//  * DsRem (Khdr et al., DAC'15) -- jointly determines each job's
+//    thread count and v/f level to maximize overall GIPS: stage 1
+//    packs jobs under the TDP using a bottleneck-normalized greedy
+//    (GIPS per unit of the scarcer resource, power or cores); stage 2
+//    re-evaluates thermally and either throttles levels to remove
+//    violations or exploits the remaining thermal headroom by raising
+//    levels (the temperature, not the TDP, is the true constraint).
+#pragma once
+
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "core/estimator.hpp"
+
+namespace ds::core {
+
+/// A job list: one entry per application instance to run.
+using JobList = std::vector<const apps::AppProfile*>;
+
+/// Builds a job list of `count` jobs cycling through `apps`.
+JobList MakeJobList(const std::vector<const apps::AppProfile*>& apps,
+                    std::size_t count);
+
+class TdpMap {
+ public:
+  explicit TdpMap(const arch::Platform& platform) : estimator_(platform) {}
+
+  /// Maps `jobs` under `tdp_w`; returns the thermal/performance estimate
+  /// (contiguous placement, the policy is thermally oblivious).
+  Estimate Run(const JobList& jobs, double tdp_w) const;
+
+ private:
+  DarkSiliconEstimator estimator_;
+};
+
+class DsRem {
+ public:
+  explicit DsRem(const arch::Platform& platform) : estimator_(platform) {}
+
+  /// Stage 1 (TDP-optimal settings) + stage 2 (thermal adjustment).
+  Estimate Run(const JobList& jobs, double tdp_w) const;
+
+  /// Stage 1 only -- exposed for tests and the ablation bench.
+  apps::Workload PackUnderTdp(const JobList& jobs, double tdp_w) const;
+
+ private:
+  DarkSiliconEstimator estimator_;
+};
+
+}  // namespace ds::core

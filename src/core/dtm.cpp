@@ -1,0 +1,144 @@
+#include "core/dtm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::core {
+
+const char* DtmPolicyName(DtmPolicy policy) {
+  switch (policy) {
+    case DtmPolicy::kThrottleGlobal:
+      return "throttle-global";
+    case DtmPolicy::kShutdownHottest:
+      return "shutdown-hottest";
+  }
+  return "?";
+}
+
+DtmSimulator::DtmSimulator(const arch::Platform& platform,
+                           const apps::AppProfile& app,
+                           std::size_t instances, std::size_t threads,
+                           MappingPolicy placement)
+    : platform_(&platform),
+      app_(&app),
+      instances_(instances),
+      threads_(threads) {
+  if (instances * threads > platform.num_cores())
+    throw std::invalid_argument("DtmSimulator: workload does not fit");
+  active_set_ = SelectCores(platform, instances * threads, placement);
+}
+
+DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
+                            double duration_s, double control_period_s,
+                            double hysteresis_c) const {
+  const power::DvfsLadder& ladder = platform_->ladder();
+  const power::PowerModel& pm = platform_->power_model();
+  const double t_crit = platform_->tdtm_c();
+  const std::size_t n = platform_->num_cores();
+
+  thermal::TransientSimulator sim(platform_->thermal_model(),
+                                  control_period_s);
+
+  // Per-core run state: on = contributing its activity; off = gated.
+  std::vector<bool> on(n, false);
+  for (const std::size_t c : active_set_) on[c] = true;
+  std::size_t level = start_level;
+  const double activity = app_->Activity(threads_);
+
+  // Per-active-core share of its instance's GIPS: losing a core costs
+  // the instance proportionally (the remaining threads stall on it).
+  const double gips_per_core =
+      app_->InstanceGips(threads_, 1.0) / static_cast<double>(threads_);
+
+  auto core_powers = [&](std::size_t lvl,
+                         const std::vector<double>& temps) {
+    const power::VfLevel& vf = ladder[lvl];
+    std::vector<double> p(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      p[c] = on[c] ? pm.TotalPower(activity, app_->ceff22_nf, app_->pind22,
+                                   vf.vdd, vf.freq, temps[c])
+                   : pm.DarkCorePower(temps[c]);
+    }
+    return p;
+  };
+  auto current_gips = [&](std::size_t lvl) {
+    std::size_t alive = 0;
+    for (const std::size_t c : active_set_)
+      if (on[c]) ++alive;
+    return static_cast<double>(alive) * gips_per_core * ladder[lvl].freq;
+  };
+
+  // Warm start: steady state of the *requested* operating point. This
+  // is exactly the situation the paper describes -- a mapping admitted
+  // by an optimistic TDP whose steady state violates T_DTM.
+  {
+    std::vector<double> temps(n, platform_->thermal_model().ambient_c());
+    for (int it = 0; it < 3; ++it) {
+      sim.InitializeSteadyState(core_powers(start_level, temps));
+      temps = sim.DieTemps();
+    }
+  }
+
+  DtmResult result;
+  result.nominal_gips = current_gips(start_level);
+  result.min_freq_ghz = ladder[level].freq;
+  const std::size_t steps = static_cast<std::size_t>(
+      std::lround(duration_s / control_period_s));
+  const std::size_t stride = std::max<std::size_t>(1, steps / 500);
+  double gips_acc = 0.0;
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::vector<double> temps = sim.DieTemps();
+    const double peak = *std::max_element(temps.begin(), temps.end());
+    if (peak > t_crit) {
+      result.time_above_critical_s += control_period_s;
+      if (policy == DtmPolicy::kThrottleGlobal) {
+        level = ladder.StepDown(level);
+      } else {
+        // Gate the hottest still-running core.
+        std::size_t hottest = n;
+        double t_max = -1.0;
+        for (const std::size_t c : active_set_) {
+          if (on[c] && temps[c] > t_max) {
+            t_max = temps[c];
+            hottest = c;
+          }
+        }
+        if (hottest < n) {
+          on[hottest] = false;
+          ++result.cores_shut_down;
+        }
+      }
+    } else if (policy == DtmPolicy::kThrottleGlobal &&
+               peak < t_crit - hysteresis_c && level < start_level) {
+      level = ladder.StepUp(level);
+    }
+
+    sim.Step(core_powers(level, temps));
+    const double gips = current_gips(level);
+    gips_acc += gips;
+    result.max_temp_c = std::max(result.max_temp_c, sim.PeakDieTemp());
+    result.min_freq_ghz = std::min(result.min_freq_ghz, ladder[level].freq);
+    if (s % stride == 0) {
+      result.time_s.push_back(sim.time());
+      result.gips.push_back(gips);
+      result.peak_temp_c.push_back(sim.PeakDieTemp());
+    }
+  }
+
+  result.avg_gips = gips_acc / static_cast<double>(steps);
+  result.performance_loss =
+      result.nominal_gips > 0.0
+          ? 1.0 - result.avg_gips / result.nominal_gips
+          : 0.0;
+  std::size_t alive = 0;
+  for (const std::size_t c : active_set_)
+    if (on[c]) ++alive;
+  result.final_dark_fraction =
+      1.0 - static_cast<double>(alive) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace ds::core

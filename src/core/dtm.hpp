@@ -1,0 +1,73 @@
+// Dynamic Thermal Management (DTM).
+//
+// Sec. 3.1 of the paper: "Exceeding this critical temperature triggers
+// Dynamic Thermal Management (DTM) on the chip ... which might power
+// down additional cores, resulting in more dark silicon." This module
+// makes that claim quantitative: it runs a workload transiently and
+// lets a DTM policy react whenever the peak temperature crosses the
+// critical threshold.
+//
+// Policies:
+//   * kThrottleGlobal  -- step the chip-wide v/f ladder one level down
+//                         on violation, one level back up (toward the
+//                         original level) when a hysteresis margin of
+//                         headroom reappears. Models clock throttling.
+//   * kShutdownHottest -- power-gate the hottest active core on each
+//                         violating control period. Gated cores stay
+//                         off (the paper's "additional dark silicon").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "thermal/transient.hpp"
+
+namespace ds::core {
+
+enum class DtmPolicy { kThrottleGlobal, kShutdownHottest };
+
+const char* DtmPolicyName(DtmPolicy policy);
+
+struct DtmResult {
+  double avg_gips = 0.0;
+  double nominal_gips = 0.0;       // what the mapping would deliver un-DTM'd
+  double performance_loss = 0.0;   // 1 - avg/nominal
+  double max_temp_c = 0.0;
+  double time_above_critical_s = 0.0;
+  std::size_t cores_shut_down = 0;    // kShutdownHottest only
+  double final_dark_fraction = 0.0;   // including DTM-induced dark cores
+  double min_freq_ghz = 0.0;          // lowest level reached (throttling)
+  std::vector<double> time_s;         // sampled trace
+  std::vector<double> gips;
+  std::vector<double> peak_temp_c;
+};
+
+/// Transient DTM simulation of a homogeneous workload (instances of one
+/// application, 8 threads each) mapped by `policy_map`.
+class DtmSimulator {
+ public:
+  DtmSimulator(const arch::Platform& platform, const apps::AppProfile& app,
+               std::size_t instances, std::size_t threads,
+               MappingPolicy placement = MappingPolicy::kContiguous);
+
+  /// Runs `duration_s` at `start_level` with the DTM policy armed at
+  /// the platform's T_DTM. `hysteresis_c` is the headroom required
+  /// before throttling is relaxed.
+  DtmResult Run(DtmPolicy policy, std::size_t start_level,
+                double duration_s, double control_period_s = 1e-3,
+                double hysteresis_c = 2.0) const;
+
+  std::size_t active_cores() const { return active_set_.size(); }
+
+ private:
+  const arch::Platform* platform_;
+  const apps::AppProfile* app_;
+  std::size_t instances_;
+  std::size_t threads_;
+  std::vector<std::size_t> active_set_;
+};
+
+}  // namespace ds::core

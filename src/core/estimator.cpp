@@ -1,0 +1,226 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ds::core {
+namespace {
+
+/// Per-slot operating parameters, aligned with the workload's core slots.
+struct SlotParams {
+  double activity;
+  double ceff22;
+  double pind22;
+  double vdd;
+  double freq;
+};
+
+std::vector<SlotParams> SlotsOf(const apps::Workload& workload) {
+  std::vector<SlotParams> slots;
+  slots.reserve(workload.TotalCores());
+  for (const apps::Instance& inst : workload.instances()) {
+    const SlotParams s{inst.app->Activity(inst.threads), inst.app->ceff22_nf,
+                       inst.app->pind22, inst.vdd, inst.freq};
+    for (std::size_t t = 0; t < inst.threads; ++t) slots.push_back(s);
+  }
+  return slots;
+}
+
+}  // namespace
+
+DarkSiliconEstimator::DarkSiliconEstimator(const arch::Platform& platform)
+    : platform_(&platform) {}
+
+double DarkSiliconEstimator::BudgetCorePower(const apps::AppProfile& app,
+                                             std::size_t threads,
+                                             std::size_t level) const {
+  const power::VfLevel& vf = platform_->ladder()[level];
+  return platform_->power_model().TotalPower(app.Activity(threads),
+                                             app.ceff22_nf, app.pind22,
+                                             vf.vdd, vf.freq,
+                                             platform_->tdtm_c());
+}
+
+Estimate DarkSiliconEstimator::EvaluateWorkload(
+    const apps::Workload& workload, MappingPolicy policy) const {
+  return EvaluateWorkload(
+      workload, SelectCores(*platform_, workload.TotalCores(), policy));
+}
+
+Estimate DarkSiliconEstimator::EvaluateWorkload(
+    const apps::Workload& workload,
+    std::vector<std::size_t> active_set) const {
+  return EvaluateImpl(workload, std::move(active_set), nullptr);
+}
+
+Estimate DarkSiliconEstimator::EvaluateWorkload(
+    const apps::Workload& workload, std::vector<std::size_t> active_set,
+    const arch::VariationMap& variation) const {
+  if (variation.num_cores() != platform_->num_cores())
+    throw std::invalid_argument(
+        "EvaluateWorkload: variation map size mismatch");
+  return EvaluateImpl(workload, std::move(active_set), &variation);
+}
+
+Estimate DarkSiliconEstimator::EvaluateWorkloadWithUncore(
+    const apps::Workload& workload, std::vector<std::size_t> active_set,
+    const std::vector<double>& extra_per_tile_w) const {
+  if (extra_per_tile_w.size() != platform_->num_cores())
+    throw std::invalid_argument(
+        "EvaluateWorkloadWithUncore: extra power size mismatch");
+  return EvaluateImpl(workload, std::move(active_set), nullptr,
+                      &extra_per_tile_w);
+}
+
+Estimate DarkSiliconEstimator::EvaluateImpl(
+    const apps::Workload& workload, std::vector<std::size_t> active_set,
+    const arch::VariationMap* variation,
+    const std::vector<double>* extra_per_tile_w) const {
+  if (active_set.size() != workload.TotalCores())
+    throw std::invalid_argument(
+        "EvaluateWorkload: active set size != workload cores");
+  const std::size_t n = platform_->num_cores();
+  const auto slots = SlotsOf(workload);
+  const power::PowerModel& pm = platform_->power_model();
+
+  // slot_of[core] = index into slots, or npos for dark cores.
+  constexpr std::size_t kDark = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> slot_of(n, kDark);
+  for (std::size_t k = 0; k < active_set.size(); ++k) {
+    assert(active_set[k] < n);
+    slot_of[active_set[k]] = k;
+  }
+
+  auto leak_factor = [&](std::size_t core) {
+    return variation != nullptr ? variation->LeakageFactor(core) : 1.0;
+  };
+  auto extra = [&](std::size_t core) {
+    return extra_per_tile_w != nullptr ? (*extra_per_tile_w)[core] : 0.0;
+  };
+  std::vector<double> converged_powers;
+  const std::vector<double> temps =
+      platform_->solver().SolveWithFeedback(
+          [&](std::size_t core, double t_c) {
+            const std::size_t k = slot_of[core];
+            if (k == kDark)
+              return extra(core) + leak_factor(core) * pm.DarkCorePower(t_c);
+            const SlotParams& s = slots[k];
+            return extra(core) +
+                   pm.DynamicPower(s.activity, s.ceff22, s.vdd, s.freq) +
+                   leak_factor(core) * pm.LeakagePower(s.vdd, t_c) +
+                   pm.IndependentPower(s.pind22, s.vdd);
+          },
+          &converged_powers);
+
+  Estimate e;
+  e.active_cores = active_set.size();
+  e.instances = workload.size();
+  e.dark_fraction =
+      1.0 - static_cast<double>(e.active_cores) / static_cast<double>(n);
+  double total = 0.0;
+  for (const double p : converged_powers) total += p;
+  e.total_power_w = total;
+  e.budget_power_w = workload.TotalPower(pm, platform_->tdtm_c());
+  e.peak_temp_c = util::MaxElement(temps);
+  e.total_gips = workload.TotalGips();
+  e.thermal_violation = e.peak_temp_c > platform_->tdtm_c() + 1e-6;
+  e.active_set = std::move(active_set);
+  e.core_temps = temps;
+  e.workload = workload;
+  return e;
+}
+
+apps::Workload DarkSiliconEstimator::PlanUnderPowerBudget(
+    const apps::AppProfile& app, std::size_t threads, std::size_t level,
+    double tdp_w) const {
+  const std::size_t n = platform_->num_cores();
+  const power::VfLevel& vf = platform_->ladder()[level];
+  const double p_core = BudgetCorePower(app, threads, level);
+
+  // Full instances within the budget and the core count.
+  std::size_t m = static_cast<std::size_t>(
+      tdp_w / (p_core * static_cast<double>(threads)));
+  m = std::min(m, n / threads);
+
+  apps::Workload w;
+  w.AddN({&app, threads, vf.freq, vf.vdd}, m);
+  double used = static_cast<double>(m * threads) * p_core;
+
+  // One final smaller instance if budget and cores allow.
+  const std::size_t cores_left = n - m * threads;
+  for (std::size_t t = std::min(threads - 1, cores_left); t >= 1; --t) {
+    const double p_t = BudgetCorePower(app, t, level);
+    if (used + static_cast<double>(t) * p_t <= tdp_w) {
+      w.Add({&app, t, vf.freq, vf.vdd});
+      break;
+    }
+    if (t == 1) break;
+  }
+  return w;
+}
+
+Estimate DarkSiliconEstimator::UnderPowerBudget(const apps::AppProfile& app,
+                                                std::size_t threads,
+                                                std::size_t level,
+                                                double tdp_w,
+                                                MappingPolicy policy) const {
+  return EvaluateWorkload(PlanUnderPowerBudget(app, threads, level, tdp_w),
+                          policy);
+}
+
+Estimate DarkSiliconEstimator::UnderTemperature(const apps::AppProfile& app,
+                                                std::size_t threads,
+                                                std::size_t level,
+                                                MappingPolicy policy) const {
+  const std::size_t n = platform_->num_cores();
+  const power::VfLevel& vf = platform_->ladder()[level];
+  const std::size_t max_instances = n / threads;
+
+  auto evaluate = [&](std::size_t instances,
+                      std::size_t extra_threads) -> Estimate {
+    apps::Workload w;
+    w.AddN({&app, threads, vf.freq, vf.vdd}, instances);
+    if (extra_threads > 0) w.Add({&app, extra_threads, vf.freq, vf.vdd});
+    return EvaluateWorkload(w, policy);
+  };
+
+  auto feasible = [&](std::size_t instances, std::size_t extra) -> bool {
+    if (instances == 0 && extra == 0) return true;
+    try {
+      return !evaluate(instances, extra).thermal_violation;
+    } catch (const std::runtime_error&) {
+      return false;  // leakage/temperature runaway: not feasible
+    }
+  };
+
+  // Binary search the largest feasible number of full instances.
+  std::size_t lo = 0;  // feasible
+  std::size_t hi = max_instances + 1;  // first infeasible candidate bound
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (feasible(mid, 0))
+      lo = mid;
+    else
+      hi = mid;
+  }
+
+  // Try to grow with one smaller instance.
+  std::size_t extra = 0;
+  const std::size_t cores_left = n - lo * threads;
+  for (std::size_t t = std::min(threads - 1, cores_left); t >= 1; --t) {
+    if (feasible(lo, t)) {
+      extra = t;
+      break;
+    }
+    if (t == 1) break;
+  }
+  if (lo == 0 && extra == 0) {
+    Estimate empty;
+    empty.active_set.clear();
+    return empty;
+  }
+  return evaluate(lo, extra);
+}
+
+}  // namespace ds::core

@@ -1,0 +1,105 @@
+// Dark-silicon estimation under a power budget (TDP) or a temperature
+// constraint (Secs. 3.1 and 3.2 of the paper).
+//
+// Both estimators map instances of one application (n dependent threads
+// per instance, Sec. 2.3) onto the chip until the constraint binds:
+//   * UnderPowerBudget: total active-core power (leakage conservatively
+//     at T_DTM, as a budget must be) may not exceed the TDP;
+//   * UnderTemperature: the steady-state peak die temperature (with the
+//     full leakage/temperature fixed point) may not exceed T_DTM.
+// After filling with full instances, one final smaller instance
+// (threads-1 .. 1) is added if it still fits, which matches the paper's
+// fractional active-core percentages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "apps/workload.hpp"
+#include "arch/platform.hpp"
+#include "arch/variation.hpp"
+#include "core/mapping.hpp"
+
+namespace ds::core {
+
+struct Estimate {
+  std::size_t active_cores = 0;
+  std::size_t instances = 0;
+  double dark_fraction = 1.0;   // dark cores / total cores
+  double total_power_w = 0.0;   // converged (actual-temperature) power
+  double budget_power_w = 0.0;  // power as accounted against the budget
+  double peak_temp_c = 0.0;
+  double total_gips = 0.0;
+  bool thermal_violation = false;  // peak > T_DTM
+  std::vector<std::size_t> active_set;
+  std::vector<double> core_temps;  // converged per-core temperatures [C]
+  apps::Workload workload;
+};
+
+class DarkSiliconEstimator {
+ public:
+  /// The platform must outlive the estimator.
+  explicit DarkSiliconEstimator(const arch::Platform& platform);
+
+  /// Budget-side packing only (no thermal evaluation): the workload of
+  /// full 8-thread-or-fewer instances of (app, threads, level) that fits
+  /// under `tdp_w`. Used directly by DVFS searches that compare many
+  /// configurations before evaluating the winner thermally.
+  apps::Workload PlanUnderPowerBudget(const apps::AppProfile& app,
+                                      std::size_t threads, std::size_t level,
+                                      double tdp_w) const;
+
+  /// Dark silicon when TDP is the constraint (Sec. 3.1). `level` indexes
+  /// the platform ladder.
+  Estimate UnderPowerBudget(
+      const apps::AppProfile& app, std::size_t threads, std::size_t level,
+      double tdp_w,
+      MappingPolicy policy = MappingPolicy::kContiguous) const;
+
+  /// Dark silicon when the peak temperature is the constraint
+  /// (Sec. 3.2): instances are mapped until T_peak would exceed T_DTM.
+  Estimate UnderTemperature(
+      const apps::AppProfile& app, std::size_t threads, std::size_t level,
+      MappingPolicy policy = MappingPolicy::kContiguous) const;
+
+  /// Thermal/power/performance evaluation of an arbitrary workload
+  /// mapped with `policy` (or onto an explicit active set, which must
+  /// have exactly workload.TotalCores() entries).
+  Estimate EvaluateWorkload(const apps::Workload& workload,
+                            MappingPolicy policy) const;
+  Estimate EvaluateWorkload(const apps::Workload& workload,
+                            std::vector<std::size_t> active_set) const;
+
+  /// Variation-aware evaluation: each core's leakage is multiplied by
+  /// its process-variation factor (DaSim-style analysis). `variation`
+  /// must cover the whole chip.
+  Estimate EvaluateWorkload(const apps::Workload& workload,
+                            std::vector<std::size_t> active_set,
+                            const arch::VariationMap& variation) const;
+
+  /// Evaluation with additional temperature-independent per-tile power
+  /// (e.g. the NoC's router/link power from noc::MeshNoc). `extra`
+  /// must have one entry per core tile.
+  Estimate EvaluateWorkloadWithUncore(
+      const apps::Workload& workload, std::vector<std::size_t> active_set,
+      const std::vector<double>& extra_per_tile_w) const;
+
+  /// Per-core power of (app, threads) at `level` with leakage at T_DTM
+  /// -- the budget-side accounting used against a TDP.
+  double BudgetCorePower(const apps::AppProfile& app, std::size_t threads,
+                         std::size_t level) const;
+
+  const arch::Platform& platform() const { return *platform_; }
+
+ private:
+  Estimate EvaluateImpl(const apps::Workload& workload,
+                        std::vector<std::size_t> active_set,
+                        const arch::VariationMap* variation,
+                        const std::vector<double>* extra_per_tile_w =
+                            nullptr) const;
+
+  const arch::Platform* platform_;
+};
+
+}  // namespace ds::core

@@ -1,0 +1,182 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ds::core {
+namespace {
+
+std::vector<std::size_t> SelectContiguous(const thermal::Floorplan&,
+                                          std::size_t count) {
+  std::vector<std::size_t> out(count);
+  std::iota(out.begin(), out.end(), 0);  // row-major block from the top
+  return out;
+}
+
+std::vector<std::size_t> SelectDensest(const thermal::Floorplan& fp,
+                                       std::size_t count) {
+  const double cx = fp.die_width_mm() / 2.0;
+  const double cy = fp.die_height_mm() / 2.0;
+  std::vector<std::size_t> all(fp.num_cores());
+  std::iota(all.begin(), all.end(), 0);
+  std::stable_sort(all.begin(), all.end(), [&](std::size_t a, std::size_t b) {
+    const double da = std::hypot(fp.CenterX(a) - cx, fp.CenterY(a) - cy);
+    const double db = std::hypot(fp.CenterX(b) - cx, fp.CenterY(b) - cy);
+    return da < db;
+  });
+  all.resize(count);
+  return all;
+}
+
+std::vector<std::size_t> SelectCheckerboard(const thermal::Floorplan& fp,
+                                            std::size_t count) {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (int parity = 0; parity < 2 && out.size() < count; ++parity) {
+    for (std::size_t r = 0; r < fp.rows() && out.size() < count; ++r) {
+      for (std::size_t c = 0; c < fp.cols() && out.size() < count; ++c) {
+        if ((r + c) % 2 == static_cast<std::size_t>(parity))
+          out.push_back(fp.IndexOf(r, c));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* MappingPolicyName(MappingPolicy policy) {
+  switch (policy) {
+    case MappingPolicy::kContiguous:
+      return "contiguous";
+    case MappingPolicy::kDensest:
+      return "densest";
+    case MappingPolicy::kCheckerboard:
+      return "checkerboard";
+    case MappingPolicy::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> SelectSpread(const util::Matrix& influence,
+                                      std::size_t count) {
+  const std::size_t n = influence.rows();
+  if (count > n)
+    throw std::invalid_argument("SelectSpread: count exceeds core count");
+  std::vector<bool> chosen(n, false);
+  // row_sum[i] = current steady-state rise at core i per watt applied
+  // uniformly on the chosen set.
+  std::vector<double> row_sum(n, 0.0);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t step = 0; step < count; ++step) {
+    std::size_t best = n;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (chosen[cand]) continue;
+      // Peak over *active* rows if cand is added. Peaks occur on active
+      // cores (self-influence dominates), so restricting to them is
+      // both faster and matches how TSP evaluates a mapping.
+      double peak = row_sum[cand] + influence(cand, cand);
+      for (const std::size_t i : out)
+        peak = std::max(peak, row_sum[i] + influence(i, cand));
+      if (peak < best_peak) {
+        best_peak = peak;
+        best = cand;
+      }
+    }
+    assert(best < n);
+    chosen[best] = true;
+    out.push_back(best);
+    for (std::size_t i = 0; i < n; ++i) row_sum[i] += influence(i, best);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> SelectVariationAware(
+    const util::Matrix& influence,
+    const std::vector<double>& leakage_factors, std::size_t count,
+    double leak_weight) {
+  const std::size_t n = influence.rows();
+  if (count > n)
+    throw std::invalid_argument(
+        "SelectVariationAware: count exceeds core count");
+  if (leakage_factors.size() != n)
+    throw std::invalid_argument(
+        "SelectVariationAware: leakage factor size mismatch");
+  // Same greedy as SelectSpread, but core j contributes
+  // w_j = (1 - leak_weight) + leak_weight * leak_j per unit of nominal
+  // power: a leaky core heats its neighbourhood more.
+  std::vector<double> weight(n);
+  for (std::size_t j = 0; j < n; ++j)
+    weight[j] = (1.0 - leak_weight) + leak_weight * leakage_factors[j];
+
+  std::vector<bool> chosen(n, false);
+  std::vector<double> row_sum(n, 0.0);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t step = 0; step < count; ++step) {
+    std::size_t best = n;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (chosen[cand]) continue;
+      double peak = row_sum[cand] + influence(cand, cand) * weight[cand];
+      for (const std::size_t i : out)
+        peak = std::max(peak, row_sum[i] + influence(i, cand) * weight[cand]);
+      if (peak < best_peak) {
+        best_peak = peak;
+        best = cand;
+      }
+    }
+    assert(best < n);
+    chosen[best] = true;
+    out.push_back(best);
+    for (std::size_t i = 0; i < n; ++i)
+      row_sum[i] += influence(i, best) * weight[best];
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> SelectCoresGeometric(const thermal::Floorplan& fp,
+                                              std::size_t count,
+                                              MappingPolicy policy) {
+  if (count > fp.num_cores())
+    throw std::invalid_argument("SelectCores: count exceeds core count");
+  switch (policy) {
+    case MappingPolicy::kContiguous:
+      return SelectContiguous(fp, count);
+    case MappingPolicy::kDensest:
+      return SelectDensest(fp, count);
+    case MappingPolicy::kCheckerboard:
+    case MappingPolicy::kSpread:
+      return SelectCheckerboard(fp, count);
+  }
+  throw std::invalid_argument("SelectCores: unknown policy");
+}
+
+std::vector<std::size_t> SelectCores(const arch::Platform& platform,
+                                     std::size_t count,
+                                     MappingPolicy policy) {
+  if (policy == MappingPolicy::kSpread)
+    return SelectSpread(platform.solver().InfluenceMatrix(), count);
+  return SelectCoresGeometric(platform.floorplan(), count, policy);
+}
+
+std::vector<bool> ActiveMask(std::size_t num_cores,
+                             const std::vector<std::size_t>& active) {
+  std::vector<bool> mask(num_cores, false);
+  for (const std::size_t i : active) {
+    assert(i < num_cores);
+    mask[i] = true;
+  }
+  return mask;
+}
+
+}  // namespace ds::core

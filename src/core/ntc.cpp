@@ -1,0 +1,64 @@
+#include "core/ntc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ds::core {
+
+NtcAnalysis::NtcAnalysis(const arch::Platform& platform)
+    : platform_(&platform), estimator_(platform) {}
+
+RegionResult NtcAnalysis::Evaluate(const apps::AppProfile& app,
+                                   std::size_t instances,
+                                   std::size_t threads, double freq,
+                                   double work_ginstr) const {
+  RegionResult r;
+  const power::VfCurve& curve = platform_->vf_curve();
+  const double f_cap = platform_->tech().boost_max_freq;
+  r.freq_capped = freq > f_cap;
+  r.freq = std::min(freq, f_cap);
+  r.vdd = curve.VoltageFor(r.freq);
+  r.region = curve.RegionOf(r.vdd);
+
+  if (instances * threads > platform_->num_cores())
+    throw std::invalid_argument("NtcAnalysis: workload does not fit");
+
+  apps::Workload w;
+  w.AddN({&app, threads, r.freq, r.vdd}, instances);
+  // Spread placement: both regions benefit equally, keeping the energy
+  // comparison about the operating point rather than the mapping.
+  const Estimate e =
+      estimator_.EvaluateWorkload(w, MappingPolicy::kSpread);
+  r.gips = e.total_gips;
+  r.power_w = e.total_power_w;
+  r.time_s = work_ginstr / r.gips;
+  r.energy_kj = r.power_w * r.time_s / 1e3;
+  return r;
+}
+
+NtcComparison NtcAnalysis::Compare(const apps::AppProfile& app,
+                                   std::size_t instances,
+                                   const NtcOperatingPoint& ntc,
+                                   double ref_duration_s) const {
+  NtcComparison out;
+  out.app = app.name;
+
+  // Reference work: what the NTC configuration completes in
+  // ref_duration_s [giga-instructions].
+  const double ntc_gips =
+      static_cast<double>(instances) *
+      app.InstanceGips(ntc.threads, ntc.freq);
+  const double work = ntc_gips * ref_duration_s;
+
+  out.ntc = Evaluate(app, instances, ntc.threads, ntc.freq, work);
+
+  // STC frequencies that match the NTC throughput per instance.
+  const double s_ntc = app.Speedup(ntc.threads);
+  const double f1 = ntc.freq * s_ntc / app.Speedup(1);
+  const double f2 = ntc.freq * s_ntc / app.Speedup(2);
+  out.stc1 = Evaluate(app, instances, 1, f1, work);
+  out.stc2 = Evaluate(app, instances, 2, f2, work);
+  return out;
+}
+
+}  // namespace ds::core

@@ -1,0 +1,69 @@
+// STC vs NTC at iso-performance (Sec. 6, Fig. 14).
+//
+// The NTC configuration runs many threads per instance at a
+// near-threshold operating point (the paper: 8 threads at 1 GHz/0.46 V
+// in 11 nm); each STC configuration runs the *same number of instances*
+// with fewer threads, at the frequency that matches the NTC
+// performance: f_stc(n) = f_ntc * speedup(8) / speedup(n). Energy is
+// compared over a fixed amount of work (what the NTC configuration
+// completes in a reference interval), so iso-performance means
+// iso-time, and a capped STC frequency (> max boost) means longer
+// execution at lower throughput.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "power/vf_curve.hpp"
+
+namespace ds::core {
+
+struct NtcOperatingPoint {
+  double freq;  // [GHz]
+  std::size_t threads;
+};
+
+/// One configuration's outcome.
+struct RegionResult {
+  double freq = 0.0;          // [GHz] used
+  double vdd = 0.0;           // [V]
+  power::VoltageRegion region = power::VoltageRegion::kSuperThreshold;
+  bool freq_capped = false;   // requested frequency exceeded max boost
+  double gips = 0.0;
+  double power_w = 0.0;       // converged steady-state total power
+  double time_s = 0.0;        // to complete the reference work
+  double energy_kj = 0.0;
+};
+
+struct NtcComparison {
+  std::string app;
+  RegionResult ntc;    // 8 threads, near-threshold
+  RegionResult stc1;   // 1 thread
+  RegionResult stc2;   // 2 threads
+};
+
+class NtcAnalysis {
+ public:
+  explicit NtcAnalysis(const arch::Platform& platform);
+
+  /// Compares NTC against 1- and 2-thread STC for `instances` instances
+  /// of `app`. `ref_duration_s` defines the reference work (NTC
+  /// execution time). Throws if a configuration does not fit the chip.
+  NtcComparison Compare(const apps::AppProfile& app, std::size_t instances,
+                        const NtcOperatingPoint& ntc,
+                        double ref_duration_s = 10.0) const;
+
+ private:
+  RegionResult Evaluate(const apps::AppProfile& app, std::size_t instances,
+                        std::size_t threads, double freq,
+                        double work_ginstr) const;
+
+  const arch::Platform* platform_;
+  DarkSiliconEstimator estimator_;
+};
+
+}  // namespace ds::core

@@ -1,0 +1,209 @@
+#include "core/online_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <random>
+
+namespace ds::core {
+namespace {
+
+struct Job {
+  const apps::AppProfile* app;
+  std::size_t remaining;       // epochs left
+  std::size_t arrival_epoch;
+  std::size_t admit_epoch = 0;
+  std::vector<std::size_t> cores;
+};
+
+/// Incremental dispersion: picks `count` cores from the free set,
+/// greedily minimizing the predicted peak rise given the budget powers
+/// already placed on the chip. `rise` is the current per-core rise
+/// estimate (A * p) and is updated in place.
+std::vector<std::size_t> PlaceIncremental(const util::Matrix& influence,
+                                          std::vector<bool>& used,
+                                          std::vector<double>& rise,
+                                          double new_core_power,
+                                          std::size_t count) {
+  const std::size_t n = influence.rows();
+  std::vector<std::size_t> placed;
+  placed.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t best = n;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (used[cand]) continue;
+      // Peak after adding cand: existing hotspots plus cand itself.
+      double peak = rise[cand] + influence(cand, cand) * new_core_power;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!used[i] && i != cand) continue;
+        peak = std::max(peak, rise[i] + influence(i, cand) * new_core_power);
+      }
+      if (peak < best_peak) {
+        best_peak = peak;
+        best = cand;
+      }
+    }
+    assert(best < n);
+    used[best] = true;
+    placed.push_back(best);
+    for (std::size_t i = 0; i < n; ++i)
+      rise[i] += influence(i, best) * new_core_power;
+  }
+  return placed;
+}
+
+}  // namespace
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kTdpBudget:
+      return "tdp-budget";
+    case AdmissionPolicy::kThermalSafe:
+      return "thermal-safe";
+  }
+  return "?";
+}
+
+OnlineManager::OnlineManager(const arch::Platform& platform,
+                             AdmissionPolicy policy, OnlineConfig config)
+    : platform_(&platform), policy_(policy), config_(config) {}
+
+OnlineResult OnlineManager::Run(std::size_t epochs) const {
+  const std::size_t n = platform_->num_cores();
+  const DarkSiliconEstimator estimator(*platform_);
+  const std::size_t level = platform_->ladder().NominalLevel();
+  const power::VfLevel& vf = platform_->ladder()[level];
+  const util::Matrix& influence = platform_->solver().InfluenceMatrix();
+  const double headroom =
+      platform_->tdtm_c() - platform_->thermal_model().ambient_c();
+  const auto& suite = apps::ParsecSuite();
+
+  util::Rng rng(config_.seed);
+  std::poisson_distribution<int> arrivals(config_.arrival_rate);
+
+  std::vector<Job> running;
+  std::deque<Job> queue;
+  std::vector<bool> used(n, false);
+  std::vector<double> rise(n, 0.0);  // predicted rise from budget powers
+  double budget_used = 0.0;
+
+  OnlineResult result;
+  double wait_acc = 0.0;
+  std::size_t admitted = 0;
+  double gips_acc = 0.0;
+  double active_acc = 0.0;
+
+  auto budget_core_power = [&](const apps::AppProfile& app) {
+    return estimator.BudgetCorePower(app, config_.threads, level);
+  };
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // 1. Arrivals.
+    const int k = arrivals(rng.engine());
+    for (int i = 0; i < k; ++i) {
+      Job job;
+      job.app = &suite[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(suite.size()) - 1))];
+      job.remaining = static_cast<std::size_t>(
+          rng.UniformInt(static_cast<int>(config_.min_duration),
+                         static_cast<int>(config_.max_duration)));
+      job.arrival_epoch = epoch;
+      queue.push_back(job);
+      ++result.jobs_arrived;
+    }
+
+    // 2. Admission (FIFO; head-of-line blocking keeps it fair).
+    while (!queue.empty()) {
+      Job& job = queue.front();
+      std::size_t free_cores = 0;
+      for (std::size_t c = 0; c < n; ++c)
+        if (!used[c]) ++free_cores;
+      if (free_cores < config_.threads) break;
+
+      const double p_core = budget_core_power(*job.app);
+      if (policy_ == AdmissionPolicy::kTdpBudget) {
+        if (budget_used + p_core * static_cast<double>(config_.threads) >
+            config_.tdp_w)
+          break;
+        // Contiguous placement: lowest-index free cores.
+        for (std::size_t c = 0; c < n && job.cores.size() < config_.threads;
+             ++c) {
+          if (!used[c]) {
+            used[c] = true;
+            job.cores.push_back(c);
+          }
+        }
+        for (const std::size_t c : job.cores)
+          for (std::size_t i = 0; i < n; ++i)
+            rise[i] += influence(i, c) * p_core;
+      } else {
+        // Thermal-safe: tentatively place dispersed, admit only if the
+        // predicted steady peak stays below T_DTM.
+        std::vector<bool> used_try = used;
+        std::vector<double> rise_try = rise;
+        const std::vector<std::size_t> placed = PlaceIncremental(
+            influence, used_try, rise_try, p_core, config_.threads);
+        const double peak =
+            *std::max_element(rise_try.begin(), rise_try.end());
+        if (peak > headroom) break;
+        used = std::move(used_try);
+        rise = std::move(rise_try);
+        job.cores = placed;
+      }
+      budget_used += p_core * static_cast<double>(config_.threads);
+      job.admit_epoch = epoch;
+      wait_acc += static_cast<double>(epoch - job.arrival_epoch);
+      ++admitted;
+      running.push_back(std::move(job));
+      queue.pop_front();
+    }
+
+    // 3. Evaluate the epoch's true thermal steady state.
+    apps::Workload w;
+    std::vector<std::size_t> active;
+    for (const Job& job : running) {
+      w.Add({job.app, config_.threads, vf.freq, vf.vdd});
+      active.insert(active.end(), job.cores.begin(), job.cores.end());
+    }
+    double epoch_gips = 0.0;
+    double epoch_peak = platform_->thermal_model().ambient_c();
+    if (!running.empty()) {
+      const Estimate e = estimator.EvaluateWorkload(w, active);
+      epoch_gips = e.total_gips;
+      epoch_peak = e.peak_temp_c;
+      if (e.thermal_violation) ++result.violation_epochs;
+    }
+    gips_acc += epoch_gips;
+    active_acc += static_cast<double>(active.size());
+    result.max_peak_temp_c = std::max(result.max_peak_temp_c, epoch_peak);
+    result.epoch_gips.push_back(epoch_gips);
+    result.epoch_peak_temp.push_back(epoch_peak);
+
+    // 4. Departures.
+    for (auto it = running.begin(); it != running.end();) {
+      if (--it->remaining == 0) {
+        const double p_core = budget_core_power(*it->app);
+        for (const std::size_t c : it->cores) {
+          used[c] = false;
+          for (std::size_t i = 0; i < n; ++i)
+            rise[i] -= influence(i, c) * p_core;
+        }
+        budget_used -= p_core * static_cast<double>(config_.threads);
+        ++result.jobs_completed;
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  result.jobs_rejected = queue.size();
+  result.avg_wait_epochs =
+      admitted > 0 ? wait_acc / static_cast<double>(admitted) : 0.0;
+  result.avg_gips = gips_acc / static_cast<double>(epochs);
+  result.avg_active_cores = active_acc / static_cast<double>(epochs);
+  return result;
+}
+
+}  // namespace ds::core

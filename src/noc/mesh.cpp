@@ -1,0 +1,154 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::noc {
+namespace {
+
+constexpr double kGbToFlitsFactor = 1e9;  // GB/s -> B/s
+constexpr double kPjToJ = 1e-12;
+
+}  // namespace
+
+MeshNoc::MeshNoc(const thermal::Floorplan& fp, const NocParams& params)
+    : fp_(fp), params_(params) {
+  // Memory controllers at the four mid-edge tiles.
+  const std::size_t rows = fp_.rows();
+  const std::size_t cols = fp_.cols();
+  mem_ctrl_ = {fp_.IndexOf(0, cols / 2), fp_.IndexOf(rows - 1, cols / 2),
+               fp_.IndexOf(rows / 2, 0), fp_.IndexOf(rows / 2, cols - 1)};
+}
+
+void MeshNoc::RouteFlow(std::size_t a, std::size_t b, double gbs,
+                        std::vector<double>& router_gbs,
+                        std::vector<double>& link_gbs,
+                        double* hops_acc) const {
+  const std::size_t cols = fp_.cols();
+  const auto pa = fp_.PosOf(a);
+  const auto pb = fp_.PosOf(b);
+  // Link ids: horizontal (r,c)->(r,c+1) first, then vertical.
+  const std::size_t h_links = fp_.rows() * (cols - 1);
+  auto h_link = [&](std::size_t r, std::size_t c) {
+    return r * (cols - 1) + c;
+  };
+  auto v_link = [&](std::size_t r, std::size_t c) {
+    return h_links + r * cols + c;
+  };
+
+  std::size_t r = pa.row, c = pa.col;
+  router_gbs[fp_.IndexOf(r, c)] += gbs;
+  double hops = 0.0;
+  while (c != pb.col) {  // X first
+    const std::size_t c_next = c < pb.col ? c + 1 : c - 1;
+    link_gbs[h_link(r, std::min(c, c_next))] += gbs;
+    c = c_next;
+    router_gbs[fp_.IndexOf(r, c)] += gbs;
+    hops += 1.0;
+  }
+  while (r != pb.row) {  // then Y
+    const std::size_t r_next = r < pb.row ? r + 1 : r - 1;
+    link_gbs[v_link(std::min(r, r_next), c)] += gbs;
+    r = r_next;
+    router_gbs[fp_.IndexOf(r, c)] += gbs;
+    hops += 1.0;
+  }
+  if (hops_acc) *hops_acc += hops * gbs;
+}
+
+NocResult MeshNoc::Evaluate(
+    const apps::Workload& workload,
+    const std::vector<std::size_t>& active_set) const {
+  if (active_set.size() != workload.TotalCores())
+    throw std::invalid_argument("MeshNoc::Evaluate: active set mismatch");
+  const std::size_t n = fp_.num_cores();
+  for (const std::size_t c : active_set) assert(c < n);
+
+  std::vector<double> router_gbs(n, 0.0);
+  const std::size_t num_links =
+      fp_.rows() * (fp_.cols() - 1) + (fp_.rows() - 1) * fp_.cols();
+  std::vector<double> link_gbs(num_links, 0.0);
+  double weighted_hops = 0.0;
+  double total_gbs = 0.0;
+
+  std::size_t slot = 0;
+  for (const apps::Instance& inst : workload.instances()) {
+    // Aggregate instruction rate of the instance [Ginstr/s], split
+    // evenly over its threads.
+    const double ginstr_s = inst.app->InstanceGips(inst.threads, inst.freq);
+    const double per_thread = ginstr_s / static_cast<double>(inst.threads);
+    const std::size_t master = active_set[slot];
+    for (std::size_t t = 0; t < inst.threads; ++t) {
+      const std::size_t core = active_set[slot + t];
+      // Worker <-> master traffic (workers only; the master's own
+      // state stays local).
+      if (t != 0 && inst.app->comm_bytes_per_instr > 0.0) {
+        const double gbs = inst.app->comm_bytes_per_instr * per_thread;
+        RouteFlow(core, master, gbs, router_gbs, link_gbs, &weighted_hops);
+        total_gbs += gbs;
+      }
+      // Memory traffic to the nearest controller.
+      if (inst.app->mem_bytes_per_instr > 0.0) {
+        const double gbs = inst.app->mem_bytes_per_instr * per_thread;
+        std::size_t best = mem_ctrl_[0];
+        for (const std::size_t m : mem_ctrl_) {
+          if (fp_.TileDistance(core, m) < fp_.TileDistance(core, best))
+            best = m;
+        }
+        RouteFlow(core, best, gbs, router_gbs, link_gbs, &weighted_hops);
+        total_gbs += gbs;
+      }
+    }
+    slot += inst.threads;
+  }
+
+  NocResult result;
+  result.total_traffic_gbs = total_gbs;
+  result.per_core_power_w.assign(n, params_.router_static_w);
+
+  const double flits_per_gb = kGbToFlitsFactor / params_.flit_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.per_core_power_w[i] += router_gbs[i] * flits_per_gb *
+                                  params_.router_energy_pj * kPjToJ;
+  }
+  // Link power: energy per flit per mm times link length (tile pitch),
+  // split between the two endpoint tiles.
+  const std::size_t h_links = fp_.rows() * (fp_.cols() - 1);
+  double peak_util = 0.0;
+  for (std::size_t l = 0; l < num_links; ++l) {
+    const double len_mm =
+        l < h_links ? fp_.core_width_mm() : fp_.core_height_mm();
+    const double p = link_gbs[l] * flits_per_gb *
+                     params_.link_energy_pj_per_mm * len_mm * kPjToJ;
+    // Endpoints of the link.
+    std::size_t a, b;
+    if (l < h_links) {
+      const std::size_t r = l / (fp_.cols() - 1);
+      const std::size_t c = l % (fp_.cols() - 1);
+      a = fp_.IndexOf(r, c);
+      b = fp_.IndexOf(r, c + 1);
+    } else {
+      const std::size_t v = l - h_links;
+      const std::size_t r = v / fp_.cols();
+      const std::size_t c = v % fp_.cols();
+      a = fp_.IndexOf(r, c);
+      b = fp_.IndexOf(r + 1, c);
+    }
+    result.per_core_power_w[a] += p / 2.0;
+    result.per_core_power_w[b] += p / 2.0;
+    peak_util = std::max(peak_util, link_gbs[l] / params_.link_bandwidth_gbs);
+  }
+
+  for (const double p : result.per_core_power_w) result.total_power_w += p;
+  result.peak_link_utilization = peak_util;
+  result.avg_hops = total_gbs > 0.0 ? weighted_hops / total_gbs : 0.0;
+  const double contention =
+      1.0 / (1.0 - std::min(peak_util, 0.95));
+  result.avg_latency_cycles =
+      result.avg_hops * params_.router_latency_cycles * contention;
+  return result;
+}
+
+}  // namespace ds::noc

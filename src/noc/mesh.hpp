@@ -1,0 +1,75 @@
+// 2D-mesh network-on-chip model (the uncore).
+//
+// The paper's DAC'15 special session partner, "Core vs Uncore: The
+// Heart of Darkness" [8], argues the uncore's share of the power budget
+// is a first-order term of the dark-silicon problem. This module makes
+// that share computable for the repository's platforms: one router per
+// core tile, XY dimension-order routing, analytic flow accumulation.
+//
+// Traffic comes from the application model: each instance's worker
+// threads exchange data with the instance's master thread
+// (comm_bytes_per_instr) and every core streams its memory traffic
+// (mem_bytes_per_instr) to the nearest of four edge memory controllers.
+// Flows are routed once and accumulated per router and per link; power
+// follows from per-flit energies, latency from hop counts plus an
+// M/M/1-style contention factor on the bottleneck link.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace ds::noc {
+
+struct NocParams {
+  double flit_bytes = 16.0;
+  double router_energy_pj = 80.0;       // per flit per hop (22 nm class)
+  double link_energy_pj_per_mm = 25.0;  // per flit per millimetre
+  double router_static_w = 0.05;        // per router, leakage + clock
+  double link_bandwidth_gbs = 64.0;     // per link (both directions)
+  double router_latency_cycles = 3.0;   // per hop at the core clock
+};
+
+struct NocResult {
+  std::vector<double> per_core_power_w;  // router + adjacent link power
+  double total_power_w = 0.0;
+  double avg_hops = 0.0;                 // traffic-weighted
+  double avg_latency_cycles = 0.0;       // incl. contention
+  double peak_link_utilization = 0.0;    // of the bottleneck link [0,1]
+  double total_traffic_gbs = 0.0;
+};
+
+class MeshNoc {
+ public:
+  explicit MeshNoc(const thermal::Floorplan& fp, const NocParams& params = {});
+
+  /// Evaluates the uncore for `workload` placed on `active_set` (core
+  /// slots in instance order, as in DarkSiliconEstimator). Instance
+  /// instruction rates follow from IPC x frequency x activity.
+  /// Throws std::invalid_argument on size mismatch.
+  NocResult Evaluate(const apps::Workload& workload,
+                     const std::vector<std::size_t>& active_set) const;
+
+  const thermal::Floorplan& floorplan() const { return fp_; }
+  const NocParams& params() const { return params_; }
+
+  /// The four memory-controller tiles (mid-edge positions).
+  const std::vector<std::size_t>& memory_controllers() const {
+    return mem_ctrl_;
+  }
+
+ private:
+  /// Adds a flow of `gbs` from tile a to tile b along the XY route,
+  /// accumulating per-router forwarding rates and per-link loads.
+  void RouteFlow(std::size_t a, std::size_t b, double gbs,
+                 std::vector<double>& router_gbs,
+                 std::vector<double>& link_gbs, double* hops_acc) const;
+
+  thermal::Floorplan fp_;
+  NocParams params_;
+  std::vector<std::size_t> mem_ctrl_;
+};
+
+}  // namespace ds::noc

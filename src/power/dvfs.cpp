@@ -1,0 +1,39 @@
+#include "power/dvfs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::power {
+
+DvfsLadder::DvfsLadder(const TechnologyParams& tech, double f_min,
+                       double f_max, double step) {
+  if (f_min <= 0.0 || f_max < f_min || step <= 0.0)
+    throw std::invalid_argument("DvfsLadder: invalid frequency range");
+  const VfCurve curve(tech);
+  for (double f = f_min; f <= f_max + step * 0.5; f += step) {
+    levels_.push_back({f, curve.VoltageFor(f)});
+  }
+  // Locate the nominal level (highest level not above nominal frequency).
+  nominal_level_ = LevelAtOrBelow(tech.nominal_freq);
+}
+
+DvfsLadder DvfsLadder::Default(const TechnologyParams& tech) {
+  return DvfsLadder(tech, 1.0, tech.boost_max_freq, 0.2);
+}
+
+std::size_t DvfsLadder::LevelAtOrBelow(double f) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    if (levels_[i].freq <= f + 1e-9) best = i;
+  return best;
+}
+
+std::size_t DvfsLadder::StepUp(std::size_t level) const {
+  return level + 1 < levels_.size() ? level + 1 : level;
+}
+
+std::size_t DvfsLadder::StepDown(std::size_t level) const {
+  return level > 0 ? level - 1 : 0;
+}
+
+}  // namespace ds::power

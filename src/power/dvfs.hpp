@@ -1,0 +1,51 @@
+// Discrete DVFS ladders.
+//
+// Real processors expose a finite set of voltage/frequency pairs; the
+// paper uses 200 MHz frequency steps (its Turbo-Boost-style controller
+// moves one step per millisecond). A DvfsLadder enumerates the (f, V)
+// pairs of one node, each pair lying on the Eq. (2) curve.
+#pragma once
+
+#include <vector>
+
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+
+namespace ds::power {
+
+struct VfLevel {
+  double freq;  // [GHz]
+  double vdd;   // [V]
+};
+
+class DvfsLadder {
+ public:
+  /// Levels from `f_min` to `f_max` (inclusive, within half a step) in
+  /// increments of `step` GHz; voltages from the node's Eq. (2) curve.
+  /// Throws std::invalid_argument on empty or inverted ranges.
+  DvfsLadder(const TechnologyParams& tech, double f_min, double f_max,
+             double step = 0.2);
+
+  /// Default ladder of a node: 1.0 GHz .. boost_max_freq in 200 MHz steps.
+  static DvfsLadder Default(const TechnologyParams& tech);
+
+  const std::vector<VfLevel>& levels() const { return levels_; }
+  std::size_t size() const { return levels_.size(); }
+  const VfLevel& operator[](std::size_t i) const { return levels_[i]; }
+
+  /// Highest level with freq <= f (clamped to the lowest level).
+  std::size_t LevelAtOrBelow(double f) const;
+
+  /// Index of the node's nominal frequency level.
+  std::size_t NominalLevel() const { return nominal_level_; }
+
+  /// Step up/down by one level, saturating at the ladder ends.
+  std::size_t StepUp(std::size_t level) const;
+  std::size_t StepDown(std::size_t level) const;
+
+ private:
+  std::vector<VfLevel> levels_;
+  std::size_t nominal_level_ = 0;
+};
+
+}  // namespace ds::power

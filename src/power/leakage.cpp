@@ -1,0 +1,22 @@
+#include "power/leakage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ds::power {
+
+double LeakageModel::Current(double vdd, double t_c) const {
+  const double v_term = std::exp((vdd - vnom_) / kV0);
+  // Clamp the linearized temperature term so extreme extrapolations
+  // (far below ambient) cannot produce negative leakage.
+  const double t_term =
+      std::max(0.1, 1.0 + kTempCoeff * (t_c - kTrefC));
+  return i0_ * v_term * t_term;
+}
+
+double LeakageModel::PowerSlopePerKelvin(double vdd) const {
+  const double v_term = std::exp((vdd - vnom_) / kV0);
+  return vdd * i0_ * v_term * kTempCoeff;
+}
+
+}  // namespace ds::power

@@ -1,0 +1,43 @@
+// Temperature- and voltage-dependent leakage model, the I_leak(Vdd, T)
+// term of Eq. (1).
+//
+//   I_leak(V, T) = I0 * exp((V - V_nom) / v0) * (1 + kT * (T - T_ref))
+//
+// This is the standard linearized-in-T, exponential-in-V compact form
+// used by thermal/power co-simulators; McPAT's detailed subthreshold +
+// gate leakage collapses to it over the 45..90 C range of interest.
+// I0 is the node's calibrated nominal leakage current (technology.cpp).
+#pragma once
+
+#include "power/technology.hpp"
+
+namespace ds::power {
+
+class LeakageModel {
+ public:
+  explicit LeakageModel(const TechnologyParams& tech)
+      : i0_(tech.leak_i0), vnom_(tech.nominal_vdd) {}
+
+  /// Leakage current [A] at supply `vdd` [V] and temperature `t_c` [C].
+  double Current(double vdd, double t_c) const;
+
+  /// Leakage power [W] = Vdd * I_leak(Vdd, T).
+  double Power(double vdd, double t_c) const { return vdd * Current(vdd, t_c); }
+
+  /// d(P_leak)/dT at fixed voltage [W/K]; used by the steady-state
+  /// leakage/temperature fixed-point iteration to prove convergence.
+  double PowerSlopePerKelvin(double vdd) const;
+
+  /// Voltage sensitivity constant [V].
+  static constexpr double kV0 = 0.3;
+  /// Temperature coefficient [1/K]: +1% leakage per Kelvin.
+  static constexpr double kTempCoeff = 0.01;
+  /// Reference temperature [C] for I0 calibration.
+  static constexpr double kTrefC = 80.0;
+
+ private:
+  double i0_;
+  double vnom_;
+};
+
+}  // namespace ds::power

@@ -1,0 +1,30 @@
+#include "power/power_model.hpp"
+
+namespace ds::power {
+
+double PowerModel::DynamicPower(double activity, double ceff22_nf, double vdd,
+                                double freq) const {
+  // nF * V^2 * GHz = 1e-9 F * V^2 * 1e9 Hz = W.
+  const double ceff = ceff22_nf * tech_->cap_scale;
+  return activity * ceff * vdd * vdd * freq;
+}
+
+double PowerModel::IndependentPower(double pind22, double vdd) const {
+  return pind22 * tech_->cap_scale * tech_->vdd_scale *
+         (vdd / tech_->nominal_vdd);
+}
+
+double PowerModel::TotalPower(double activity, double ceff22_nf, double pind22,
+                              double vdd, double freq, double temp_c) const {
+  return DynamicPower(activity, ceff22_nf, vdd, freq) +
+         LeakagePower(vdd, temp_c) + IndependentPower(pind22, vdd);
+}
+
+double PowerModel::DarkCorePower(double temp_c) const {
+  // A gated core sits at a low retention voltage; model the residual as
+  // a fixed fraction of nominal-voltage leakage.
+  return kGatedLeakageFraction *
+         leakage_.Power(tech_->nominal_vdd, temp_c);
+}
+
+}  // namespace ds::power

@@ -1,0 +1,66 @@
+// Core power model, Eq. (1) of the paper:
+//
+//   P = alpha * Ceff_app * Vdd^2 * f  +  Vdd * I_leak(Vdd, T)  +  P_ind
+//
+// alpha is the core's activity factor (utilization), Ceff_app the
+// application's effective switching capacitance, and P_ind the
+// frequency-independent power of keeping a core in execution mode.
+//
+// Applications are characterized at 22 nm (the gem5/McPAT node); this
+// class applies the ITRS factors so callers always pass 22 nm-referenced
+// application constants regardless of the node being simulated:
+//   * Ceff scales with the capacitance factor,
+//   * I_leak scales with the capacitance factor (see technology.cpp),
+//   * P_ind scales with capacitance x Vdd factors (device count and
+//     supply both shrink the fixed power of the always-on logic).
+#pragma once
+
+#include "power/leakage.hpp"
+#include "power/technology.hpp"
+
+namespace ds::power {
+
+/// Application-independent power evaluation for one core at one node.
+class PowerModel {
+ public:
+  explicit PowerModel(const TechnologyParams& tech)
+      : tech_(&tech), leakage_(tech) {}
+
+  /// Dynamic power [W]. `ceff22_nf` is the application's effective
+  /// capacitance at 22 nm in nF; vdd in V, freq in GHz.
+  double DynamicPower(double activity, double ceff22_nf, double vdd,
+                      double freq) const;
+
+  /// Leakage power [W] at this node.
+  double LeakagePower(double vdd, double temp_c) const {
+    return leakage_.Power(vdd, temp_c);
+  }
+
+  /// Independent (execution-mode) power [W]; `pind22` at 22 nm in W,
+  /// characterized at the nominal supply. The always-on logic (clock
+  /// distribution, uncore) tracks the supply, so P_ind scales linearly
+  /// with the actual Vdd relative to nominal -- at nominal voltage this
+  /// reduces to the plain ITRS-scaled value.
+  double IndependentPower(double pind22, double vdd) const;
+
+  /// Full Eq. (1) for an active core.
+  double TotalPower(double activity, double ceff22_nf, double pind22,
+                    double vdd, double freq, double temp_c) const;
+
+  /// Power of a dark (power-gated) core. Power gating removes both
+  /// dynamic and execution-mode power; a small residual fraction of
+  /// leakage remains through the sleep transistors.
+  double DarkCorePower(double temp_c) const;
+
+  const TechnologyParams& tech() const { return *tech_; }
+  const LeakageModel& leakage() const { return leakage_; }
+
+  /// Residual leakage fraction of a power-gated core.
+  static constexpr double kGatedLeakageFraction = 0.03;
+
+ private:
+  const TechnologyParams* tech_;
+  LeakageModel leakage_;
+};
+
+}  // namespace ds::power

@@ -1,0 +1,31 @@
+#include "power/vf_curve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::power {
+
+double VfCurve::FrequencyAt(double vdd) const {
+  if (vdd <= vth_) return 0.0;
+  const double dv = vdd - vth_;
+  return k_ * dv * dv / vdd;
+}
+
+double VfCurve::VoltageFor(double f) const {
+  if (f <= 0.0)
+    throw std::invalid_argument("VfCurve::VoltageFor: f must be positive");
+  // Solve k*V^2 - (2*k*vth + f)*V + k*vth^2 = 0 for V; the larger root is
+  // the branch with V > Vth where frequency grows with voltage.
+  const double b = 2.0 * k_ * vth_ + f;
+  const double disc = b * b - 4.0 * k_ * k_ * vth_ * vth_;
+  // disc = f^2 + 4*k*vth*f > 0 always for f > 0.
+  return (b + std::sqrt(disc)) / (2.0 * k_);
+}
+
+VoltageRegion VfCurve::RegionOf(double vdd) const {
+  if (vdd < kNtcBoundary) return VoltageRegion::kNearThreshold;
+  if (vdd > vnom_ + 1e-9) return VoltageRegion::kBoosting;
+  return VoltageRegion::kSuperThreshold;
+}
+
+}  // namespace ds::power

@@ -1,0 +1,54 @@
+// Voltage/frequency relation, Eq. (2) of the paper:
+//
+//     f = k * (Vdd - Vth)^2 / Vdd
+//
+// For a given supply voltage there is a maximum stable frequency; running
+// above the minimum voltage for a target frequency is wasteful, so every
+// operating point in this repository is an (f, V(f)) pair on this curve.
+#pragma once
+
+#include "power/technology.hpp"
+
+namespace ds::power {
+
+/// Operating region of a supply voltage (paper Fig. 2).
+enum class VoltageRegion { kNearThreshold, kSuperThreshold, kBoosting };
+
+class VfCurve {
+ public:
+  /// Builds the curve for a technology node (k and Vth from its table).
+  explicit VfCurve(const TechnologyParams& tech)
+      : k_(tech.k_fit), vth_(tech.vth), vnom_(tech.nominal_vdd) {}
+
+  /// Direct construction (used by tests and the 22 nm fit of Fig. 2).
+  VfCurve(double k, double vth, double vnom)
+      : k_(k), vth_(vth), vnom_(vnom) {}
+
+  /// Maximum stable frequency [GHz] at supply `vdd` [V].
+  /// Returns 0 for vdd <= vth (no stable operation below threshold).
+  double FrequencyAt(double vdd) const;
+
+  /// Minimum supply voltage [V] for frequency `f` [GHz] (inverse of
+  /// Eq. (2), larger quadratic root so that V > Vth and df/dV > 0).
+  /// Throws std::invalid_argument for f <= 0.
+  double VoltageFor(double f) const;
+
+  /// Classifies a supply voltage. NTC below kNtcBoundary, boosting above
+  /// the node's nominal supply, STC in between (paper Sec. 6).
+  VoltageRegion RegionOf(double vdd) const;
+
+  double k() const { return k_; }
+  double vth() const { return vth_; }
+  double nominal_vdd() const { return vnom_; }
+
+  /// Conventional STC/NTC boundary: "Vdd usually takes values above
+  /// 0.6 V" in STC (paper Sec. 6).
+  static constexpr double kNtcBoundary = 0.6;
+
+ private:
+  double k_;
+  double vth_;
+  double vnom_;
+};
+
+}  // namespace ds::power

@@ -1,0 +1,97 @@
+#include "reliability/aging.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ds::reliability {
+
+double AccelerationFactor(double t_c) {
+  const double t_k = t_c + 273.15;
+  const double ref_k = kReferenceTempC + 273.15;
+  return std::exp((kActivationEnergyEv / kBoltzmannEv) *
+                  (1.0 / ref_k - 1.0 / t_k));
+}
+
+void AgingState::Advance(std::span<const double> temps_c, double hours) {
+  if (temps_c.size() != wear_.size())
+    throw std::invalid_argument("AgingState::Advance: size mismatch");
+  if (hours < 0.0)
+    throw std::invalid_argument("AgingState::Advance: negative duration");
+  for (std::size_t i = 0; i < wear_.size(); ++i)
+    wear_[i] += AccelerationFactor(temps_c[i]) * hours;
+}
+
+double AgingState::MaxWear() const {
+  double m = 0.0;
+  for (const double w : wear_) m = std::max(m, w);
+  return m;
+}
+
+double AgingState::MeanWear() const {
+  if (wear_.empty()) return 0.0;
+  return std::accumulate(wear_.begin(), wear_.end(), 0.0) /
+         static_cast<double>(wear_.size());
+}
+
+double AgingState::Imbalance() const {
+  const double mean = MeanWear();
+  return mean > 0.0 ? MaxWear() / mean : 1.0;
+}
+
+std::vector<std::size_t> SelectAgingAware(const util::Matrix& influence,
+                                          const AgingState& aging,
+                                          std::size_t count,
+                                          double pool_factor) {
+  const std::size_t n = influence.rows();
+  if (count > n)
+    throw std::invalid_argument("SelectAgingAware: count exceeds cores");
+  if (aging.num_cores() != n)
+    throw std::invalid_argument("SelectAgingAware: aging size mismatch");
+  if (pool_factor < 1.0)
+    throw std::invalid_argument("SelectAgingAware: pool_factor < 1");
+
+  // Candidate pool: the least-worn cores.
+  const std::size_t pool_size = std::min(
+      n, static_cast<std::size_t>(pool_factor * static_cast<double>(count)));
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  std::stable_sort(pool.begin(), pool.end(), [&](std::size_t a, std::size_t b) {
+    return aging.WearOf(a) < aging.WearOf(b);
+  });
+  pool.resize(pool_size);
+
+  // Greedy thermal dispersion inside the pool (as SelectSpread, but
+  // restricted to the candidates).
+  std::vector<bool> in_pool(n, false);
+  for (const std::size_t c : pool) in_pool[c] = true;
+  std::vector<bool> chosen(n, false);
+  std::vector<double> row_sum(n, 0.0);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t step = 0; step < count; ++step) {
+    std::size_t best = n;
+    double best_peak = std::numeric_limits<double>::infinity();
+    for (const std::size_t cand : pool) {
+      if (chosen[cand]) continue;
+      double peak = row_sum[cand] + influence(cand, cand);
+      for (const std::size_t i : out)
+        peak = std::max(peak, row_sum[i] + influence(i, cand));
+      if (peak < best_peak) {
+        best_peak = peak;
+        best = cand;
+      }
+    }
+    assert(best < n);
+    chosen[best] = true;
+    out.push_back(best);
+    for (std::size_t i = 0; i < n; ++i) row_sum[i] += influence(i, best);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ds::reliability

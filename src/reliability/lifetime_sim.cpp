@@ -1,0 +1,78 @@
+#include "reliability/lifetime_sim.hpp"
+
+#include <stdexcept>
+
+#include "core/mapping.hpp"
+
+namespace ds::reliability {
+
+const char* LifetimePolicyName(LifetimePolicy policy) {
+  switch (policy) {
+    case LifetimePolicy::kStaticContiguous:
+      return "static-contiguous";
+    case LifetimePolicy::kStaticSpread:
+      return "static-spread";
+    case LifetimePolicy::kRotateAgingAware:
+      return "rotate-aging-aware";
+  }
+  return "?";
+}
+
+LifetimeSimulator::LifetimeSimulator(const arch::Platform& platform,
+                                     const apps::AppProfile& app,
+                                     std::size_t active_cores)
+    : platform_(&platform),
+      app_(&app),
+      active_cores_(active_cores),
+      estimator_(platform) {
+  if (active_cores > platform.num_cores())
+    throw std::invalid_argument("LifetimeSimulator: too many active cores");
+}
+
+LifetimeResult LifetimeSimulator::Run(LifetimePolicy policy,
+                                      std::size_t epochs, double epoch_hours,
+                                      double budget_h) const {
+  const std::size_t level = platform_->ladder().NominalLevel();
+  const power::VfLevel& vf = platform_->ladder()[level];
+  apps::Workload w;
+  w.AddN({app_, 8, vf.freq, vf.vdd}, active_cores_ / 8);
+  if (active_cores_ % 8 != 0)
+    w.Add({app_, active_cores_ % 8, vf.freq, vf.vdd});
+
+  LifetimeResult result{AgingState(platform_->num_cores())};
+  const util::Matrix& influence = platform_->solver().InfluenceMatrix();
+
+  std::vector<std::size_t> static_set;
+  if (policy == LifetimePolicy::kStaticContiguous)
+    static_set = core::SelectCores(*platform_, active_cores_,
+                                   core::MappingPolicy::kContiguous);
+  else if (policy == LifetimePolicy::kStaticSpread)
+    static_set = core::SelectCores(*platform_, active_cores_,
+                                   core::MappingPolicy::kSpread);
+
+  double temp_acc = 0.0;
+  double gips_acc = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const std::vector<std::size_t> set =
+        policy == LifetimePolicy::kRotateAgingAware
+            ? SelectAgingAware(influence, result.aging, active_cores_)
+            : static_set;
+    const core::Estimate est = estimator_.EvaluateWorkload(w, set);
+    result.aging.Advance(est.core_temps, epoch_hours);
+    temp_acc += est.peak_temp_c;
+    gips_acc += est.total_gips;
+  }
+
+  result.max_wear_h = result.aging.MaxWear();
+  result.mean_wear_h = result.aging.MeanWear();
+  result.imbalance = result.aging.Imbalance();
+  result.avg_peak_temp_c = temp_acc / static_cast<double>(epochs);
+  result.avg_gips = gips_acc / static_cast<double>(epochs);
+  const double sim_hours = static_cast<double>(epochs) * epoch_hours;
+  const double wear_rate = result.max_wear_h / sim_hours;  // eq-h per hour
+  result.years_to_budget =
+      wear_rate > 0.0 ? budget_h / wear_rate / (365.0 * 24.0) : 0.0;
+  return result;
+}
+
+}  // namespace ds::reliability

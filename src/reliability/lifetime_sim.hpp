@@ -1,0 +1,60 @@
+// Epoch-based lifetime simulation: runs a fixed workload for many
+// epochs under a placement policy and accumulates per-core wear from
+// the steady-state thermal profile of each epoch. Demonstrates the
+// Hayat [3] effect the paper highlights: rotating the active set over
+// the dark cores decelerates and balances aging.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/estimator.hpp"
+#include "reliability/aging.hpp"
+
+namespace ds::reliability {
+
+enum class LifetimePolicy {
+  kStaticContiguous,  // fixed block of cores, forever
+  kStaticSpread,      // fixed patterned set, forever
+  kRotateAgingAware,  // re-select the least-worn dispersed set per epoch
+};
+
+const char* LifetimePolicyName(LifetimePolicy policy);
+
+struct LifetimeResult {
+  AgingState aging;
+  double max_wear_h = 0.0;       // equivalent stress hours, worst core
+  double mean_wear_h = 0.0;
+  double imbalance = 1.0;        // max/mean
+  double avg_peak_temp_c = 0.0;  // across epochs
+  double avg_gips = 0.0;
+  /// Years until the worst core exhausts `budget_h` equivalent hours,
+  /// extrapolating the simulated wear rate.
+  double years_to_budget = 0.0;
+};
+
+class LifetimeSimulator {
+ public:
+  /// `active_cores` cores run `app` at the nominal level each epoch.
+  LifetimeSimulator(const arch::Platform& platform,
+                    const apps::AppProfile& app, std::size_t active_cores);
+
+  /// Simulates `epochs` epochs of `epoch_hours` each under `policy`.
+  /// `budget_h` is the per-core lifetime budget in equivalent stress
+  /// hours at T_ref (default: 10 years of continuous reference-level
+  /// stress).
+  LifetimeResult Run(LifetimePolicy policy, std::size_t epochs,
+                     double epoch_hours,
+                     double budget_h = 10.0 * 365.0 * 24.0) const;
+
+ private:
+  const arch::Platform* platform_;
+  const apps::AppProfile* app_;
+  std::size_t active_cores_;
+  core::DarkSiliconEstimator estimator_;
+};
+
+}  // namespace ds::reliability

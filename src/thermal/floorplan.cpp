@@ -1,0 +1,70 @@
+#include "thermal/floorplan.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ds::thermal {
+
+Floorplan::Floorplan(std::size_t rows, std::size_t cols, double core_w_mm,
+                     double core_h_mm)
+    : rows_(rows), cols_(cols), core_w_(core_w_mm), core_h_(core_h_mm) {
+  if (rows == 0 || cols == 0 || core_w_mm <= 0.0 || core_h_mm <= 0.0)
+    throw std::invalid_argument("Floorplan: dimensions must be positive");
+}
+
+Floorplan Floorplan::MakeGrid(std::size_t num_cores, double core_area_mm2) {
+  if (num_cores == 0)
+    throw std::invalid_argument("Floorplan: need at least one core");
+  // Most-square factorization: largest divisor <= sqrt(n).
+  std::size_t best_r = 1;
+  for (std::size_t r = 1;
+       r * r <= num_cores; ++r) {
+    if (num_cores % r == 0) best_r = r;
+  }
+  const std::size_t best_c = num_cores / best_r;
+  if (best_c > 4 * best_r)
+    throw std::invalid_argument(
+        "Floorplan: no factorization with aspect ratio <= 4");
+  const double side = std::sqrt(core_area_mm2);
+  return Floorplan(best_r, best_c, side, side);
+}
+
+double Floorplan::CenterX(std::size_t core) const {
+  const TilePos p = PosOf(core);
+  return (static_cast<double>(p.col) + 0.5) * core_w_;
+}
+
+double Floorplan::CenterY(std::size_t core) const {
+  const TilePos p = PosOf(core);
+  return (static_cast<double>(p.row) + 0.5) * core_h_;
+}
+
+std::vector<std::size_t> Floorplan::Neighbors(std::size_t core) const {
+  const TilePos p = PosOf(core);
+  std::vector<std::size_t> out;
+  out.reserve(4);
+  if (p.row > 0) out.push_back(IndexOf(p.row - 1, p.col));
+  if (p.row + 1 < rows_) out.push_back(IndexOf(p.row + 1, p.col));
+  if (p.col > 0) out.push_back(IndexOf(p.row, p.col - 1));
+  if (p.col + 1 < cols_) out.push_back(IndexOf(p.row, p.col + 1));
+  return out;
+}
+
+double Floorplan::Distance(std::size_t a, std::size_t b) const {
+  const double dx = CenterX(a) - CenterX(b);
+  const double dy = CenterY(a) - CenterY(b);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::size_t Floorplan::TileDistance(std::size_t a, std::size_t b) const {
+  const TilePos pa = PosOf(a);
+  const TilePos pb = PosOf(b);
+  const std::size_t dr =
+      pa.row > pb.row ? pa.row - pb.row : pb.row - pa.row;
+  const std::size_t dc =
+      pa.col > pb.col ? pa.col - pb.col : pb.col - pa.col;
+  return dr + dc;
+}
+
+}  // namespace ds::thermal

@@ -1,0 +1,71 @@
+// Grid floorplans for homogeneous manycore chips.
+//
+// The paper's platforms are 100-, 198- and 361-core chips of identical
+// out-of-order Alpha 21264 cores, so the floorplan is a regular grid of
+// rectangular core tiles; the generator picks the most square rows x cols
+// factorization (100 = 10x10, 198 = 11x18, 361 = 19x19).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ds::thermal {
+
+/// Position of a core tile in the grid.
+struct TilePos {
+  std::size_t row;
+  std::size_t col;
+};
+
+class Floorplan {
+ public:
+  /// rows x cols tiles, each core_w x core_h millimetres.
+  /// Throws std::invalid_argument on zero dimensions.
+  Floorplan(std::size_t rows, std::size_t cols, double core_w_mm,
+            double core_h_mm);
+
+  /// Builds a near-square grid for `num_cores` square tiles of
+  /// `core_area_mm2` each. Throws if num_cores has no factorization
+  /// with aspect ratio <= 4 (keeps dies physically plausible).
+  static Floorplan MakeGrid(std::size_t num_cores, double core_area_mm2);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t num_cores() const { return rows_ * cols_; }
+
+  double core_width_mm() const { return core_w_; }
+  double core_height_mm() const { return core_h_; }
+  double core_area_mm2() const { return core_w_ * core_h_; }
+
+  double die_width_mm() const { return core_w_ * static_cast<double>(cols_); }
+  double die_height_mm() const { return core_h_ * static_cast<double>(rows_); }
+  double die_area_mm2() const { return die_width_mm() * die_height_mm(); }
+
+  std::size_t IndexOf(std::size_t row, std::size_t col) const {
+    return row * cols_ + col;
+  }
+  TilePos PosOf(std::size_t core) const {
+    return {core / cols_, core % cols_};
+  }
+
+  /// Centre coordinates of a core tile [mm], origin at die corner.
+  double CenterX(std::size_t core) const;
+  double CenterY(std::size_t core) const;
+
+  /// 4-neighbourhood (N/S/E/W) core indices.
+  std::vector<std::size_t> Neighbors(std::size_t core) const;
+
+  /// Euclidean centre-to-centre distance between two cores [mm].
+  double Distance(std::size_t a, std::size_t b) const;
+
+  /// Manhattan distance in tiles.
+  std::size_t TileDistance(std::size_t a, std::size_t b) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  double core_w_;
+  double core_h_;
+};
+
+}  // namespace ds::thermal

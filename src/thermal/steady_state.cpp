@@ -1,0 +1,79 @@
+#include "thermal/steady_state.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::thermal {
+
+SteadyStateSolver::SteadyStateSolver(const RcModel& model)
+    : model_(&model), lu_(model.conductance()) {}
+
+std::vector<double> SteadyStateSolver::SolveFull(
+    std::span<const double> core_powers) const {
+  std::vector<double> rhs = model_->ExpandPower(core_powers);
+  const auto& amb_g = model_->ambient_conductance();
+  const double t_amb = model_->ambient_c();
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += amb_g[i] * t_amb;
+  return lu_.Solve(rhs);
+}
+
+std::vector<double> SteadyStateSolver::Solve(
+    std::span<const double> core_powers) const {
+  std::vector<double> full = SolveFull(core_powers);
+  full.resize(model_->num_cores());  // die nodes are the first N
+  return full;
+}
+
+std::vector<double> SteadyStateSolver::SolveWithFeedback(
+    const std::function<double(std::size_t, double)>& power_at_temp,
+    std::vector<double>* out_powers, int max_iters, double tol_c) const {
+  const std::size_t n = model_->num_cores();
+  std::vector<double> temps(n, model_->ambient_c());
+  std::vector<double> powers(n, 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) powers[i] = power_at_temp(i, temps[i]);
+    std::vector<double> next = Solve(powers);
+    const double delta = util::MaxAbsDiffVec(next, temps);
+    temps = std::move(next);
+    if (delta < tol_c) {
+      if (out_powers) *out_powers = std::move(powers);
+      return temps;
+    }
+  }
+  throw std::runtime_error(
+      "SteadyStateSolver::SolveWithFeedback: no convergence "
+      "(thermal runaway?)");
+}
+
+const util::Matrix& SteadyStateSolver::InfluenceMatrix() const {
+  if (!influence_) {
+    const std::size_t n = model_->num_cores();
+    auto a = std::make_unique<util::Matrix>(n, n);
+    std::vector<double> rhs(model_->num_nodes(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      rhs.assign(model_->num_nodes(), 0.0);
+      rhs[model_->DieNode(j)] = 1.0;
+      const std::vector<double> t = lu_.Solve(rhs);
+      for (std::size_t i = 0; i < n; ++i) (*a)(i, j) = t[model_->DieNode(i)];
+    }
+    influence_ = std::move(a);
+  }
+  return *influence_;
+}
+
+double SteadyStateSolver::PeakTempUniform(
+    std::span<const std::size_t> active, double p_each) const {
+  const util::Matrix& a = InfluenceMatrix();
+  double worst = 0.0;
+  // Peak is attained on an active core (A is diagonally dominant in the
+  // die block), but scan all rows for robustness.
+  for (std::size_t i = 0; i < model_->num_cores(); ++i) {
+    double row_sum = 0.0;
+    for (const std::size_t j : active) row_sum += a(i, j);
+    worst = std::max(worst, row_sum);
+  }
+  return model_->ambient_c() + p_each * worst;
+}
+
+}  // namespace ds::thermal

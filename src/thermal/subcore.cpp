@@ -1,0 +1,96 @@
+#include "thermal/subcore.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::thermal {
+namespace {
+
+Floorplan Refine(const Floorplan& fp, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("SubCoreModel: k must be >= 1");
+  return Floorplan(fp.rows() * k, fp.cols() * k,
+                   fp.core_width_mm() / static_cast<double>(k),
+                   fp.core_height_mm() / static_cast<double>(k));
+}
+
+}  // namespace
+
+SubCoreModel::SubCoreModel(const Floorplan& core_fp, std::size_t k,
+                           std::vector<double> block_weights,
+                           const PackageParams& pkg)
+    : core_fp_(core_fp),
+      k_(k),
+      weights_(std::move(block_weights)),
+      fine_fp_(Refine(core_fp, k)),
+      rc_(fine_fp_, pkg),
+      solver_(rc_) {
+  if (weights_.size() != k * k)
+    throw std::invalid_argument("SubCoreModel: need k*k block weights");
+  double sum = 0.0;
+  for (const double w : weights_) {
+    if (w < 0.0)
+      throw std::invalid_argument("SubCoreModel: negative block weight");
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("SubCoreModel: weights must sum to 1");
+}
+
+SubCoreModel SubCoreModel::Uniform(const Floorplan& core_fp, std::size_t k,
+                                   const PackageParams& pkg) {
+  return SubCoreModel(
+      core_fp, k,
+      std::vector<double>(k * k, 1.0 / static_cast<double>(k * k)), pkg);
+}
+
+SubCoreModel SubCoreModel::Default2x2(const Floorplan& core_fp,
+                                      const PackageParams& pkg) {
+  return SubCoreModel(core_fp, 2, {0.45, 0.25, 0.20, 0.10}, pkg);
+}
+
+std::vector<double> SubCoreModel::ExpandToBlocks(
+    std::span<const double> core_powers) const {
+  assert(core_powers.size() == core_fp_.num_cores());
+  std::vector<double> block_powers(fine_fp_.num_cores(), 0.0);
+  for (std::size_t core = 0; core < core_fp_.num_cores(); ++core) {
+    const TilePos pos = core_fp_.PosOf(core);
+    for (std::size_t br = 0; br < k_; ++br) {
+      for (std::size_t bc = 0; bc < k_; ++bc) {
+        const std::size_t fine =
+            fine_fp_.IndexOf(pos.row * k_ + br, pos.col * k_ + bc);
+        block_powers[fine] = core_powers[core] * weights_[br * k_ + bc];
+      }
+    }
+  }
+  return block_powers;
+}
+
+std::vector<double> SubCoreModel::CorePeakTemps(
+    std::span<const double> core_powers) const {
+  const std::vector<double> block_temps =
+      solver_.Solve(ExpandToBlocks(core_powers));
+  std::vector<double> peaks(core_fp_.num_cores(), 0.0);
+  for (std::size_t core = 0; core < core_fp_.num_cores(); ++core) {
+    const TilePos pos = core_fp_.PosOf(core);
+    double peak = -1e300;
+    for (std::size_t br = 0; br < k_; ++br) {
+      for (std::size_t bc = 0; bc < k_; ++bc) {
+        peak = std::max(peak,
+                        block_temps[fine_fp_.IndexOf(pos.row * k_ + br,
+                                                     pos.col * k_ + bc)]);
+      }
+    }
+    peaks[core] = peak;
+  }
+  return peaks;
+}
+
+double SubCoreModel::PeakTemp(std::span<const double> core_powers) const {
+  const std::vector<double> peaks = CorePeakTemps(core_powers);
+  double m = -1e300;
+  for (const double t : peaks) m = std::max(m, t);
+  return m;
+}
+
+}  // namespace ds::thermal

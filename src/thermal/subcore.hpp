@@ -1,0 +1,68 @@
+// Sub-core thermal granularity.
+//
+// The per-core RC model averages each core's power over its whole tile;
+// real cores concentrate power in a few functional blocks (ALUs,
+// register files), which raises the true hotspot above the tile
+// average. This refinement subdivides every core tile into k x k
+// blocks, distributes the core's power over them with a weight mask,
+// and solves the finer RC network -- quantifying how much the per-core
+// granularity underestimates peak temperature (an accuracy ablation
+// for every temperature-constrained result in the repository).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+
+namespace ds::thermal {
+
+class SubCoreModel {
+ public:
+  /// Subdivides each tile of `core_fp` into `k x k` blocks.
+  /// `block_weights` (size k*k, row-major inside the tile) is the
+  /// fraction of a core's power assigned to each block; it must sum to
+  /// 1. Throws std::invalid_argument otherwise.
+  SubCoreModel(const Floorplan& core_fp, std::size_t k,
+               std::vector<double> block_weights,
+               const PackageParams& pkg = {});
+
+  /// Uniform-weight convenience (every block gets 1/k^2): this must
+  /// reproduce the coarse model's temperatures up to discretization.
+  static SubCoreModel Uniform(const Floorplan& core_fp, std::size_t k,
+                              const PackageParams& pkg = {});
+
+  /// HotSpot-style default for k = 2: the execution-unit block burns
+  /// ~45% of the core's power, register files/scheduler 25%, L1 20%,
+  /// the rest 10%.
+  static SubCoreModel Default2x2(const Floorplan& core_fp,
+                                 const PackageParams& pkg = {});
+
+  /// Steady-state block temperatures for per-core powers; returns the
+  /// per-core *peak* (max over the core's blocks).
+  std::vector<double> CorePeakTemps(
+      std::span<const double> core_powers) const;
+
+  /// Chip peak temperature for per-core powers.
+  double PeakTemp(std::span<const double> core_powers) const;
+
+  std::size_t k() const { return k_; }
+  const Floorplan& fine_floorplan() const { return fine_fp_; }
+  const Floorplan& core_floorplan() const { return core_fp_; }
+
+ private:
+  std::vector<double> ExpandToBlocks(
+      std::span<const double> core_powers) const;
+
+  Floorplan core_fp_;
+  std::size_t k_;
+  std::vector<double> weights_;
+  Floorplan fine_fp_;
+  RcModel rc_;
+  SteadyStateSolver solver_;
+};
+
+}  // namespace ds::thermal

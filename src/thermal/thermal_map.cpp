@@ -1,0 +1,54 @@
+#include "thermal/thermal_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ds::thermal {
+
+std::string RenderAsciiMap(const Floorplan& fp,
+                           std::span<const double> core_temps, double t_min,
+                           double t_max, double t_crit) {
+  assert(core_temps.size() == fp.num_cores());
+  static const std::string ramp = " .:-=+*#%@";
+  std::ostringstream out;
+  for (std::size_t r = 0; r < fp.rows(); ++r) {
+    for (std::size_t c = 0; c < fp.cols(); ++c) {
+      const double t = core_temps[fp.IndexOf(r, c)];
+      if (t > t_crit) {
+        out << '!';
+        continue;
+      }
+      const double norm =
+          std::clamp((t - t_min) / std::max(1e-9, t_max - t_min), 0.0, 1.0);
+      const std::size_t idx = std::min(
+          ramp.size() - 1, static_cast<std::size_t>(norm * ramp.size()));
+      out << ramp[idx];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderNumericMap(const Floorplan& fp,
+                             std::span<const double> core_temps,
+                             const std::vector<bool>& active) {
+  assert(core_temps.size() == fp.num_cores());
+  assert(active.size() == fp.num_cores());
+  std::ostringstream out;
+  for (std::size_t r = 0; r < fp.rows(); ++r) {
+    for (std::size_t c = 0; c < fp.cols(); ++c) {
+      const std::size_t i = fp.IndexOf(r, c);
+      if (active[i])
+        out << util::FormatFixed(core_temps[i], 1) << ' ';
+      else
+        out << "  .  ";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ds::thermal

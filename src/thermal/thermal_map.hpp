@@ -1,0 +1,26 @@
+// ASCII rendering of die thermal maps (used by the Fig. 8 bench and the
+// examples to show mapping-dependent thermal profiles).
+#pragma once
+
+#include <span>
+#include <vector>
+#include <string>
+
+#include "thermal/floorplan.hpp"
+
+namespace ds::thermal {
+
+/// Renders per-core temperatures as a rows x cols character map.
+/// Temperatures map linearly onto the ramp " .:-=+*#%@" between t_min
+/// and t_max; cores above `t_crit` are marked '!'.
+std::string RenderAsciiMap(const Floorplan& fp,
+                           std::span<const double> core_temps, double t_min,
+                           double t_max, double t_crit);
+
+/// Renders a numeric map (one row per floorplan row, temperatures with
+/// one decimal, dark cores marked with '.') given an active mask.
+std::string RenderNumericMap(const Floorplan& fp,
+                             std::span<const double> core_temps,
+                             const std::vector<bool>& active);
+
+}  // namespace ds::thermal

@@ -1,0 +1,77 @@
+#include "thermal/transient.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "thermal/steady_state.hpp"
+
+namespace ds::thermal {
+namespace {
+
+util::Matrix BuildSystem(const RcModel& model, double dt) {
+  if (dt <= 0.0)
+    throw std::invalid_argument("TransientSimulator: dt must be positive");
+  util::Matrix m = model.conductance();
+  for (std::size_t i = 0; i < model.num_nodes(); ++i)
+    m(i, i) += model.capacitance()[i] / dt;
+  return m;
+}
+
+}  // namespace
+
+TransientSimulator::TransientSimulator(const RcModel& model, double dt_s)
+    : model_(&model),
+      dt_(dt_s),
+      system_(BuildSystem(model, dt_s)),
+      system_lu_(system_),
+      state_(model.num_nodes(), model.ambient_c()),
+      amb_rhs_(model.num_nodes(), 0.0) {
+  const auto& amb_g = model.ambient_conductance();
+  for (std::size_t i = 0; i < amb_rhs_.size(); ++i)
+    amb_rhs_[i] = amb_g[i] * model.ambient_c();
+}
+
+void TransientSimulator::Reset() {
+  state_.assign(model_->num_nodes(), model_->ambient_c());
+  time_ = 0.0;
+}
+
+void TransientSimulator::InitializeSteadyState(
+    std::span<const double> core_powers) {
+  const SteadyStateSolver solver(*model_);
+  state_ = solver.SolveFull(core_powers);
+  time_ = 0.0;
+}
+
+void TransientSimulator::Step(std::span<const double> core_powers) {
+  assert(core_powers.size() == model_->num_cores());
+  std::vector<double> rhs(model_->num_nodes());
+  const auto& cap = model_->capacitance();
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    rhs[i] = cap[i] / dt_ * state_[i] + amb_rhs_[i];
+  for (std::size_t i = 0; i < model_->num_cores(); ++i)
+    rhs[model_->DieNode(i)] += core_powers[i];
+  system_lu_.SolveInPlace(rhs);
+  state_ = std::move(rhs);
+  time_ += dt_;
+}
+
+void TransientSimulator::StepN(std::span<const double> core_powers,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Step(core_powers);
+}
+
+std::vector<double> TransientSimulator::DieTemps() const {
+  return {state_.begin(),
+          state_.begin() + static_cast<std::ptrdiff_t>(model_->num_cores())};
+}
+
+double TransientSimulator::PeakDieTemp() const {
+  double peak = state_[0];
+  for (std::size_t i = 1; i < model_->num_cores(); ++i)
+    peak = std::max(peak, state_[i]);
+  return peak;
+}
+
+}  // namespace ds::thermal

@@ -1,0 +1,61 @@
+// Transient thermal simulation via implicit (backward) Euler.
+//
+//   C dT/dt = -G T + P + g_amb T_amb
+//   (C/dt + G) T_{k+1} = (C/dt) T_k + P_{k+1} + g_amb T_amb
+//
+// Backward Euler is unconditionally stable, which matters here: the sink
+// time constant (R_conv * C_conv ~ 14 s) and the die time constant
+// (~ms) differ by four orders of magnitude. The system matrix is
+// factored once for a fixed step; each step is a back-substitution. The
+// 1 ms default step aligns with the paper's Turbo-Boost control period.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "thermal/rc_model.hpp"
+#include "util/lu.hpp"
+
+namespace ds::thermal {
+
+class TransientSimulator {
+ public:
+  /// Factors (C/dt + G). `dt_s` is the fixed step in seconds.
+  /// Throws std::invalid_argument for non-positive dt.
+  TransientSimulator(const RcModel& model, double dt_s = 1e-3);
+
+  /// Resets all node temperatures to the ambient.
+  void Reset();
+
+  /// Sets the state to the steady-state solution of `core_powers`
+  /// (useful to skip the multi-second package warm-up).
+  void InitializeSteadyState(std::span<const double> core_powers);
+
+  /// Advances one step under the given per-core powers.
+  void Step(std::span<const double> core_powers);
+
+  /// Advances `n` steps with constant powers.
+  void StepN(std::span<const double> core_powers, std::size_t n);
+
+  /// Current die temperatures [C].
+  std::vector<double> DieTemps() const;
+
+  /// Current peak die temperature [C].
+  double PeakDieTemp() const;
+
+  double dt() const { return dt_; }
+  double time() const { return time_; }
+  const RcModel& model() const { return *model_; }
+  const std::vector<double>& state() const { return state_; }
+
+ private:
+  const RcModel* model_;
+  double dt_;
+  double time_ = 0.0;
+  util::Matrix system_;               // C/dt + G
+  util::LuFactorization system_lu_;
+  std::vector<double> state_;         // all node temperatures
+  std::vector<double> amb_rhs_;       // g_amb * T_amb, precomputed
+};
+
+}  // namespace ds::thermal

@@ -1,0 +1,27 @@
+#include "uarch/branch_predictor.hpp"
+
+#include <stdexcept>
+
+namespace ds::uarch {
+
+GsharePredictor::GsharePredictor(unsigned table_bits) {
+  if (table_bits == 0 || table_bits > 24)
+    throw std::invalid_argument("GsharePredictor: table_bits out of range");
+  table_.assign(1ULL << table_bits, 2);  // weakly taken
+  mask_ = (1ULL << table_bits) - 1;
+}
+
+bool GsharePredictor::PredictAndUpdate(std::uint64_t pc, bool taken) {
+  const std::size_t idx =
+      static_cast<std::size_t>(((pc >> 2) ^ history_) & mask_);
+  std::uint8_t& counter = table_[idx];
+  const bool predicted = counter >= 2;
+  ++stats_.predictions;
+  if (predicted != taken) ++stats_.mispredictions;
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+  return predicted == taken;
+}
+
+}  // namespace ds::uarch

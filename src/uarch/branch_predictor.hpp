@@ -1,0 +1,40 @@
+// Gshare branch predictor (two-bit saturating counters indexed by
+// PC xor global-history), the standard baseline for the Alpha-class
+// cores the paper simulates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ds::uarch {
+
+struct PredictorStats {
+  std::uint64_t predictions = 0;
+  std::uint64_t mispredictions = 0;
+  double MispredictRate() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(mispredictions) /
+                                  static_cast<double>(predictions);
+  }
+};
+
+class GsharePredictor {
+ public:
+  /// `table_bits` selects the counter-table size (2^bits entries).
+  explicit GsharePredictor(unsigned table_bits = 12);
+
+  /// Predicts the branch at `pc`, then updates with `taken`.
+  /// Returns true if the prediction was correct.
+  bool PredictAndUpdate(std::uint64_t pc, bool taken);
+
+  const PredictorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PredictorStats{}; }
+
+ private:
+  std::vector<std::uint8_t> table_;  // 2-bit counters, init weakly taken
+  std::uint64_t history_ = 0;
+  std::uint64_t mask_;
+  PredictorStats stats_;
+};
+
+}  // namespace ds::uarch

@@ -1,0 +1,101 @@
+#include "uarch/cache.hpp"
+
+#include <stdexcept>
+
+namespace ds::uarch {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.size_kb == 0 || config.line_bytes == 0 || config.ways == 0)
+    throw std::invalid_argument("Cache: zero-sized configuration");
+  const std::size_t total_lines =
+      config.size_kb * 1024 / config.line_bytes;
+  if (total_lines % config.ways != 0)
+    throw std::invalid_argument("Cache: lines not divisible by ways");
+  sets_ = total_lines / config.ways;
+  if ((sets_ & (sets_ - 1)) != 0)
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  lines_.resize(sets_ * config.ways);
+}
+
+bool Cache::Access(std::uint64_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line_addr = addr / config_.line_bytes;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & (sets_ - 1);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = lines_.data() + set * config_.ways;
+
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  // Victim: first invalid way, otherwise true LRU.
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void Cache::Insert(std::uint64_t addr) {
+  ++tick_;
+  const std::uint64_t line_addr = addr / config_.line_bytes;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & (sets_ - 1);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = lines_.data() + set * config_.ways;
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      return;  // already present
+    }
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig& l1,
+                                 const CacheConfig& l2, int memory_latency,
+                                 bool next_line_prefetch)
+    : l1_(l1),
+      l2_(l2),
+      memory_latency_(memory_latency),
+      next_line_prefetch_(next_line_prefetch) {}
+
+int MemoryHierarchy::Access(std::uint64_t addr) {
+  if (l1_.Access(addr)) return l1_.config().latency;
+  if (next_line_prefetch_) {
+    const std::uint64_t next =
+        addr + static_cast<std::uint64_t>(l1_.config().line_bytes);
+    l1_.Insert(next);
+    l2_.Insert(next);
+  }
+  if (l2_.Access(addr)) return l1_.config().latency + l2_.config().latency;
+  return l1_.config().latency + l2_.config().latency + memory_latency_;
+}
+
+void MemoryHierarchy::ResetStats() {
+  l1_.ResetStats();
+  l2_.ResetStats();
+}
+
+}  // namespace ds::uarch

@@ -1,0 +1,31 @@
+#include "uarch/characterize.hpp"
+
+namespace ds::uarch {
+
+Characterization Characterize(const TraceParams& params,
+                              const CoreConfig& core,
+                              std::size_t trace_length, std::uint64_t seed) {
+  Characterization out;
+  out.name = params.name;
+  const std::vector<MicroOp> trace =
+      GenerateTrace(params, trace_length, seed);
+  OooCore sim(core);
+  // Warm the caches and predictor on the first third of the trace.
+  out.sim = sim.Run(trace, trace.size() / 2);
+  out.energy = ReduceToEquationOne(out.sim);
+  out.ipc = out.sim.ipc;
+  out.ceff22_nf = out.energy.ceff22_nf;
+  out.pind22_w = out.energy.pind22_w;
+  return out;
+}
+
+std::vector<Characterization> CharacterizeParsec(const CoreConfig& core,
+                                                 std::size_t trace_length,
+                                                 std::uint64_t seed) {
+  std::vector<Characterization> out;
+  for (const TraceParams& params : ParsecTraceParams())
+    out.push_back(Characterize(params, core, trace_length, seed));
+  return out;
+}
+
+}  // namespace ds::uarch

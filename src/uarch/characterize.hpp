@@ -1,0 +1,38 @@
+// End-to-end application characterization: synthetic trace -> OoO core
+// + caches + predictor -> event energies -> Eq. (1) constants. This is
+// the repository's substitute for the paper's "gem5 + McPAT for 22 nm"
+// stage (Fig. 1, left box), and cross-validates the calibrated
+// application table in src/apps (see bench_ext_characterization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/energy_model.hpp"
+#include "uarch/ooo_core.hpp"
+#include "uarch/trace_gen.hpp"
+
+namespace ds::uarch {
+
+struct Characterization {
+  std::string name;
+  SimResult sim;
+  EnergyBreakdown energy;
+  double ipc = 0.0;        // convenience copy of sim.ipc
+  double ceff22_nf = 0.0;  // convenience copy of energy.ceff22_nf
+  double pind22_w = 0.0;
+};
+
+/// Characterizes one application from its trace statistics.
+Characterization Characterize(const TraceParams& params,
+                              const CoreConfig& core = {},
+                              std::size_t trace_length = 800000,
+                              std::uint64_t seed = 42);
+
+/// Characterizes the whole Parsec set (deterministic).
+std::vector<Characterization> CharacterizeParsec(
+    const CoreConfig& core = {}, std::size_t trace_length = 800000,
+    std::uint64_t seed = 42);
+
+}  // namespace ds::uarch

@@ -1,0 +1,132 @@
+#include "uarch/corun.hpp"
+
+#include <algorithm>
+
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache.hpp"
+
+namespace ds::uarch {
+namespace {
+
+/// Per-core out-of-order timing state (the same dependency/window
+/// arithmetic as OooCore::Run, factored for lockstep execution).
+struct CoreState {
+  std::vector<MicroOp> trace;
+  std::vector<std::uint64_t> completion;
+  std::size_t next = 0;
+  std::uint64_t fetch_available = 0;
+  std::uint64_t last_completion = 0;
+  Cache l1;
+  GsharePredictor predictor;
+
+  explicit CoreState(const CacheConfig& l1_cfg) : l1(l1_cfg) {}
+};
+
+}  // namespace
+
+CoRunResult SimulateCoRun(const TraceParams& params, std::size_t cores,
+                          const CoreConfig& config,
+                          std::size_t instructions_per_core,
+                          std::uint64_t seed) {
+  CoRunResult result;
+  result.cores = cores;
+
+  // Solo reference: the plain single-core simulation, same trace
+  // length and no warmup, so cold-start effects cancel in the
+  // degradation ratio.
+  {
+    OooCore solo(config);
+    const SimResult r =
+        solo.Run(GenerateTrace(params, instructions_per_core, seed));
+    result.solo_ipc = r.ipc;
+    result.solo_l2_miss_rate = r.l2_miss_rate;
+  }
+  if (cores == 0) return result;
+
+  Cache shared_l2(config.l2);
+  std::vector<CoreState> state;
+  state.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    CoreState s(config.l1d);
+    s.trace = GenerateTrace(params, instructions_per_core, seed + c);
+    s.completion.assign(s.trace.size(), 0);
+    state.push_back(std::move(s));
+  }
+
+  const std::size_t rob = static_cast<std::size_t>(config.rob_size);
+  // Lockstep round-robin: one instruction per core per turn, so the
+  // shared L2 sees a temporally interleaved access stream.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (CoreState& s : state) {
+      if (s.next >= s.trace.size()) continue;
+      progressed = true;
+      const std::size_t i = s.next++;
+      const MicroOp& op = s.trace[i];
+
+      std::uint64_t dispatch = std::max(
+          s.fetch_available,
+          static_cast<std::uint64_t>(
+              i / static_cast<std::size_t>(config.width)));
+      if (i >= rob) dispatch = std::max(dispatch, s.completion[i - rob]);
+      std::uint64_t ready = dispatch;
+      if (op.dep1 != 0 && op.dep1 <= i)
+        ready = std::max(ready, s.completion[i - op.dep1]);
+      if (op.dep2 != 0 && op.dep2 <= i)
+        ready = std::max(ready, s.completion[i - op.dep2]);
+
+      int latency = ExecLatency(op.cls);
+      if (op.cls == OpClass::kLoad || op.cls == OpClass::kStore) {
+        // Each instance owns a private working set: offset the core's
+        // addresses into a disjoint region of the shared L2's space.
+        const std::uint64_t addr =
+            op.addr + (static_cast<std::uint64_t>(&s - state.data())
+                       << 40);
+        int mem_latency;
+        if (s.l1.Access(addr)) {
+          mem_latency = config.l1d.latency;
+        } else {
+          // Next-line prefetch, as in MemoryHierarchy.
+          const std::uint64_t next =
+              addr + static_cast<std::uint64_t>(config.l1d.line_bytes);
+          s.l1.Insert(next);
+          shared_l2.Insert(next);
+          if (shared_l2.Access(addr)) {
+            mem_latency = config.l1d.latency + config.l2.latency;
+          } else {
+            mem_latency = config.l1d.latency + config.l2.latency +
+                          config.memory_latency;
+          }
+        }
+        if (op.cls == OpClass::kLoad) latency += mem_latency;
+      } else if (op.cls == OpClass::kBranch) {
+        if (!s.predictor.PredictAndUpdate(op.addr, op.taken)) {
+          const std::uint64_t resolve =
+              ready + static_cast<std::uint64_t>(latency);
+          s.fetch_available =
+              std::max(s.fetch_available,
+                       resolve + static_cast<std::uint64_t>(
+                                     config.mispredict_penalty));
+        }
+      }
+      s.completion[i] = ready + static_cast<std::uint64_t>(latency);
+      s.last_completion = std::max(s.last_completion, s.completion[i]);
+    }
+  }
+
+  double ipc_sum = 0.0;
+  for (const CoreState& s : state) {
+    ipc_sum += static_cast<double>(s.trace.size()) /
+               static_cast<double>(std::max<std::uint64_t>(
+                   1, s.last_completion));
+  }
+  result.avg_ipc = ipc_sum / static_cast<double>(cores);
+  result.degradation = result.solo_ipc > 0.0
+                           ? 1.0 - result.avg_ipc / result.solo_ipc
+                           : 0.0;
+  result.shared_l2_miss_rate = shared_l2.stats().MissRate();
+  return result;
+}
+
+}  // namespace ds::uarch

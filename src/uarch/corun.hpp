@@ -1,0 +1,38 @@
+// Co-run interference: multiple cores sharing the last-level cache.
+//
+// Every multi-instance experiment in this repository places several
+// cores' worth of work on one chip; the analytical application model
+// treats their IPCs as independent, but real co-runners contend for
+// the shared L2. This module simulates K cores in lockstep -- private
+// L1s and branch predictors, one shared L2 -- and reports the
+// per-core IPC with contention, quantifying how optimistic the
+// independence assumption is per application.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/ooo_core.hpp"
+#include "uarch/trace_gen.hpp"
+
+namespace ds::uarch {
+
+struct CoRunResult {
+  std::size_t cores = 1;
+  double avg_ipc = 0.0;            // mean per-core IPC while co-running
+  double solo_ipc = 0.0;           // same trace statistics, run alone
+  double degradation = 0.0;        // 1 - avg/solo
+  double shared_l2_miss_rate = 0.0;
+  double solo_l2_miss_rate = 0.0;
+};
+
+/// Runs `cores` instruction streams with the statistics of `params`
+/// (distinct seeds) through private L1s and one shared L2, interleaved
+/// round-robin. Deterministic in `seed`.
+CoRunResult SimulateCoRun(const TraceParams& params, std::size_t cores,
+                          const CoreConfig& config = {},
+                          std::size_t instructions_per_core = 400000,
+                          std::uint64_t seed = 1);
+
+}  // namespace ds::uarch

@@ -1,0 +1,37 @@
+#include "uarch/energy_model.hpp"
+
+#include "power/technology.hpp"
+
+namespace ds::uarch {
+
+EnergyBreakdown ReduceToEquationOne(const SimResult& sim,
+                                    const EnergyParams& params) {
+  EnergyBreakdown out;
+  if (sim.cycles == 0) return out;
+  const ActivityCounters& a = sim.activity;
+  const double total_pj =
+      static_cast<double>(a.fetched) *
+          (params.fetch_decode_rename + params.rob) +
+      static_cast<double>(a.rf_reads) * params.rf_read +
+      static_cast<double>(a.rf_writes) * params.rf_write +
+      static_cast<double>(a.int_ops) * params.int_alu +
+      static_cast<double>(a.mul_ops) * params.int_mul +
+      static_cast<double>(a.fp_ops) * params.fp_alu +
+      static_cast<double>(a.l1_accesses) * params.l1_access +
+      static_cast<double>(a.l2_accesses) * params.l2_access +
+      static_cast<double>(a.memory_accesses) * params.memory_access +
+      static_cast<double>(a.branches) * params.branch_predict;
+
+  out.dynamic_pj_per_cycle = total_pj / static_cast<double>(sim.cycles);
+  out.clock_pj_per_cycle = params.clock_tree_per_cycle;
+
+  const power::TechnologyParams& t22 = power::Tech(power::TechNode::N22);
+  const double vdd2 = t22.nominal_vdd * t22.nominal_vdd;
+  // pJ / V^2 = 1e-12 F = 1e-3 nF.
+  out.ceff22_nf = out.dynamic_pj_per_cycle / vdd2 * 1e-3;
+  // pJ * GHz = mW.
+  out.pind22_w = out.clock_pj_per_cycle * t22.nominal_freq * 1e-3;
+  return out;
+}
+
+}  // namespace ds::uarch

@@ -1,0 +1,47 @@
+// Event-energy model (McPAT-lite) for the Alpha-class core at 22 nm.
+//
+// McPAT turns architectural activity counters into power; this compact
+// equivalent assigns each micro-architectural event a per-access energy
+// (order-of-magnitude values for a 22 nm high-performance process,
+// uncore share included) and reduces a simulation's activity counters
+// to the Eq. (1) constants:
+//
+//   Ceff  = E_dynamic_per_cycle / Vdd_nom^2           (per-app)
+//   P_ind = E_clock_per_cycle * f_nom                 (clock tree/PLL)
+//
+// The absolute energy scale is calibrated once against the paper's
+// Fig. 3 operating point (H.264, ~15 W total at 4 GHz single-thread).
+#pragma once
+
+#include "uarch/ooo_core.hpp"
+
+namespace ds::uarch {
+
+/// Per-event energies [pJ] at 22 nm, Vdd = 1.25 V.
+struct EnergyParams {
+  double fetch_decode_rename = 450.0;  // front-end, per uop
+  double rob = 150.0;                  // allocate + commit, per uop
+  double rf_read = 70.0;
+  double rf_write = 90.0;
+  double int_alu = 150.0;
+  double int_mul = 400.0;
+  double fp_alu = 550.0;
+  double l1_access = 250.0;
+  double l2_access = 1200.0;
+  double memory_access = 3500.0;       // on-die controller + IO share
+  double branch_predict = 50.0;
+  double clock_tree_per_cycle = 260.0; // always-on while executing
+};
+
+struct EnergyBreakdown {
+  double dynamic_pj_per_cycle = 0.0;  // excludes the clock tree
+  double clock_pj_per_cycle = 0.0;
+  double ceff22_nf = 0.0;             // Eq. (1) effective capacitance
+  double pind22_w = 0.0;              // Eq. (1) independent power
+};
+
+/// Reduces a simulation result to Eq. (1) constants at 22 nm.
+EnergyBreakdown ReduceToEquationOne(const SimResult& sim,
+                                    const EnergyParams& params = {});
+
+}  // namespace ds::uarch

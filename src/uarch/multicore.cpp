@@ -1,0 +1,156 @@
+#include "uarch/multicore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ds::uarch {
+
+const std::vector<SyncParams>& ParsecSyncParams() {
+  // critical_entry_prob * critical_length approximates the serialized
+  // work fraction (the Amdahl limit is its reciprocal); barriers add
+  // straggler losses on top. Targets: the serial fractions of the
+  // calibrated table (x264 0.30, blackscholes 0.05, bodytrack 0.39,
+  // ferret 0.20, canneal 0.58, dedup 0.25, swaptions 0.08).
+  static const std::vector<SyncParams> params = {
+      //  name           p_cs      L_cs  barrier  imbalance
+      {"x264",           1.75e-3,  200,  40000,   0.20},
+      {"blackscholes",   0.35e-3,  200,  200000,  0.08},
+      {"bodytrack",      2.30e-3,  200,  25000,   0.25},
+      {"ferret",         1.25e-3,  200,  60000,   0.15},
+      {"canneal",        3.20e-3,  200,  15000,   0.30},
+      {"dedup",          1.50e-3,  200,  50000,   0.18},
+      {"swaptions",      0.60e-3,  200,  150000,  0.10},
+  };
+  return params;
+}
+
+const SyncParams& SyncParamsByName(const std::string& name) {
+  for (const SyncParams& p : ParsecSyncParams())
+    if (p.name == name) return p;
+  throw std::invalid_argument("SyncParamsByName: unknown app " + name);
+}
+
+SpeedupResult SimulateSpeedup(const SyncParams& params, std::size_t threads,
+                              std::size_t total_instructions,
+                              std::uint64_t seed) {
+  if (threads == 0)
+    throw std::invalid_argument("SimulateSpeedup: need at least one thread");
+  SpeedupResult result;
+  result.threads = threads;
+  if (threads == 1) return result;  // speedup 1 by definition
+
+  util::Rng rng(seed);
+  const double budget_per_thread =
+      static_cast<double>(total_instructions) / static_cast<double>(threads);
+  const std::size_t interval =
+      params.barrier_interval == 0
+          ? static_cast<std::size_t>(budget_per_thread)
+          : params.barrier_interval;
+  const std::size_t num_barriers = static_cast<std::size_t>(
+      std::ceil(budget_per_thread / static_cast<double>(interval)));
+
+  double barrier_start = 0.0;  // time at which the epoch began
+  double lock_wait = 0.0;
+  double barrier_wait = 0.0;
+
+  for (std::size_t b = 0; b < num_barriers; ++b) {
+    const double work_base = std::min(
+        static_cast<double>(interval),
+        budget_per_thread - static_cast<double>(b * interval));
+
+    // Per-thread segment structure: section offsets within this epoch.
+    struct ThreadState {
+      std::vector<double> gaps;  // instruction gaps between sections
+      std::size_t next_gap = 0;
+      double time = 0.0;
+      double finish = 0.0;
+    };
+    std::vector<ThreadState> ts(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      // Straggler imbalance: epoch work varies per thread.
+      const double work =
+          work_base * (1.0 + params.imbalance * rng.Uniform(-1.0, 1.0));
+      // Number of critical sections this epoch.
+      const double expected = work * params.critical_entry_prob;
+      std::size_t k = static_cast<std::size_t>(expected);
+      if (rng.Uniform(0.0, 1.0) < expected - static_cast<double>(k)) ++k;
+      // Split the non-critical work into k+1 gaps (uniform stick
+      // breaking around the mean keeps it simple and deterministic).
+      const double non_critical = std::max(
+          0.0, work - static_cast<double>(k) * params.critical_length);
+      ThreadState& state = ts[t];
+      state.gaps.assign(k + 1, non_critical / static_cast<double>(k + 1));
+      state.time = barrier_start;
+    }
+
+    // FIFO lock: serve section requests in chronological order.
+    using Request = std::pair<double, std::size_t>;  // (time, thread)
+    std::priority_queue<Request, std::vector<Request>, std::greater<>> queue;
+    for (std::size_t t = 0; t < threads; ++t) {
+      ThreadState& state = ts[t];
+      if (state.gaps.size() > 1) {
+        queue.push({state.time + state.gaps[0], t});
+        state.next_gap = 1;
+      } else {
+        state.finish = state.time + state.gaps[0];
+      }
+    }
+    double lock_free = 0.0;
+    while (!queue.empty()) {
+      const auto [request_time, t] = queue.top();
+      queue.pop();
+      ThreadState& state = ts[t];
+      const double acquire = std::max(request_time, lock_free);
+      lock_wait += acquire - request_time;
+      const double done =
+          acquire + static_cast<double>(params.critical_length);
+      lock_free = done;
+      if (state.next_gap + 1 < state.gaps.size()) {
+        queue.push({done + state.gaps[state.next_gap], t});
+        ++state.next_gap;
+      } else {
+        state.finish = done + state.gaps[state.next_gap];
+      }
+    }
+
+    double barrier_time = 0.0;
+    for (const ThreadState& state : ts)
+      barrier_time = std::max(barrier_time, state.finish);
+    for (const ThreadState& state : ts)
+      barrier_wait += barrier_time - state.finish;
+    barrier_start = barrier_time;
+  }
+
+  const double parallel_time = barrier_start;
+  result.speedup =
+      static_cast<double>(total_instructions) / parallel_time;
+  const double total_thread_time =
+      parallel_time * static_cast<double>(threads);
+  result.lock_wait_fraction = lock_wait / total_thread_time;
+  result.barrier_wait_fraction = barrier_wait / total_thread_time;
+  return result;
+}
+
+double FitSerialFraction(const std::vector<SpeedupResult>& curve) {
+  double best_s = 0.0;
+  double best_err = 1e300;
+  for (double s = 0.0; s <= 1.0; s += 1e-4) {
+    double err = 0.0;
+    for (const SpeedupResult& point : curve) {
+      const double n = static_cast<double>(point.threads);
+      const double model = 1.0 / (s + (1.0 - s) / n);
+      err += (model - point.speedup) * (model - point.speedup);
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_s = s;
+    }
+  }
+  return best_s;
+}
+
+}  // namespace ds::uarch

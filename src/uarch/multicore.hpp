@@ -1,0 +1,58 @@
+// Multithreaded execution model: lock contention and barrier imbalance.
+//
+// The application model's speed-up curves (Fig. 4) are Amdahl fits; the
+// underlying mechanics are critical sections (serialized on locks) and
+// barriers (wait for the slowest worker). This module simulates those
+// mechanics directly: n threads execute equal shares of an instruction
+// budget at a per-thread IPC; entering a critical section requires the
+// global lock (FIFO), and every `barrier_interval` instructions all
+// threads synchronize. The resulting speed-up curve validates -- and
+// can replace -- the Amdahl abstraction, including its saturation at
+// high thread counts (the paper's "parallelism wall").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ds::uarch {
+
+struct SyncParams {
+  std::string name;
+  // Probability per instruction of entering a critical section, and
+  // the section's length in instructions.
+  double critical_entry_prob = 0.001;
+  std::size_t critical_length = 200;
+  // Barrier every `barrier_interval` instructions per thread (0 = no
+  // barriers); `imbalance` is the relative spread of per-thread work
+  // between barriers (stragglers).
+  std::size_t barrier_interval = 50000;
+  double imbalance = 0.10;
+};
+
+/// The per-application synchronization statistics (matched to the same
+/// published Parsec characterization as the trace parameters: canneal's
+/// fine-grained shared annealing state vs swaptions' independent paths).
+const std::vector<SyncParams>& ParsecSyncParams();
+const SyncParams& SyncParamsByName(const std::string& name);
+
+struct SpeedupResult {
+  std::size_t threads = 1;
+  double speedup = 1.0;          // vs the same budget on one thread
+  double lock_wait_fraction = 0.0;    // of total thread-time
+  double barrier_wait_fraction = 0.0;
+};
+
+/// Simulates `total_instructions` split over `threads` workers and
+/// returns the speed-up relative to single-threaded execution.
+/// Deterministic in `seed`.
+SpeedupResult SimulateSpeedup(const SyncParams& params, std::size_t threads,
+                              std::size_t total_instructions = 2000000,
+                              std::uint64_t seed = 1);
+
+/// Least-squares Amdahl fit: the serial fraction s minimizing the error
+/// of 1/(s + (1-s)/n) against the measured speed-ups.
+double FitSerialFraction(const std::vector<SpeedupResult>& curve);
+
+}  // namespace ds::uarch

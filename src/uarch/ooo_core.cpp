@@ -1,0 +1,125 @@
+#include "uarch/ooo_core.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ds::uarch {
+
+OooCore::OooCore(const CoreConfig& config) : config_(config) {}
+
+SimResult OooCore::Run(std::span<const MicroOp> trace, std::size_t warmup) {
+  SimResult result;
+  if (warmup >= trace.size()) warmup = 0;
+  result.instructions = trace.size() - warmup;
+  if (trace.empty()) return result;
+
+  MemoryHierarchy memory(config_.l1d, config_.l2, config_.memory_latency);
+  GsharePredictor predictor;
+
+  // Completion times of the in-flight window (circular by uop index).
+  const std::size_t rob = static_cast<std::size_t>(config_.rob_size);
+  std::vector<std::uint64_t> completion(trace.size(), 0);
+
+  std::uint64_t fetch_available = 0;  // front-end stall horizon
+  std::uint64_t last_completion = 0;
+  std::uint64_t warmup_cycles = 0;
+  ActivityCounters& act = result.activity;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i == warmup && warmup != 0) {
+      // Measurement starts here: caches and predictor stay warm, all
+      // statistics reset.
+      warmup_cycles = last_completion;
+      act = ActivityCounters{};
+      memory.ResetStats();
+      predictor.ResetStats();
+    }
+    const MicroOp& op = trace[i];
+
+    // Dispatch: width-limited, ROB-limited, and after any refetch.
+    std::uint64_t dispatch =
+        std::max(fetch_available,
+                 static_cast<std::uint64_t>(i / static_cast<std::size_t>(
+                                                config_.width)));
+    if (i >= rob) dispatch = std::max(dispatch, completion[i - rob]);
+
+    // Operand readiness from producer distances.
+    std::uint64_t ready = dispatch;
+    if (op.dep1 != 0 && op.dep1 <= i)
+      ready = std::max(ready, completion[i - op.dep1]);
+    if (op.dep2 != 0 && op.dep2 <= i)
+      ready = std::max(ready, completion[i - op.dep2]);
+    if (op.dep1 != 0 && op.dep1 <= i) ++act.rf_reads;
+    if (op.dep2 != 0 && op.dep2 <= i) ++act.rf_reads;
+
+    int latency = ExecLatency(op.cls);
+    switch (op.cls) {
+      case OpClass::kIntAlu:
+        ++act.int_ops;
+        ++act.rf_writes;
+        break;
+      case OpClass::kIntMul:
+        ++act.mul_ops;
+        ++act.rf_writes;
+        break;
+      case OpClass::kFpAlu:
+        ++act.fp_ops;
+        ++act.rf_writes;
+        break;
+      case OpClass::kLoad: {
+        const Cache& l1_before = memory.l1();
+        const Cache& l2_before = memory.l2();
+        const std::uint64_t l1_miss0 = l1_before.stats().misses;
+        const std::uint64_t l2_acc0 = l2_before.stats().accesses;
+        const std::uint64_t l2_miss0 = l2_before.stats().misses;
+        latency += memory.Access(op.addr);
+        ++act.l1_accesses;
+        if (memory.l2().stats().accesses > l2_acc0) ++act.l2_accesses;
+        if (memory.l2().stats().misses > l2_miss0) ++act.memory_accesses;
+        (void)l1_miss0;
+        ++act.rf_writes;
+        break;
+      }
+      case OpClass::kStore: {
+        const std::uint64_t l2_acc0 = memory.l2().stats().accesses;
+        const std::uint64_t l2_miss0 = memory.l2().stats().misses;
+        memory.Access(op.addr);  // store buffer hides the latency
+        ++act.l1_accesses;
+        if (memory.l2().stats().accesses > l2_acc0) ++act.l2_accesses;
+        if (memory.l2().stats().misses > l2_miss0) ++act.memory_accesses;
+        break;
+      }
+      case OpClass::kBranch: {
+        ++act.branches;
+        const bool correct = predictor.PredictAndUpdate(op.addr, op.taken);
+        if (!correct) {
+          // Refetch after the branch resolves.
+          const std::uint64_t resolve = ready + static_cast<std::uint64_t>(
+                                                     latency);
+          fetch_available = std::max(
+              fetch_available,
+              resolve + static_cast<std::uint64_t>(
+                            config_.mispredict_penalty));
+        }
+        break;
+      }
+    }
+    ++act.fetched;
+
+    completion[i] = ready + static_cast<std::uint64_t>(latency);
+    last_completion = std::max(last_completion, completion[i]);
+  }
+
+  result.cycles = last_completion - warmup_cycles;
+  result.ipc = static_cast<double>(result.instructions) /
+               static_cast<double>(result.cycles);
+  result.l1_miss_rate = memory.l1().stats().MissRate();
+  result.l2_miss_rate = memory.l2().stats().MissRate();
+  result.mpki_l2 = 1000.0 *
+                   static_cast<double>(memory.l2().stats().misses) /
+                   static_cast<double>(result.instructions);
+  result.branch_mispredict_rate = predictor.stats().MispredictRate();
+  return result;
+}
+
+}  // namespace ds::uarch

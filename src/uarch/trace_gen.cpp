@@ -1,0 +1,258 @@
+#include "uarch/trace_gen.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ds::uarch {
+
+const std::vector<TraceParams>& ParsecTraceParams() {
+  // Statistics chosen to match the published Parsec characterization
+  // (Bienia et al., PACT'08) and to land each application's simulated
+  // IPC in the band of the calibrated table in src/apps.
+  static const std::vector<TraceParams> params = [] {
+    std::vector<TraceParams> v;
+    {
+      TraceParams p;  // x264: SIMD-like integer media kernels, high ILP
+      p.name = "x264";
+      p.frac_int_alu = 0.46;
+      p.frac_int_mul = 0.06;
+      p.frac_fp = 0.06;
+      p.frac_load = 0.24;
+      p.frac_store = 0.08;
+      p.frac_branch = 0.10;
+      p.avg_dep_distance = 10.0;
+      p.dep1_prob = 0.70;
+      p.dep2_prob = 0.20;
+      p.loop_length = 16;
+      p.hard_branch_fraction = 0.04;
+      p.working_set_kb = 512;
+      p.temporal_reuse = 0.60;
+      p.spatial_locality = 0.95;
+      v.push_back(p);
+    }
+    {
+      TraceParams p;  // blackscholes: tiny-footprint FP kernel
+      p.name = "blackscholes";
+      p.frac_int_alu = 0.25;
+      p.frac_int_mul = 0.02;
+      p.frac_fp = 0.45;
+      p.frac_load = 0.18;
+      p.frac_store = 0.05;
+      p.frac_branch = 0.05;
+      p.avg_dep_distance = 5.0;  // FP chains limit ILP despite locality
+      p.dep1_prob = 0.88;
+      p.dep2_prob = 0.50;
+      p.loop_length = 128;
+      p.hard_branch_fraction = 0.01;
+      p.working_set_kb = 64;
+      p.temporal_reuse = 0.70;
+      p.spatial_locality = 0.95;
+      v.push_back(p);
+    }
+    {
+      TraceParams p;  // bodytrack: branchy FP/int vision code
+      p.name = "bodytrack";
+      p.frac_int_alu = 0.38;
+      p.frac_int_mul = 0.04;
+      p.frac_fp = 0.22;
+      p.frac_load = 0.22;
+      p.frac_store = 0.06;
+      p.frac_branch = 0.08;
+      p.avg_dep_distance = 9.0;
+      p.dep1_prob = 0.68;
+      p.dep2_prob = 0.25;
+      p.loop_length = 32;
+      p.hard_branch_fraction = 0.06;
+      p.working_set_kb = 1024;
+      p.temporal_reuse = 0.60;
+      p.spatial_locality = 0.92;
+      v.push_back(p);
+    }
+    {
+      TraceParams p;  // ferret: content-similarity pipeline, mixed
+      p.name = "ferret";
+      p.frac_int_alu = 0.40;
+      p.frac_int_mul = 0.05;
+      p.frac_fp = 0.18;
+      p.frac_load = 0.24;
+      p.frac_store = 0.06;
+      p.frac_branch = 0.07;
+      p.avg_dep_distance = 13.0;
+      p.dep1_prob = 0.62;
+      p.dep2_prob = 0.18;
+      p.loop_length = 48;
+      p.hard_branch_fraction = 0.04;
+      p.working_set_kb = 1024;
+      p.temporal_reuse = 0.65;
+      p.spatial_locality = 0.92;
+      v.push_back(p);
+    }
+    {
+      TraceParams p;  // canneal: pointer-chasing, cache-hostile
+      p.name = "canneal";
+      p.frac_int_alu = 0.40;
+      p.frac_int_mul = 0.02;
+      p.frac_fp = 0.04;
+      p.frac_load = 0.34;
+      p.frac_store = 0.10;
+      p.frac_branch = 0.10;
+      p.avg_dep_distance = 4.0;  // serial pointer chains
+      p.dep1_prob = 0.85;
+      p.dep2_prob = 0.30;
+      p.loop_length = 8;
+      p.hard_branch_fraction = 0.15;
+      p.working_set_kb = 16384;
+      p.temporal_reuse = 0.72;
+      p.spatial_locality = 0.78;
+      p.num_streams = 2;
+      v.push_back(p);
+    }
+    {
+      TraceParams p;  // dedup: hashing + compression, integer heavy
+      p.name = "dedup";
+      p.frac_int_alu = 0.50;
+      p.frac_int_mul = 0.08;
+      p.frac_fp = 0.02;
+      p.frac_load = 0.24;
+      p.frac_store = 0.08;
+      p.frac_branch = 0.08;
+      p.avg_dep_distance = 10.0;
+      p.dep1_prob = 0.68;
+      p.dep2_prob = 0.22;
+      p.loop_length = 24;
+      p.hard_branch_fraction = 0.05;
+      p.working_set_kb = 2048;
+      p.temporal_reuse = 0.60;
+      p.spatial_locality = 0.90;
+      v.push_back(p);
+    }
+    {
+      TraceParams p;  // swaptions: dense FP Monte-Carlo, regular
+      p.name = "swaptions";
+      p.frac_int_alu = 0.28;
+      p.frac_int_mul = 0.04;
+      p.frac_fp = 0.40;
+      p.frac_load = 0.18;
+      p.frac_store = 0.05;
+      p.frac_branch = 0.05;
+      p.avg_dep_distance = 6.0;  // independent Monte-Carlo paths
+      p.dep1_prob = 0.82;
+      p.dep2_prob = 0.45;
+      p.loop_length = 256;
+      p.hard_branch_fraction = 0.02;
+      p.working_set_kb = 256;
+      p.temporal_reuse = 0.65;
+      p.spatial_locality = 0.92;
+      v.push_back(p);
+    }
+    return v;
+  }();
+  return params;
+}
+
+const TraceParams& TraceParamsByName(const std::string& name) {
+  for (const TraceParams& p : ParsecTraceParams())
+    if (p.name == name) return p;
+  throw std::invalid_argument("TraceParamsByName: unknown app " + name);
+}
+
+std::vector<MicroOp> GenerateTrace(const TraceParams& params,
+                                   std::size_t length, std::uint64_t seed) {
+  const double mix_sum = params.frac_int_alu + params.frac_int_mul +
+                         params.frac_fp + params.frac_load +
+                         params.frac_store + params.frac_branch;
+  if (std::abs(mix_sum - 1.0) > 1e-6)
+    throw std::invalid_argument("GenerateTrace: instruction mix must sum to 1");
+  if (params.avg_dep_distance < 1.0)
+    throw std::invalid_argument("GenerateTrace: avg_dep_distance < 1");
+
+  util::Rng rng(seed);
+  std::vector<MicroOp> trace;
+  trace.reserve(length);
+
+  // Memory streams: independent sequential pointers inside the working
+  // set, plus a small buffer of recently touched addresses for
+  // temporal reuse.
+  const std::uint64_t ws_bytes =
+      static_cast<std::uint64_t>(params.working_set_kb) * 1024;
+  std::vector<std::uint64_t> stream_ptr(
+      std::max<std::size_t>(1, params.num_streams));
+  for (auto& p : stream_ptr)
+    p = static_cast<std::uint64_t>(rng.Uniform(0.0, 1.0) *
+                                   static_cast<double>(ws_bytes)) &
+        ~7ULL;
+  std::array<std::uint64_t, 16> recent{};
+  std::size_t recent_next = 0;
+
+  std::size_t loop_counter = 0;
+  const double dep_p = 1.0 / params.avg_dep_distance;
+  auto dep_distance = [&]() -> std::uint16_t {
+    std::uint16_t d = 1;
+    while (rng.Uniform(0.0, 1.0) > dep_p && d < 128) ++d;
+    return d;
+  };
+
+  for (std::size_t i = 0; i < length; ++i) {
+    MicroOp op;
+    const double r = rng.Uniform(0.0, 1.0);
+    double acc = params.frac_int_alu;
+    if (r < acc) {
+      op.cls = OpClass::kIntAlu;
+    } else if (r < (acc += params.frac_int_mul)) {
+      op.cls = OpClass::kIntMul;
+    } else if (r < (acc += params.frac_fp)) {
+      op.cls = OpClass::kFpAlu;
+    } else if (r < (acc += params.frac_load)) {
+      op.cls = OpClass::kLoad;
+    } else if (r < (acc += params.frac_store)) {
+      op.cls = OpClass::kStore;
+    } else {
+      op.cls = OpClass::kBranch;
+    }
+
+    if (rng.Uniform(0.0, 1.0) < params.dep1_prob) op.dep1 = dep_distance();
+    if (rng.Uniform(0.0, 1.0) < params.dep2_prob) op.dep2 = dep_distance();
+
+    if (op.cls == OpClass::kLoad || op.cls == OpClass::kStore) {
+      if (rng.Uniform(0.0, 1.0) < params.temporal_reuse &&
+          recent[0] != 0) {
+        // Re-touch one of the recently used addresses.
+        op.addr = recent[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(recent.size()) - 1))];
+      } else {
+        const std::size_t s = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(stream_ptr.size()) - 1));
+        if (rng.Uniform(0.0, 1.0) < params.spatial_locality) {
+          stream_ptr[s] = (stream_ptr[s] + 8) % ws_bytes;  // next word
+        } else {
+          stream_ptr[s] = static_cast<std::uint64_t>(
+                              rng.Uniform(0.0, 1.0) *
+                              static_cast<double>(ws_bytes)) &
+                          ~7ULL;
+        }
+        op.addr = stream_ptr[s];
+        recent[recent_next] = op.addr;
+        recent_next = (recent_next + 1) % recent.size();
+      }
+    } else if (op.cls == OpClass::kBranch) {
+      if (rng.Uniform(0.0, 1.0) < params.hard_branch_fraction) {
+        // Data-dependent branch at a rotating set of PCs.
+        op.addr = 0x1000 + 64 * static_cast<std::uint64_t>(
+                                    rng.UniformInt(0, 15));
+        op.taken = rng.Uniform(0.0, 1.0) < params.hard_branch_bias;
+      } else {
+        // Loop back-edge: taken except every loop_length-th time.
+        op.addr = 0x2000;
+        ++loop_counter;
+        op.taken = (loop_counter % params.loop_length) != 0;
+      }
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace ds::uarch

@@ -1,0 +1,63 @@
+// Synthetic instruction-trace generation.
+//
+// Each application is described by a handful of trace statistics
+// (instruction mix, dependency-distance distribution, branch behaviour,
+// working-set size, spatial locality); the generator expands them into
+// a concrete, deterministic micro-op stream. The statistics for the
+// seven Parsec applications are chosen to match their published
+// characterization (Bienia et al., PACT'08): blackscholes is a small-
+// footprint FP kernel, canneal a pointer-chasing cache thrasher,
+// swaptions FP-dense with regular control flow, dedup/ferret mixed
+// integer pipelines, x264 and bodytrack branchy integer/FP media codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/uop.hpp"
+
+namespace ds::uarch {
+
+struct TraceParams {
+  std::string name;
+  // Instruction mix (must sum to 1).
+  double frac_int_alu = 0.45;
+  double frac_int_mul = 0.05;
+  double frac_fp = 0.10;
+  double frac_load = 0.22;
+  double frac_store = 0.08;
+  double frac_branch = 0.10;
+  // Dependencies: distance to the producer ~ Geometric with the given
+  // mean; *larger* distances = looser chains = more ILP. `dep2_prob` is
+  // the probability of a second source operand carrying a dependency.
+  double avg_dep_distance = 6.0;
+  double dep1_prob = 0.75;  // probability the op has an in-flight producer
+  double dep2_prob = 0.3;
+  // Branch behaviour: loops of `loop_length` iterations (predictable)
+  // mixed with a `hard_branch_fraction` of data-dependent branches
+  // taken with probability `hard_branch_bias`.
+  std::size_t loop_length = 64;
+  double hard_branch_fraction = 0.15;
+  double hard_branch_bias = 0.5;
+  // Memory behaviour: `num_streams` concurrent access streams; each
+  // access re-touches a recent address with probability
+  // `temporal_reuse`, otherwise continues its stream sequentially with
+  // probability `spatial_locality`, otherwise jumps randomly inside the
+  // working set.
+  std::size_t working_set_kb = 512;
+  double temporal_reuse = 0.55;
+  double spatial_locality = 0.8;
+  std::size_t num_streams = 4;
+};
+
+/// The per-application trace statistics used for characterization.
+const std::vector<TraceParams>& ParsecTraceParams();
+const TraceParams& TraceParamsByName(const std::string& name);
+
+/// Expands `params` into `length` micro-ops, deterministically from
+/// `seed`. Throws std::invalid_argument if the mix does not sum to ~1.
+std::vector<MicroOp> GenerateTrace(const TraceParams& params,
+                                   std::size_t length, std::uint64_t seed);
+
+}  // namespace ds::uarch

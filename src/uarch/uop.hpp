@@ -1,0 +1,55 @@
+// Micro-operation representation for the trace-driven core simulator.
+//
+// The paper characterizes applications with gem5 (cycle-accurate Alpha
+// 21264) + McPAT. This directory is our substitute substrate: synthetic
+// instruction traces with application-specific statistics are run
+// through an out-of-order timing model (ooo_core.hpp), a cache
+// hierarchy (cache.hpp) and a branch predictor (branch_predictor.hpp);
+// an event-energy model (energy_model.hpp) then derives the Eq. (1)
+// constants the rest of the repository uses.
+#pragma once
+
+#include <cstdint>
+
+namespace ds::uarch {
+
+enum class OpClass : std::uint8_t {
+  kIntAlu,   // integer ALU, 1-cycle latency
+  kIntMul,   // integer multiply, 3 cycles
+  kFpAlu,    // floating point, 4 cycles
+  kLoad,     // memory read, latency from the cache hierarchy
+  kStore,    // memory write (fire-and-forget through the store buffer)
+  kBranch,   // conditional branch, resolved at execute
+};
+
+inline constexpr int kNumOpClasses = 6;
+
+struct MicroOp {
+  OpClass cls = OpClass::kIntAlu;
+  std::uint64_t addr = 0;   // effective address (loads/stores), PC (branches)
+  bool taken = false;       // branch outcome
+  std::uint16_t dep1 = 0;   // distance (in uops) to first producer, 0 = none
+  std::uint16_t dep2 = 0;   // distance to second producer, 0 = none
+};
+
+/// Fixed execution latency of an op class, memory ops excluded
+/// (their latency comes from the hierarchy).
+inline int ExecLatency(OpClass cls) {
+  switch (cls) {
+    case OpClass::kIntAlu:
+      return 1;
+    case OpClass::kIntMul:
+      return 3;
+    case OpClass::kFpAlu:
+      return 4;
+    case OpClass::kLoad:
+      return 1;  // address generation; cache latency added on top
+    case OpClass::kStore:
+      return 1;
+    case OpClass::kBranch:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace ds::uarch

@@ -1,0 +1,68 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ds::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another option.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  return options_.count(key) != 0;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+double ArgParser::GetDouble(const std::string& key, double def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a number, got '" + it->second +
+                                "'");
+  return v;
+}
+
+int ArgParser::GetInt(const std::string& key, int def) const {
+  const double v = GetDouble(key, static_cast<double>(def));
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v)
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects an integer");
+  return i;
+}
+
+std::vector<std::string> ArgParser::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(options_.size());
+  for (const auto& [k, v] : options_) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,41 @@
+// Minimal command-line argument parser for the CLI tool and examples.
+//
+// Supports positionals, `--key value`, `--key=value` and boolean
+// `--flag` syntax. Unknown flags are collected so callers can reject
+// typos explicitly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ds::util {
+
+class ArgParser {
+ public:
+  /// Parses argv[1..argc). Tokens starting with "--" are options;
+  /// everything else is positional. An option consumes the next token
+  /// as its value unless it contains '=' or the next token is another
+  /// option (then it is a boolean flag).
+  ArgParser(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positionals() const { return positional_; }
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw std::invalid_argument when the
+  /// present value cannot be parsed.
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+  double GetDouble(const std::string& key, double def) const;
+  int GetInt(const std::string& key, int def) const;
+
+  /// All option keys seen (for unknown-flag checks).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // flag -> value ("" = bool)
+};
+
+}  // namespace ds::util

@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <stdexcept>
+
+namespace ds::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& values) {
+  assert(values.size() == columns_);
+  out_ << std::setprecision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& values) {
+  assert(values.size() == columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace ds::util

@@ -1,0 +1,28 @@
+// Minimal CSV writer so bench binaries can optionally dump series for
+// external plotting in addition to their console tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ds::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row; values are formatted with max precision.
+  void WriteRow(const std::vector<double>& values);
+
+  /// Mixed string row.
+  void WriteRow(const std::vector<std::string>& values);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace ds::util

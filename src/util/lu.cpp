@@ -1,0 +1,88 @@
+#include "util/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ds::util {
+
+LuFactorization::LuFactorization(const Matrix& a) : n_(a.rows()), lu_(a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |a_ik| on or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14)
+      throw std::runtime_error("LuFactorization: matrix is singular");
+    if (pivot != k) {
+      auto rk = lu_.row(k);
+      auto rp = lu_.row(pivot);
+      for (std::size_t c = 0; c < n_; ++c) std::swap(rk[c], rp[c]);
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      auto row_r = lu_.row(r);
+      auto row_k = lu_.row(k);
+      for (std::size_t c = k + 1; c < n_; ++c) row_r[c] -= factor * row_k[c];
+    }
+  }
+}
+
+std::vector<double> LuFactorization::Solve(std::span<const double> b) const {
+  assert(b.size() == n_);
+  std::vector<double> x(n_);
+  // Apply permutation while loading.
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  SolveInPlaceNoPermute(x);
+  return x;
+}
+
+void LuFactorization::SolveInPlace(std::span<double> x) const {
+  assert(x.size() == n_);
+  std::vector<double> tmp(n_);
+  for (std::size_t i = 0; i < n_; ++i) tmp[i] = x[perm_[i]];
+  for (std::size_t i = 0; i < n_; ++i) x[i] = tmp[i];
+  SolveInPlaceNoPermute(x);
+}
+
+void LuFactorization::SolveInPlaceNoPermute(std::span<double> x) const {
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t r = 1; r < n_; ++r) {
+    auto row = lu_.row(r);
+    double acc = x[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= row[c] * x[c];
+    x[r] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ri = n_; ri-- > 0;) {
+    auto row = lu_.row(ri);
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n_; ++c) acc -= row[c] * x[c];
+    x[ri] = acc / row[ri];
+  }
+}
+
+double LuFactorization::Determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,48 @@
+// LU factorization with partial pivoting.
+//
+// The thermal solvers factor their conductance matrix once per platform
+// and then reuse the factorization for many right-hand sides (one per
+// candidate mapping / transient step), so factor and solve are split.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace ds::util {
+
+/// LU factorization (Doolittle, partial pivoting) of a square matrix.
+///
+/// Usage:
+///   LuFactorization lu(G);          // O(n^3), done once
+///   std::vector<double> t = lu.Solve(p);  // O(n^2), done many times
+class LuFactorization {
+ public:
+  /// Factors `a`. Throws std::invalid_argument if `a` is not square and
+  /// std::runtime_error if the matrix is numerically singular.
+  explicit LuFactorization(const Matrix& a);
+
+  /// Solves A x = b for x. Requires b.size() == n().
+  std::vector<double> Solve(std::span<const double> b) const;
+
+  /// In-place solve: overwrites `x` (initially the RHS) with the solution.
+  void SolveInPlace(std::span<double> x) const;
+
+  std::size_t n() const { return n_; }
+
+  /// Product of U's diagonal with pivot sign; useful for sanity checks
+  /// (a well-formed conductance matrix has non-zero determinant).
+  double Determinant() const;
+
+ private:
+  /// Forward/back substitution on an already-permuted RHS.
+  void SolveInPlaceNoPermute(std::span<double> x) const;
+
+  std::size_t n_ = 0;
+  Matrix lu_;                 // packed L (unit diagonal implied) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+};
+
+}  // namespace ds::util

@@ -1,0 +1,32 @@
+// Small statistics helpers for benchmark reporting and tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ds::util {
+
+double Mean(std::span<const double> v);
+double StdDev(std::span<const double> v);  // population std-dev
+double GeoMean(std::span<const double> v);  // requires all elements > 0
+double Median(std::span<const double> v);
+double Percentile(std::span<const double> v, double p);  // p in [0,100]
+
+/// Running accumulator for streaming series (transient simulations).
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ds::util

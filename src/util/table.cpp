@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ds::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& s) {
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::Cell(double v, int precision) {
+  return Cell(FormatFixed(v, precision));
+}
+
+Table& Table::Cell(int v) { return Cell(std::to_string(v)); }
+
+Table& Table::Cell(std::size_t v) { return Cell(std::to_string(v)); }
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << "| " << std::setw(static_cast<int>(widths[c])) << s << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << "|-" << std::string(widths[c], '-') << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::WriteCsv(const std::string& path) const {
+  CsvWriter csv(path, headers_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells = row;
+    cells.resize(headers_.size());
+    csv.WriteRow(cells);
+  }
+}
+
+std::string FormatFixed(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace ds::util

@@ -1,0 +1,45 @@
+// Fixed-width console table printing for the figure-reproduction benches.
+//
+// Every bench binary prints the same rows/series the paper's figure shows;
+// this helper keeps the output aligned and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ds::util {
+
+/// Accumulates rows of strings/numbers and prints an aligned table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Cell() calls append to it.
+  Table& Row();
+  Table& Cell(const std::string& s);
+  Table& Cell(double v, int precision = 2);
+  Table& Cell(int v);
+  Table& Cell(std::size_t v);
+
+  /// Prints headers, separator and all rows, aligned by column.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header + rows) to `path`.
+  /// Throws std::runtime_error if the file cannot be opened.
+  void WriteCsv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing spaces).
+std::string FormatFixed(double v, int precision);
+
+/// Prints a section banner like "=== Figure 5: ... ===".
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace ds::util

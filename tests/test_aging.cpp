@@ -1,0 +1,103 @@
+#include "reliability/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "reliability/lifetime_sim.hpp"
+
+namespace ds::reliability {
+namespace {
+
+TEST(Aging, AccelerationFactorReferencePoint) {
+  EXPECT_NEAR(AccelerationFactor(kReferenceTempC), 1.0, 1e-12);
+}
+
+TEST(Aging, AccelerationFactorMonotoneInTemperature) {
+  double prev = 0.0;
+  for (double t = 40.0; t <= 110.0; t += 10.0) {
+    const double af = AccelerationFactor(t);
+    EXPECT_GT(af, prev);
+    prev = af;
+  }
+  // Ea = 0.7 eV roughly doubles wear every ~10 K around 80 C.
+  const double ratio = AccelerationFactor(90.0) / AccelerationFactor(80.0);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Aging, AdvanceAccumulatesPerCore) {
+  AgingState state(3);
+  state.Advance(std::vector<double>{80.0, 60.0, 100.0}, 10.0);
+  EXPECT_NEAR(state.WearOf(0), 10.0, 1e-9);           // AF = 1 at T_ref
+  EXPECT_LT(state.WearOf(1), state.WearOf(0));        // cooler ages slower
+  EXPECT_GT(state.WearOf(2), state.WearOf(0));        // hotter ages faster
+  state.Advance(std::vector<double>{80.0, 60.0, 100.0}, 10.0);
+  EXPECT_NEAR(state.WearOf(0), 20.0, 1e-9);           // additive
+}
+
+TEST(Aging, AdvanceValidatesArguments) {
+  AgingState state(2);
+  EXPECT_THROW(state.Advance(std::vector<double>{80.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(state.Advance(std::vector<double>{80.0, 80.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Aging, StatsAndImbalance) {
+  AgingState state(4);
+  state.Advance(std::vector<double>{80.0, 80.0, 80.0, 80.0}, 5.0);
+  EXPECT_NEAR(state.MaxWear(), 5.0, 1e-9);
+  EXPECT_NEAR(state.MeanWear(), 5.0, 1e-9);
+  EXPECT_NEAR(state.Imbalance(), 1.0, 1e-9);
+  state.Advance(std::vector<double>{100.0, 80.0, 80.0, 80.0}, 5.0);
+  EXPECT_GT(state.Imbalance(), 1.0);
+}
+
+TEST(Aging, SelectAgingAwarePrefersLeastWorn) {
+  const arch::Platform plat(power::TechNode::N16, 16);
+  const util::Matrix& influence = plat.solver().InfluenceMatrix();
+  AgingState state(16);
+  // Core 0..7 heavily worn; 8..15 fresh.
+  std::vector<double> temps(16, 40.0);
+  for (std::size_t i = 0; i < 8; ++i) temps[i] = 110.0;
+  state.Advance(temps, 100.0);
+  const auto set = SelectAgingAware(influence, state, 8, 1.0);
+  for (const std::size_t c : set) EXPECT_GE(c, 8u);
+}
+
+TEST(Aging, SelectAgingAwareValidates) {
+  const arch::Platform plat(power::TechNode::N16, 16);
+  const util::Matrix& influence = plat.solver().InfluenceMatrix();
+  const AgingState state(16);
+  EXPECT_THROW(SelectAgingAware(influence, state, 17), std::invalid_argument);
+  EXPECT_THROW(SelectAgingAware(influence, AgingState(4), 2),
+               std::invalid_argument);
+  EXPECT_THROW(SelectAgingAware(influence, state, 4, 0.5),
+               std::invalid_argument);
+}
+
+TEST(LifetimeSim, RotationBalancesAndExtendsLifetime) {
+  const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  const LifetimeSimulator sim(plat, apps::AppByName("swaptions"), 60);
+  const LifetimeResult contiguous =
+      sim.Run(LifetimePolicy::kStaticContiguous, 20, 100.0);
+  const LifetimeResult rotate =
+      sim.Run(LifetimePolicy::kRotateAgingAware, 20, 100.0);
+  // Rotation spreads wear: lower imbalance, lower max wear, longer life.
+  EXPECT_LT(rotate.imbalance, contiguous.imbalance);
+  EXPECT_LT(rotate.max_wear_h, contiguous.max_wear_h);
+  EXPECT_GT(rotate.years_to_budget, contiguous.years_to_budget);
+  // Performance is unchanged (same instance count and level).
+  EXPECT_NEAR(rotate.avg_gips, contiguous.avg_gips, 1e-6);
+}
+
+TEST(LifetimeSim, RejectsOversizedWorkload) {
+  const arch::Platform plat(power::TechNode::N16, 16);
+  EXPECT_THROW(LifetimeSimulator(plat, apps::AppByName("x264"), 17),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::reliability

@@ -1,0 +1,113 @@
+#include "apps/app_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+
+namespace ds::apps {
+namespace {
+
+TEST(AppProfile, AmdahlBasics) {
+  const AppProfile app{"t", 1.0, 0.5, 0.25, 1.0};
+  EXPECT_DOUBLE_EQ(app.Speedup(1), 1.0);
+  // S(n) = 1 / (s + (1-s)/n)
+  EXPECT_NEAR(app.Speedup(4), 1.0 / (0.25 + 0.75 / 4.0), 1e-12);
+  // Bounded by 1/s in the limit.
+  EXPECT_LT(app.Speedup(100000), 4.0);
+  EXPECT_NEAR(app.Speedup(100000), 4.0, 0.01);
+}
+
+TEST(AppProfile, SpeedupMonotonicActivityDecreasing) {
+  for (const AppProfile& app : ParsecSuite()) {
+    for (std::size_t n = 2; n <= 64; n *= 2) {
+      EXPECT_GT(app.Speedup(n), app.Speedup(n / 2)) << app.name;
+      EXPECT_LT(app.Activity(n), app.Activity(n / 2)) << app.name;
+    }
+    EXPECT_DOUBLE_EQ(app.Activity(1), 1.0) << app.name;
+  }
+}
+
+TEST(AppProfile, InstanceGipsFormula) {
+  const AppProfile& app = AppByName("x264");
+  EXPECT_NEAR(app.InstanceGips(8, 3.6), app.ipc * 3.6 * app.Speedup(8),
+              1e-12);
+}
+
+TEST(AppProfile, SuiteHasSevenAppsInFigureOrder) {
+  const auto& suite = ParsecSuite();
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite[0].name, "x264");
+  EXPECT_EQ(suite[1].name, "blackscholes");
+  EXPECT_EQ(suite[2].name, "bodytrack");
+  EXPECT_EQ(suite[3].name, "ferret");
+  EXPECT_EQ(suite[4].name, "canneal");
+  EXPECT_EQ(suite[5].name, "dedup");
+  EXPECT_EQ(suite[6].name, "swaptions");
+}
+
+TEST(AppProfile, AppByNameThrowsOnUnknown) {
+  EXPECT_THROW(AppByName("doom"), std::invalid_argument);
+}
+
+TEST(AppProfile, Fig4SpeedupBandAt64Threads) {
+  // Paper Fig. 4: x264 ~3x, bodytrack ~2.4x, canneal ~1.7x.
+  EXPECT_NEAR(AppByName("x264").Speedup(64), 3.0, 0.35);
+  EXPECT_NEAR(AppByName("bodytrack").Speedup(64), 2.4, 0.3);
+  EXPECT_NEAR(AppByName("canneal").Speedup(64), 1.7, 0.2);
+}
+
+TEST(AppProfile, SwaptionsIsMostPowerHungryAt8Threads) {
+  // Fig. 5's worst case: swaptions consumes the most per-core power at
+  // the 16 nm nominal operating point with 8 threads.
+  const power::TechnologyParams& t = power::Tech(power::TechNode::N16);
+  const power::PowerModel pm(t);
+  const power::VfCurve curve(t);
+  const double v = curve.VoltageFor(t.nominal_freq);
+  double swaptions_power = 0.0;
+  double max_other = 0.0;
+  for (const AppProfile& app : ParsecSuite()) {
+    const double p = pm.TotalPower(app.Activity(8), app.ceff22_nf,
+                                   app.pind22, v, t.nominal_freq, 80.0);
+    if (app.name == "swaptions")
+      swaptions_power = p;
+    else
+      max_other = std::max(max_other, p);
+  }
+  EXPECT_GT(swaptions_power, max_other);
+}
+
+TEST(AppProfile, CannealIsLeastPowerHungryAndWorstScaling) {
+  const auto& canneal = AppByName("canneal");
+  for (const AppProfile& app : ParsecSuite()) {
+    if (app.name == "canneal") continue;
+    EXPECT_GE(canneal.serial_fraction, app.serial_fraction) << app.name;
+  }
+}
+
+TEST(AppProfile, BlackscholesScalesBest) {
+  const auto& bs = AppByName("blackscholes");
+  for (const AppProfile& app : ParsecSuite()) {
+    if (app.name == "blackscholes") continue;
+    EXPECT_LT(bs.serial_fraction, app.serial_fraction) << app.name;
+  }
+}
+
+/// Parameterized thread sweep: activity * threads == speedup exactly.
+class ActivityIdentityTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ActivityIdentityTest, ActivityTimesThreadsIsSpeedup) {
+  const std::size_t n = GetParam();
+  for (const AppProfile& app : ParsecSuite())
+    EXPECT_NEAR(app.Activity(n) * static_cast<double>(n), app.Speedup(n),
+                1e-12)
+        << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ActivityIdentityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ds::apps

@@ -1,0 +1,68 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::util {
+namespace {
+
+ArgParser Parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, Positionals) {
+  const ArgParser p = Parse({"estimate", "16nm", "x264"});
+  ASSERT_EQ(p.positionals().size(), 3u);
+  EXPECT_EQ(p.positionals()[0], "estimate");
+  EXPECT_EQ(p.positionals()[2], "x264");
+}
+
+TEST(Args, KeyValueBothSyntaxes) {
+  const ArgParser p = Parse({"--tdp", "185", "--freq=3.6"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("tdp", 0.0), 185.0);
+  EXPECT_DOUBLE_EQ(p.GetDouble("freq", 0.0), 3.6);
+}
+
+TEST(Args, BooleanFlags) {
+  const ArgParser p = Parse({"--thermal", "--mapping", "spread"});
+  EXPECT_TRUE(p.Has("thermal"));
+  EXPECT_EQ(p.GetString("mapping"), "spread");
+  EXPECT_FALSE(p.Has("tdp"));
+}
+
+TEST(Args, FlagFollowedByFlagIsBoolean) {
+  const ArgParser p = Parse({"--thermal", "--verbose"});
+  EXPECT_TRUE(p.Has("thermal"));
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_EQ(p.GetString("thermal"), "");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const ArgParser p = Parse({});
+  EXPECT_EQ(p.GetString("x", "def"), "def");
+  EXPECT_EQ(p.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("d", 1.5), 1.5);
+}
+
+TEST(Args, IntAndDoubleValidation) {
+  const ArgParser p = Parse({"--n", "3.5", "--bad", "abc"});
+  EXPECT_THROW(p.GetInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(p.GetDouble("bad", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(p.GetDouble("n", 0.0), 3.5);
+}
+
+TEST(Args, MixedPositionalsAndFlags) {
+  const ArgParser p = Parse({"boost", "--instances", "12", "16nm", "x264"});
+  ASSERT_EQ(p.positionals().size(), 3u);
+  EXPECT_EQ(p.GetInt("instances", 0), 12);
+}
+
+TEST(Args, KeysEnumeration) {
+  const ArgParser p = Parse({"--a", "1", "--b=2", "--c"});
+  const auto keys = p.Keys();
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ds::util

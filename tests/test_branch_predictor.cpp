@@ -1,0 +1,64 @@
+#include "uarch/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ds::uarch {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTaken) {
+  GsharePredictor bp;
+  for (int i = 0; i < 1000; ++i) bp.PredictAndUpdate(0x400, true);
+  // After warm-up the always-taken branch is essentially perfect.
+  EXPECT_LT(bp.stats().MispredictRate(), 0.01);
+}
+
+TEST(Gshare, LearnsAlternatingPattern) {
+  GsharePredictor bp;
+  for (int i = 0; i < 4000; ++i) bp.PredictAndUpdate(0x400, i % 2 == 0);
+  // The global history disambiguates the alternation.
+  EXPECT_LT(bp.stats().MispredictRate(), 0.05);
+}
+
+TEST(Gshare, LearnsShortLoopExits) {
+  GsharePredictor bp;
+  // Loop of 8 iterations: taken 7x, not-taken once, repeated.
+  for (int i = 0; i < 8000; ++i)
+    bp.PredictAndUpdate(0x2000, (i % 8) != 7);
+  EXPECT_LT(bp.stats().MispredictRate(), 0.05);
+}
+
+TEST(Gshare, RandomBranchesAreHard) {
+  GsharePredictor bp;
+  std::mt19937_64 rng(1);
+  std::bernoulli_distribution coin(0.5);
+  for (int i = 0; i < 20000; ++i) bp.PredictAndUpdate(0x3000, coin(rng));
+  // Cannot beat a fair coin.
+  EXPECT_GT(bp.stats().MispredictRate(), 0.4);
+}
+
+TEST(Gshare, BiasedBranchesTrackTheBias) {
+  GsharePredictor bp;
+  std::mt19937_64 rng(2);
+  std::bernoulli_distribution coin(0.9);
+  for (int i = 0; i < 20000; ++i) bp.PredictAndUpdate(0x5000, coin(rng));
+  // Should do no worse than always predicting the likely direction.
+  EXPECT_LT(bp.stats().MispredictRate(), 0.2);
+}
+
+TEST(Gshare, StatsAndReset) {
+  GsharePredictor bp;
+  bp.PredictAndUpdate(0x100, true);
+  EXPECT_EQ(bp.stats().predictions, 1u);
+  bp.ResetStats();
+  EXPECT_EQ(bp.stats().predictions, 0u);
+}
+
+TEST(Gshare, RejectsBadTableSize) {
+  EXPECT_THROW(GsharePredictor(0), std::invalid_argument);
+  EXPECT_THROW(GsharePredictor(30), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::uarch

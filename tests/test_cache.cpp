@@ -1,0 +1,94 @@
+#include "uarch/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::uarch {
+namespace {
+
+TEST(Cache, HitAfterMiss) {
+  Cache c({4, 64, 2, 1});  // 4 KiB, 2-way
+  EXPECT_FALSE(c.Access(0x1000));
+  EXPECT_TRUE(c.Access(0x1000));
+  EXPECT_TRUE(c.Access(0x1008));  // same line
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsTheOldest) {
+  // 2-way set: three distinct tags mapping to the same set evict the
+  // least recently used.
+  Cache c({4, 64, 2, 1});  // 32 sets
+  const std::uint64_t set_stride = 64 * c.num_sets();
+  const std::uint64_t a = 0x0, b = set_stride, d = 2 * set_stride;
+  c.Access(a);
+  c.Access(b);
+  c.Access(a);       // refresh a; b is now LRU
+  c.Access(d);       // evicts b
+  EXPECT_TRUE(c.Access(a));
+  EXPECT_FALSE(c.Access(b));  // was evicted
+}
+
+TEST(Cache, FullyUsesItsCapacity) {
+  // Sequential pass over exactly the cache size: second pass all hits.
+  Cache c({8, 64, 4, 1});
+  const std::size_t lines = 8 * 1024 / 64;
+  for (std::size_t i = 0; i < lines; ++i) c.Access(i * 64);
+  c.ResetStats();
+  for (std::size_t i = 0; i < lines; ++i) c.Access(i * 64);
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, CapacityMissesBeyondSize) {
+  // Cyclic pass over 2x the cache size with true LRU: everything
+  // misses on every pass.
+  Cache c({8, 64, 4, 1});
+  const std::size_t lines = 2 * 8 * 1024 / 64;
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::size_t i = 0; i < lines; ++i) c.Access(i * 64);
+  EXPECT_EQ(c.stats().misses, c.stats().accesses);
+}
+
+TEST(Cache, InsertDoesNotTouchStats) {
+  Cache c({4, 64, 2, 1});
+  c.Insert(0x4000);
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_TRUE(c.Access(0x4000));  // prefetched line hits
+}
+
+TEST(Cache, RejectsBadConfigs) {
+  EXPECT_THROW(Cache({0, 64, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache({4, 0, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache({4, 64, 0, 1}), std::invalid_argument);
+  // 3 ways over 64 lines -> 21.33 sets: invalid.
+  EXPECT_THROW(Cache({4, 64, 3, 1}), std::invalid_argument);
+}
+
+TEST(Hierarchy, LatenciesReflectTheHitLevel) {
+  MemoryHierarchy mem({4, 64, 2, 3}, {64, 64, 8, 12}, 180,
+                      /*next_line_prefetch=*/false);
+  const int miss_all = mem.Access(0x10000);
+  EXPECT_EQ(miss_all, 3 + 12 + 180);
+  const int l1_hit = mem.Access(0x10000);
+  EXPECT_EQ(l1_hit, 3);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions) {
+  MemoryHierarchy mem({4, 64, 2, 3}, {64, 64, 8, 12}, 180, false);
+  // Touch 8 KiB (2x L1): early lines evicted from L1 but kept in L2.
+  for (std::uint64_t a = 0; a < 8 * 1024; a += 64) mem.Access(a);
+  const int lat = mem.Access(0);
+  EXPECT_EQ(lat, 3 + 12);  // L1 miss, L2 hit
+}
+
+TEST(Hierarchy, NextLinePrefetchHidesSequentialMisses) {
+  MemoryHierarchy with({4, 64, 2, 3}, {64, 64, 8, 12}, 180, true);
+  MemoryHierarchy without({4, 64, 2, 3}, {64, 64, 8, 12}, 180, false);
+  for (std::uint64_t a = 0; a < 2 * 1024; a += 8) {
+    with.Access(a);
+    without.Access(a);
+  }
+  EXPECT_LT(with.l1().stats().misses, without.l1().stats().misses);
+}
+
+}  // namespace
+}  // namespace ds::uarch

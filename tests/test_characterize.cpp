@@ -1,0 +1,77 @@
+#include "uarch/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "uarch/energy_model.hpp"
+
+namespace ds::uarch {
+namespace {
+
+TEST(EnergyModel, ZeroCyclesGivesZeros) {
+  const EnergyBreakdown e = ReduceToEquationOne(SimResult{});
+  EXPECT_EQ(e.ceff22_nf, 0.0);
+  EXPECT_EQ(e.pind22_w, 0.0);
+}
+
+TEST(EnergyModel, UnitConversions) {
+  SimResult sim;
+  sim.cycles = 1000;
+  sim.instructions = 1000;
+  sim.activity.fetched = 1000;
+  EnergyParams params;
+  params.fetch_decode_rename = 1562.5;  // -> 1562.5 pJ/cycle
+  params.rob = 0.0;
+  params.clock_tree_per_cycle = 1000.0;
+  const EnergyBreakdown e = ReduceToEquationOne(sim, params);
+  // Ceff = E/V^2: 1562.5 pJ / (1.25 V)^2 = 1000 pF = 1 nF.
+  EXPECT_NEAR(e.ceff22_nf, 1.0, 1e-9);
+  // Pind = 1000 pJ * 3.4 GHz = 3.4 W.
+  EXPECT_NEAR(e.pind22_w, 3.4, 1e-9);
+}
+
+TEST(Characterize, DeterministicAndComplete) {
+  const auto a = CharacterizeParsec({}, 100000, 7);
+  const auto b = CharacterizeParsec({}, 100000, 7);
+  ASSERT_EQ(a.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].ipc, b[i].ipc);
+    EXPECT_DOUBLE_EQ(a[i].ceff22_nf, b[i].ceff22_nf);
+  }
+}
+
+TEST(Characterize, DerivedValuesLandNearTheCalibratedTable) {
+  // The cross-validation claim of bench_ext_characterization, as an
+  // invariant: IPC within 40% and Ceff within a factor of two for the
+  // compute-bound applications (canneal is excluded -- see the bench).
+  for (const Characterization& c : CharacterizeParsec({}, 400000, 42)) {
+    if (c.name == "canneal") continue;
+    const apps::AppProfile& table = apps::AppByName(c.name);
+    EXPECT_NEAR(c.ipc, table.ipc, 0.4 * table.ipc) << c.name;
+    EXPECT_GT(c.ceff22_nf, 0.5 * table.ceff22_nf) << c.name;
+    EXPECT_LT(c.ceff22_nf, 2.0 * table.ceff22_nf) << c.name;
+  }
+}
+
+TEST(Characterize, QualitativeOrderingMatchesTheSuite) {
+  const auto chars = CharacterizeParsec();  // full-length traces
+  auto find = [&](const std::string& name) -> const Characterization& {
+    for (const auto& c : chars)
+      if (c.name == name) return c;
+    throw std::logic_error("missing app");
+  };
+  // canneal is the memory-bound outlier: lowest IPC, highest MPKI.
+  for (const auto& c : chars) {
+    if (c.name == "canneal") continue;
+    EXPECT_LT(find("canneal").ipc, c.ipc);
+    EXPECT_GT(find("canneal").sim.mpki_l2, c.sim.mpki_l2);
+  }
+  // x264 has the highest ILP (paper: high-ILP reference app).
+  EXPECT_GT(find("x264").ipc, 2.0);
+  // blackscholes' tiny working set: essentially no L2 misses.
+  EXPECT_LT(find("blackscholes").sim.mpki_l2, 0.5);
+}
+
+}  // namespace
+}  // namespace ds::uarch

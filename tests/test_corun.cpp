@@ -1,0 +1,51 @@
+#include "uarch/corun.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::uarch {
+namespace {
+
+TEST(CoRun, SingleCoreMatchesSoloModel) {
+  // With one core the lockstep loop is the plain model plus warmup
+  // differences; IPCs must agree closely.
+  const CoRunResult r =
+      SimulateCoRun(TraceParamsByName("swaptions"), 1);
+  EXPECT_NEAR(r.avg_ipc, r.solo_ipc, 0.15 * r.solo_ipc);
+}
+
+TEST(CoRun, DeterministicInSeed) {
+  const TraceParams& p = TraceParamsByName("dedup");
+  const CoRunResult a = SimulateCoRun(p, 4, {}, 60000, 9);
+  const CoRunResult b = SimulateCoRun(p, 4, {}, 60000, 9);
+  EXPECT_DOUBLE_EQ(a.avg_ipc, b.avg_ipc);
+}
+
+TEST(CoRun, DegradationGrowsWithCoRunners) {
+  const TraceParams& p = TraceParamsByName("ferret");  // L2-sensitive
+  const CoRunResult two = SimulateCoRun(p, 2);
+  const CoRunResult eight = SimulateCoRun(p, 8);
+  EXPECT_GE(eight.degradation, two.degradation - 0.02);
+  EXPECT_GE(eight.shared_l2_miss_rate, two.shared_l2_miss_rate - 1e-9);
+}
+
+TEST(CoRun, SmallFootprintAppsBarelyDegrade) {
+  const CoRunResult r =
+      SimulateCoRun(TraceParamsByName("blackscholes"), 8);
+  EXPECT_LT(r.degradation, 0.10);
+}
+
+TEST(CoRun, CacheHungryAppsDegradeMore) {
+  const CoRunResult light =
+      SimulateCoRun(TraceParamsByName("blackscholes"), 8);
+  const CoRunResult heavy = SimulateCoRun(TraceParamsByName("ferret"), 8);
+  EXPECT_GT(heavy.degradation, light.degradation);
+}
+
+TEST(CoRun, ZeroCoresOnlySolo) {
+  const CoRunResult r = SimulateCoRun(TraceParamsByName("x264"), 0);
+  EXPECT_GT(r.solo_ipc, 0.0);
+  EXPECT_EQ(r.avg_ipc, 0.0);
+}
+
+}  // namespace
+}  // namespace ds::uarch

@@ -1,0 +1,137 @@
+#include "core/dsrem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+
+namespace ds::core {
+namespace {
+
+const arch::Platform& Plat16() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  return plat;
+}
+
+JobList Jobs(std::initializer_list<const char*> names, std::size_t count) {
+  std::vector<const apps::AppProfile*> apps;
+  for (const char* n : names) apps.push_back(&apps::AppByName(n));
+  return MakeJobList(apps, count);
+}
+
+TEST(JobListTest, CyclesThroughApps) {
+  const JobList jobs = Jobs({"x264", "canneal"}, 5);
+  ASSERT_EQ(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0]->name, "x264");
+  EXPECT_EQ(jobs[1]->name, "canneal");
+  EXPECT_EQ(jobs[4]->name, "x264");
+}
+
+TEST(TdpMapTest, StopsAtTdp) {
+  const TdpMap tdpmap(Plat16());
+  const Estimate e = tdpmap.Run(Jobs({"swaptions"}, 25), 185.0);
+  EXPECT_GT(e.active_cores, 0u);
+  EXPECT_LE(e.budget_power_w, 185.0 + 1e-9);
+  // All placed instances are 8-thread at the nominal frequency.
+  const double f_nom =
+      Plat16().ladder()[Plat16().ladder().NominalLevel()].freq;
+  for (const apps::Instance& inst : e.workload.instances()) {
+    EXPECT_EQ(inst.threads, 8u);
+    EXPECT_NEAR(inst.freq, f_nom, 1e-12);
+  }
+}
+
+TEST(TdpMapTest, EmptyJobsGiveEmptyEstimate) {
+  const TdpMap tdpmap(Plat16());
+  const Estimate e = tdpmap.Run({}, 185.0);
+  EXPECT_EQ(e.active_cores, 0u);
+}
+
+TEST(DsRemTest, PackRespectsTdpAndCores) {
+  const DsRem dsrem(Plat16());
+  const apps::Workload w = dsrem.PackUnderTdp(Jobs({"x264", "ferret"}, 25),
+                                              185.0);
+  EXPECT_LE(w.TotalCores(), Plat16().num_cores());
+  EXPECT_LE(w.TotalPower(Plat16().power_model(), Plat16().tdtm_c()),
+            185.0 + 1e-6);
+  EXPECT_GT(w.size(), 0u);
+}
+
+TEST(DsRemTest, PackStaysAtOrBelowNominalLevel) {
+  const DsRem dsrem(Plat16());
+  const double f_nom =
+      Plat16().ladder()[Plat16().ladder().NominalLevel()].freq;
+  const apps::Workload w =
+      dsrem.PackUnderTdp(Jobs({"swaptions"}, 25), 185.0);
+  for (const apps::Instance& inst : w.instances())
+    EXPECT_LE(inst.freq, f_nom + 1e-9);
+}
+
+TEST(DsRemTest, ResultIsThermallySafe) {
+  const DsRem dsrem(Plat16());
+  const Estimate e = dsrem.Run(Jobs({"swaptions", "x264"}, 25), 185.0);
+  EXPECT_FALSE(e.thermal_violation);
+  EXPECT_LE(e.peak_temp_c, Plat16().tdtm_c() + 1e-6);
+}
+
+TEST(DsRemTest, BeatsTdpMapOnEveryWorkload) {
+  // The paper's Fig. 9 claim, as an invariant.
+  const TdpMap tdpmap(Plat16());
+  const DsRem dsrem(Plat16());
+  for (const auto& jobs :
+       {Jobs({"x264"}, 25), Jobs({"swaptions"}, 25),
+        Jobs({"x264", "swaptions", "canneal"}, 24)}) {
+    const Estimate base = tdpmap.Run(jobs, 185.0);
+    const Estimate opt = dsrem.Run(jobs, 185.0);
+    EXPECT_GE(opt.total_gips, base.total_gips)
+        << jobs.front()->name << " x" << jobs.size();
+  }
+}
+
+TEST(DsRemTest, ExploitsThermalHeadroom) {
+  // DsRem's stage 2 exploits headroom: the final mapping should land
+  // near the thermal limit for a power-hungry workload.
+  const DsRem dsrem(Plat16());
+  const Estimate e = dsrem.Run(Jobs({"swaptions"}, 25), 185.0);
+  EXPECT_GT(e.peak_temp_c, Plat16().tdtm_c() - 3.0);
+}
+
+TEST(DsRemTest, NearOptimalOnTinyConfig) {
+  // Exhaustive reference on a tiny problem: 2 jobs, small TDP. The
+  // greedy must reach at least 90% of the exhaustive optimum.
+  const DsRem dsrem(Plat16());
+  const JobList jobs = Jobs({"x264", "blackscholes"}, 2);
+  const double tdp = 12.0;
+  const apps::Workload packed = dsrem.PackUnderTdp(jobs, tdp);
+
+  const power::DvfsLadder& ladder = Plat16().ladder();
+  const std::size_t nominal = ladder.NominalLevel();
+  const DarkSiliconEstimator est(Plat16());
+  double best = 0.0;
+  for (std::size_t t1 = 1; t1 <= 8; ++t1) {
+    for (std::size_t l1 = 0; l1 <= nominal; ++l1) {
+      for (std::size_t t2 = 1; t2 <= 8; ++t2) {
+        for (std::size_t l2 = 0; l2 <= nominal; ++l2) {
+          const double p =
+              est.BudgetCorePower(*jobs[0], t1, l1) * t1 +
+              est.BudgetCorePower(*jobs[1], t2, l2) * t2;
+          if (p > tdp) continue;
+          const double g = jobs[0]->InstanceGips(t1, ladder[l1].freq) +
+                           jobs[1]->InstanceGips(t2, ladder[l2].freq);
+          best = std::max(best, g);
+        }
+      }
+    }
+  }
+  EXPECT_GE(packed.TotalGips(), 0.9 * best);
+}
+
+TEST(DsRemTest, ZeroTdpPlacesNothing) {
+  const DsRem dsrem(Plat16());
+  const Estimate e = dsrem.Run(Jobs({"x264"}, 5), 0.0);
+  EXPECT_EQ(e.active_cores, 0u);
+}
+
+}  // namespace
+}  // namespace ds::core

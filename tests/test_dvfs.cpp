@@ -1,0 +1,74 @@
+#include "power/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+
+namespace ds::power {
+namespace {
+
+TEST(Dvfs, LevelsAreOnTheCurveAndIncreasing) {
+  const TechnologyParams& t = Tech(TechNode::N16);
+  const DvfsLadder ladder = DvfsLadder::Default(t);
+  const VfCurve curve(t);
+  ASSERT_GE(ladder.size(), 2u);
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    EXPECT_NEAR(ladder[i].vdd, curve.VoltageFor(ladder[i].freq), 1e-12);
+    if (i > 0) {
+      EXPECT_NEAR(ladder[i].freq - ladder[i - 1].freq, 0.2, 1e-9);
+      EXPECT_GT(ladder[i].vdd, ladder[i - 1].vdd);
+    }
+  }
+}
+
+TEST(Dvfs, DefaultRangeCoversOneGhzToBoostMax) {
+  const TechnologyParams& t = Tech(TechNode::N11);
+  const DvfsLadder ladder = DvfsLadder::Default(t);
+  EXPECT_NEAR(ladder[0].freq, 1.0, 1e-9);
+  EXPECT_NEAR(ladder[ladder.size() - 1].freq, t.boost_max_freq, 0.1 + 1e-9);
+}
+
+TEST(Dvfs, NominalLevelMatchesNominalFrequency) {
+  for (const TechNode node : {TechNode::N16, TechNode::N11, TechNode::N8}) {
+    const TechnologyParams& t = Tech(node);
+    const DvfsLadder ladder = DvfsLadder::Default(t);
+    EXPECT_NEAR(ladder[ladder.NominalLevel()].freq, t.nominal_freq, 1e-9);
+  }
+}
+
+TEST(Dvfs, LevelAtOrBelow) {
+  const DvfsLadder ladder = DvfsLadder::Default(Tech(TechNode::N16));
+  // 3.5 GHz falls between the 3.4 and 3.6 levels.
+  const std::size_t lvl = ladder.LevelAtOrBelow(3.5);
+  EXPECT_NEAR(ladder[lvl].freq, 3.4, 1e-9);
+  // Exact hit.
+  EXPECT_NEAR(ladder[ladder.LevelAtOrBelow(3.0)].freq, 3.0, 1e-9);
+  // Below range clamps to the lowest level.
+  EXPECT_EQ(ladder.LevelAtOrBelow(0.1), 0u);
+}
+
+TEST(Dvfs, StepSaturatesAtEnds) {
+  const DvfsLadder ladder = DvfsLadder::Default(Tech(TechNode::N16));
+  EXPECT_EQ(ladder.StepDown(0), 0u);
+  const std::size_t top = ladder.size() - 1;
+  EXPECT_EQ(ladder.StepUp(top), top);
+  EXPECT_EQ(ladder.StepUp(0), 1u);
+  EXPECT_EQ(ladder.StepDown(top), top - 1);
+}
+
+TEST(Dvfs, InvalidRangesThrow) {
+  const TechnologyParams& t = Tech(TechNode::N16);
+  EXPECT_THROW(DvfsLadder(t, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(DvfsLadder(t, 3.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(DvfsLadder(t, 1.0, 2.0, -0.1), std::invalid_argument);
+}
+
+TEST(Dvfs, CustomStep) {
+  const DvfsLadder ladder(Tech(TechNode::N16), 2.0, 3.0, 0.5);
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_NEAR(ladder[1].freq, 2.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace ds::power

@@ -1,0 +1,158 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+
+namespace ds::core {
+namespace {
+
+const arch::Platform& Plat16() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  return plat;
+}
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : estimator_(Plat16()) {}
+  DarkSiliconEstimator estimator_;
+};
+
+TEST_F(EstimatorTest, MoreTdpMeansMoreActiveCores) {
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  std::size_t prev = 0;
+  for (const double tdp : {100.0, 150.0, 200.0, 250.0}) {
+    const Estimate e = estimator_.UnderPowerBudget(app, 8, nominal, tdp);
+    EXPECT_GE(e.active_cores, prev);
+    prev = e.active_cores;
+  }
+}
+
+TEST_F(EstimatorTest, BudgetIsRespected) {
+  const apps::AppProfile& app = apps::AppByName("ferret");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const Estimate e = estimator_.UnderPowerBudget(app, 8, nominal, 185.0);
+  EXPECT_LE(e.budget_power_w, 185.0 + 1e-9);
+  // Adding one more full instance would exceed the budget.
+  const double p8 = estimator_.BudgetCorePower(app, 8, nominal) * 8.0;
+  EXPECT_GT(e.budget_power_w + p8, 185.0);
+}
+
+TEST_F(EstimatorTest, DarkFractionConsistentWithActiveCores) {
+  const apps::AppProfile& app = apps::AppByName("x264");
+  const Estimate e = estimator_.UnderPowerBudget(
+      app, 8, Plat16().ladder().NominalLevel(), 185.0);
+  EXPECT_NEAR(e.dark_fraction,
+              1.0 - static_cast<double>(e.active_cores) / 100.0, 1e-12);
+  EXPECT_EQ(e.active_set.size(), e.active_cores);
+}
+
+TEST_F(EstimatorTest, LowerFrequencyReducesDarkSilicon) {
+  // Observation 2 of the paper: scaling down v/f reduces dark silicon.
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const power::DvfsLadder& ladder = Plat16().ladder();
+  const Estimate hi = estimator_.UnderPowerBudget(
+      app, 8, ladder.NominalLevel(), 185.0);
+  const Estimate lo = estimator_.UnderPowerBudget(
+      app, 8, ladder.LevelAtOrBelow(2.8), 185.0);
+  EXPECT_LT(lo.dark_fraction, hi.dark_fraction);
+}
+
+TEST_F(EstimatorTest, TemperatureConstrainedStaysBelowTdtm) {
+  for (const char* name : {"x264", "swaptions", "canneal"}) {
+    const Estimate e = estimator_.UnderTemperature(
+        apps::AppByName(name), 8, Plat16().ladder().NominalLevel());
+    EXPECT_FALSE(e.thermal_violation) << name;
+    EXPECT_LE(e.peak_temp_c, Plat16().tdtm_c() + 1e-6) << name;
+    EXPECT_GT(e.active_cores, 0u) << name;
+  }
+}
+
+TEST_F(EstimatorTest, TemperatureConstraintIsMaximal) {
+  // One more full instance would violate T_DTM (or the chip is full).
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const Estimate e = estimator_.UnderTemperature(app, 8, nominal);
+  if (e.active_cores + 8 <= 100) {
+    apps::Workload w = e.workload;
+    const power::VfLevel& vf = Plat16().ladder()[nominal];
+    w.Add({&app, 8, vf.freq, vf.vdd});
+    const Estimate bigger =
+        estimator_.EvaluateWorkload(w, MappingPolicy::kContiguous);
+    EXPECT_TRUE(bigger.thermal_violation);
+  }
+}
+
+TEST_F(EstimatorTest, SpreadMappingAllowsMoreCoresThanContiguous) {
+  // The DaSim patterning claim, via the estimator.
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const Estimate contig = estimator_.UnderTemperature(
+      app, 8, nominal, MappingPolicy::kContiguous);
+  const Estimate spread = estimator_.UnderTemperature(
+      app, 8, nominal, MappingPolicy::kSpread);
+  EXPECT_GT(spread.active_cores, contig.active_cores);
+}
+
+TEST_F(EstimatorTest, EvaluateWorkloadChecksActiveSetSize) {
+  apps::Workload w;
+  const apps::AppProfile& app = apps::AppByName("x264");
+  w.Add({&app, 8, 3.6, 1.11});
+  EXPECT_THROW(estimator_.EvaluateWorkload(w, std::vector<std::size_t>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST_F(EstimatorTest, PlanMatchesEvaluatedWorkload) {
+  const apps::AppProfile& app = apps::AppByName("dedup");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const apps::Workload plan =
+      estimator_.PlanUnderPowerBudget(app, 8, nominal, 185.0);
+  const Estimate e = estimator_.UnderPowerBudget(app, 8, nominal, 185.0);
+  EXPECT_EQ(plan.TotalCores(), e.active_cores);
+  EXPECT_NEAR(plan.TotalGips(), e.total_gips, 1e-9);
+}
+
+TEST_F(EstimatorTest, PartialInstanceFillsRemainder) {
+  // With a budget that admits k full instances plus a bit more, the
+  // final instance uses fewer threads instead of wasting the headroom.
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const double p8 = estimator_.BudgetCorePower(app, 8, nominal);
+  const double p3 = estimator_.BudgetCorePower(app, 3, nominal);
+  const double tdp = 3.0 * 8.0 * p8 + 3.0 * p3 + 0.01;
+  const Estimate e = estimator_.UnderPowerBudget(app, 8, nominal, tdp);
+  EXPECT_EQ(e.instances, 4u);  // 3 full + 1 partial
+  EXPECT_EQ(e.active_cores, 27u);
+}
+
+TEST_F(EstimatorTest, ZeroBudgetMapsNothing) {
+  const apps::AppProfile& app = apps::AppByName("x264");
+  const Estimate e = estimator_.UnderPowerBudget(
+      app, 8, Plat16().ladder().NominalLevel(), 0.0);
+  EXPECT_EQ(e.active_cores, 0u);
+  EXPECT_EQ(e.total_gips, 0.0);
+}
+
+/// Parameterized over the whole suite: the paper's structural claims
+/// hold for every application.
+class PerAppEstimatorTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PerAppEstimatorTest, TemperatureConstraintNeverWorseThanTdp185) {
+  const apps::AppProfile& app = apps::ParsecSuite()[GetParam()];
+  const DarkSiliconEstimator estimator(Plat16());
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const Estimate tdp = estimator.UnderPowerBudget(app, 8, nominal, 185.0);
+  const Estimate temp = estimator.UnderTemperature(app, 8, nominal);
+  // Fig. 6: the temperature constraint reduces (or equals) dark silicon
+  // relative to the pessimistic TDP.
+  EXPECT_LE(temp.dark_fraction, tdp.dark_fraction + 1e-9) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PerAppEstimatorTest,
+                         ::testing::Range<std::size_t>(0, 7));
+
+}  // namespace
+}  // namespace ds::core

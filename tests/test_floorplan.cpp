@@ -1,0 +1,89 @@
+#include "thermal/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ds::thermal {
+namespace {
+
+TEST(Floorplan, PaperGridsFactorizeAsExpected) {
+  const Floorplan f100 = Floorplan::MakeGrid(100, 5.1);
+  EXPECT_EQ(f100.rows(), 10u);
+  EXPECT_EQ(f100.cols(), 10u);
+  const Floorplan f198 = Floorplan::MakeGrid(198, 2.7);
+  EXPECT_EQ(f198.rows(), 11u);
+  EXPECT_EQ(f198.cols(), 18u);
+  const Floorplan f361 = Floorplan::MakeGrid(361, 1.4);
+  EXPECT_EQ(f361.rows(), 19u);
+  EXPECT_EQ(f361.cols(), 19u);
+}
+
+TEST(Floorplan, AreasAndDimensions) {
+  const Floorplan fp = Floorplan::MakeGrid(100, 5.1);
+  EXPECT_NEAR(fp.core_area_mm2(), 5.1, 1e-9);
+  EXPECT_NEAR(fp.die_area_mm2(), 510.0, 1e-6);
+  EXPECT_NEAR(fp.die_width_mm(), 10.0 * std::sqrt(5.1), 1e-9);
+}
+
+TEST(Floorplan, IndexPositionRoundTrip) {
+  const Floorplan fp(4, 6, 1.0, 2.0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      const std::size_t i = fp.IndexOf(r, c);
+      EXPECT_EQ(fp.PosOf(i).row, r);
+      EXPECT_EQ(fp.PosOf(i).col, c);
+    }
+  }
+}
+
+TEST(Floorplan, CentersAreTileMidpoints) {
+  const Floorplan fp(2, 2, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(fp.CenterX(0), 1.0);
+  EXPECT_DOUBLE_EQ(fp.CenterY(0), 2.0);
+  EXPECT_DOUBLE_EQ(fp.CenterX(3), 3.0);
+  EXPECT_DOUBLE_EQ(fp.CenterY(3), 6.0);
+}
+
+TEST(Floorplan, NeighborsCornerEdgeInterior) {
+  const Floorplan fp(3, 3, 1.0, 1.0);
+  EXPECT_EQ(fp.Neighbors(0).size(), 2u);               // corner
+  EXPECT_EQ(fp.Neighbors(1).size(), 3u);               // edge
+  EXPECT_EQ(fp.Neighbors(fp.IndexOf(1, 1)).size(), 4u);  // interior
+}
+
+TEST(Floorplan, Distances) {
+  const Floorplan fp(3, 3, 2.0, 2.0);
+  EXPECT_NEAR(fp.Distance(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(fp.Distance(0, fp.IndexOf(1, 1)), 2.0 * std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(fp.TileDistance(0, fp.IndexOf(2, 2)), 4u);
+  EXPECT_EQ(fp.TileDistance(4, 4), 0u);
+}
+
+TEST(Floorplan, RejectsInvalidArguments) {
+  EXPECT_THROW(Floorplan(0, 3, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Floorplan(3, 3, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Floorplan::MakeGrid(0, 1.0), std::invalid_argument);
+  // Primes above the aspect limit have no acceptable factorization.
+  EXPECT_THROW(Floorplan::MakeGrid(97, 1.0), std::invalid_argument);
+}
+
+/// Parameterized: every generated grid covers exactly num_cores tiles
+/// with aspect ratio at most 4.
+class GridTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridTest, CoversAllCoresWithBoundedAspect) {
+  const std::size_t n = GetParam();
+  const Floorplan fp = Floorplan::MakeGrid(n, 2.0);
+  EXPECT_EQ(fp.num_cores(), n);
+  const double aspect =
+      static_cast<double>(std::max(fp.rows(), fp.cols())) /
+      static_cast<double>(std::min(fp.rows(), fp.cols()));
+  EXPECT_LE(aspect, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridTest,
+                         ::testing::Values(1, 4, 12, 64, 100, 198, 240, 361));
+
+}  // namespace
+}  // namespace ds::thermal

@@ -1,0 +1,215 @@
+// End-to-end anchors: the paper's headline numbers, asserted against
+// the full pipeline (power model -> thermal solve -> estimation /
+// policies). Tolerances are deliberately loose -- these pin the *shape*
+// of each result, not the calibration decimals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/boosting.hpp"
+#include "core/dsrem.hpp"
+#include "core/estimator.hpp"
+#include "core/ntc.hpp"
+#include "core/tsp.hpp"
+
+namespace ds {
+namespace {
+
+const arch::Platform& Plat16() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  return plat;
+}
+
+TEST(PaperAnchors, Fig5DarkSiliconUnderTwoTdps) {
+  // "up to 37% dark silicon at 220 W ... up to 46% at 185 W", worst
+  // case swaptions, with thermal violations only at the optimistic TDP.
+  const core::DarkSiliconEstimator est(Plat16());
+  const apps::AppProfile& swaptions = apps::AppByName("swaptions");
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+
+  const core::Estimate opt =
+      est.UnderPowerBudget(swaptions, 8, nominal, 220.0);
+  EXPECT_NEAR(opt.dark_fraction, 0.37, 0.05);
+  EXPECT_TRUE(opt.thermal_violation);
+
+  const core::Estimate pes =
+      est.UnderPowerBudget(swaptions, 8, nominal, 185.0);
+  EXPECT_NEAR(pes.dark_fraction, 0.46, 0.05);
+  EXPECT_FALSE(pes.thermal_violation);
+}
+
+TEST(PaperAnchors, Fig6TemperatureConstraintReducesDarkSilicon) {
+  const core::DarkSiliconEstimator est(Plat16());
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  double tdp_dark = 0.0, temp_dark = 0.0;
+  int counted = 0;
+  for (const apps::AppProfile& app : apps::ParsecSuite()) {
+    const core::Estimate t = est.UnderPowerBudget(app, 8, nominal, 185.0);
+    if (t.dark_fraction < 1e-9) continue;
+    const core::Estimate c = est.UnderTemperature(app, 8, nominal);
+    tdp_dark += t.dark_fraction;
+    temp_dark += c.dark_fraction;
+    ++counted;
+  }
+  ASSERT_GT(counted, 3);
+  // Meaningful average reduction (paper: ~32% relative at 16 nm).
+  EXPECT_LT(temp_dark, 0.85 * tdp_dark);
+}
+
+TEST(PaperAnchors, Fig8PatterningSustainsMoreCores) {
+  // Paper: 52 contiguous cores exceeded T_DTM where 60 patterned cores
+  // (more total power) did not -- i.e. patterning buys >= 10% cores.
+  const core::DarkSiliconEstimator est(Plat16());
+  const std::size_t nominal = Plat16().ladder().NominalLevel();
+  const apps::AppProfile& app = apps::AppByName("swaptions");
+  const core::Estimate contig =
+      est.UnderTemperature(app, 8, nominal, core::MappingPolicy::kContiguous);
+  const core::Estimate spread =
+      est.UnderTemperature(app, 8, nominal, core::MappingPolicy::kSpread);
+  EXPECT_GE(static_cast<double>(spread.active_cores),
+            1.10 * static_cast<double>(contig.active_cores));
+}
+
+TEST(PaperAnchors, Fig9DsRemSpeedupIsAboutTwoX) {
+  const core::TdpMap tdpmap(Plat16());
+  const core::DsRem dsrem(Plat16());
+  const core::JobList jobs = core::MakeJobList(
+      {&apps::AppByName("x264"), &apps::AppByName("swaptions")}, 24);
+  const core::Estimate base = tdpmap.Run(jobs, 185.0);
+  const core::Estimate opt = dsrem.Run(jobs, 185.0);
+  const double speedup = opt.total_gips / base.total_gips;
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 2.8);
+}
+
+TEST(PaperAnchors, Fig10TspPerformanceRisesPerNode) {
+  // Performance under TSP keeps increasing with scaling despite the
+  // growing dark fraction (paper: +~60% from 11 to 8 nm).
+  double prev = 0.0;
+  const struct {
+    power::TechNode node;
+    double dark;
+  } configs[] = {{power::TechNode::N16, 0.2},
+                 {power::TechNode::N11, 0.3},
+                 {power::TechNode::N8, 0.4}};
+  for (const auto& cfg : configs) {
+    const arch::Platform plat = arch::Platform::PaperPlatform(cfg.node);
+    const core::Tsp tsp(plat);
+    const std::size_t active = static_cast<std::size_t>(
+        static_cast<double>(plat.num_cores()) * (1.0 - cfg.dark));
+    const double budget = tsp.WorstCase(active);
+    double gips_sum = 0.0;
+    for (const apps::AppProfile& app : apps::ParsecSuite()) {
+      std::size_t level = 0;
+      if (!tsp.MaxLevelWithinBudget(app, 8, budget, &level)) continue;
+      level = std::min(level, plat.ladder().NominalLevel());
+      gips_sum += static_cast<double>(active / 8) *
+                  app.InstanceGips(8, plat.ladder()[level].freq);
+    }
+    EXPECT_GT(gips_sum, prev) << plat.tech().name;
+    prev = gips_sum;
+  }
+}
+
+TEST(PaperAnchors, Fig11ConstantNearPaperValue) {
+  // Constant-frequency baseline for x264 x 12: paper reports 245.3 GIPS.
+  const core::BoostingSimulator sim(Plat16(), apps::AppByName("x264"), 12,
+                                    8);
+  std::size_t level = 0;
+  ASSERT_TRUE(sim.MaxSafeConstantLevel(500.0, &level));
+  EXPECT_NEAR(sim.GipsAtLevel(level), 245.3, 10.0);
+  // Boosting adds only a small average gain (paper: ~5%).
+  const auto boost = sim.EstimateBoosting(Plat16().tdtm_c(), 500.0);
+  EXPECT_GT(boost.avg_gips, sim.GipsAtLevel(level));
+  EXPECT_LT(boost.avg_gips, 1.15 * sim.GipsAtLevel(level));
+}
+
+TEST(PaperAnchors, Fig7DvfsNeverHurtsAndGainsAreBounded) {
+  // Observation 2 + Sec. 3.3: TLP/ILP-aware (threads, v/f) selection
+  // never loses to the nominal/8-thread configuration, and stays in a
+  // plausible band (paper: up to ~32-38%, 1.5x at 8 nm).
+  const core::DarkSiliconEstimator est(Plat16());
+  const arch::Platform& plat = Plat16();
+  const std::size_t nominal = plat.ladder().NominalLevel();
+  const std::size_t queue = plat.num_cores() / 8;
+  for (const apps::AppProfile& app : apps::ParsecSuite()) {
+    const double p1 = est.BudgetCorePower(app, 8, nominal);
+    const std::size_t m1 = std::min(
+        queue, static_cast<std::size_t>(185.0 / (8.0 * p1)));
+    const double s1 =
+        static_cast<double>(m1) *
+        app.InstanceGips(8, plat.ladder()[nominal].freq);
+    double best = 0.0;
+    for (std::size_t threads = 1; threads <= 8; ++threads) {
+      for (std::size_t level = 0; level <= nominal; ++level) {
+        const double p = est.BudgetCorePower(app, threads, level);
+        const std::size_t m = std::min(
+            {static_cast<std::size_t>(185.0 /
+                                      (p * static_cast<double>(threads))),
+             queue, plat.num_cores() / threads});
+        best = std::max(best, static_cast<double>(m) *
+                                  app.InstanceGips(
+                                      threads, plat.ladder()[level].freq));
+      }
+    }
+    EXPECT_GE(best, s1 - 1e-9) << app.name;
+    EXPECT_LT(best, 1.8 * s1) << app.name;
+  }
+}
+
+TEST(PaperAnchors, Fig12ThermallyUnconstrainedBelowCrossover) {
+  // Fig. 12: for small core counts boosting and constant coincide (the
+  // ladder top is sustainable); past the crossover they diverge.
+  const core::BoostingSimulator small(Plat16(), apps::AppByName("x264"), 4,
+                                      8);
+  std::size_t level = 0;
+  ASSERT_TRUE(small.MaxSafeConstantLevel(500.0, &level));
+  EXPECT_EQ(level, Plat16().ladder().size() - 1);
+  const core::BoostingSimulator large(Plat16(), apps::AppByName("x264"), 12,
+                                      8);
+  ASSERT_TRUE(large.MaxSafeConstantLevel(500.0, &level));
+  EXPECT_LT(level, Plat16().ladder().size() - 1);
+}
+
+TEST(PaperAnchors, Fig13MinimumUtilizedPointStaysInStc) {
+  // "the minimum utilized voltage ... was 0.92 V and 3.0 GHz, which is
+  // still in the STC region": across the Fig. 13 sweep, every selected
+  // constant level stays super-threshold.
+  const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N11);
+  double min_freq = 1e300;
+  double min_vdd = 1e300;
+  for (const apps::AppProfile& app : apps::ParsecSuite()) {
+    for (const std::size_t instances : {12UL, 24UL}) {
+      const core::BoostingSimulator sim(plat, app, instances, 8);
+      std::size_t level = 0;
+      if (!sim.MaxSafeConstantLevel(500.0, &level)) continue;
+      min_freq = std::min(min_freq, plat.ladder()[level].freq);
+      min_vdd = std::min(min_vdd, plat.ladder()[level].vdd);
+    }
+  }
+  EXPECT_GE(min_freq, 3.0);  // paper: 3.0 GHz
+  EXPECT_NE(plat.vf_curve().RegionOf(min_vdd),
+            power::VoltageRegion::kNearThreshold);
+  EXPECT_NEAR(min_vdd, 0.92, 0.08);  // paper: 0.92 V
+}
+
+TEST(PaperAnchors, Fig14NtcPointAndCannealException) {
+  const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N11);
+  // The NTC operating point itself: 1 GHz at ~0.46 V (paper caption).
+  EXPECT_NEAR(plat.vf_curve().VoltageFor(1.0), 0.46, 0.01);
+  const core::NtcAnalysis analysis(plat);
+  const core::NtcComparison cn =
+      analysis.Compare(apps::AppByName("canneal"), 24, {1.0, 8});
+  EXPECT_GT(cn.ntc.energy_kj, cn.stc2.energy_kj);  // canneal: NTC loses
+  const core::NtcComparison bs =
+      analysis.Compare(apps::AppByName("blackscholes"), 24, {1.0, 8});
+  EXPECT_LT(bs.ntc.energy_kj, bs.stc2.energy_kj);  // scaling app: wins
+}
+
+}  // namespace
+}  // namespace ds

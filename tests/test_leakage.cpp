@@ -1,0 +1,70 @@
+#include "power/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/technology.hpp"
+
+namespace ds::power {
+namespace {
+
+TEST(Leakage, NominalCalibrationPoint) {
+  // At (V_nom, T_ref) the current is exactly the node's I0.
+  for (const TechNode node : kAllNodes) {
+    const TechnologyParams& t = Tech(node);
+    const LeakageModel leak(t);
+    EXPECT_NEAR(leak.Current(t.nominal_vdd, LeakageModel::kTrefC), t.leak_i0,
+                1e-12);
+  }
+}
+
+TEST(Leakage, IncreasesWithVoltage) {
+  const LeakageModel leak(Tech(TechNode::N16));
+  double prev = 0.0;
+  for (double v = 0.4; v <= 1.3; v += 0.1) {
+    const double i = leak.Current(v, 60.0);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Leakage, IncreasesWithTemperature) {
+  const LeakageModel leak(Tech(TechNode::N16));
+  const double v = Tech(TechNode::N16).nominal_vdd;
+  EXPECT_LT(leak.Current(v, 50.0), leak.Current(v, 80.0));
+  // ~1% per Kelvin around the reference.
+  const double i80 = leak.Current(v, 80.0);
+  const double i81 = leak.Current(v, 81.0);
+  EXPECT_NEAR((i81 - i80) / i80, 0.01, 1e-6);
+}
+
+TEST(Leakage, NeverNegativeEvenWhenExtrapolatedCold) {
+  const LeakageModel leak(Tech(TechNode::N16));
+  EXPECT_GT(leak.Current(0.5, -100.0), 0.0);
+}
+
+TEST(Leakage, PowerIsVoltageTimesCurrent) {
+  const LeakageModel leak(Tech(TechNode::N11));
+  const double v = 0.9;
+  EXPECT_NEAR(leak.Power(v, 70.0), v * leak.Current(v, 70.0), 1e-12);
+}
+
+TEST(Leakage, SlopeMatchesFiniteDifference) {
+  const LeakageModel leak(Tech(TechNode::N16));
+  const double v = 1.0;
+  const double fd = (leak.Power(v, 70.5) - leak.Power(v, 69.5)) / 1.0;
+  EXPECT_NEAR(leak.PowerSlopePerKelvin(v), fd, 1e-9);
+}
+
+TEST(Leakage, SmallerNodesLeakLessPerCore) {
+  // I0 scales with the capacitance factor, so absolute per-core leakage
+  // shrinks with the node (at each node's own nominal voltage).
+  const double p16 =
+      LeakageModel(Tech(TechNode::N16))
+          .Power(Tech(TechNode::N16).nominal_vdd, 80.0);
+  const double p8 = LeakageModel(Tech(TechNode::N8))
+                        .Power(Tech(TechNode::N8).nominal_vdd, 80.0);
+  EXPECT_GT(p16, p8);
+}
+
+}  // namespace
+}  // namespace ds::power

@@ -1,0 +1,157 @@
+#include "core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/platform.hpp"
+
+namespace ds::core {
+namespace {
+
+/// One shared 16 nm platform for the whole file (the influence matrix
+/// is cached inside it).
+const arch::Platform& Plat16() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  return plat;
+}
+
+class MappingPolicyTest
+    : public ::testing::TestWithParam<std::tuple<MappingPolicy, std::size_t>> {
+};
+
+TEST_P(MappingPolicyTest, ReturnsUniqueValidIndices) {
+  const auto [policy, count] = GetParam();
+  const auto set = SelectCores(Plat16(), count, policy);
+  EXPECT_EQ(set.size(), count);
+  std::set<std::size_t> unique(set.begin(), set.end());
+  EXPECT_EQ(unique.size(), count);
+  for (const std::size_t i : set) EXPECT_LT(i, Plat16().num_cores());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndCounts, MappingPolicyTest,
+    ::testing::Combine(::testing::Values(MappingPolicy::kContiguous,
+                                         MappingPolicy::kDensest,
+                                         MappingPolicy::kCheckerboard,
+                                         MappingPolicy::kSpread),
+                       ::testing::Values(1UL, 8UL, 50UL, 100UL)));
+
+TEST(Mapping, ContiguousIsRowMajorPrefix) {
+  const auto set = SelectCores(Plat16(), 25, MappingPolicy::kContiguous);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_EQ(set[i], i);
+}
+
+TEST(Mapping, DensestStartsAtDieCenter) {
+  const auto set = SelectCores(Plat16(), 4, MappingPolicy::kDensest);
+  // On the 10x10 grid the four central tiles are rows/cols 4-5.
+  for (const std::size_t i : set) {
+    const auto pos = Plat16().floorplan().PosOf(i);
+    EXPECT_GE(pos.row, 4u);
+    EXPECT_LE(pos.row, 5u);
+    EXPECT_GE(pos.col, 4u);
+    EXPECT_LE(pos.col, 5u);
+  }
+}
+
+TEST(Mapping, CheckerboardHalfHasSingleParity) {
+  const auto set = SelectCores(Plat16(), 50, MappingPolicy::kCheckerboard);
+  for (const std::size_t i : set) {
+    const auto pos = Plat16().floorplan().PosOf(i);
+    EXPECT_EQ((pos.row + pos.col) % 2, 0u);
+  }
+}
+
+TEST(Mapping, ThrowsWhenCountExceedsCores) {
+  EXPECT_THROW(SelectCores(Plat16(), 101, MappingPolicy::kContiguous),
+               std::invalid_argument);
+  EXPECT_THROW(SelectCores(Plat16(), 101, MappingPolicy::kSpread),
+               std::invalid_argument);
+}
+
+TEST(Mapping, SpreadBeatsDensestThermally) {
+  // The patterned mapping's worst-case influence row-sum (peak steady
+  // temperature per uniform watt) must be strictly lower than the
+  // densest cluster's for a half-populated chip.
+  const util::Matrix& a = Plat16().solver().InfluenceMatrix();
+  auto peak_per_watt = [&](const std::vector<std::size_t>& set) {
+    double worst = 0.0;
+    for (const std::size_t i : set) {
+      double row = 0.0;
+      for (const std::size_t j : set) row += a(i, j);
+      worst = std::max(worst, row);
+    }
+    return worst;
+  };
+  const auto spread = SelectCores(Plat16(), 50, MappingPolicy::kSpread);
+  const auto dense = SelectCores(Plat16(), 50, MappingPolicy::kDensest);
+  const auto contig = SelectCores(Plat16(), 50, MappingPolicy::kContiguous);
+  EXPECT_LT(peak_per_watt(spread), peak_per_watt(dense));
+  EXPECT_LT(peak_per_watt(spread), peak_per_watt(contig));
+}
+
+TEST(Mapping, FullChipIsTheSameSetForAllPolicies) {
+  const std::size_t n = Plat16().num_cores();
+  for (const MappingPolicy p :
+       {MappingPolicy::kContiguous, MappingPolicy::kDensest,
+        MappingPolicy::kCheckerboard, MappingPolicy::kSpread}) {
+    auto set = SelectCores(Plat16(), n, p);
+    std::sort(set.begin(), set.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(set[i], i);
+  }
+}
+
+TEST(Mapping, ActiveMaskMarksExactlyTheSet) {
+  const std::vector<std::size_t> set = {1, 5, 7};
+  const std::vector<bool> mask = ActiveMask(10, set);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(mask[i], i == 1 || i == 5 || i == 7);
+}
+
+TEST(Mapping, PolicyNames) {
+  EXPECT_STREQ(MappingPolicyName(MappingPolicy::kContiguous), "contiguous");
+  EXPECT_STREQ(MappingPolicyName(MappingPolicy::kSpread), "spread");
+}
+
+TEST(Mapping, VariationAwareAvoidsLeakyCores) {
+  const util::Matrix& a = Plat16().solver().InfluenceMatrix();
+  // Mark the left half of the die as very leaky.
+  std::vector<double> leak(100, 1.0);
+  for (std::size_t i = 0; i < 100; ++i)
+    if (Plat16().floorplan().PosOf(i).col < 5) leak[i] = 3.0;
+  const auto set = SelectVariationAware(a, leak, 30, 0.5);
+  std::size_t leaky_chosen = 0;
+  for (const std::size_t c : set)
+    if (leak[c] > 1.5) ++leaky_chosen;
+  // Far fewer than half of the picks land on the leaky side.
+  EXPECT_LT(leaky_chosen, 10u);
+}
+
+TEST(Mapping, VariationAwareWithUniformMapIsPlainSpread) {
+  const util::Matrix& a = Plat16().solver().InfluenceMatrix();
+  const std::vector<double> uniform(100, 1.0);
+  EXPECT_EQ(SelectVariationAware(a, uniform, 40, 0.25),
+            SelectSpread(a, 40));
+}
+
+TEST(Mapping, VariationAwareValidates) {
+  const util::Matrix& a = Plat16().solver().InfluenceMatrix();
+  const std::vector<double> wrong_size(50, 1.0);
+  EXPECT_THROW(SelectVariationAware(a, wrong_size, 10),
+               std::invalid_argument);
+  const std::vector<double> ok(100, 1.0);
+  EXPECT_THROW(SelectVariationAware(a, ok, 101), std::invalid_argument);
+}
+
+TEST(Mapping, GeometricFallbackForSpread) {
+  // Without an influence matrix, kSpread falls back to checkerboard.
+  const auto a = SelectCoresGeometric(Plat16().floorplan(), 20,
+                                      MappingPolicy::kSpread);
+  const auto b = SelectCoresGeometric(Plat16().floorplan(), 20,
+                                      MappingPolicy::kCheckerboard);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ds::core

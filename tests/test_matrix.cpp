@@ -1,0 +1,108 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::util {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::Identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 7.5;
+  EXPECT_EQ(m(1, 2), 7.5);
+}
+
+TEST(Matrix, MultiplyMatchesManualComputation) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const std::vector<double> x = {1.0, -1.0, 2.0};
+  const std::vector<double> y = m.Multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1 - 2 + 6);
+  EXPECT_DOUBLE_EQ(y[1], 4 - 5 + 12);
+}
+
+TEST(Matrix, IdentityMultiplyIsIdentityMap) {
+  const Matrix id = Matrix::Identity(3);
+  const std::vector<double> x = {3.0, -1.5, 0.25};
+  EXPECT_EQ(id.Multiply(x), x);
+}
+
+TEST(Matrix, AddAndScale) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 2;
+  Matrix b(2, 2);
+  b(0, 1) = 3;
+  const Matrix sum = a.Add(b);
+  EXPECT_EQ(sum(0, 0), 1.0);
+  EXPECT_EQ(sum(0, 1), 3.0);
+  EXPECT_EQ(sum(1, 1), 2.0);
+  const Matrix scaled = a.Scaled(-2.0);
+  EXPECT_EQ(scaled(0, 0), -2.0);
+  EXPECT_EQ(scaled(1, 1), -4.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  b(1, 0) = -0.75;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.75);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, SymmetryDetection) {
+  Matrix m(3, 3);
+  m(0, 1) = m(1, 0) = 2.0;
+  m(0, 2) = m(2, 0) = -1.0;
+  m(1, 2) = m(2, 1) = 0.5;
+  EXPECT_TRUE(m.IsSymmetric());
+  m(1, 2) += 1e-6;
+  EXPECT_FALSE(m.IsSymmetric(1e-9));
+  EXPECT_TRUE(m.IsSymmetric(1e-3));
+}
+
+TEST(Matrix, NonSquareIsNotSymmetric) {
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(VectorOps, DotScaleAddSub) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_EQ(Scale(a, 2.0), (std::vector<double>{2, 4, 6}));
+  EXPECT_EQ(AddVec(a, b), (std::vector<double>{5, -3, 9}));
+  EXPECT_EQ(SubVec(a, b), (std::vector<double>{-3, 7, -3}));
+}
+
+TEST(VectorOps, MinMaxNormDiff) {
+  const std::vector<double> v = {3.0, -7.0, 4.0};
+  EXPECT_DOUBLE_EQ(MaxElement(v), 4.0);
+  EXPECT_DOUBLE_EQ(MinElement(v), -7.0);
+  EXPECT_NEAR(Norm2({std::vector<double>{3, 4}}), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      MaxAbsDiffVec(v, std::vector<double>{3.0, -6.0, 4.5}), 1.0);
+}
+
+}  // namespace
+}  // namespace ds::util

@@ -1,0 +1,104 @@
+#include "uarch/multicore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+
+namespace ds::uarch {
+namespace {
+
+TEST(Multicore, SingleThreadIsUnity) {
+  const SpeedupResult r = SimulateSpeedup(SyncParamsByName("x264"), 1);
+  EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+  EXPECT_EQ(r.lock_wait_fraction, 0.0);
+}
+
+TEST(Multicore, ZeroThreadsThrows) {
+  EXPECT_THROW(SimulateSpeedup(SyncParamsByName("x264"), 0),
+               std::invalid_argument);
+}
+
+TEST(Multicore, DeterministicInSeed) {
+  const SyncParams& p = SyncParamsByName("ferret");
+  EXPECT_DOUBLE_EQ(SimulateSpeedup(p, 8, 1000000, 5).speedup,
+                   SimulateSpeedup(p, 8, 1000000, 5).speedup);
+}
+
+TEST(Multicore, NoSyncScalesNearlyLinearly) {
+  SyncParams free;
+  free.name = "free";
+  free.critical_entry_prob = 0.0;
+  free.barrier_interval = 0;
+  free.imbalance = 0.0;
+  for (const std::size_t n : {2UL, 8UL, 32UL}) {
+    const SpeedupResult r = SimulateSpeedup(free, n);
+    EXPECT_NEAR(r.speedup, static_cast<double>(n), 0.01 * n);
+  }
+}
+
+TEST(Multicore, SpeedupMonotoneThenSaturates) {
+  const SyncParams& p = SyncParamsByName("x264");
+  double prev = 1.0;
+  for (const std::size_t n : {2UL, 4UL, 8UL, 16UL}) {
+    const double s = SimulateSpeedup(p, n).speedup;
+    EXPECT_GE(s, prev - 0.05);  // monotone up to noise
+    prev = s;
+  }
+  // The parallelism wall: 64 threads gain little over 16 (Fig. 4).
+  const double s16 = SimulateSpeedup(p, 16).speedup;
+  const double s64 = SimulateSpeedup(p, 64).speedup;
+  EXPECT_LT(s64, 1.25 * s16);
+}
+
+TEST(Multicore, MoreCriticalWorkMeansLessSpeedup) {
+  SyncParams light = SyncParamsByName("swaptions");
+  SyncParams heavy = light;
+  heavy.critical_entry_prob *= 8.0;
+  EXPECT_GT(SimulateSpeedup(light, 16).speedup,
+            SimulateSpeedup(heavy, 16).speedup);
+}
+
+TEST(Multicore, BarrierImbalanceCosts) {
+  SyncParams smooth = SyncParamsByName("bodytrack");
+  smooth.imbalance = 0.0;
+  SyncParams ragged = smooth;
+  ragged.imbalance = 0.5;
+  const SpeedupResult s = SimulateSpeedup(smooth, 8);
+  const SpeedupResult r = SimulateSpeedup(ragged, 8);
+  EXPECT_GT(s.speedup, r.speedup);
+  EXPECT_GT(r.barrier_wait_fraction, s.barrier_wait_fraction);
+}
+
+TEST(Multicore, AmdahlFitRecoversKnownFraction) {
+  // Synthesize an exact Amdahl curve and recover its serial fraction.
+  const double s_true = 0.23;
+  std::vector<SpeedupResult> curve;
+  for (const std::size_t n : {2UL, 4UL, 8UL, 16UL, 32UL}) {
+    SpeedupResult r;
+    r.threads = n;
+    r.speedup = 1.0 / (s_true + (1.0 - s_true) / static_cast<double>(n));
+    curve.push_back(r);
+  }
+  EXPECT_NEAR(FitSerialFraction(curve), s_true, 1e-3);
+}
+
+TEST(Multicore, FittedFractionsMatchTheCalibratedTable) {
+  // The cross-validation invariant for the TLP side of the app model.
+  for (const SyncParams& params : ParsecSyncParams()) {
+    std::vector<SpeedupResult> curve;
+    for (const std::size_t n : {2UL, 4UL, 8UL, 16UL, 32UL, 64UL})
+      curve.push_back(SimulateSpeedup(params, n));
+    const double fitted = FitSerialFraction(curve);
+    const double table = apps::AppByName(params.name).serial_fraction;
+    EXPECT_NEAR(fitted, table, 0.15 * table + 0.02) << params.name;
+  }
+}
+
+TEST(Multicore, LockWaitGrowsWithThreads) {
+  const SyncParams& p = SyncParamsByName("canneal");
+  EXPECT_GT(SimulateSpeedup(p, 32).lock_wait_fraction,
+            SimulateSpeedup(p, 2).lock_wait_fraction);
+}
+
+}  // namespace
+}  // namespace ds::uarch

@@ -1,0 +1,101 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace ds::noc {
+namespace {
+
+thermal::Floorplan Plan() { return thermal::Floorplan::MakeGrid(100, 5.1); }
+
+apps::Workload OneInstance(const char* app, std::size_t threads,
+                           double freq = 3.6) {
+  apps::Workload w;
+  w.Add({&apps::AppByName(app), threads, freq, 1.11});
+  return w;
+}
+
+TEST(Noc, EmptyWorkloadOnlyStaticPower) {
+  const MeshNoc mesh(Plan());
+  const NocResult r = mesh.Evaluate(apps::Workload{}, {});
+  EXPECT_NEAR(r.total_power_w, 100 * mesh.params().router_static_w, 1e-9);
+  EXPECT_EQ(r.total_traffic_gbs, 0.0);
+  EXPECT_EQ(r.avg_hops, 0.0);
+}
+
+TEST(Noc, SizeMismatchThrows) {
+  const MeshNoc mesh(Plan());
+  EXPECT_THROW(mesh.Evaluate(OneInstance("x264", 8), {0, 1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Noc, TrafficScalesWithCommunicationIntensity) {
+  const MeshNoc mesh(Plan());
+  const std::vector<std::size_t> set = {0, 1, 2, 3, 4, 5, 6, 7};
+  const NocResult quiet = mesh.Evaluate(OneInstance("blackscholes", 8), set);
+  const NocResult chatty = mesh.Evaluate(OneInstance("canneal", 8), set);
+  EXPECT_GT(chatty.total_traffic_gbs, 3.0 * quiet.total_traffic_gbs);
+  EXPECT_GT(chatty.total_power_w, quiet.total_power_w);
+}
+
+TEST(Noc, CompactPlacementShortensRoutes) {
+  const MeshNoc mesh(Plan());
+  const apps::Workload w = OneInstance("dedup", 8);
+  const std::vector<std::size_t> compact = {0, 1, 2, 3, 10, 11, 12, 13};
+  const std::vector<std::size_t> scattered = {0, 9, 90, 99, 45, 54, 5, 95};
+  const NocResult near = mesh.Evaluate(w, compact);
+  const NocResult far = mesh.Evaluate(w, scattered);
+  EXPECT_LT(near.avg_hops, far.avg_hops);
+  EXPECT_LT(near.avg_latency_cycles, far.avg_latency_cycles);
+}
+
+TEST(Noc, PowerIsDistributedOverTheDie) {
+  const MeshNoc mesh(Plan());
+  const NocResult r =
+      mesh.Evaluate(OneInstance("ferret", 8), {0, 1, 2, 3, 4, 5, 6, 7});
+  ASSERT_EQ(r.per_core_power_w.size(), 100u);
+  double sum = 0.0;
+  for (const double p : r.per_core_power_w) {
+    EXPECT_GE(p, mesh.params().router_static_w - 1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, r.total_power_w, 1e-9);
+  // Tiles on the instance's routes burn more than far-away tiles.
+  EXPECT_GT(r.per_core_power_w[0], r.per_core_power_w[99]);
+}
+
+TEST(Noc, MemoryControllersSitOnTheEdges) {
+  const MeshNoc mesh(Plan());
+  const thermal::Floorplan fp = Plan();
+  for (const std::size_t m : mesh.memory_controllers()) {
+    const auto pos = fp.PosOf(m);
+    EXPECT_TRUE(pos.row == 0 || pos.row == fp.rows() - 1 || pos.col == 0 ||
+                pos.col == fp.cols() - 1);
+  }
+}
+
+TEST(Noc, HigherFrequencyMeansMoreTraffic) {
+  const MeshNoc mesh(Plan());
+  const std::vector<std::size_t> set = {20, 21, 22, 23, 24, 25, 26, 27};
+  const NocResult slow = mesh.Evaluate(OneInstance("dedup", 8, 2.0), set);
+  const NocResult fast = mesh.Evaluate(OneInstance("dedup", 8, 4.0), set);
+  EXPECT_NEAR(fast.total_traffic_gbs, 2.0 * slow.total_traffic_gbs, 1e-9);
+}
+
+TEST(Noc, UtilizationBoundedAndContentionGrows) {
+  const MeshNoc mesh(Plan());
+  apps::Workload heavy;
+  heavy.AddN({&apps::AppByName("canneal"), 8, 3.6, 1.11}, 12);
+  std::vector<std::size_t> set(96);
+  for (std::size_t i = 0; i < 96; ++i) set[i] = i;
+  const NocResult r = mesh.Evaluate(heavy, set);
+  EXPECT_GT(r.peak_link_utilization, 0.0);
+  // Latency includes contention: at least the uncontended hop time.
+  EXPECT_GE(r.avg_latency_cycles,
+            r.avg_hops * mesh.params().router_latency_cycles - 1e-9);
+}
+
+}  // namespace
+}  // namespace ds::noc

@@ -1,0 +1,105 @@
+#include "core/ntc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+
+namespace ds::core {
+namespace {
+
+const arch::Platform& Plat11() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N11);
+  return plat;
+}
+
+const NtcOperatingPoint kPaperNtc{1.0, 8};  // 1 GHz, 8 threads
+
+TEST(Ntc, PaperOperatingPointIsNearThreshold) {
+  const NtcAnalysis analysis(Plat11());
+  const NtcComparison c =
+      analysis.Compare(apps::AppByName("swaptions"), 24, kPaperNtc);
+  EXPECT_EQ(c.ntc.region, power::VoltageRegion::kNearThreshold);
+  EXPECT_NEAR(c.ntc.vdd, 0.46, 0.01);  // the paper's 0.46 V
+}
+
+TEST(Ntc, IsoPerformanceUnlessCapped) {
+  const NtcAnalysis analysis(Plat11());
+  for (const char* name : {"x264", "canneal", "dedup", "ferret"}) {
+    const NtcComparison c =
+        analysis.Compare(apps::AppByName(name), 24, kPaperNtc);
+    if (!c.stc1.freq_capped) {
+      EXPECT_NEAR(c.stc1.gips, c.ntc.gips, 1e-6) << name;
+    }
+    if (!c.stc2.freq_capped) {
+      EXPECT_NEAR(c.stc2.gips, c.ntc.gips, 1e-6) << name;
+    }
+    // Iso-performance implies iso-time over the same work.
+    if (!c.stc1.freq_capped) {
+      EXPECT_NEAR(c.stc1.time_s, c.ntc.time_s, 1e-9) << name;
+    }
+  }
+}
+
+TEST(Ntc, CappedConfigurationRunsLonger) {
+  // swaptions scales so well that 1-thread STC cannot match: the
+  // frequency is capped and execution takes longer.
+  const NtcAnalysis analysis(Plat11());
+  const NtcComparison c =
+      analysis.Compare(apps::AppByName("swaptions"), 24, kPaperNtc);
+  EXPECT_TRUE(c.stc1.freq_capped);
+  EXPECT_LT(c.stc1.gips, c.ntc.gips);
+  EXPECT_GT(c.stc1.time_s, c.ntc.time_s);
+}
+
+TEST(Ntc, NtcWinsForScalingAppsLosesForCanneal) {
+  // The paper's Observation 4 / Fig. 14 punchline.
+  const NtcAnalysis analysis(Plat11());
+  const NtcComparison bs =
+      analysis.Compare(apps::AppByName("blackscholes"), 24, kPaperNtc);
+  EXPECT_LT(bs.ntc.energy_kj, bs.stc1.energy_kj);
+  EXPECT_LT(bs.ntc.energy_kj, bs.stc2.energy_kj);
+  const NtcComparison sw =
+      analysis.Compare(apps::AppByName("swaptions"), 24, kPaperNtc);
+  EXPECT_LT(sw.ntc.energy_kj, sw.stc1.energy_kj);
+  EXPECT_LT(sw.ntc.energy_kj, sw.stc2.energy_kj);
+  const NtcComparison cn =
+      analysis.Compare(apps::AppByName("canneal"), 24, kPaperNtc);
+  EXPECT_GT(cn.ntc.energy_kj, cn.stc1.energy_kj);
+  EXPECT_GT(cn.ntc.energy_kj, cn.stc2.energy_kj);
+}
+
+TEST(Ntc, EnergiesAndPowersArePositive) {
+  const NtcAnalysis analysis(Plat11());
+  for (const apps::AppProfile& app : apps::ParsecSuite()) {
+    const NtcComparison c = analysis.Compare(app, 24, kPaperNtc);
+    for (const RegionResult* r : {&c.ntc, &c.stc1, &c.stc2}) {
+      EXPECT_GT(r->gips, 0.0) << app.name;
+      EXPECT_GT(r->power_w, 0.0) << app.name;
+      EXPECT_GT(r->energy_kj, 0.0) << app.name;
+      EXPECT_GT(r->time_s, 0.0) << app.name;
+    }
+  }
+}
+
+TEST(Ntc, ThrowsWhenWorkloadDoesNotFit) {
+  const NtcAnalysis analysis(Plat11());
+  // 30 instances x 8 threads = 240 > 198 cores.
+  EXPECT_THROW(
+      analysis.Compare(apps::AppByName("x264"), 30, kPaperNtc),
+      std::invalid_argument);
+}
+
+TEST(Ntc, ReferenceDurationScalesEnergyLinearly) {
+  const NtcAnalysis analysis(Plat11());
+  const NtcComparison c10 =
+      analysis.Compare(apps::AppByName("ferret"), 24, kPaperNtc, 10.0);
+  const NtcComparison c20 =
+      analysis.Compare(apps::AppByName("ferret"), 24, kPaperNtc, 20.0);
+  EXPECT_NEAR(c20.ntc.energy_kj, 2.0 * c10.ntc.energy_kj, 1e-9);
+  EXPECT_NEAR(c20.stc2.energy_kj, 2.0 * c10.stc2.energy_kj, 1e-9);
+}
+
+}  // namespace
+}  // namespace ds::core

@@ -1,0 +1,127 @@
+#include "uarch/ooo_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uarch/trace_gen.hpp"
+
+namespace ds::uarch {
+namespace {
+
+/// A trace of `n` independent single-cycle integer ops.
+std::vector<MicroOp> IndependentAlu(std::size_t n) {
+  std::vector<MicroOp> t(n);
+  for (auto& op : t) op = MicroOp{OpClass::kIntAlu, 0, false, 0, 0};
+  return t;
+}
+
+TEST(OooCore, WidthBoundsIndependentCode) {
+  OooCore core({4, 80, 7});
+  const SimResult r = core.Run(IndependentAlu(40000));
+  // Fully independent 1-cycle ops: IPC -> width.
+  EXPECT_NEAR(r.ipc, 4.0, 0.05);
+}
+
+TEST(OooCore, SerialChainRunsAtLatencyLimit) {
+  // Every op depends on its predecessor: IPC = 1 / latency = 1.
+  std::vector<MicroOp> t(20000);
+  for (auto& op : t) op = MicroOp{OpClass::kIntAlu, 0, false, 1, 0};
+  OooCore core;
+  const SimResult r = core.Run(t);
+  EXPECT_NEAR(r.ipc, 1.0, 0.01);
+}
+
+TEST(OooCore, FpChainRunsAtFpLatencyLimit) {
+  std::vector<MicroOp> t(20000);
+  for (auto& op : t) op = MicroOp{OpClass::kFpAlu, 0, false, 1, 0};
+  OooCore core;
+  const SimResult r = core.Run(t);
+  EXPECT_NEAR(r.ipc, 1.0 / ExecLatency(OpClass::kFpAlu), 0.01);
+}
+
+TEST(OooCore, WiderCoreIsFasterOnParallelCode) {
+  const TraceParams& p = TraceParamsByName("x264");
+  const auto trace = GenerateTrace(p, 100000, 1);
+  CoreConfig narrow;
+  narrow.width = 2;
+  CoreConfig wide;
+  wide.width = 6;
+  const SimResult r2 = OooCore(narrow).Run(trace);
+  const SimResult r6 = OooCore(wide).Run(trace);
+  EXPECT_GT(r6.ipc, r2.ipc);
+}
+
+TEST(OooCore, BiggerRobToleratesMemoryLatency) {
+  const TraceParams& p = TraceParamsByName("dedup");
+  const auto trace = GenerateTrace(p, 150000, 2);
+  CoreConfig small;
+  small.rob_size = 16;
+  CoreConfig big;
+  big.rob_size = 160;
+  EXPECT_GT(OooCore(big).Run(trace).ipc, OooCore(small).Run(trace).ipc);
+}
+
+TEST(OooCore, MispredictionsCostCycles) {
+  // Same trace with all-easy vs all-hard branches.
+  TraceParams easy = TraceParamsByName("x264");
+  easy.hard_branch_fraction = 0.0;
+  TraceParams hard = easy;
+  hard.hard_branch_fraction = 1.0;
+  const auto e = GenerateTrace(easy, 100000, 3);
+  const auto h = GenerateTrace(hard, 100000, 3);
+  OooCore core;
+  const SimResult re = core.Run(e);
+  const SimResult rh = core.Run(h);
+  EXPECT_GT(rh.branch_mispredict_rate, re.branch_mispredict_rate + 0.1);
+  EXPECT_LT(rh.ipc, re.ipc);
+}
+
+TEST(OooCore, MemoryWallCapsIpc) {
+  // A giant random-access working set caps IPC well below the
+  // compute-bound value of the same mix.
+  TraceParams thrash = TraceParamsByName("x264");
+  thrash.working_set_kb = 65536;
+  thrash.temporal_reuse = 0.0;
+  thrash.spatial_locality = 0.0;
+  TraceParams cached = TraceParamsByName("x264");
+  cached.working_set_kb = 32;
+  cached.temporal_reuse = 0.8;
+  OooCore core;
+  const SimResult slow = core.Run(GenerateTrace(thrash, 100000, 4));
+  const SimResult fast = core.Run(GenerateTrace(cached, 100000, 4));
+  EXPECT_LT(slow.ipc, 0.4 * fast.ipc);
+  EXPECT_GT(slow.mpki_l2, 10.0 * fast.mpki_l2 + 1.0);
+}
+
+TEST(OooCore, WarmupExcludesColdMisses) {
+  const TraceParams& p = TraceParamsByName("ferret");
+  const auto trace = GenerateTrace(p, 200000, 5);
+  OooCore core;
+  const SimResult cold = core.Run(trace, 0);
+  const SimResult warm = core.Run(trace, trace.size() / 2);
+  EXPECT_LT(warm.mpki_l2, cold.mpki_l2);
+  EXPECT_GE(warm.ipc, cold.ipc);
+  EXPECT_EQ(warm.instructions, trace.size() - trace.size() / 2);
+}
+
+TEST(OooCore, EmptyTrace) {
+  OooCore core;
+  const SimResult r = core.Run({});
+  EXPECT_EQ(r.instructions, 0u);
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(OooCore, ActivityCountersAreConsistent) {
+  const TraceParams& p = TraceParamsByName("swaptions");
+  const auto trace = GenerateTrace(p, 50000, 6);
+  OooCore core;
+  const SimResult r = core.Run(trace);
+  const ActivityCounters& a = r.activity;
+  EXPECT_EQ(a.fetched, trace.size());
+  EXPECT_EQ(a.int_ops + a.mul_ops + a.fp_ops + a.l1_accesses + a.branches,
+            trace.size());
+  EXPECT_LE(a.l2_accesses, a.l1_accesses);
+  EXPECT_LE(a.memory_accesses, a.l2_accesses);
+}
+
+}  // namespace
+}  // namespace ds::uarch

@@ -1,0 +1,61 @@
+#include "arch/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::arch {
+namespace {
+
+TEST(Platform, PaperPlatformsMatchSec21) {
+  const Platform p16 = Platform::PaperPlatform(power::TechNode::N16);
+  EXPECT_EQ(p16.num_cores(), 100u);
+  EXPECT_EQ(p16.tech().name, "16nm");
+  const Platform p11 = Platform::PaperPlatform(power::TechNode::N11);
+  EXPECT_EQ(p11.num_cores(), 198u);
+  const Platform p8 = Platform::PaperPlatform(power::TechNode::N8);
+  EXPECT_EQ(p8.num_cores(), 361u);
+}
+
+TEST(Platform, PaperPlatformRejects22nm) {
+  EXPECT_THROW(Platform::PaperPlatform(power::TechNode::N22),
+               std::invalid_argument);
+}
+
+TEST(Platform, DieAreaRoughlyConstantAcrossNodes) {
+  // The paper scales core count with area so the die stays ~510 mm^2.
+  for (const power::TechNode node :
+       {power::TechNode::N16, power::TechNode::N11, power::TechNode::N8}) {
+    const Platform p = Platform::PaperPlatform(node);
+    EXPECT_NEAR(p.floorplan().die_area_mm2(), 510.0, 35.0);
+  }
+}
+
+TEST(Platform, ThermalAssetsAreCachedSingletons) {
+  const Platform p(power::TechNode::N16, 16);
+  const thermal::RcModel* rc = &p.thermal_model();
+  EXPECT_EQ(rc, &p.thermal_model());
+  const thermal::SteadyStateSolver* solver = &p.solver();
+  EXPECT_EQ(solver, &p.solver());
+}
+
+TEST(Platform, DefaultTdtmIs80C) {
+  Platform p(power::TechNode::N16, 16);
+  EXPECT_DOUBLE_EQ(p.tdtm_c(), 80.0);
+  p.set_tdtm_c(85.0);
+  EXPECT_DOUBLE_EQ(p.tdtm_c(), 85.0);
+}
+
+TEST(Platform, LadderSpansNominalAndBoost) {
+  const Platform p = Platform::PaperPlatform(power::TechNode::N16);
+  EXPECT_NEAR(p.ladder()[p.ladder().NominalLevel()].freq,
+              p.tech().nominal_freq, 1e-9);
+  EXPECT_GT(p.ladder()[p.ladder().size() - 1].freq, p.tech().nominal_freq);
+}
+
+TEST(Platform, CustomCoreCount) {
+  const Platform p(power::TechNode::N11, 64);
+  EXPECT_EQ(p.num_cores(), 64u);
+  EXPECT_EQ(p.floorplan().rows(), 8u);
+}
+
+}  // namespace
+}  // namespace ds::arch

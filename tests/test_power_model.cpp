@@ -1,0 +1,97 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/technology.hpp"
+#include "power/vf_curve.hpp"
+
+namespace ds::power {
+namespace {
+
+TEST(PowerModel, DynamicPowerFormula) {
+  const PowerModel pm(Tech(TechNode::N22));
+  // alpha * Ceff * V^2 * f: 0.5 * 2 nF * (1.0)^2 * 3 GHz = 3 W.
+  EXPECT_NEAR(pm.DynamicPower(0.5, 2.0, 1.0, 3.0), 3.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicPowerAppliesCapScaling) {
+  const PowerModel pm16(Tech(TechNode::N16));
+  const PowerModel pm22(Tech(TechNode::N22));
+  const double p22 = pm22.DynamicPower(1.0, 1.5, 1.0, 2.0);
+  const double p16 = pm16.DynamicPower(1.0, 1.5, 1.0, 2.0);
+  EXPECT_NEAR(p16 / p22, 0.64, 1e-12);
+}
+
+TEST(PowerModel, IndependentPowerScalesWithNodeAndVoltage) {
+  const TechnologyParams& t = Tech(TechNode::N11);
+  const PowerModel pm(t);
+  // At nominal voltage: pind22 * cap * vdd factors.
+  EXPECT_NEAR(pm.IndependentPower(1.0, t.nominal_vdd), 0.39 * 0.81, 1e-12);
+  // Linear in the actual supply.
+  EXPECT_NEAR(pm.IndependentPower(1.0, t.nominal_vdd / 2.0),
+              0.39 * 0.81 / 2.0, 1e-12);
+}
+
+TEST(PowerModel, TotalIsSumOfComponents) {
+  const TechnologyParams& t = Tech(TechNode::N16);
+  const PowerModel pm(t);
+  const double v = 1.0, f = 3.0, temp = 70.0;
+  const double total = pm.TotalPower(0.8, 1.5, 0.9, v, f, temp);
+  const double sum = pm.DynamicPower(0.8, 1.5, v, f) +
+                     pm.LeakagePower(v, temp) + pm.IndependentPower(0.9, v);
+  EXPECT_NEAR(total, sum, 1e-12);
+}
+
+TEST(PowerModel, CubicGrowthAlongTheCurve) {
+  // Along Eq. (2), dynamic power grows super-quadratically in f.
+  const TechnologyParams& t = Tech(TechNode::N22);
+  const PowerModel pm(t);
+  const VfCurve curve(t);
+  const double p1 = pm.DynamicPower(1.0, 1.5, curve.VoltageFor(1.5), 1.5);
+  const double p2 = pm.DynamicPower(1.0, 1.5, curve.VoltageFor(3.0), 3.0);
+  EXPECT_GT(p2 / p1, 4.0);   // more than quadratic
+  EXPECT_LT(p2 / p1, 8.01);  // at most cubic
+}
+
+TEST(PowerModel, DarkCoreIsTinyButPositive) {
+  const TechnologyParams& t = Tech(TechNode::N16);
+  const PowerModel pm(t);
+  const double dark = pm.DarkCorePower(80.0);
+  const double active_leak = pm.LeakagePower(t.nominal_vdd, 80.0);
+  EXPECT_GT(dark, 0.0);
+  EXPECT_LT(dark, 0.1 * active_leak);
+  EXPECT_NEAR(dark, PowerModel::kGatedLeakageFraction * active_leak, 1e-12);
+}
+
+/// Per-node sweep: total power at each node's nominal point must shrink
+/// monotonically with scaling (the paper's premise for integrating more
+/// cores), while power *density* grows (the dark-silicon premise).
+class NodePowerTest : public ::testing::TestWithParam<TechNode> {};
+
+TEST_P(NodePowerTest, PowerShrinksButDensityGrows) {
+  const TechNode node = GetParam();
+  if (node == TechNode::N22) GTEST_SKIP() << "baseline node";
+  const TechnologyParams& prev =
+      Tech(static_cast<TechNode>(static_cast<int>(node) - 1));
+  const TechnologyParams& cur = Tech(node);
+  auto power_at = [](const TechnologyParams& t) {
+    const PowerModel pm(t);
+    return pm.TotalPower(1.0, 1.5, 0.9, t.nominal_vdd, t.nominal_freq, 80.0);
+  };
+  const double p_prev = power_at(prev);
+  const double p_cur = power_at(cur);
+  EXPECT_LT(p_cur, p_prev);  // per-core power shrinks
+  EXPECT_GT(p_cur / cur.core_area_mm2,
+            p_prev / prev.core_area_mm2);  // density grows
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodes, NodePowerTest,
+    ::testing::Values(TechNode::N22, TechNode::N16, TechNode::N11,
+                      TechNode::N8),
+    [](const ::testing::TestParamInfo<TechNode>& info) {
+      return "n" + Tech(info.param).name;
+    });
+
+}  // namespace
+}  // namespace ds::power

@@ -1,0 +1,142 @@
+#include "thermal/rc_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hpp"
+
+namespace ds::thermal {
+namespace {
+
+Floorplan SmallPlan() { return Floorplan::MakeGrid(16, 5.1); }
+
+TEST(RcModel, NodeCountIs4NPlus12) {
+  const RcModel m(SmallPlan());
+  EXPECT_EQ(m.num_cores(), 16u);
+  EXPECT_EQ(m.num_nodes(), 4u * 16u + 12u);
+}
+
+TEST(RcModel, NodeIndicesAreDisjointAndInRange) {
+  const RcModel m(SmallPlan());
+  std::vector<bool> seen(m.num_nodes(), false);
+  auto mark = [&](std::size_t idx) {
+    ASSERT_LT(idx, m.num_nodes());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  };
+  for (std::size_t i = 0; i < 16; ++i) {
+    mark(m.DieNode(i));
+    mark(m.TimNode(i));
+    mark(m.SpreaderNode(i));
+    mark(m.SinkNode(i));
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    mark(m.SpreaderBorderNode(s));
+    mark(m.SinkInnerBorderNode(s));
+    mark(m.SinkOuterBorderNode(s));
+  }
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(RcModel, ConductanceMatrixIsSymmetric) {
+  const RcModel m(SmallPlan());
+  EXPECT_TRUE(m.conductance().IsSymmetric(1e-9));
+}
+
+TEST(RcModel, RowSumsEqualAmbientCoupling) {
+  // Energy conservation: off-diagonal entries of each row cancel the
+  // diagonal except for the node's conductance to the ambient.
+  const RcModel m(SmallPlan());
+  const util::Matrix& g = m.conductance();
+  for (std::size_t r = 0; r < m.num_nodes(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < m.num_nodes(); ++c) sum += g(r, c);
+    EXPECT_NEAR(sum, m.ambient_conductance()[r], 1e-9) << "row " << r;
+  }
+}
+
+TEST(RcModel, TotalConvectionMatchesPackageResistance) {
+  const RcModel m(SmallPlan());
+  double total = 0.0;
+  for (const double gy : m.ambient_conductance()) total += gy;
+  EXPECT_NEAR(total, 1.0 / m.package().convection_resistance, 1e-9);
+}
+
+TEST(RcModel, OnlySinkLayerTouchesAmbient) {
+  const RcModel m(SmallPlan());
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(m.ambient_conductance()[m.DieNode(i)], 0.0);
+    EXPECT_EQ(m.ambient_conductance()[m.TimNode(i)], 0.0);
+    EXPECT_EQ(m.ambient_conductance()[m.SpreaderNode(i)], 0.0);
+    EXPECT_GT(m.ambient_conductance()[m.SinkNode(i)], 0.0);
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(m.ambient_conductance()[m.SpreaderBorderNode(s)], 0.0);
+    EXPECT_GT(m.ambient_conductance()[m.SinkInnerBorderNode(s)], 0.0);
+    EXPECT_GT(m.ambient_conductance()[m.SinkOuterBorderNode(s)], 0.0);
+  }
+}
+
+TEST(RcModel, CapacitancesArePositiveAndAccountForPackage) {
+  const RcModel m(SmallPlan());
+  double total_cap = 0.0;
+  for (const double c : m.capacitance()) {
+    EXPECT_GT(c, 0.0);
+    total_cap += c;
+  }
+  const PackageParams& p = m.package();
+  // Expected: all layer volumes * volumetric heat + convection C. The
+  // die/TIM layers only cover the die footprint; spreader and sink
+  // cover their full footprints.
+  const double die_area = m.floorplan().die_area_mm2() * 1e-6;
+  const double expected =
+      die_area * p.die_thickness * p.die_specific_heat +
+      die_area * p.tim_thickness * p.tim_specific_heat +
+      p.spreader_side * p.spreader_side * p.spreader_thickness *
+          p.spreader_specific_heat +
+      p.sink_side * p.sink_side * p.sink_thickness * p.sink_specific_heat +
+      p.convection_capacitance;
+  EXPECT_NEAR(total_cap, expected, expected * 1e-9);
+}
+
+TEST(RcModel, ExpandPowerInjectsAtDieNodes) {
+  const RcModel m(SmallPlan());
+  std::vector<double> cp(16, 0.0);
+  cp[3] = 2.5;
+  const std::vector<double> full = m.ExpandPower(cp);
+  ASSERT_EQ(full.size(), m.num_nodes());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_EQ(full[i], i == m.DieNode(3) ? 2.5 : 0.0);
+}
+
+TEST(RcModel, RejectsDieLargerThanSpreader) {
+  // 100 cores at 9.6 mm^2 -> 31 mm die side > 30 mm spreader.
+  const Floorplan big = Floorplan::MakeGrid(100, 9.6);
+  EXPECT_THROW(RcModel m(big), std::invalid_argument);
+}
+
+TEST(RcModel, RejectsSpreaderLargerThanSink) {
+  PackageParams pkg;
+  pkg.sink_side = pkg.spreader_side;  // zero overhang
+  EXPECT_THROW(RcModel m(SmallPlan(), pkg), std::invalid_argument);
+}
+
+/// All three paper platforms assemble without error and stay symmetric.
+class PaperPlatformRcTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>> {};
+
+TEST_P(PaperPlatformRcTest, BuildsAndConserves) {
+  const auto [cores, area] = GetParam();
+  const RcModel m(Floorplan::MakeGrid(cores, area));
+  EXPECT_EQ(m.num_nodes(), 4 * cores + 12);
+  double total = 0.0;
+  for (const double gy : m.ambient_conductance()) total += gy;
+  EXPECT_NEAR(total, 10.0, 1e-6);  // 1 / 0.1 K/W
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperChips, PaperPlatformRcTest,
+    ::testing::Values(std::make_pair(100UL, 5.088), std::make_pair(198UL, 2.688),
+                      std::make_pair(361UL, 1.44)));
+
+}  // namespace
+}  // namespace ds::thermal

@@ -1,0 +1,80 @@
+#include "core/sprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+
+namespace ds::core {
+namespace {
+
+const arch::Platform& Plat16() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  return plat;
+}
+
+TEST(Sprint, SustainableWorkloadIsUnlimited) {
+  const SprintAnalysis sprint(Plat16());
+  // 2 instances are far below the thermal capacity at nominal.
+  const SprintResult r = sprint.Measure(
+      apps::AppByName("x264"), 2, 8, Plat16().ladder().NominalLevel());
+  EXPECT_TRUE(r.unlimited);
+  EXPECT_LE(r.steady_peak_c, Plat16().tdtm_c());
+}
+
+TEST(Sprint, OverloadedSprintIsFiniteAndPositive) {
+  const SprintAnalysis sprint(Plat16());
+  // 12 swaptions instances at max boost violate in steady state.
+  const std::size_t top = Plat16().ladder().size() - 1;
+  const SprintResult r =
+      sprint.Measure(apps::AppByName("swaptions"), 12, 8, top, 0.0);
+  EXPECT_FALSE(r.unlimited);
+  EXPECT_GT(r.duration_s, 0.1);      // thermal capacitance buys time
+  EXPECT_LT(r.duration_s, 120.0);    // but not forever
+  EXPECT_GT(r.steady_peak_c, Plat16().tdtm_c());
+}
+
+TEST(Sprint, WarmerStartShortensTheSprint) {
+  const SprintAnalysis sprint(Plat16());
+  const std::size_t top = Plat16().ladder().size() - 1;
+  const SprintResult cold =
+      sprint.Measure(apps::AppByName("swaptions"), 12, 8, top, 0.0);
+  const SprintResult warm =
+      sprint.Measure(apps::AppByName("swaptions"), 12, 8, top, 0.7);
+  EXPECT_GT(warm.start_peak_c, cold.start_peak_c);
+  EXPECT_LT(warm.duration_s, cold.duration_s);
+}
+
+TEST(Sprint, MoreCoresSprintShorter) {
+  const SprintAnalysis sprint(Plat16());
+  const std::size_t top = Plat16().ladder().size() - 1;
+  const SprintResult few =
+      sprint.Measure(apps::AppByName("swaptions"), 9, 8, top, 0.3);
+  const SprintResult many =
+      sprint.Measure(apps::AppByName("swaptions"), 12, 8, top, 0.3);
+  if (!few.unlimited && !many.unlimited) {
+    EXPECT_GE(few.duration_s, many.duration_s);
+  }
+  EXPECT_GT(many.sprint_gips, few.sprint_gips);
+}
+
+TEST(Sprint, AlreadyHotMeansNoBudget) {
+  const SprintAnalysis sprint(Plat16());
+  const std::size_t top = Plat16().ladder().size() - 1;
+  const SprintResult r =
+      sprint.Measure(apps::AppByName("swaptions"), 12, 8, top, 1.0);
+  EXPECT_FALSE(r.unlimited);
+  EXPECT_DOUBLE_EQ(r.duration_s, 0.0);
+}
+
+TEST(Sprint, Validation) {
+  const SprintAnalysis sprint(Plat16());
+  EXPECT_THROW(sprint.Measure(apps::AppByName("x264"), 13, 8, 0),
+               std::invalid_argument);
+  EXPECT_THROW(sprint.Measure(apps::AppByName("x264"), 2, 8, 0, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::core

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ds::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(Stats, MeanAndStdDev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);  // classic example
+}
+
+TEST(Stats, StdDevOfSingletonIsZero) {
+  EXPECT_EQ(StdDev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, GeoMean) {
+  EXPECT_NEAR(GeoMean(std::vector<double>{1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean(std::vector<double>{2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 62.5), 35.0);
+}
+
+TEST(RunningStats, TracksMinMaxMeanSum) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_TRUE(std::isnan(rs.min()));
+  rs.Add(3.0);
+  rs.Add(-1.0);
+  rs.Add(4.0);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace ds::util

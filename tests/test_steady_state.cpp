@@ -1,0 +1,137 @@
+#include "thermal/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/matrix.hpp"
+
+namespace ds::thermal {
+namespace {
+
+class SteadyStateTest : public ::testing::Test {
+ protected:
+  SteadyStateTest()
+      : model_(Floorplan::MakeGrid(16, 5.1)), solver_(model_) {}
+  RcModel model_;
+  SteadyStateSolver solver_;
+};
+
+TEST_F(SteadyStateTest, ZeroPowerGivesAmbientEverywhere) {
+  const std::vector<double> zero(16, 0.0);
+  for (const double t : solver_.SolveFull(zero))
+    EXPECT_NEAR(t, model_.ambient_c(), 1e-9);
+}
+
+TEST_F(SteadyStateTest, UniformPowerIsAboveAmbientAndSymmetric) {
+  const std::vector<double> p(16, 2.0);
+  const std::vector<double> t = solver_.Solve(p);
+  for (const double v : t) EXPECT_GT(v, model_.ambient_c());
+  // 4x4 grid with uniform power: corner temperatures are equal and
+  // cooler than the centre.
+  const Floorplan& fp = model_.floorplan();
+  EXPECT_NEAR(t[fp.IndexOf(0, 0)], t[fp.IndexOf(0, 3)], 1e-9);
+  EXPECT_NEAR(t[fp.IndexOf(0, 0)], t[fp.IndexOf(3, 3)], 1e-9);
+  EXPECT_LT(t[fp.IndexOf(0, 0)], t[fp.IndexOf(1, 1)]);
+}
+
+TEST_F(SteadyStateTest, LinearityAndSuperposition) {
+  std::vector<double> p1(16, 0.0), p2(16, 0.0);
+  p1[2] = 3.0;
+  p2[9] = 1.5;
+  const std::vector<double> t1 = solver_.Solve(p1);
+  const std::vector<double> t2 = solver_.Solve(p2);
+  std::vector<double> p12(16, 0.0);
+  p12[2] = 3.0;
+  p12[9] = 1.5;
+  const std::vector<double> t12 = solver_.Solve(p12);
+  const double amb = model_.ambient_c();
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(t12[i] - amb, (t1[i] - amb) + (t2[i] - amb), 1e-9);
+}
+
+TEST_F(SteadyStateTest, MorePowerIsHotterEverywhere) {
+  std::vector<double> lo(16, 1.0), hi(16, 1.0);
+  hi[5] = 4.0;
+  const std::vector<double> t_lo = solver_.Solve(lo);
+  const std::vector<double> t_hi = solver_.Solve(hi);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_GT(t_hi[i], t_lo[i]);
+}
+
+TEST_F(SteadyStateTest, InfluenceMatrixMatchesDirectSolve) {
+  const util::Matrix& a = solver_.InfluenceMatrix();
+  std::vector<double> p(16, 0.0);
+  p[7] = 2.0;
+  p[12] = 1.0;
+  const std::vector<double> t = solver_.Solve(p);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double predicted =
+        model_.ambient_c() + 2.0 * a(i, 7) + 1.0 * a(i, 12);
+    EXPECT_NEAR(t[i], predicted, 1e-9);
+  }
+}
+
+TEST_F(SteadyStateTest, InfluenceMatrixIsSymmetricPositiveDiagDominant) {
+  const util::Matrix& a = solver_.InfluenceMatrix();
+  EXPECT_TRUE(a.IsSymmetric(1e-9));  // reciprocity of the RC network
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_GT(a(i, j), 0.0);  // heat always warms every core
+      if (i != j) {
+        EXPECT_GT(a(i, i), a(i, j));  // self-heating dominates
+      }
+    }
+  }
+}
+
+TEST_F(SteadyStateTest, PeakTempUniformMatchesSolver) {
+  const std::vector<std::size_t> active = {0, 1, 5, 6};
+  const double peak = solver_.PeakTempUniform(active, 3.0);
+  std::vector<double> p(16, 0.0);
+  for (const std::size_t i : active) p[i] = 3.0;
+  const std::vector<double> t = solver_.Solve(p);
+  EXPECT_NEAR(peak, util::MaxElement(t), 1e-9);
+}
+
+TEST_F(SteadyStateTest, FeedbackConvergesAndIsHotterThanOpenLoop) {
+  // Temperature-dependent power (positive feedback) must converge to a
+  // hotter point than evaluating the same powers at ambient.
+  const double base = 2.0;
+  std::vector<double> converged;
+  const std::vector<double> t = solver_.SolveWithFeedback(
+      [&](std::size_t, double temp) {
+        return base + 0.005 * (temp - model_.ambient_c());
+      },
+      &converged);
+  const std::vector<double> t_open =
+      solver_.Solve(std::vector<double>(16, base));
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_GT(t[i], t_open[i]);
+    EXPECT_GT(converged[i], base);
+  }
+}
+
+TEST_F(SteadyStateTest, FeedbackThrowsOnRunaway) {
+  // A pathological 5 W/K slope exceeds the network's ability to remove
+  // heat: the fixed point diverges and the solver must say so.
+  EXPECT_THROW(solver_.SolveWithFeedback([&](std::size_t, double temp) {
+    return 1.0 + 5.0 * (temp - model_.ambient_c());
+  }),
+               std::runtime_error);
+}
+
+TEST_F(SteadyStateTest, TotalHeatBalancesAtConvection) {
+  // Sum of injected power equals total heat crossing the convection
+  // interface: sum_i g_amb,i * (T_i - T_amb).
+  std::vector<double> p(16, 0.0);
+  p[0] = 5.0;
+  p[10] = 2.5;
+  const std::vector<double> t = solver_.SolveFull(p);
+  double out = 0.0;
+  for (std::size_t i = 0; i < model_.num_nodes(); ++i)
+    out += model_.ambient_conductance()[i] * (t[i] - model_.ambient_c());
+  EXPECT_NEAR(out, 7.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace ds::thermal

@@ -1,0 +1,69 @@
+#include "thermal/subcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thermal/steady_state.hpp"
+
+namespace ds::thermal {
+namespace {
+
+Floorplan SmallPlan() { return Floorplan::MakeGrid(16, 5.1); }
+
+TEST(SubCore, ValidatesWeights) {
+  EXPECT_THROW(SubCoreModel(SmallPlan(), 2, {0.5, 0.5}),
+               std::invalid_argument);  // wrong count
+  EXPECT_THROW(SubCoreModel(SmallPlan(), 2, {0.5, 0.5, 0.5, 0.5}),
+               std::invalid_argument);  // sums to 2
+  EXPECT_THROW(SubCoreModel(SmallPlan(), 2, {1.5, -0.5, 0.0, 0.0}),
+               std::invalid_argument);  // negative
+}
+
+TEST(SubCore, FinePlanGeometryMatches) {
+  const SubCoreModel m = SubCoreModel::Uniform(SmallPlan(), 2);
+  EXPECT_EQ(m.fine_floorplan().num_cores(), 64u);
+  EXPECT_NEAR(m.fine_floorplan().die_area_mm2(),
+              m.core_floorplan().die_area_mm2(), 1e-9);
+}
+
+TEST(SubCore, UniformWeightsReproduceCoarseModel) {
+  const Floorplan fp = SmallPlan();
+  const RcModel coarse_rc(fp);
+  const SteadyStateSolver coarse(coarse_rc);
+  const SubCoreModel fine = SubCoreModel::Uniform(fp, 2);
+
+  std::vector<double> p(16, 0.0);
+  p[5] = 6.0;
+  p[10] = 3.0;
+  const std::vector<double> coarse_t = coarse.Solve(p);
+  const std::vector<double> fine_t = fine.CorePeakTemps(p);
+  // The refined grid discretizes the lateral heat path differently, so
+  // per-core peaks agree with the coarse tile averages only to within a
+  // discretization margin (sub-Kelvin both ways at this power level).
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(fine_t[i], coarse_t[i], 1.5) << i;
+}
+
+TEST(SubCore, ConcentratedPowerIsHotterThanUniform) {
+  const Floorplan fp = SmallPlan();
+  const SubCoreModel uniform = SubCoreModel::Uniform(fp, 2);
+  const SubCoreModel weighted = SubCoreModel::Default2x2(fp);
+  const std::vector<double> p(16, 4.0);
+  EXPECT_GT(weighted.PeakTemp(p), uniform.PeakTemp(p));
+}
+
+TEST(SubCore, MoreConcentrationMeansHotter) {
+  const Floorplan fp = SmallPlan();
+  const SubCoreModel mild(fp, 2, {0.30, 0.25, 0.25, 0.20});
+  const SubCoreModel severe(fp, 2, {0.70, 0.10, 0.10, 0.10});
+  const std::vector<double> p(16, 4.0);
+  EXPECT_GT(severe.PeakTemp(p), mild.PeakTemp(p));
+}
+
+TEST(SubCore, ZeroPowerStaysAtAmbient) {
+  const SubCoreModel m = SubCoreModel::Uniform(SmallPlan(), 2);
+  const std::vector<double> p(16, 0.0);
+  for (const double t : m.CorePeakTemps(p)) EXPECT_NEAR(t, 38.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ds::thermal

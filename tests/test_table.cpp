@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ds::util {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsAllRows) {
+  Table t({"name", "value"});
+  t.Row().Cell("alpha").Cell(1);
+  t.Row().Cell("b").Cell(12345);
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+  EXPECT_EQ(FormatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(Table, DoubleCellUsesPrecision) {
+  Table t({"x"});
+  t.Row().Cell(1.23456, 3);
+  std::ostringstream out;
+  t.Print(out);
+  EXPECT_NE(out.str().find("1.235"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream out;
+  PrintBanner(out, "Hello");
+  EXPECT_NE(out.str().find("=== Hello ==="), std::string::npos);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/ds_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.WriteRow(std::vector<double>{1.5, 2.5});
+    csv.WriteRow(std::vector<std::string>{"x", "y"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"a", "b"});
+  t.Row().Cell("x").Cell(1.25, 2);
+  t.Row().Cell("y");  // short row padded with an empty cell
+  const std::string path = ::testing::TempDir() + "/ds_table.csv";
+  t.WriteCsv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1.25");
+  std::getline(in, line);
+  EXPECT_EQ(line, "y,");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ds::util

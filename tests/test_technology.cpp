@@ -1,0 +1,91 @@
+#include "power/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::power {
+namespace {
+
+TEST(Technology, TableMatchesPaperFig1) {
+  const TechnologyParams& n22 = Tech(TechNode::N22);
+  EXPECT_EQ(n22.name, "22nm");
+  EXPECT_DOUBLE_EQ(n22.vdd_scale, 1.0);
+  EXPECT_DOUBLE_EQ(n22.freq_scale, 1.0);
+  EXPECT_DOUBLE_EQ(n22.cap_scale, 1.0);
+  EXPECT_DOUBLE_EQ(n22.area_scale, 1.0);
+
+  const TechnologyParams& n16 = Tech(TechNode::N16);
+  EXPECT_DOUBLE_EQ(n16.vdd_scale, 0.89);
+  EXPECT_DOUBLE_EQ(n16.freq_scale, 1.35);
+  EXPECT_DOUBLE_EQ(n16.cap_scale, 0.64);
+  EXPECT_DOUBLE_EQ(n16.area_scale, 0.53);
+
+  const TechnologyParams& n11 = Tech(TechNode::N11);
+  EXPECT_DOUBLE_EQ(n11.vdd_scale, 0.81);
+  EXPECT_DOUBLE_EQ(n11.freq_scale, 1.75);
+  EXPECT_DOUBLE_EQ(n11.cap_scale, 0.39);
+  EXPECT_DOUBLE_EQ(n11.area_scale, 0.28);
+
+  const TechnologyParams& n8 = Tech(TechNode::N8);
+  EXPECT_DOUBLE_EQ(n8.vdd_scale, 0.74);
+  EXPECT_DOUBLE_EQ(n8.freq_scale, 2.30);
+  EXPECT_DOUBLE_EQ(n8.cap_scale, 0.24);
+  EXPECT_DOUBLE_EQ(n8.area_scale, 0.15);
+}
+
+TEST(Technology, CoreAreasMatchPaperSec21) {
+  // "9.6 mm^2 ... 5.1, 2.7 and 1.4 mm^2 for 16, 11 and 8 nm"
+  EXPECT_NEAR(Tech(TechNode::N22).core_area_mm2, 9.6, 1e-9);
+  EXPECT_NEAR(Tech(TechNode::N16).core_area_mm2, 5.1, 0.05);
+  EXPECT_NEAR(Tech(TechNode::N11).core_area_mm2, 2.7, 0.02);
+  EXPECT_NEAR(Tech(TechNode::N8).core_area_mm2, 1.4, 0.05);
+}
+
+TEST(Technology, KFitIs37At22nm) {
+  // Paper Fig. 2: k = 3.7 with Vth = 178 mV at 22 nm.
+  EXPECT_NEAR(Tech(TechNode::N22).k_fit, 3.7, 0.05);
+  EXPECT_DOUBLE_EQ(Tech(TechNode::N22).vth, 0.178);
+}
+
+TEST(Technology, NominalFrequenciesMatchPaperSec3) {
+  EXPECT_DOUBLE_EQ(Tech(TechNode::N16).nominal_freq, 3.6);
+  EXPECT_DOUBLE_EQ(Tech(TechNode::N11).nominal_freq, 4.0);
+  EXPECT_DOUBLE_EQ(Tech(TechNode::N8).nominal_freq, 4.4);
+}
+
+TEST(Technology, NominalVddScalesFromVnom22) {
+  const double vnom22 = Tech(TechNode::N22).nominal_vdd;
+  for (const TechNode node : kAllNodes) {
+    const TechnologyParams& t = Tech(node);
+    EXPECT_NEAR(t.nominal_vdd, vnom22 * t.vdd_scale, 1e-12);
+  }
+}
+
+TEST(Technology, KFitReproducesNominalPoint) {
+  // f_nom = k (V_nom - Vth)^2 / V_nom must hold by construction.
+  for (const TechNode node : kAllNodes) {
+    const TechnologyParams& t = Tech(node);
+    const double dv = t.nominal_vdd - t.vth;
+    EXPECT_NEAR(t.k_fit * dv * dv / t.nominal_vdd, t.nominal_freq, 1e-9);
+  }
+}
+
+TEST(Technology, LeakageCurrentScalesWithCapacitance) {
+  const double i22 = Tech(TechNode::N22).leak_i0;
+  for (const TechNode node : kAllNodes) {
+    const TechnologyParams& t = Tech(node);
+    EXPECT_NEAR(t.leak_i0, i22 * t.cap_scale, 1e-12);
+  }
+}
+
+TEST(Technology, LookupByName) {
+  EXPECT_EQ(TechByName("11nm").node, TechNode::N11);
+  EXPECT_THROW(TechByName("7nm"), std::invalid_argument);
+}
+
+TEST(Technology, BoostCeilingAboveNominal) {
+  for (const TechNode node : kAllNodes)
+    EXPECT_GT(Tech(node).boost_max_freq, Tech(node).nominal_freq);
+}
+
+}  // namespace
+}  // namespace ds::power

@@ -1,0 +1,43 @@
+#include "thermal/thermal_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hpp"
+
+namespace ds::thermal {
+namespace {
+
+TEST(ThermalMap, AsciiShapeAndCriticalMarker) {
+  const Floorplan fp(2, 3, 1.0, 1.0);
+  const std::vector<double> temps = {60, 65, 70, 75, 80, 95};
+  const std::string map = RenderAsciiMap(fp, temps, 60.0, 90.0, 90.0);
+  // Two rows of three characters each.
+  ASSERT_EQ(map.size(), 2u * (3u + 1u));
+  EXPECT_EQ(map[3], '\n');
+  EXPECT_EQ(map.back(), '\n');
+  // The 95 C core exceeds the 90 C critical marker.
+  EXPECT_EQ(map[6], '!');
+  // Colder cells use earlier ramp characters than hotter ones.
+  static const std::string ramp = " .:-=+*#%@";
+  EXPECT_LT(ramp.find(map[0]), ramp.find(map[5 + 1 - 1]));
+}
+
+TEST(ThermalMap, NumericMapShowsDarkCores) {
+  const Floorplan fp(1, 2, 1.0, 1.0);
+  const std::vector<double> temps = {72.34, 55.0};
+  const std::vector<bool> active = {true, false};
+  const std::string map = RenderNumericMap(fp, temps, active);
+  EXPECT_NE(map.find("72.3"), std::string::npos);
+  EXPECT_NE(map.find("."), std::string::npos);
+  EXPECT_EQ(map.find("55.0"), std::string::npos);  // dark core hidden
+}
+
+TEST(ThermalMap, DegenerateRangeDoesNotCrash) {
+  const Floorplan fp(1, 1, 1.0, 1.0);
+  const std::vector<double> temps = {70.0};
+  const std::string map = RenderAsciiMap(fp, temps, 70.0, 70.0, 80.0);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ds::thermal

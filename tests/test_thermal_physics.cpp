@@ -1,0 +1,104 @@
+// Physical-sensitivity tests of the RC package model: perturbing each
+// package parameter must move the temperatures the way physics says.
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/matrix.hpp"
+
+namespace ds::thermal {
+namespace {
+
+double PeakAt(const PackageParams& pkg, double per_core_w = 3.0) {
+  const Floorplan fp = Floorplan::MakeGrid(16, 5.1);
+  const RcModel model(fp, pkg);
+  const SteadyStateSolver solver(model);
+  return util::MaxElement(
+      solver.Solve(std::vector<double>(16, per_core_w)));
+}
+
+TEST(ThermalPhysics, WorseConvectionIsHotter) {
+  PackageParams base;
+  PackageParams bad = base;
+  bad.convection_resistance *= 2.0;
+  // Doubling R_conv adds ~P_total * R_conv of temperature.
+  const double delta = PeakAt(bad) - PeakAt(base);
+  EXPECT_NEAR(delta, 16 * 3.0 * base.convection_resistance, 1.0);
+}
+
+TEST(ThermalPhysics, ThickerTimIsHotter) {
+  PackageParams base;
+  PackageParams thick = base;
+  thick.tim_thickness *= 3.0;
+  EXPECT_GT(PeakAt(thick), PeakAt(base) + 1.0);
+}
+
+TEST(ThermalPhysics, BetterTimPasteIsCooler) {
+  PackageParams base;
+  PackageParams good = base;
+  good.tim_conductivity *= 2.0;
+  EXPECT_LT(PeakAt(good), PeakAt(base) - 0.5);
+}
+
+TEST(ThermalPhysics, ThickerSpreaderIsCooler) {
+  // More copper spreads better. (The spreader *footprint* is lumped
+  // into 4 border nodes, so growing the overhang is not monotone in
+  // this compact model -- thickness is the robust spreading knob.)
+  PackageParams base;
+  PackageParams thick = base;
+  thick.spreader_thickness *= 2.0;
+  EXPECT_LT(PeakAt(thick), PeakAt(base));
+}
+
+TEST(ThermalPhysics, LessConductiveSiliconConcentratesHotspots) {
+  // With a single hot core, lower silicon conductivity raises the
+  // hotspot (heat cannot escape laterally).
+  const Floorplan fp = Floorplan::MakeGrid(16, 5.1);
+  PackageParams base;
+  PackageParams poor = base;
+  poor.die_conductivity /= 4.0;
+  std::vector<double> p(16, 0.5);
+  p[5] = 8.0;
+  const RcModel m1(fp, base);
+  const RcModel m2(fp, poor);
+  const double peak1 = util::MaxElement(SteadyStateSolver(m1).Solve(p));
+  const double peak2 = util::MaxElement(SteadyStateSolver(m2).Solve(p));
+  EXPECT_GT(peak2, peak1);
+}
+
+TEST(ThermalPhysics, HotterAmbientShiftsEverythingUniformly) {
+  const Floorplan fp = Floorplan::MakeGrid(16, 5.1);
+  PackageParams base;
+  PackageParams hot = base;
+  hot.ambient_c += 7.0;
+  const std::vector<double> p(16, 2.0);
+  const auto t1 = SteadyStateSolver(RcModel(fp, base)).Solve(p);
+  const auto t2 = SteadyStateSolver(RcModel(fp, hot)).Solve(p);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(t2[i] - t1[i], 7.0, 1e-9);
+}
+
+TEST(ThermalPhysics, EdgeCoresRunCoolerThanCenter) {
+  // Uniform power: the die centre is the hottest (boundary tiles spill
+  // heat into the spreader overhang).
+  const Floorplan fp = Floorplan::MakeGrid(100, 5.1);
+  const RcModel model(fp);
+  const SteadyStateSolver solver(model);
+  const auto t = solver.Solve(std::vector<double>(100, 2.5));
+  const double corner = t[fp.IndexOf(0, 0)];
+  const double center = t[fp.IndexOf(5, 5)];
+  EXPECT_GT(center, corner + 1.0);
+}
+
+TEST(ThermalPhysics, ThinnerDieCouplesFasterVertically) {
+  // A thinner die lowers the vertical resistance die->TIM, cooling a
+  // uniformly powered chip slightly.
+  PackageParams base;
+  PackageParams thin = base;
+  thin.die_thickness /= 2.0;
+  EXPECT_LE(PeakAt(thin), PeakAt(base) + 1e-9);
+}
+
+}  // namespace
+}  // namespace ds::thermal

@@ -1,0 +1,94 @@
+#include "uarch/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ds::uarch {
+namespace {
+
+TEST(TraceGen, DeterministicForSameSeed) {
+  const TraceParams& p = TraceParamsByName("x264");
+  const auto a = GenerateTrace(p, 10000, 3);
+  const auto b = GenerateTrace(p, 10000, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cls, b[i].cls);
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].dep1, b[i].dep1);
+  }
+}
+
+TEST(TraceGen, SevenAppsWithDistinctStatistics) {
+  const auto& params = ParsecTraceParams();
+  ASSERT_EQ(params.size(), 7u);
+  EXPECT_THROW(TraceParamsByName("nope"), std::invalid_argument);
+  EXPECT_EQ(TraceParamsByName("canneal").name, "canneal");
+}
+
+TEST(TraceGen, MixMatchesRequestedFractions) {
+  const TraceParams& p = TraceParamsByName("swaptions");
+  const auto trace = GenerateTrace(p, 200000, 5);
+  std::map<OpClass, double> freq;
+  for (const MicroOp& op : trace) freq[op.cls] += 1.0;
+  for (auto& [cls, f] : freq) f /= static_cast<double>(trace.size());
+  EXPECT_NEAR(freq[OpClass::kFpAlu], p.frac_fp, 0.01);
+  EXPECT_NEAR(freq[OpClass::kLoad], p.frac_load, 0.01);
+  EXPECT_NEAR(freq[OpClass::kBranch], p.frac_branch, 0.01);
+}
+
+TEST(TraceGen, DependencyDistancesNearRequestedMean) {
+  TraceParams p = TraceParamsByName("x264");
+  p.dep1_prob = 1.0;
+  const auto trace = GenerateTrace(p, 100000, 7);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const MicroOp& op : trace) {
+    if (op.dep1 != 0) {
+      sum += op.dep1;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(count), p.avg_dep_distance,
+              0.15 * p.avg_dep_distance);
+}
+
+TEST(TraceGen, AddressesStayInsideWorkingSet) {
+  const TraceParams& p = TraceParamsByName("blackscholes");
+  const auto trace = GenerateTrace(p, 50000, 9);
+  const std::uint64_t ws = static_cast<std::uint64_t>(p.working_set_kb) * 1024;
+  for (const MicroOp& op : trace) {
+    if (op.cls == OpClass::kLoad || op.cls == OpClass::kStore) {
+      EXPECT_LT(op.addr, ws);
+    }
+  }
+}
+
+TEST(TraceGen, LoopBranchesAreMostlyTaken) {
+  TraceParams p = TraceParamsByName("swaptions");
+  p.hard_branch_fraction = 0.0;
+  const auto trace = GenerateTrace(p, 100000, 11);
+  std::size_t taken = 0, total = 0;
+  for (const MicroOp& op : trace) {
+    if (op.cls != OpClass::kBranch) continue;
+    ++total;
+    if (op.taken) ++taken;
+  }
+  ASSERT_GT(total, 0u);
+  // Loop back-edges: not taken once per loop_length iterations.
+  const double expected = 1.0 - 1.0 / static_cast<double>(p.loop_length);
+  EXPECT_NEAR(static_cast<double>(taken) / static_cast<double>(total),
+              expected, 0.02);
+}
+
+TEST(TraceGen, RejectsBadParameters) {
+  TraceParams p = TraceParamsByName("x264");
+  p.frac_int_alu += 0.2;  // mix no longer sums to 1
+  EXPECT_THROW(GenerateTrace(p, 100, 1), std::invalid_argument);
+  TraceParams q = TraceParamsByName("x264");
+  q.avg_dep_distance = 0.5;
+  EXPECT_THROW(GenerateTrace(q, 100, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::uarch

@@ -1,0 +1,110 @@
+#include "arch/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "thermal/floorplan.hpp"
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace ds::arch {
+namespace {
+
+thermal::Floorplan Plan() { return thermal::Floorplan::MakeGrid(100, 5.1); }
+
+TEST(Variation, DeterministicForSameSeed) {
+  const VariationMap a = VariationMap::Generate(Plan(), 42);
+  const VariationMap b = VariationMap::Generate(Plan(), 42);
+  EXPECT_EQ(a.leakage_factors(), b.leakage_factors());
+  EXPECT_EQ(a.frequency_factors(), b.frequency_factors());
+}
+
+TEST(Variation, DifferentSeedsDiffer) {
+  const VariationMap a = VariationMap::Generate(Plan(), 1);
+  const VariationMap b = VariationMap::Generate(Plan(), 2);
+  EXPECT_NE(a.leakage_factors(), b.leakage_factors());
+}
+
+TEST(Variation, UniformMapIsAllOnes) {
+  const VariationMap u = VariationMap::Uniform(10);
+  EXPECT_EQ(u.num_cores(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(u.LeakageFactor(i), 1.0);
+    EXPECT_DOUBLE_EQ(u.FrequencyFactor(i), 1.0);
+  }
+}
+
+TEST(Variation, FactorsAreInPhysicalRanges) {
+  const VariationMap v = VariationMap::Generate(Plan(), 7);
+  for (std::size_t i = 0; i < v.num_cores(); ++i) {
+    EXPECT_GT(v.LeakageFactor(i), 0.2) << i;   // lognormal, positive
+    EXPECT_LT(v.LeakageFactor(i), 5.0) << i;
+    EXPECT_GT(v.FrequencyFactor(i), 0.7) << i;  // a few percent spread
+    EXPECT_LT(v.FrequencyFactor(i), 1.3) << i;
+  }
+}
+
+TEST(Variation, LeakageRoughlyCenteredOnOne) {
+  // Lognormal with small sigma: the mean factor is near (slightly
+  // above) 1 and both tails are populated.
+  const VariationMap v = VariationMap::Generate(Plan(), 11);
+  const double mean = util::Mean(v.leakage_factors());
+  EXPECT_GT(mean, 0.85);
+  EXPECT_LT(mean, 1.25);
+  EXPECT_LT(util::MinElement(v.leakage_factors()), 1.0);
+  EXPECT_GT(util::MaxElement(v.leakage_factors()), 1.0);
+}
+
+TEST(Variation, SystematicComponentIsSpatiallySmooth) {
+  // Neighbouring cores must correlate more than far-apart ones: the
+  // mean absolute log-factor difference across adjacent tiles is
+  // smaller than across random pairs.
+  const thermal::Floorplan fp = Plan();
+  const VariationMap v = VariationMap::Generate(fp, 13);
+  double adj = 0.0;
+  std::size_t n_adj = 0;
+  for (std::size_t i = 0; i < fp.num_cores(); ++i) {
+    for (const std::size_t j : fp.Neighbors(i)) {
+      adj += std::abs(std::log(v.LeakageFactor(i)) -
+                      std::log(v.LeakageFactor(j)));
+      ++n_adj;
+    }
+  }
+  adj /= static_cast<double>(n_adj);
+  double far = 0.0;
+  std::size_t n_far = 0;
+  for (std::size_t i = 0; i < fp.num_cores(); ++i) {
+    const std::size_t j = (i + 47) % fp.num_cores();  // pseudo-random pair
+    far += std::abs(std::log(v.LeakageFactor(i)) -
+                    std::log(v.LeakageFactor(j)));
+    ++n_far;
+  }
+  far /= static_cast<double>(n_far);
+  EXPECT_LT(adj, far);
+}
+
+TEST(Variation, LowestLeakageCoresAreSortedAndCorrect) {
+  const VariationMap v = VariationMap::Generate(Plan(), 3);
+  const auto low = v.LowestLeakageCores(20);
+  ASSERT_EQ(low.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(low.begin(), low.end()));
+  // Every selected core leaks no more than every unselected core.
+  std::vector<bool> sel(v.num_cores(), false);
+  for (const std::size_t c : low) sel[c] = true;
+  double max_sel = 0.0;
+  for (const std::size_t c : low) max_sel = std::max(max_sel, v.LeakageFactor(c));
+  for (std::size_t c = 0; c < v.num_cores(); ++c)
+    if (!sel[c]) {
+      EXPECT_GE(v.LeakageFactor(c), max_sel - 1e-12);
+    }
+}
+
+TEST(Variation, LowestLeakageCoresRejectsOversizedCount) {
+  const VariationMap v = VariationMap::Uniform(5);
+  EXPECT_THROW(v.LowestLeakageCores(6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::arch

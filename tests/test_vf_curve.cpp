@@ -1,0 +1,69 @@
+#include "power/vf_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/technology.hpp"
+
+namespace ds::power {
+namespace {
+
+TEST(VfCurve, ZeroAtOrBelowThreshold) {
+  const VfCurve curve(Tech(TechNode::N22));
+  EXPECT_EQ(curve.FrequencyAt(0.178), 0.0);
+  EXPECT_EQ(curve.FrequencyAt(0.1), 0.0);
+}
+
+TEST(VfCurve, PaperNtcAnchor) {
+  // Fig. 14 caption: 1 GHz at 0.46 V in 11 nm.
+  const VfCurve curve(Tech(TechNode::N11));
+  EXPECT_NEAR(curve.VoltageFor(1.0), 0.46, 0.005);
+}
+
+TEST(VfCurve, NominalRoundTrip) {
+  for (const TechNode node : kAllNodes) {
+    const TechnologyParams& t = Tech(node);
+    const VfCurve curve(t);
+    EXPECT_NEAR(curve.VoltageFor(t.nominal_freq), t.nominal_vdd, 1e-9);
+    EXPECT_NEAR(curve.FrequencyAt(t.nominal_vdd), t.nominal_freq, 1e-9);
+  }
+}
+
+TEST(VfCurve, ThrowsOnNonPositiveFrequency) {
+  const VfCurve curve(Tech(TechNode::N22));
+  EXPECT_THROW(curve.VoltageFor(0.0), std::invalid_argument);
+  EXPECT_THROW(curve.VoltageFor(-1.0), std::invalid_argument);
+}
+
+TEST(VfCurve, RegionClassification) {
+  const TechnologyParams& t = Tech(TechNode::N22);  // V_nom = 1.25
+  const VfCurve curve(t);
+  EXPECT_EQ(curve.RegionOf(0.4), VoltageRegion::kNearThreshold);
+  EXPECT_EQ(curve.RegionOf(0.9), VoltageRegion::kSuperThreshold);
+  EXPECT_EQ(curve.RegionOf(1.25), VoltageRegion::kSuperThreshold);
+  EXPECT_EQ(curve.RegionOf(1.3), VoltageRegion::kBoosting);
+}
+
+/// Property sweep: the curve is strictly increasing above threshold and
+/// VoltageFor inverts FrequencyAt across the whole operating range.
+class VfRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<TechNode, double>> {};
+
+TEST_P(VfRoundTripTest, InverseConsistency) {
+  const auto [node, freq] = GetParam();
+  const VfCurve curve(Tech(node));
+  const double v = curve.VoltageFor(freq);
+  EXPECT_GT(v, curve.vth());
+  EXPECT_NEAR(curve.FrequencyAt(v), freq, 1e-9);
+  // Monotonicity: a slightly higher voltage gives a higher frequency.
+  EXPECT_GT(curve.FrequencyAt(v + 0.01), freq);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodesAndFrequencies, VfRoundTripTest,
+    ::testing::Combine(::testing::Values(TechNode::N22, TechNode::N16,
+                                         TechNode::N11, TechNode::N8),
+                       ::testing::Values(0.2, 0.5, 1.0, 2.0, 3.0, 4.0,
+                                         5.0)));
+
+}  // namespace
+}  // namespace ds::power

@@ -1,0 +1,87 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hpp"
+#include "power/technology.hpp"
+
+namespace ds::apps {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  const AppProfile& x264_ = AppByName("x264");
+  const AppProfile& swap_ = AppByName("swaptions");
+  const power::PowerModel pm_{power::Tech(power::TechNode::N16)};
+};
+
+TEST_F(WorkloadTest, EmptyWorkload) {
+  const Workload w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.TotalCores(), 0u);
+  EXPECT_EQ(w.TotalGips(), 0.0);
+  EXPECT_EQ(w.TotalPower(pm_, 80.0), 0.0);
+}
+
+TEST_F(WorkloadTest, TotalsAggregateAcrossInstances) {
+  Workload w;
+  w.Add({&x264_, 8, 3.6, 1.11});
+  w.Add({&swap_, 4, 3.0, 0.97});
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.TotalCores(), 12u);
+  EXPECT_NEAR(w.TotalGips(),
+              x264_.InstanceGips(8, 3.6) + swap_.InstanceGips(4, 3.0),
+              1e-12);
+}
+
+TEST_F(WorkloadTest, AddNReplicates) {
+  Workload w;
+  w.AddN({&x264_, 8, 3.6, 1.11}, 5);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.TotalCores(), 40u);
+}
+
+TEST_F(WorkloadTest, PerCorePowersAlignWithSlots) {
+  Workload w;
+  w.Add({&x264_, 2, 3.6, 1.11});
+  w.Add({&swap_, 3, 3.0, 0.97});
+  const std::vector<double> p = w.PerCorePowers(pm_, 80.0);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_DOUBLE_EQ(p[0], p[1]);              // same instance
+  EXPECT_DOUBLE_EQ(p[2], p[3]);
+  EXPECT_DOUBLE_EQ(p[3], p[4]);
+  EXPECT_NE(p[0], p[2]);                     // different instances
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, w.TotalPower(pm_, 80.0), 1e-12);
+}
+
+TEST_F(WorkloadTest, InstanceCorePowerMatchesEquationOne) {
+  const Instance inst{&x264_, 8, 3.6, 1.11};
+  const double expected = pm_.TotalPower(x264_.Activity(8), x264_.ceff22_nf,
+                                         x264_.pind22, 1.11, 3.6, 75.0);
+  EXPECT_NEAR(inst.CorePower(pm_, 75.0), expected, 1e-12);
+}
+
+TEST_F(WorkloadTest, RejectsInvalidInstances) {
+  Workload w;
+  EXPECT_THROW(w.Add({nullptr, 4, 3.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(w.Add({&x264_, 0, 3.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(w.Add({&x264_, 9, 3.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(WorkloadTest, ClearEmpties) {
+  Workload w;
+  w.AddN({&x264_, 8, 3.6, 1.11}, 3);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+}
+
+TEST_F(WorkloadTest, HigherTemperatureMeansMorePower) {
+  Workload w;
+  w.Add({&x264_, 8, 3.6, 1.11});
+  EXPECT_LT(w.TotalPower(pm_, 50.0), w.TotalPower(pm_, 90.0));
+}
+
+}  // namespace
+}  // namespace ds::apps

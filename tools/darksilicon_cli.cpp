@@ -1,0 +1,279 @@
+// darksilicon -- command-line driver for the library.
+//
+// Subcommands:
+//   info                               platforms, applications, ladders
+//   tsp <node> [--count m] [--mapping worst|spread]
+//   estimate <node> <app> [--tdp W] [--thermal] [--threads n] [--freq f]
+//            [--mapping contiguous|spread|checkerboard|densest]
+//   map <node> --count m [--policy ...]   ASCII view of a core selection
+//   boost <node> <app> --instances k [--cap W]
+//   ntc <node> <app> [--instances k]
+//   characterize [app]                 first-principles Eq.(1) constants
+//
+// Nodes: 16nm | 11nm | 8nm (paper platforms: 100/198/361 cores).
+#include <iostream>
+#include <string>
+
+#include "apps/app_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/boosting.hpp"
+#include "core/estimator.hpp"
+#include "core/mapping.hpp"
+#include "core/ntc.hpp"
+#include "core/tsp.hpp"
+#include "thermal/thermal_map.hpp"
+#include "uarch/characterize.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ds;
+
+int Usage() {
+  std::cout <<
+      "usage: darksilicon <command> [options]\n"
+      "  info\n"
+      "  tsp <node> [--count m] [--mapping worst|spread]\n"
+      "  estimate <node> <app> [--tdp W] [--thermal] [--threads n]\n"
+      "           [--freq f] [--mapping policy]\n"
+      "  map <node> --count m [--policy policy]\n"
+      "  boost <node> <app> --instances k [--cap W]\n"
+      "  ntc <node> <app> [--instances k]\n"
+      "  characterize [app]\n"
+      "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
+      "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
+      "densest\n";
+  return 2;
+}
+
+core::MappingPolicy PolicyByName(const std::string& name) {
+  if (name == "contiguous") return core::MappingPolicy::kContiguous;
+  if (name == "spread") return core::MappingPolicy::kSpread;
+  if (name == "checkerboard") return core::MappingPolicy::kCheckerboard;
+  if (name == "densest") return core::MappingPolicy::kDensest;
+  throw std::invalid_argument("unknown mapping policy: " + name);
+}
+
+int CmdInfo() {
+  util::Table t({"node", "cores", "die [mm]", "V_nom [V]", "f_nom [GHz]",
+                 "core area [mm2]"});
+  for (const power::TechNode node :
+       {power::TechNode::N16, power::TechNode::N11, power::TechNode::N8}) {
+    const arch::Platform plat = arch::Platform::PaperPlatform(node);
+    t.Row()
+        .Cell(plat.tech().name)
+        .Cell(plat.num_cores())
+        .Cell(util::FormatFixed(plat.floorplan().die_width_mm(), 1) + " x " +
+              util::FormatFixed(plat.floorplan().die_height_mm(), 1))
+        .Cell(plat.tech().nominal_vdd, 3)
+        .Cell(plat.tech().nominal_freq, 1)
+        .Cell(plat.tech().core_area_mm2, 2);
+  }
+  t.Print(std::cout);
+
+  util::Table a({"app", "Ceff22 [nF]", "Pind22 [W]", "serial frac", "IPC",
+                 "speedup(8)"});
+  for (const apps::AppProfile& app : apps::ParsecSuite()) {
+    a.Row()
+        .Cell(app.name)
+        .Cell(app.ceff22_nf, 2)
+        .Cell(app.pind22, 2)
+        .Cell(app.serial_fraction, 2)
+        .Cell(app.ipc, 2)
+        .Cell(app.Speedup(8), 2);
+  }
+  std::cout << "\n";
+  a.Print(std::cout);
+  return 0;
+}
+
+int CmdTsp(const util::ArgParser& args) {
+  if (args.positionals().size() < 2) return Usage();
+  const arch::Platform plat = arch::Platform::PaperPlatform(
+      power::TechByName(args.positionals()[1]).node);
+  const core::Tsp tsp(plat);
+  const bool spread = args.GetString("mapping", "worst") == "spread";
+  const int count = args.GetInt("count", 0);
+  auto budget = [&](std::size_t m) {
+    return spread ? tsp.BestCase(m) : tsp.WorstCase(m);
+  };
+  if (count > 0) {
+    std::cout << "TSP(" << count << ") = "
+              << util::FormatFixed(budget(static_cast<std::size_t>(count)), 3)
+              << " W/core (" << (spread ? "spread" : "worst-case")
+              << " mapping)\n";
+    return 0;
+  }
+  util::Table t({"active cores", "TSP [W/core]", "total [W]"});
+  for (std::size_t m = plat.num_cores() / 10; m <= plat.num_cores();
+       m += plat.num_cores() / 10) {
+    const double b = budget(m);
+    t.Row().Cell(m).Cell(b, 3).Cell(b * static_cast<double>(m), 1);
+  }
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdEstimate(const util::ArgParser& args) {
+  if (args.positionals().size() < 3) return Usage();
+  const arch::Platform plat = arch::Platform::PaperPlatform(
+      power::TechByName(args.positionals()[1]).node);
+  const apps::AppProfile& app = apps::AppByName(args.positionals()[2]);
+  const core::DarkSiliconEstimator estimator(plat);
+  const std::size_t threads =
+      static_cast<std::size_t>(args.GetInt("threads", 8));
+  const double freq =
+      args.GetDouble("freq", plat.tech().nominal_freq);
+  const std::size_t level = plat.ladder().LevelAtOrBelow(freq);
+  const core::MappingPolicy policy =
+      PolicyByName(args.GetString("mapping", "contiguous"));
+
+  core::Estimate e;
+  if (args.Has("thermal")) {
+    e = estimator.UnderTemperature(app, threads, level, policy);
+    std::cout << "constraint: T_DTM = " << plat.tdtm_c() << " C\n";
+  } else {
+    const double tdp = args.GetDouble("tdp", 185.0);
+    e = estimator.UnderPowerBudget(app, threads, level, tdp, policy);
+    std::cout << "constraint: TDP = " << tdp << " W\n";
+  }
+  util::Table t({"active", "dark %", "instances", "power [W]", "peak T [C]",
+                 "violation", "GIPS"});
+  t.Row()
+      .Cell(e.active_cores)
+      .Cell(100.0 * e.dark_fraction, 1)
+      .Cell(e.instances)
+      .Cell(e.total_power_w, 1)
+      .Cell(e.peak_temp_c, 1)
+      .Cell(e.thermal_violation ? "YES" : "no")
+      .Cell(e.total_gips, 1);
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdMap(const util::ArgParser& args) {
+  if (args.positionals().size() < 2) return Usage();
+  const arch::Platform plat = arch::Platform::PaperPlatform(
+      power::TechByName(args.positionals()[1]).node);
+  const std::size_t count = static_cast<std::size_t>(
+      args.GetInt("count", static_cast<int>(plat.num_cores() / 2)));
+  const core::MappingPolicy policy =
+      PolicyByName(args.GetString("policy", "spread"));
+  const auto set = core::SelectCores(plat, count, policy);
+  const auto mask = core::ActiveMask(plat.num_cores(), set);
+  for (std::size_t r = 0; r < plat.floorplan().rows(); ++r) {
+    for (std::size_t c = 0; c < plat.floorplan().cols(); ++c)
+      std::cout << (mask[plat.floorplan().IndexOf(r, c)] ? '#' : '.');
+    std::cout << '\n';
+  }
+  const core::Tsp tsp(plat);
+  std::cout << count << " cores, policy "
+            << core::MappingPolicyName(policy) << ", TSP = "
+            << util::FormatFixed(tsp.ForMapping(set), 3) << " W/core\n";
+  return 0;
+}
+
+int CmdBoost(const util::ArgParser& args) {
+  if (args.positionals().size() < 3) return Usage();
+  const arch::Platform plat = arch::Platform::PaperPlatform(
+      power::TechByName(args.positionals()[1]).node);
+  const apps::AppProfile& app = apps::AppByName(args.positionals()[2]);
+  const std::size_t instances =
+      static_cast<std::size_t>(args.GetInt("instances", 8));
+  const double cap = args.GetDouble("cap", 500.0);
+  const core::BoostingSimulator sim(plat, app, instances, 8);
+  std::size_t level = 0;
+  if (!sim.MaxSafeConstantLevel(cap, &level)) {
+    std::cerr << "no thermally safe constant level\n";
+    return 1;
+  }
+  const auto qs = sim.EstimateBoosting(plat.tdtm_c(), cap);
+  util::Table t({"scheme", "f [GHz]", "GIPS", "avg P [W]", "peak P [W]"});
+  const core::Estimate steady = sim.SteadyAtLevel(level);
+  t.Row()
+      .Cell("constant")
+      .Cell(plat.ladder()[level].freq, 1)
+      .Cell(sim.GipsAtLevel(level), 1)
+      .Cell(steady.total_power_w, 0)
+      .Cell(steady.total_power_w, 0);
+  t.Row()
+      .Cell("boosting")
+      .Cell(plat.ladder()[qs.base_level].freq, 1)
+      .Cell(qs.avg_gips, 1)
+      .Cell(qs.avg_power_w, 0)
+      .Cell(qs.peak_power_w, 0);
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdNtc(const util::ArgParser& args) {
+  if (args.positionals().size() < 3) return Usage();
+  const arch::Platform plat = arch::Platform::PaperPlatform(
+      power::TechByName(args.positionals()[1]).node);
+  const apps::AppProfile& app = apps::AppByName(args.positionals()[2]);
+  const std::size_t instances =
+      static_cast<std::size_t>(args.GetInt("instances", 12));
+  const core::NtcAnalysis analysis(plat);
+  const core::NtcComparison c = analysis.Compare(app, instances, {1.0, 8});
+  util::Table t({"config", "f [GHz]", "Vdd [V]", "GIPS", "P [W]",
+                 "energy [kJ]"});
+  auto add = [&](const char* name, const core::RegionResult& r) {
+    t.Row()
+        .Cell(name)
+        .Cell(r.freq, 2)
+        .Cell(r.vdd, 2)
+        .Cell(r.gips, 1)
+        .Cell(r.power_w, 1)
+        .Cell(r.energy_kj, 2);
+  };
+  add("NTC 8thr", c.ntc);
+  add("STC 1thr", c.stc1);
+  add("STC 2thr", c.stc2);
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdCharacterize(const util::ArgParser& args) {
+  util::Table t({"app", "IPC", "Ceff22 [nF]", "Pind22 [W]", "L1 miss %",
+                 "L2 MPKI", "branch miss %"});
+  auto add = [&](const uarch::Characterization& c) {
+    t.Row()
+        .Cell(c.name)
+        .Cell(c.ipc, 2)
+        .Cell(c.ceff22_nf, 2)
+        .Cell(c.pind22_w, 2)
+        .Cell(100.0 * c.sim.l1_miss_rate, 1)
+        .Cell(c.sim.mpki_l2, 1)
+        .Cell(100.0 * c.sim.branch_mispredict_rate, 1);
+  };
+  if (args.positionals().size() >= 2) {
+    add(uarch::Characterize(
+        uarch::TraceParamsByName(args.positionals()[1])));
+  } else {
+    for (const auto& c : uarch::CharacterizeParsec()) add(c);
+  }
+  t.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  if (args.positionals().empty()) return Usage();
+  const std::string cmd = args.positionals()[0];
+  try {
+    if (cmd == "info") return CmdInfo();
+    if (cmd == "tsp") return CmdTsp(args);
+    if (cmd == "estimate") return CmdEstimate(args);
+    if (cmd == "map") return CmdMap(args);
+    if (cmd == "boost") return CmdBoost(args);
+    if (cmd == "ntc") return CmdNtc(args);
+    if (cmd == "characterize") return CmdCharacterize(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}
