@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_aging.dir/bench_ext_aging.cpp.o"
+  "CMakeFiles/bench_ext_aging.dir/bench_ext_aging.cpp.o.d"
+  "bench_ext_aging"
+  "bench_ext_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

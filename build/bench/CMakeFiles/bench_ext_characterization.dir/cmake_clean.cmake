@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_characterization.dir/bench_ext_characterization.cpp.o"
+  "CMakeFiles/bench_ext_characterization.dir/bench_ext_characterization.cpp.o.d"
+  "bench_ext_characterization"
+  "bench_ext_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_corun.dir/bench_ext_corun.cpp.o"
+  "CMakeFiles/bench_ext_corun.dir/bench_ext_corun.cpp.o.d"
+  "bench_ext_corun"
+  "bench_ext_corun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_corun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

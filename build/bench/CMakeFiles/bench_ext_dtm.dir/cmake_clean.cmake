@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dtm.dir/bench_ext_dtm.cpp.o"
+  "CMakeFiles/bench_ext_dtm.dir/bench_ext_dtm.cpp.o.d"
+  "bench_ext_dtm"
+  "bench_ext_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

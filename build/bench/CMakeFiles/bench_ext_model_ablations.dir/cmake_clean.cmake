@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_model_ablations.dir/bench_ext_model_ablations.cpp.o"
+  "CMakeFiles/bench_ext_model_ablations.dir/bench_ext_model_ablations.cpp.o.d"
+  "bench_ext_model_ablations"
+  "bench_ext_model_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_model_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_noc.dir/bench_ext_noc.cpp.o"
+  "CMakeFiles/bench_ext_noc.dir/bench_ext_noc.cpp.o.d"
+  "bench_ext_noc"
+  "bench_ext_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

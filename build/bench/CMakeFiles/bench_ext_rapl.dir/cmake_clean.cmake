@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rapl.dir/bench_ext_rapl.cpp.o"
+  "CMakeFiles/bench_ext_rapl.dir/bench_ext_rapl.cpp.o.d"
+  "bench_ext_rapl"
+  "bench_ext_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sprint.dir/bench_ext_sprint.cpp.o"
+  "CMakeFiles/bench_ext_sprint.dir/bench_ext_sprint.cpp.o.d"
+  "bench_ext_sprint"
+  "bench_ext_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

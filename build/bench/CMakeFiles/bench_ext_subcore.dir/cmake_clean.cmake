@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_subcore.dir/bench_ext_subcore.cpp.o"
+  "CMakeFiles/bench_ext_subcore.dir/bench_ext_subcore.cpp.o.d"
+  "bench_ext_subcore"
+  "bench_ext_subcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_subcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_vf_curve.dir/bench_fig02_vf_curve.cpp.o"
+  "CMakeFiles/bench_fig02_vf_curve.dir/bench_fig02_vf_curve.cpp.o.d"
+  "bench_fig02_vf_curve"
+  "bench_fig02_vf_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_vf_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

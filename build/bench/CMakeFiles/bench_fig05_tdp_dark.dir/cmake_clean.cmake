@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_tdp_dark.dir/bench_fig05_tdp_dark.cpp.o"
+  "CMakeFiles/bench_fig05_tdp_dark.dir/bench_fig05_tdp_dark.cpp.o.d"
+  "bench_fig05_tdp_dark"
+  "bench_fig05_tdp_dark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_tdp_dark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_patterning.dir/bench_fig08_patterning.cpp.o"
+  "CMakeFiles/bench_fig08_patterning.dir/bench_fig08_patterning.cpp.o.d"
+  "bench_fig08_patterning"
+  "bench_fig08_patterning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_patterning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

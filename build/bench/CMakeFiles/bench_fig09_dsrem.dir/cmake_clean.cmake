@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_dsrem.dir/bench_fig09_dsrem.cpp.o"
+  "CMakeFiles/bench_fig09_dsrem.dir/bench_fig09_dsrem.cpp.o.d"
+  "bench_fig09_dsrem"
+  "bench_fig09_dsrem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dsrem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

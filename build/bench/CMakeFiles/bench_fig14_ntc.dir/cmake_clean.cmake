@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ntc.dir/bench_fig14_ntc.cpp.o"
+  "CMakeFiles/bench_fig14_ntc.dir/bench_fig14_ntc.cpp.o.d"
+  "bench_fig14_ntc"
+  "bench_fig14_ntc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ntc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_demo.dir/boosting_demo.cpp.o"
+  "CMakeFiles/boosting_demo.dir/boosting_demo.cpp.o.d"
+  "boosting_demo"
+  "boosting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system.dir/full_system.cpp.o"
+  "CMakeFiles/full_system.dir/full_system.cpp.o.d"
+  "full_system"
+  "full_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

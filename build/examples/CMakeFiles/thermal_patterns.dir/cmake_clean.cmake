@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_patterns.dir/thermal_patterns.cpp.o"
+  "CMakeFiles/thermal_patterns.dir/thermal_patterns.cpp.o.d"
+  "thermal_patterns"
+  "thermal_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

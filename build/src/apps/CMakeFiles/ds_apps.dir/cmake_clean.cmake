@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_apps.dir/app_profile.cpp.o"
+  "CMakeFiles/ds_apps.dir/app_profile.cpp.o.d"
+  "CMakeFiles/ds_apps.dir/workload.cpp.o"
+  "CMakeFiles/ds_apps.dir/workload.cpp.o.d"
+  "libds_apps.a"
+  "libds_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_arch.dir/platform.cpp.o"
+  "CMakeFiles/ds_arch.dir/platform.cpp.o.d"
+  "CMakeFiles/ds_arch.dir/variation.cpp.o"
+  "CMakeFiles/ds_arch.dir/variation.cpp.o.d"
+  "libds_arch.a"
+  "libds_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

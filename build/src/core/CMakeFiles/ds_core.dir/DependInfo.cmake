@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/boosting.cpp" "src/core/CMakeFiles/ds_core.dir/boosting.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/boosting.cpp.o.d"
+  "/root/repo/src/core/dsrem.cpp" "src/core/CMakeFiles/ds_core.dir/dsrem.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/dsrem.cpp.o.d"
+  "/root/repo/src/core/dtm.cpp" "src/core/CMakeFiles/ds_core.dir/dtm.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/dtm.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/ds_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/ds_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/ntc.cpp" "src/core/CMakeFiles/ds_core.dir/ntc.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/ntc.cpp.o.d"
+  "/root/repo/src/core/online_manager.cpp" "src/core/CMakeFiles/ds_core.dir/online_manager.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/online_manager.cpp.o.d"
+  "/root/repo/src/core/sprint.cpp" "src/core/CMakeFiles/ds_core.dir/sprint.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/sprint.cpp.o.d"
+  "/root/repo/src/core/tsp.cpp" "src/core/CMakeFiles/ds_core.dir/tsp.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ds_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ds_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ds_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ds_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

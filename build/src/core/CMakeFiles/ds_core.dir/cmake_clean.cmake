@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/boosting.cpp.o"
+  "CMakeFiles/ds_core.dir/boosting.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dsrem.cpp.o"
+  "CMakeFiles/ds_core.dir/dsrem.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dtm.cpp.o"
+  "CMakeFiles/ds_core.dir/dtm.cpp.o.d"
+  "CMakeFiles/ds_core.dir/estimator.cpp.o"
+  "CMakeFiles/ds_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/ds_core.dir/mapping.cpp.o"
+  "CMakeFiles/ds_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/ds_core.dir/ntc.cpp.o"
+  "CMakeFiles/ds_core.dir/ntc.cpp.o.d"
+  "CMakeFiles/ds_core.dir/online_manager.cpp.o"
+  "CMakeFiles/ds_core.dir/online_manager.cpp.o.d"
+  "CMakeFiles/ds_core.dir/sprint.cpp.o"
+  "CMakeFiles/ds_core.dir/sprint.cpp.o.d"
+  "CMakeFiles/ds_core.dir/tsp.cpp.o"
+  "CMakeFiles/ds_core.dir/tsp.cpp.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_noc.dir/mesh.cpp.o"
+  "CMakeFiles/ds_noc.dir/mesh.cpp.o.d"
+  "libds_noc.a"
+  "libds_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

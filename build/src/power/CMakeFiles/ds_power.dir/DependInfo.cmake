@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/dvfs.cpp" "src/power/CMakeFiles/ds_power.dir/dvfs.cpp.o" "gcc" "src/power/CMakeFiles/ds_power.dir/dvfs.cpp.o.d"
+  "/root/repo/src/power/leakage.cpp" "src/power/CMakeFiles/ds_power.dir/leakage.cpp.o" "gcc" "src/power/CMakeFiles/ds_power.dir/leakage.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/ds_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/ds_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/technology.cpp" "src/power/CMakeFiles/ds_power.dir/technology.cpp.o" "gcc" "src/power/CMakeFiles/ds_power.dir/technology.cpp.o.d"
+  "/root/repo/src/power/vf_curve.cpp" "src/power/CMakeFiles/ds_power.dir/vf_curve.cpp.o" "gcc" "src/power/CMakeFiles/ds_power.dir/vf_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_power.dir/dvfs.cpp.o"
+  "CMakeFiles/ds_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/ds_power.dir/leakage.cpp.o"
+  "CMakeFiles/ds_power.dir/leakage.cpp.o.d"
+  "CMakeFiles/ds_power.dir/power_model.cpp.o"
+  "CMakeFiles/ds_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/ds_power.dir/technology.cpp.o"
+  "CMakeFiles/ds_power.dir/technology.cpp.o.d"
+  "CMakeFiles/ds_power.dir/vf_curve.cpp.o"
+  "CMakeFiles/ds_power.dir/vf_curve.cpp.o.d"
+  "libds_power.a"
+  "libds_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

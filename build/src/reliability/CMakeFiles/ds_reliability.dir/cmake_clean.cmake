@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_reliability.dir/aging.cpp.o"
+  "CMakeFiles/ds_reliability.dir/aging.cpp.o.d"
+  "CMakeFiles/ds_reliability.dir/lifetime_sim.cpp.o"
+  "CMakeFiles/ds_reliability.dir/lifetime_sim.cpp.o.d"
+  "libds_reliability.a"
+  "libds_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

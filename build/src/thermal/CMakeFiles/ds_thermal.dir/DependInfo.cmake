@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/floorplan.cpp" "src/thermal/CMakeFiles/ds_thermal.dir/floorplan.cpp.o" "gcc" "src/thermal/CMakeFiles/ds_thermal.dir/floorplan.cpp.o.d"
+  "/root/repo/src/thermal/rc_model.cpp" "src/thermal/CMakeFiles/ds_thermal.dir/rc_model.cpp.o" "gcc" "src/thermal/CMakeFiles/ds_thermal.dir/rc_model.cpp.o.d"
+  "/root/repo/src/thermal/steady_state.cpp" "src/thermal/CMakeFiles/ds_thermal.dir/steady_state.cpp.o" "gcc" "src/thermal/CMakeFiles/ds_thermal.dir/steady_state.cpp.o.d"
+  "/root/repo/src/thermal/subcore.cpp" "src/thermal/CMakeFiles/ds_thermal.dir/subcore.cpp.o" "gcc" "src/thermal/CMakeFiles/ds_thermal.dir/subcore.cpp.o.d"
+  "/root/repo/src/thermal/thermal_map.cpp" "src/thermal/CMakeFiles/ds_thermal.dir/thermal_map.cpp.o" "gcc" "src/thermal/CMakeFiles/ds_thermal.dir/thermal_map.cpp.o.d"
+  "/root/repo/src/thermal/transient.cpp" "src/thermal/CMakeFiles/ds_thermal.dir/transient.cpp.o" "gcc" "src/thermal/CMakeFiles/ds_thermal.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

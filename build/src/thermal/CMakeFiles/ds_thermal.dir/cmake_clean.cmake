@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_thermal.dir/floorplan.cpp.o"
+  "CMakeFiles/ds_thermal.dir/floorplan.cpp.o.d"
+  "CMakeFiles/ds_thermal.dir/rc_model.cpp.o"
+  "CMakeFiles/ds_thermal.dir/rc_model.cpp.o.d"
+  "CMakeFiles/ds_thermal.dir/steady_state.cpp.o"
+  "CMakeFiles/ds_thermal.dir/steady_state.cpp.o.d"
+  "CMakeFiles/ds_thermal.dir/subcore.cpp.o"
+  "CMakeFiles/ds_thermal.dir/subcore.cpp.o.d"
+  "CMakeFiles/ds_thermal.dir/thermal_map.cpp.o"
+  "CMakeFiles/ds_thermal.dir/thermal_map.cpp.o.d"
+  "CMakeFiles/ds_thermal.dir/transient.cpp.o"
+  "CMakeFiles/ds_thermal.dir/transient.cpp.o.d"
+  "libds_thermal.a"
+  "libds_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/branch_predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/characterize.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/characterize.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/characterize.cpp.o.d"
+  "/root/repo/src/uarch/corun.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/corun.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/corun.cpp.o.d"
+  "/root/repo/src/uarch/energy_model.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/energy_model.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/energy_model.cpp.o.d"
+  "/root/repo/src/uarch/multicore.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/multicore.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/multicore.cpp.o.d"
+  "/root/repo/src/uarch/ooo_core.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/ooo_core.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/ooo_core.cpp.o.d"
+  "/root/repo/src/uarch/trace_gen.cpp" "src/uarch/CMakeFiles/ds_uarch.dir/trace_gen.cpp.o" "gcc" "src/uarch/CMakeFiles/ds_uarch.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/ds_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

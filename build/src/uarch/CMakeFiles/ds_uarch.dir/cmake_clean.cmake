@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/ds_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/cache.cpp.o"
+  "CMakeFiles/ds_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/characterize.cpp.o"
+  "CMakeFiles/ds_uarch.dir/characterize.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/corun.cpp.o"
+  "CMakeFiles/ds_uarch.dir/corun.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/energy_model.cpp.o"
+  "CMakeFiles/ds_uarch.dir/energy_model.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/multicore.cpp.o"
+  "CMakeFiles/ds_uarch.dir/multicore.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/ooo_core.cpp.o"
+  "CMakeFiles/ds_uarch.dir/ooo_core.cpp.o.d"
+  "CMakeFiles/ds_uarch.dir/trace_gen.cpp.o"
+  "CMakeFiles/ds_uarch.dir/trace_gen.cpp.o.d"
+  "libds_uarch.a"
+  "libds_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_util.dir/args.cpp.o"
+  "CMakeFiles/ds_util.dir/args.cpp.o.d"
+  "CMakeFiles/ds_util.dir/csv.cpp.o"
+  "CMakeFiles/ds_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ds_util.dir/lu.cpp.o"
+  "CMakeFiles/ds_util.dir/lu.cpp.o.d"
+  "CMakeFiles/ds_util.dir/matrix.cpp.o"
+  "CMakeFiles/ds_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/ds_util.dir/stats.cpp.o"
+  "CMakeFiles/ds_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ds_util.dir/table.cpp.o"
+  "CMakeFiles/ds_util.dir/table.cpp.o.d"
+  "libds_util.a"
+  "libds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aging.cpp" "tests/CMakeFiles/ds_tests.dir/test_aging.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_aging.cpp.o.d"
+  "/root/repo/tests/test_app_profile.cpp" "tests/CMakeFiles/ds_tests.dir/test_app_profile.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_app_profile.cpp.o.d"
+  "/root/repo/tests/test_args.cpp" "tests/CMakeFiles/ds_tests.dir/test_args.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_args.cpp.o.d"
+  "/root/repo/tests/test_boosting.cpp" "tests/CMakeFiles/ds_tests.dir/test_boosting.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_boosting.cpp.o.d"
+  "/root/repo/tests/test_branch_predictor.cpp" "tests/CMakeFiles/ds_tests.dir/test_branch_predictor.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_branch_predictor.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/ds_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/ds_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_chip_sim.cpp" "tests/CMakeFiles/ds_tests.dir/test_chip_sim.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_chip_sim.cpp.o.d"
+  "/root/repo/tests/test_corun.cpp" "tests/CMakeFiles/ds_tests.dir/test_corun.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_corun.cpp.o.d"
+  "/root/repo/tests/test_dsrem.cpp" "tests/CMakeFiles/ds_tests.dir/test_dsrem.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_dsrem.cpp.o.d"
+  "/root/repo/tests/test_dtm.cpp" "tests/CMakeFiles/ds_tests.dir/test_dtm.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_dtm.cpp.o.d"
+  "/root/repo/tests/test_dvfs.cpp" "tests/CMakeFiles/ds_tests.dir/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_dvfs.cpp.o.d"
+  "/root/repo/tests/test_estimator.cpp" "tests/CMakeFiles/ds_tests.dir/test_estimator.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_estimator.cpp.o.d"
+  "/root/repo/tests/test_floorplan.cpp" "tests/CMakeFiles/ds_tests.dir/test_floorplan.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_floorplan.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ds_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_leakage.cpp" "tests/CMakeFiles/ds_tests.dir/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_leakage.cpp.o.d"
+  "/root/repo/tests/test_lu.cpp" "tests/CMakeFiles/ds_tests.dir/test_lu.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_lu.cpp.o.d"
+  "/root/repo/tests/test_mapping.cpp" "tests/CMakeFiles/ds_tests.dir/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_mapping.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/ds_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_multicore.cpp" "tests/CMakeFiles/ds_tests.dir/test_multicore.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_multicore.cpp.o.d"
+  "/root/repo/tests/test_noc.cpp" "tests/CMakeFiles/ds_tests.dir/test_noc.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_noc.cpp.o.d"
+  "/root/repo/tests/test_ntc.cpp" "tests/CMakeFiles/ds_tests.dir/test_ntc.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_ntc.cpp.o.d"
+  "/root/repo/tests/test_online_manager.cpp" "tests/CMakeFiles/ds_tests.dir/test_online_manager.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_online_manager.cpp.o.d"
+  "/root/repo/tests/test_ooo_core.cpp" "tests/CMakeFiles/ds_tests.dir/test_ooo_core.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_ooo_core.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/ds_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "tests/CMakeFiles/ds_tests.dir/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ds_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rc_model.cpp" "tests/CMakeFiles/ds_tests.dir/test_rc_model.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_rc_model.cpp.o.d"
+  "/root/repo/tests/test_sprint.cpp" "tests/CMakeFiles/ds_tests.dir/test_sprint.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_sprint.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ds_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_steady_state.cpp" "tests/CMakeFiles/ds_tests.dir/test_steady_state.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_steady_state.cpp.o.d"
+  "/root/repo/tests/test_subcore.cpp" "tests/CMakeFiles/ds_tests.dir/test_subcore.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_subcore.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/ds_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_technology.cpp" "tests/CMakeFiles/ds_tests.dir/test_technology.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_technology.cpp.o.d"
+  "/root/repo/tests/test_thermal_map.cpp" "tests/CMakeFiles/ds_tests.dir/test_thermal_map.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_thermal_map.cpp.o.d"
+  "/root/repo/tests/test_thermal_physics.cpp" "tests/CMakeFiles/ds_tests.dir/test_thermal_physics.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_thermal_physics.cpp.o.d"
+  "/root/repo/tests/test_trace_gen.cpp" "tests/CMakeFiles/ds_tests.dir/test_trace_gen.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_trace_gen.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/ds_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_tsp.cpp" "tests/CMakeFiles/ds_tests.dir/test_tsp.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_tsp.cpp.o.d"
+  "/root/repo/tests/test_variation.cpp" "tests/CMakeFiles/ds_tests.dir/test_variation.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_variation.cpp.o.d"
+  "/root/repo/tests/test_vf_curve.cpp" "tests/CMakeFiles/ds_tests.dir/test_vf_curve.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_vf_curve.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/ds_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/ds_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ds_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ds_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ds_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ds_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ds_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ds_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darksilicon.dir/darksilicon_cli.cpp.o"
+  "CMakeFiles/darksilicon.dir/darksilicon_cli.cpp.o.d"
+  "darksilicon"
+  "darksilicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darksilicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

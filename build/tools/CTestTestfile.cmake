@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/darksilicon" "info")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tsp_curve "/root/repo/build/tools/darksilicon" "tsp" "16nm")
+set_tests_properties(cli_tsp_curve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tsp_count "/root/repo/build/tools/darksilicon" "tsp" "16nm" "--count" "60" "--mapping" "spread")
+set_tests_properties(cli_tsp_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_tdp "/root/repo/build/tools/darksilicon" "estimate" "16nm" "swaptions" "--tdp" "220")
+set_tests_properties(cli_estimate_tdp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_thermal "/root/repo/build/tools/darksilicon" "estimate" "16nm" "x264" "--thermal" "--mapping" "spread")
+set_tests_properties(cli_estimate_thermal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map "/root/repo/build/tools/darksilicon" "map" "16nm" "--count" "30" "--policy" "checkerboard")
+set_tests_properties(cli_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_boost "/root/repo/build/tools/darksilicon" "boost" "16nm" "x264" "--instances" "12")
+set_tests_properties(cli_boost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ntc "/root/repo/build/tools/darksilicon" "ntc" "11nm" "canneal" "--instances" "24")
+set_tests_properties(cli_ntc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_characterize "/root/repo/build/tools/darksilicon" "characterize" "blackscholes")
+set_tests_properties(cli_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_no_args "/root/repo/build/tools/darksilicon")
+set_tests_properties(cli_no_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_node "/root/repo/build/tools/darksilicon" "tsp" "7nm")
+set_tests_properties(cli_bad_node PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_app "/root/repo/build/tools/darksilicon" "estimate" "16nm" "doom")
+set_tests_properties(cli_bad_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
