@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+
+#include "faults/sensor_bus.hpp"
 
 namespace ds::core {
 
@@ -15,6 +18,16 @@ const char* DtmPolicyName(DtmPolicy policy) {
       return "shutdown-hottest";
   }
   return "?";
+}
+
+void DtmRunOptions::Validate() const {
+  if (!(control_period_s > 0.0) || !std::isfinite(control_period_s))
+    throw std::invalid_argument(
+        "DtmRunOptions: control_period_s must be positive");
+  if (!(hysteresis_c >= 0.0) || !std::isfinite(hysteresis_c))
+    throw std::invalid_argument(
+        "DtmRunOptions: hysteresis_c must be finite and >= 0");
+  faults.Validate();
 }
 
 DtmSimulator::DtmSimulator(const arch::Platform& platform,
@@ -31,8 +44,14 @@ DtmSimulator::DtmSimulator(const arch::Platform& platform,
 }
 
 DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
-                            double duration_s, double control_period_s,
-                            double hysteresis_c) const {
+                            double duration_s,
+                            const DtmRunOptions& options) const {
+  if (!(duration_s > 0.0) || !std::isfinite(duration_s))
+    throw std::invalid_argument("DtmSimulator: duration_s must be positive");
+  options.Validate();
+  const double control_period_s = options.control_period_s;
+  const double hysteresis_c = options.hysteresis_c;
+
   const power::DvfsLadder& ladder = platform_->ladder();
   const power::PowerModel& pm = platform_->power_model();
   const double t_crit = platform_->tdtm_c();
@@ -41,8 +60,19 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
   thermal::TransientSimulator sim(platform_->thermal_model(),
                                   control_period_s);
 
-  // Per-core run state: on = contributing its activity; off = gated.
+  // Fault machinery; null when disabled keeps the fault-free loop
+  // bit-identical (the bus then passes true temperatures through).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (options.faults.enabled)
+    injector = std::make_unique<faults::FaultInjector>(options.faults, n);
+  faults::SensorBus bus(n, platform_->thermal_model().ambient_c());
+  bus.AttachInjector(injector.get());
+
+  // Per-core run state: on = contributing its activity; off = gated by
+  // DTM. `down` tracks fault outages separately so a transient outage
+  // can end without un-gating a DTM decision.
   std::vector<bool> on(n, false);
+  std::vector<bool> down(n, false);
   for (const std::size_t c : active_set_) on[c] = true;
   std::size_t level = start_level;
   const double activity = app_->Activity(threads_);
@@ -57,18 +87,21 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
     const power::VfLevel& vf = ladder[lvl];
     std::vector<double> p(n);
     for (std::size_t c = 0; c < n; ++c) {
-      p[c] = on[c] ? pm.TotalPower(activity, app_->ceff22_nf, app_->pind22,
-                                   vf.vdd, vf.freq, temps[c])
-                   : pm.DarkCorePower(temps[c]);
+      p[c] = down[c] ? 0.0
+             : on[c] ? pm.TotalPower(activity, app_->ceff22_nf, app_->pind22,
+                                     vf.vdd, vf.freq, temps[c])
+                     : pm.DarkCorePower(temps[c]);
     }
     return p;
   };
   auto current_gips = [&](std::size_t lvl) {
     std::size_t alive = 0;
     for (const std::size_t c : active_set_)
-      if (on[c]) ++alive;
+      if (on[c] && !down[c]) ++alive;
     return static_cast<double>(alive) * gips_per_core * ladder[lvl].freq;
   };
+
+  DtmResult result;
 
   // Warm start: steady state of the *requested* operating point. This
   // is exactly the situation the paper describes -- a mapping admitted
@@ -76,12 +109,21 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
   {
     std::vector<double> temps(n, platform_->thermal_model().ambient_c());
     for (int it = 0; it < 3; ++it) {
-      sim.InitializeSteadyState(core_powers(start_level, temps));
+      const bool inject_solver_fault =
+          injector != nullptr && injector->ConsumeSolverFault();
+      if (sim.InitializeSteadyStateRobust(core_powers(start_level, temps),
+                                          inject_solver_fault)) {
+        ++result.solver_retries;
+        if (injector)
+          injector->log().Record(
+              0.0, faults::FaultEventKind::kMitigated,
+              faults::FaultKind::kSolverNonConvergence, faults::kNoCore,
+              0.0, "warm start retried with perturbed pivoting");
+      }
       temps = sim.DieTemps();
     }
   }
 
-  DtmResult result;
   result.nominal_gips = current_gips(start_level);
   result.min_freq_ghz = ladder[level].freq;
   const std::size_t steps = static_cast<std::size_t>(
@@ -90,19 +132,40 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
   double gips_acc = 0.0;
 
   for (std::size_t s = 0; s < steps; ++s) {
+    const double now_s = static_cast<double>(s) * control_period_s;
+    if (injector) {
+      injector->BeginStep(now_s, control_period_s);
+      for (const std::size_t c : injector->TakeNewlyRecoveredCores())
+        down[c] = false;
+      for (const std::size_t c : injector->TakeNewlyDownCores()) {
+        down[c] = true;
+        injector->log().Record(
+            now_s, faults::FaultEventKind::kMitigated,
+            injector->CoreDownPermanent(c)
+                ? faults::FaultKind::kCoreFailStop
+                : faults::FaultKind::kCoreTransient,
+            c, 0.0, "core dropped from workload (share stalls)");
+      }
+    }
+
     const std::vector<double> temps = sim.DieTemps();
-    const double peak = *std::max_element(temps.begin(), temps.end());
-    if (peak > t_crit) {
-      result.time_above_critical_s += control_period_s;
+    const std::vector<double>& sensed = bus.Sample(now_s, temps);
+    const double peak = *std::max_element(sensed.begin(), sensed.end());
+    const double true_peak =
+        *std::max_element(temps.begin(), temps.end());
+    std::size_t requested = level;
+    if (bus.InSafeState()) {
+      requested = 0;  // watchdog: pin the ladder at its lowest level
+    } else if (peak > t_crit) {
       if (policy == DtmPolicy::kThrottleGlobal) {
-        level = ladder.StepDown(level);
+        requested = ladder.StepDown(level);
       } else {
-        // Gate the hottest still-running core.
+        // Gate the hottest still-running core (by sensed temperature).
         std::size_t hottest = n;
         double t_max = -1.0;
         for (const std::size_t c : active_set_) {
-          if (on[c] && temps[c] > t_max) {
-            t_max = temps[c];
+          if (on[c] && !down[c] && sensed[c] > t_max) {
+            t_max = sensed[c];
             hottest = c;
           }
         }
@@ -113,8 +176,11 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
       }
     } else if (policy == DtmPolicy::kThrottleGlobal &&
                peak < t_crit - hysteresis_c && level < start_level) {
-      level = ladder.StepUp(level);
+      requested = ladder.StepUp(level);
     }
+    level = injector ? injector->ApplyDvfs(requested, level) : requested;
+    if (true_peak > t_crit) result.time_above_critical_s += control_period_s;
+    if (bus.InSafeState()) result.safe_state_s += control_period_s;
 
     sim.Step(core_powers(level, temps));
     const double gips = current_gips(level);
@@ -135,9 +201,14 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
           : 0.0;
   std::size_t alive = 0;
   for (const std::size_t c : active_set_)
-    if (on[c]) ++alive;
+    if (on[c] && !down[c]) ++alive;
   result.final_dark_fraction =
       1.0 - static_cast<double>(alive) / static_cast<double>(n);
+  result.sensor_substitutions = bus.substitutions();
+  if (injector) {
+    result.cores_failed = injector->num_down_cores();
+    result.fault_log = std::move(injector->log());
+  }
   return result;
 }
 

@@ -15,6 +15,13 @@
 //   * kShutdownHottest -- power-gate the hottest active core on each
 //                         violating control period. Gated cores stay
 //                         off (the paper's "additional dark silicon").
+// The controller reads temperatures through a faults::SensorBus: when
+// fault injection is armed (DtmRunOptions::faults), implausible or
+// stale readings are replaced by the bus's EWMA estimate, a watchdog
+// safe-state pins the ladder at its lowest level, fail-stopped cores
+// drop out of the workload, and DVFS commands go through the possibly
+// stuck actuator. With faults disabled the loop is bit-identical to
+// the fault-free implementation.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +30,7 @@
 #include "apps/app_profile.hpp"
 #include "arch/platform.hpp"
 #include "core/mapping.hpp"
+#include "faults/fault_injector.hpp"
 #include "thermal/transient.hpp"
 
 namespace ds::core {
@@ -30,6 +38,15 @@ namespace ds::core {
 enum class DtmPolicy { kThrottleGlobal, kShutdownHottest };
 
 const char* DtmPolicyName(DtmPolicy policy);
+
+struct DtmRunOptions {
+  double control_period_s = 1e-3;
+  double hysteresis_c = 2.0;
+  faults::FaultConfig faults;  // disabled by default
+
+  /// Rejects non-positive control period and negative hysteresis.
+  void Validate() const;
+};
 
 struct DtmResult {
   double avg_gips = 0.0;
@@ -43,6 +60,12 @@ struct DtmResult {
   std::vector<double> time_s;         // sampled trace
   std::vector<double> gips;
   std::vector<double> peak_temp_c;
+  // Robustness accounting (all zero when fault injection is off).
+  faults::FaultLog fault_log;
+  double safe_state_s = 0.0;          // time in the watchdog safe-state
+  std::size_t cores_failed = 0;       // fault outages (not DTM gating)
+  std::size_t solver_retries = 0;
+  std::size_t sensor_substitutions = 0;
 };
 
 /// Transient DTM simulation of a homogeneous workload (instances of one
@@ -58,7 +81,18 @@ class DtmSimulator {
   /// before throttling is relaxed.
   DtmResult Run(DtmPolicy policy, std::size_t start_level,
                 double duration_s, double control_period_s = 1e-3,
-                double hysteresis_c = 2.0) const;
+                double hysteresis_c = 2.0) const {
+    DtmRunOptions options;
+    options.control_period_s = control_period_s;
+    options.hysteresis_c = hysteresis_c;
+    return Run(policy, start_level, duration_s, options);
+  }
+
+  /// Full-option run, including the fault-injection scenario. Throws
+  /// std::invalid_argument for a non-positive duration or invalid
+  /// options.
+  DtmResult Run(DtmPolicy policy, std::size_t start_level,
+                double duration_s, const DtmRunOptions& options) const;
 
   std::size_t active_cores() const { return active_set_.size(); }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+#include <memory>
 #include <random>
+#include <stdexcept>
 
 namespace ds::core {
 namespace {
@@ -65,9 +68,25 @@ const char* AdmissionPolicyName(AdmissionPolicy policy) {
   return "?";
 }
 
+void OnlineConfig::Validate() const {
+  if (!std::isfinite(arrival_rate) || arrival_rate < 0.0)
+    throw std::invalid_argument(
+        "OnlineConfig: arrival_rate must be finite and >= 0");
+  if (min_duration == 0 || max_duration < min_duration)
+    throw std::invalid_argument(
+        "OnlineConfig: need 1 <= min_duration <= max_duration");
+  if (threads == 0)
+    throw std::invalid_argument("OnlineConfig: threads must be >= 1");
+  if (!std::isfinite(tdp_w) || tdp_w <= 0.0)
+    throw std::invalid_argument("OnlineConfig: tdp_w must be positive");
+  faults.Validate();
+}
+
 OnlineManager::OnlineManager(const arch::Platform& platform,
                              AdmissionPolicy policy, OnlineConfig config)
-    : platform_(&platform), policy_(policy), config_(config) {}
+    : platform_(&platform), policy_(policy), config_(config) {
+  config_.Validate();
+}
 
 OnlineResult OnlineManager::Run(std::size_t epochs) const {
   const std::size_t n = platform_->num_cores();
@@ -85,8 +104,14 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
   std::vector<Job> running;
   std::deque<Job> queue;
   std::vector<bool> used(n, false);
+  std::vector<bool> down(n, false);  // fault outages (degraded core set)
   std::vector<double> rise(n, 0.0);  // predicted rise from budget powers
   double budget_used = 0.0;
+
+  // One epoch is one fault control step; null when disabled.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (config_.faults.enabled)
+    injector = std::make_unique<faults::FaultInjector>(config_.faults, n);
 
   OnlineResult result;
   double wait_acc = 0.0;
@@ -99,6 +124,47 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
   };
 
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // 0. Fault schedule: migrate jobs off cores that went down.
+    if (injector) {
+      const double now_s = static_cast<double>(epoch);
+      injector->BeginStep(now_s, 1.0);
+      for (const std::size_t c : injector->TakeNewlyRecoveredCores())
+        down[c] = false;
+      const std::vector<std::size_t> failed = injector->TakeNewlyDownCores();
+      for (const std::size_t c : failed) down[c] = true;
+      if (!failed.empty()) {
+        for (auto it = running.begin(); it != running.end();) {
+          const bool hit = std::any_of(
+              it->cores.begin(), it->cores.end(),
+              [&](std::size_t c) { return down[c]; });
+          if (!hit) {
+            ++it;
+            continue;
+          }
+          const double p_core = budget_core_power(*it->app);
+          for (const std::size_t c : it->cores) {
+            used[c] = false;
+            for (std::size_t i = 0; i < n; ++i)
+              rise[i] -= influence(i, c) * p_core;
+          }
+          budget_used -= p_core * static_cast<double>(config_.threads);
+          it->cores.clear();
+          ++result.jobs_requeued;
+          queue.push_front(std::move(*it));
+          it = running.erase(it);
+        }
+        for (const std::size_t c : failed) {
+          injector->log().Record(
+              now_s, faults::FaultEventKind::kMitigated,
+              injector->CoreDownPermanent(c)
+                  ? faults::FaultKind::kCoreFailStop
+                  : faults::FaultKind::kCoreTransient,
+              c, 0.0,
+              "jobs requeued; admission re-runs on the degraded core set");
+        }
+      }
+    }
+
     // 1. Arrivals.
     const int k = arrivals(rng.engine());
     for (int i = 0; i < k; ++i) {
@@ -118,7 +184,7 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
       Job& job = queue.front();
       std::size_t free_cores = 0;
       for (std::size_t c = 0; c < n; ++c)
-        if (!used[c]) ++free_cores;
+        if (!used[c] && !down[c]) ++free_cores;
       if (free_cores < config_.threads) break;
 
       const double p_core = budget_core_power(*job.app);
@@ -126,10 +192,10 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
         if (budget_used + p_core * static_cast<double>(config_.threads) >
             config_.tdp_w)
           break;
-        // Contiguous placement: lowest-index free cores.
+        // Contiguous placement: lowest-index free (and alive) cores.
         for (std::size_t c = 0; c < n && job.cores.size() < config_.threads;
              ++c) {
-          if (!used[c]) {
+          if (!used[c] && !down[c]) {
             used[c] = true;
             job.cores.push_back(c);
           }
@@ -138,16 +204,19 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
           for (std::size_t i = 0; i < n; ++i)
             rise[i] += influence(i, c) * p_core;
       } else {
-        // Thermal-safe: tentatively place dispersed, admit only if the
-        // predicted steady peak stays below T_DTM.
+        // Thermal-safe: tentatively place dispersed on the alive free
+        // cores, admit only if the predicted steady peak stays below
+        // T_DTM.
         std::vector<bool> used_try = used;
+        for (std::size_t c = 0; c < n; ++c)
+          if (down[c]) used_try[c] = true;  // exclude from placement
         std::vector<double> rise_try = rise;
         const std::vector<std::size_t> placed = PlaceIncremental(
             influence, used_try, rise_try, p_core, config_.threads);
         const double peak =
             *std::max_element(rise_try.begin(), rise_try.end());
         if (peak > headroom) break;
-        used = std::move(used_try);
+        for (const std::size_t c : placed) used[c] = true;
         rise = std::move(rise_try);
         job.cores = placed;
       }
@@ -203,6 +272,10 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
       admitted > 0 ? wait_acc / static_cast<double>(admitted) : 0.0;
   result.avg_gips = gips_acc / static_cast<double>(epochs);
   result.avg_active_cores = active_acc / static_cast<double>(epochs);
+  if (injector) {
+    result.cores_failed = injector->num_down_cores();
+    result.fault_log = std::move(injector->log());
+  }
   return result;
 }
 

@@ -16,6 +16,13 @@
 // The comparison quantifies the paper's thesis at the system level:
 // power budgets leave thermal headroom unused (or violate it), while
 // the temperature constraint is the real resource.
+// Core faults (OnlineConfig::faults) exercise graceful degradation:
+// jobs running on a core that fail-stops are requeued at the head of
+// the admission queue and re-admitted -- with the thermal-safe
+// predicate re-evaluated -- on the degraded core set. One epoch is one
+// fault-injection control step. Sensor and DVFS faults do not apply at
+// this epoch-level abstraction (the manager evaluates steady states,
+// it does not sample sensors); use ChipSimulator for those.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +32,7 @@
 #include "apps/app_profile.hpp"
 #include "arch/platform.hpp"
 #include "core/estimator.hpp"
+#include "faults/fault_injector.hpp"
 #include "util/rng.hpp"
 
 namespace ds::core {
@@ -40,6 +48,11 @@ struct OnlineConfig {
   std::size_t threads = 8;         // per job
   double tdp_w = 185.0;            // kTdpBudget only
   std::uint64_t seed = 1;
+  faults::FaultConfig faults;      // disabled by default (zero-cost off)
+
+  /// Rejects non-finite/negative rates, zero threads, inverted duration
+  /// bounds and a non-positive TDP with std::invalid_argument.
+  void Validate() const;
 };
 
 struct OnlineResult {
@@ -53,10 +66,15 @@ struct OnlineResult {
   std::size_t violation_epochs = 0;  // epochs with peak > T_DTM
   std::vector<double> epoch_gips;
   std::vector<double> epoch_peak_temp;
+  // Robustness accounting (all zero when fault injection is off).
+  faults::FaultLog fault_log;
+  std::size_t jobs_requeued = 0;   // migrations off failed cores
+  std::size_t cores_failed = 0;    // cores down at the end of the run
 };
 
 class OnlineManager {
  public:
+  /// Throws std::invalid_argument when `config` fails Validate().
   OnlineManager(const arch::Platform& platform, AdmissionPolicy policy,
                 OnlineConfig config = {});
 

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <random>
+#include <stdexcept>
 
 #include "apps/app_profile.hpp"
 #include "apps/workload.hpp"
+#include "faults/sensor_bus.hpp"
 #include "thermal/transient.hpp"
 #include "util/rng.hpp"
 
@@ -22,9 +25,36 @@ struct Job {
 
 }  // namespace
 
+void SimConfig::Validate() const {
+  if (!(duration_s > 0.0) || !std::isfinite(duration_s))
+    throw std::invalid_argument("SimConfig: duration_s must be positive");
+  if (!(control_period_s > 0.0) || !std::isfinite(control_period_s))
+    throw std::invalid_argument(
+        "SimConfig: control_period_s must be positive");
+  if (!(scheduler_period_s > 0.0) || !std::isfinite(scheduler_period_s))
+    throw std::invalid_argument(
+        "SimConfig: scheduler_period_s must be positive");
+  if (!std::isfinite(arrival_rate) || arrival_rate < 0.0)
+    throw std::invalid_argument(
+        "SimConfig: arrival_rate must be finite and >= 0");
+  if (!(min_job_s > 0.0) || !(max_job_s >= min_job_s))
+    throw std::invalid_argument(
+        "SimConfig: need 0 < min_job_s <= max_job_s");
+  if (threads_per_job == 0)
+    throw std::invalid_argument("SimConfig: threads_per_job must be >= 1");
+  if (!std::isfinite(power_cap_w) || power_cap_w <= 0.0)
+    throw std::invalid_argument("SimConfig: power_cap_w must be positive");
+  if (!std::isfinite(thermal_margin_c) || thermal_margin_c < 0.0)
+    throw std::invalid_argument(
+        "SimConfig: thermal_margin_c must be finite and >= 0");
+  faults.Validate();
+}
+
 ChipSimulator::ChipSimulator(const arch::Platform& platform,
                              const SimConfig& config)
-    : platform_(&platform), config_(config) {}
+    : platform_(&platform), config_(config) {
+  config_.Validate();
+}
 
 FullSimResult ChipSimulator::Run() const {
   const std::size_t n = platform_->num_cores();
@@ -47,9 +77,18 @@ FullSimResult ChipSimulator::Run() const {
   const noc::MeshNoc mesh(platform_->floorplan());
   reliability::AgingState aging(n);
 
+  // Fault machinery; null when disabled so the fault-free path stays
+  // bit-identical (the bus then passes true temperatures through).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (config_.faults.enabled)
+    injector = std::make_unique<faults::FaultInjector>(config_.faults, n);
+  faults::SensorBus bus(n, platform_->thermal_model().ambient_c());
+  bus.AttachInjector(injector.get());
+
   std::vector<Job> running;
   std::deque<Job> queue;
   std::vector<bool> used(n, false);
+  std::vector<bool> down(n, false);  // fail-stopped / transiently-out cores
   // Predicted steady rise per core from budget powers (admission).
   std::vector<double> rise(n, 0.0);
 
@@ -88,6 +127,57 @@ FullSimResult ChipSimulator::Run() const {
       std::lround(config_.duration_s / config_.control_period_s));
 
   for (std::size_t step = 0; step < total_steps; ++step) {
+    const double now_s =
+        static_cast<double>(step) * config_.control_period_s;
+
+    // ---- Fault schedule and migration off failed cores.
+    if (injector) {
+      injector->BeginStep(now_s, config_.control_period_s);
+      for (const std::size_t c : injector->TakeNewlyRecoveredCores())
+        down[c] = false;
+      const std::vector<std::size_t> failed = injector->TakeNewlyDownCores();
+      if (!failed.empty()) {
+        for (const std::size_t c : failed) down[c] = true;
+        // Requeue (migrate) every running job that touches a failed
+        // core; thermal-safe admission re-places it on the degraded
+        // core set at the next epoch boundary.
+        for (auto it = running.begin(); it != running.end();) {
+          const bool hit = std::any_of(
+              it->cores.begin(), it->cores.end(),
+              [&](std::size_t c) { return down[c]; });
+          if (!hit) {
+            ++it;
+            continue;
+          }
+          const double p = budget_core_power(*it->app);
+          for (const std::size_t c : it->cores) {
+            used[c] = false;
+            for (std::size_t i = 0; i < n; ++i)
+              rise[i] -= influence(i, c) * p;
+          }
+          it->cores.clear();
+          if (it->remaining_s <= 0.0) {
+            ++result.jobs_completed;  // finished before the core died
+          } else {
+            ++result.jobs_requeued;
+            queue.push_front(std::move(*it));
+          }
+          it = running.erase(it);
+        }
+        for (const std::size_t c : failed) {
+          injector->log().Record(
+              now_s, faults::FaultEventKind::kMitigated,
+              injector->CoreDownPermanent(c)
+                  ? faults::FaultKind::kCoreFailStop
+                  : faults::FaultKind::kCoreTransient,
+              c, 0.0,
+              "jobs migrated off core; admission re-runs on the "
+              "degraded core set");
+        }
+        rebuild_noc();
+      }
+    }
+
     // ---- Scheduler epoch boundary.
     if (step % steps_per_epoch == 0) {
       // Departures first (jobs that finished during the last epoch).
@@ -116,12 +206,13 @@ FullSimResult ChipSimulator::Run() const {
         queue.push_back(std::move(job));
         ++result.jobs_arrived;
       }
-      // Thermal-safe admission with incremental dispersed placement.
+      // Thermal-safe admission with incremental dispersed placement
+      // (down cores are excluded: the degraded core set).
       while (!queue.empty()) {
         Job& job = queue.front();
         std::size_t free_count = 0;
         for (std::size_t c = 0; c < n; ++c)
-          if (!used[c]) ++free_count;
+          if (!used[c] && !down[c]) ++free_count;
         if (free_count < threads) break;
         const double p = budget_core_power(*job.app);
         std::vector<bool> used_try = used;
@@ -131,7 +222,7 @@ FullSimResult ChipSimulator::Run() const {
           std::size_t best = n;
           double best_peak = std::numeric_limits<double>::infinity();
           for (std::size_t cand = 0; cand < n; ++cand) {
-            if (used_try[cand]) continue;
+            if (used_try[cand] || down[cand]) continue;
             double peak = rise_try[cand] + influence(cand, cand) * p;
             for (std::size_t i = 0; i < n; ++i) {
               if (!used_try[i]) continue;
@@ -175,16 +266,27 @@ FullSimResult ChipSimulator::Run() const {
                                   vf0.vdd, vf0.freq, t_dtm);
           }
         }
-        thermal.InitializeSteadyState(p0);
+        const bool inject_solver_fault =
+            injector != nullptr && injector->ConsumeSolverFault();
+        if (thermal.InitializeSteadyStateRobust(p0, inject_solver_fault)) {
+          ++result.solver_retries;
+          if (injector)
+            injector->log().Record(
+                now_s, faults::FaultEventKind::kMitigated,
+                faults::FaultKind::kSolverNonConvergence, faults::kNoCore,
+                0.0, "warm start retried with perturbed pivoting");
+        }
       }
     }
 
     // ---- Per-core power at the current level and temperatures.
+    // Physics (leakage) always follows the true die temperatures; only
+    // control decisions below read the sensed values.
     const std::vector<double> temps = thermal.DieTemps();
     const power::VfLevel& vf = ladder[level];
     std::vector<double> powers(n);
     for (std::size_t c = 0; c < n; ++c)
-      powers[c] = noc_power[c] + pm.DarkCorePower(temps[c]);
+      powers[c] = down[c] ? 0.0 : noc_power[c] + pm.DarkCorePower(temps[c]);
     double gips_now = 0.0;
     for (const Job& job : running) {
       for (const std::size_t c : job.cores) {
@@ -198,17 +300,26 @@ FullSimResult ChipSimulator::Run() const {
     double total_power = 0.0;
     for (const double p : powers) total_power += p;
 
-    // ---- Governor: DTM throttle / Turbo boost.
-    const double peak = thermal.PeakDieTemp();
-    if (peak > t_dtm) {
-      level = ladder.StepDown(level);
-      result.time_above_tdtm_s += config_.control_period_s;
-    } else if (peak < t_dtm - config_.thermal_margin_c && level < max_level &&
-               total_power <= config_.power_cap_w) {
-      level = ladder.StepUp(level);
+    // ---- Governor: DTM throttle / Turbo boost, on sensed readings.
+    const std::vector<double>& sensed = bus.Sample(now_s, temps);
+    const double peak =
+        *std::max_element(sensed.begin(), sensed.end());
+    const double true_peak = thermal.PeakDieTemp();
+    std::size_t requested = level;
+    if (bus.InSafeState()) {
+      requested = 0;  // watchdog: pin the ladder at its lowest level
+    } else if (peak > t_dtm) {
+      requested = ladder.StepDown(level);
+    } else if (peak < t_dtm - config_.thermal_margin_c &&
+               level < max_level && total_power <= config_.power_cap_w) {
+      requested = ladder.StepUp(level);
     } else if (level > nominal && total_power > config_.power_cap_w) {
-      level = ladder.StepDown(level);
+      requested = ladder.StepDown(level);
     }
+    level = injector ? injector->ApplyDvfs(requested, level) : requested;
+    if (true_peak > t_dtm)
+      result.time_above_tdtm_s += config_.control_period_s;
+    if (bus.InSafeState()) result.safe_state_s += config_.control_period_s;
 
     // ---- Advance physics.
     thermal.Step(powers);
@@ -245,6 +356,11 @@ FullSimResult ChipSimulator::Run() const {
   result.avg_active_cores = active_acc / steps_d;
   result.aging_imbalance = aging.Imbalance();
   result.avg_noc_power_w = noc_acc / steps_d;
+  result.sensor_substitutions = bus.substitutions();
+  if (injector) {
+    result.cores_failed = injector->num_down_cores();
+    result.fault_log = std::move(injector->log());
+  }
   return result;
 }
 

@@ -14,8 +14,18 @@
 //     when T_DTM is violated (DTM);
 //   continuously: per-core Arrhenius wear accrual.
 //
+// The loop reads temperatures through a faults::SensorBus and survives
+// injected faults (SimConfig::faults): implausible or stale readings
+// are replaced by the bus's EWMA estimate, a watchdog safe-state pins
+// the ladder at its lowest level after repeated bad readings, jobs are
+// migrated (requeued + re-admitted on the degraded core set) off
+// fail-stopped cores, DVFS commands go through the possibly-stuck
+// actuator, and warm-start solver failures retry with perturbed
+// pivoting. With faults disabled the loop is bit-identical to the
+// fault-free implementation.
+//
 // The result is a trace of performance, power and temperature plus
-// end-of-run job statistics and aging balance.
+// end-of-run job statistics, aging balance and the structured FaultLog.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "arch/platform.hpp"
+#include "faults/fault_injector.hpp"
 #include "noc/mesh.hpp"
 #include "reliability/aging.hpp"
 
@@ -42,6 +53,12 @@ struct SimConfig {
   double power_cap_w = 500.0;     // electrical constraint (Sec. 6)
   double thermal_margin_c = 0.0;  // governor headroom below T_DTM
   std::uint64_t seed = 1;
+  faults::FaultConfig faults;     // disabled by default (zero-cost off)
+
+  /// Rejects non-positive durations/periods, inverted job-length
+  /// bounds, zero threads and non-finite rates with
+  /// std::invalid_argument. Called by the ChipSimulator constructor.
+  void Validate() const;
 };
 
 struct SimSnapshot {
@@ -66,10 +83,18 @@ struct FullSimResult {
   double avg_active_cores = 0.0;
   double aging_imbalance = 1.0;     // max/mean wear
   double avg_noc_power_w = 0.0;
+  // Robustness accounting (all zero when fault injection is off).
+  faults::FaultLog fault_log;
+  double safe_state_s = 0.0;        // time spent in the watchdog state
+  std::size_t jobs_requeued = 0;    // migrations off failed cores
+  std::size_t cores_failed = 0;     // cores down at the end of the run
+  std::size_t sensor_substitutions = 0;
+  std::size_t solver_retries = 0;
 };
 
 class ChipSimulator {
  public:
+  /// Throws std::invalid_argument when `config` fails Validate().
   ChipSimulator(const arch::Platform& platform, const SimConfig& config);
 
   /// Runs the configured duration. Deterministic in config.seed.

@@ -9,8 +9,10 @@ namespace ds::thermal {
 Floorplan::Floorplan(std::size_t rows, std::size_t cols, double core_w_mm,
                      double core_h_mm)
     : rows_(rows), cols_(cols), core_w_(core_w_mm), core_h_(core_h_mm) {
-  if (rows == 0 || cols == 0 || core_w_mm <= 0.0 || core_h_mm <= 0.0)
-    throw std::invalid_argument("Floorplan: dimensions must be positive");
+  if (rows == 0 || cols == 0 || !(core_w_mm > 0.0) || !(core_h_mm > 0.0) ||
+      !std::isfinite(core_w_mm) || !std::isfinite(core_h_mm))
+    throw std::invalid_argument(
+        "Floorplan: dimensions must be positive and finite");
 }
 
 Floorplan Floorplan::MakeGrid(std::size_t num_cores, double core_area_mm2) {

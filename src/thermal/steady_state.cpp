@@ -11,6 +11,10 @@ SteadyStateSolver::SteadyStateSolver(const RcModel& model)
 
 std::vector<double> SteadyStateSolver::SolveFull(
     std::span<const double> core_powers) const {
+  for (const double p : core_powers)
+    if (!std::isfinite(p))
+      throw std::invalid_argument(
+          "SteadyStateSolver: non-finite power input");
   std::vector<double> rhs = model_->ExpandPower(core_powers);
   const auto& amb_g = model_->ambient_conductance();
   const double t_amb = model_->ambient_c();
@@ -41,7 +45,7 @@ std::vector<double> SteadyStateSolver::SolveWithFeedback(
       return temps;
     }
   }
-  throw std::runtime_error(
+  throw util::SolverError(
       "SteadyStateSolver::SolveWithFeedback: no convergence "
       "(thermal runaway?)");
 }

@@ -38,7 +38,7 @@ class SteadyStateSolver {
   /// maps (core index, core temperature) to that core's total power; the
   /// solver iterates power -> temperature to a fixed point.
   /// Returns die temperatures; `out_powers` (optional) receives the
-  /// converged per-core powers. Throws std::runtime_error if the
+  /// converged per-core powers. Throws util::SolverError if the
   /// iteration fails to converge (thermal runaway).
   std::vector<double> SolveWithFeedback(
       const std::function<double(std::size_t, double)>& power_at_temp,

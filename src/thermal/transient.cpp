@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "thermal/steady_state.hpp"
@@ -16,6 +17,12 @@ util::Matrix BuildSystem(const RcModel& model, double dt) {
   for (std::size_t i = 0; i < model.num_nodes(); ++i)
     m(i, i) += model.capacitance()[i] / dt;
   return m;
+}
+
+bool AllFinite(std::span<const double> v) {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
 }
 
 }  // namespace
@@ -44,8 +51,45 @@ void TransientSimulator::InitializeSteadyState(
   time_ = 0.0;
 }
 
+bool TransientSimulator::InitializeSteadyStateRobust(
+    std::span<const double> core_powers, bool inject_failure) {
+  try {
+    if (inject_failure)
+      throw util::SolverError(
+          "InitializeSteadyStateRobust: injected non-convergence");
+    const SteadyStateSolver solver(*model_);
+    std::vector<double> solution = solver.SolveFull(core_powers);
+    if (!AllFinite(solution))
+      throw util::SolverError(
+          "InitializeSteadyStateRobust: non-finite steady state");
+    state_ = std::move(solution);
+    time_ = 0.0;
+    return false;
+  } catch (const util::SolverError&) {
+    // Retry with perturbed pivoting: regularizes a (near-)singular
+    // conductance factorization at O(pivot_floor) accuracy cost.
+    const util::LuFactorization lu(model_->conductance(),
+                                   /*pivot_floor=*/1e-10);
+    std::vector<double> rhs = model_->ExpandPower(core_powers);
+    const auto& amb_g = model_->ambient_conductance();
+    const double t_amb = model_->ambient_c();
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += amb_g[i] * t_amb;
+    std::vector<double> solution = lu.Solve(rhs);
+    if (!AllFinite(solution))
+      throw util::SolverError(
+          "InitializeSteadyStateRobust: steady-state solve failed even "
+          "with perturbed pivoting");
+    state_ = std::move(solution);
+    time_ = 0.0;
+    return true;
+  }
+}
+
 void TransientSimulator::Step(std::span<const double> core_powers) {
   assert(core_powers.size() == model_->num_cores());
+  if (!AllFinite(core_powers))
+    throw std::invalid_argument(
+        "TransientSimulator::Step: non-finite power input");
   std::vector<double> rhs(model_->num_nodes());
   const auto& cap = model_->capacitance();
   for (std::size_t i = 0; i < rhs.size(); ++i)

@@ -31,7 +31,20 @@ class TransientSimulator {
   /// (useful to skip the multi-second package warm-up).
   void InitializeSteadyState(std::span<const double> core_powers);
 
+  /// Hardened warm start: like InitializeSteadyState, but validates
+  /// that the solution is finite and, when the direct solve fails (or
+  /// `inject_failure` forces the failure path), retries once with a
+  /// perturbed-pivot factorization before throwing util::SolverError.
+  /// Returns true when the retry path produced the state -- callers log
+  /// that as a mitigation. The fault-free path is numerically identical
+  /// to InitializeSteadyState.
+  bool InitializeSteadyStateRobust(std::span<const double> core_powers,
+                                   bool inject_failure = false);
+
   /// Advances one step under the given per-core powers.
+  /// Throws std::invalid_argument if any power is NaN/non-finite (a
+  /// NaN would otherwise propagate silently through the implicit-Euler
+  /// solve and poison the whole state vector).
   void Step(std::span<const double> core_powers);
 
   /// Advances `n` steps with constant powers.

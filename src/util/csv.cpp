@@ -1,6 +1,5 @@
 #include "util/csv.hpp"
 
-#include <cassert>
 #include <iomanip>
 #include <stdexcept>
 
@@ -8,32 +7,57 @@ namespace ds::util {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path), columns_(header.size()) {
+    : out_(path), path_(path), columns_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i) out_ << ',';
     out_ << header[i];
   }
   out_ << '\n';
+  CheckStream("header write");
+}
+
+void CsvWriter::CheckStream(const char* what) const {
+  if (!out_)
+    throw std::runtime_error("CsvWriter: " + std::string(what) +
+                             " failed for " + path_);
 }
 
 void CsvWriter::WriteRow(const std::vector<double>& values) {
-  assert(values.size() == columns_);
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row has " +
+                                std::to_string(values.size()) +
+                                " values, header has " +
+                                std::to_string(columns_));
   out_ << std::setprecision(12);
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) out_ << ',';
     out_ << values[i];
   }
   out_ << '\n';
+  CheckStream("row write");
 }
 
 void CsvWriter::WriteRow(const std::vector<std::string>& values) {
-  assert(values.size() == columns_);
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row has " +
+                                std::to_string(values.size()) +
+                                " values, header has " +
+                                std::to_string(columns_));
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) out_ << ',';
     out_ << values[i];
   }
   out_ << '\n';
+  CheckStream("row write");
+}
+
+void CsvWriter::Close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  CheckStream("flush");
+  out_.close();
+  CheckStream("close");
 }
 
 }  // namespace ds::util

@@ -1,5 +1,11 @@
 // Minimal CSV writer so bench binaries can optionally dump series for
 // external plotting in addition to their console tables.
+//
+// Stream state is checked after the open and after every write: a full
+// disk or revoked permission surfaces as std::runtime_error at the
+// failing call instead of as a silently truncated CSV. Call Close()
+// (flush + final state check) to get a hard guarantee that the file
+// landed; the destructor only closes best-effort.
 #pragma once
 
 #include <fstream>
@@ -11,17 +17,27 @@ namespace ds::util {
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row.
-  /// Throws std::runtime_error if the file cannot be opened.
+  /// Throws std::runtime_error if the file cannot be opened or the
+  /// header cannot be written.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   /// Writes one data row; values are formatted with max precision.
+  /// Throws std::invalid_argument on a column-count mismatch and
+  /// std::runtime_error if the write fails.
   void WriteRow(const std::vector<double>& values);
 
-  /// Mixed string row.
+  /// Mixed string row. Same error contract as the double overload.
   void WriteRow(const std::vector<std::string>& values);
 
+  /// Flushes and verifies the stream; throws std::runtime_error if any
+  /// buffered output could not be committed. Idempotent.
+  void Close();
+
  private:
+  void CheckStream(const char* what) const;
+
   std::ofstream out_;
+  std::string path_;
   std::size_t columns_;
 };
 

@@ -7,9 +7,15 @@
 
 namespace ds::util {
 
-LuFactorization::LuFactorization(const Matrix& a) : n_(a.rows()), lu_(a) {
+LuFactorization::LuFactorization(const Matrix& a)
+    : LuFactorization(a, 0.0) {}
+
+LuFactorization::LuFactorization(const Matrix& a, double pivot_floor)
+    : n_(a.rows()), lu_(a) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("LuFactorization: matrix must be square");
+  if (pivot_floor < 0.0)
+    throw std::invalid_argument("LuFactorization: pivot_floor must be >= 0");
   perm_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
 
@@ -24,8 +30,12 @@ LuFactorization::LuFactorization(const Matrix& a) : n_(a.rows()), lu_(a) {
         pivot = r;
       }
     }
-    if (best < 1e-14)
-      throw std::runtime_error("LuFactorization: matrix is singular");
+    if (best < 1e-14) {
+      if (pivot_floor <= 0.0)
+        throw SolverError("LuFactorization: matrix is singular");
+      // Perturbed pivoting: regularize the vanishing pivot in place.
+      lu_(pivot, k) = lu_(pivot, k) < 0.0 ? -pivot_floor : pivot_floor;
+    }
     if (pivot != k) {
       auto rk = lu_.row(k);
       auto rp = lu_.row(pivot);

@@ -6,11 +6,21 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/matrix.hpp"
 
 namespace ds::util {
+
+/// Typed error for linear-solver failures (singular factorization,
+/// non-convergent fixed-point iteration, non-finite solutions). Derives
+/// from std::runtime_error so existing broad catches keep working while
+/// hardened callers can catch the solver class specifically and retry.
+class SolverError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// LU factorization (Doolittle, partial pivoting) of a square matrix.
 ///
@@ -20,8 +30,15 @@ namespace ds::util {
 class LuFactorization {
  public:
   /// Factors `a`. Throws std::invalid_argument if `a` is not square and
-  /// std::runtime_error if the matrix is numerically singular.
+  /// SolverError if the matrix is numerically singular.
   explicit LuFactorization(const Matrix& a);
+
+  /// Perturbed-pivot factorization: a pivot whose magnitude falls below
+  /// the singularity threshold is replaced by +/- `pivot_floor` instead
+  /// of aborting. This is the retry path for solves that failed or were
+  /// declared non-convergent: the perturbation regularizes the system
+  /// at O(pivot_floor) accuracy cost. `pivot_floor` must be positive.
+  LuFactorization(const Matrix& a, double pivot_floor);
 
   /// Solves A x = b for x. Requires b.size() == n().
   std::vector<double> Solve(std::span<const double> b) const;

@@ -60,6 +60,7 @@ void Table::WriteCsv(const std::string& path) const {
     cells.resize(headers_.size());
     csv.WriteRow(cells);
   }
+  csv.Close();
 }
 
 std::string FormatFixed(double v, int precision) {

@@ -9,6 +9,8 @@
 //   boost <node> <app> --instances k [--cap W]
 //   ntc <node> <app> [--instances k]
 //   characterize [app]                 first-principles Eq.(1) constants
+//   sim <node> [--duration s] [--rate r] [--seed n] [--fault-* ...]
+//                                      closed-loop co-sim, fault injection
 //
 // Nodes: 16nm | 11nm | 8nm (paper platforms: 100/198/361 cores).
 #include <iostream>
@@ -21,6 +23,7 @@
 #include "core/mapping.hpp"
 #include "core/ntc.hpp"
 #include "core/tsp.hpp"
+#include "sim/chip_sim.hpp"
 #include "thermal/thermal_map.hpp"
 #include "uarch/characterize.hpp"
 #include "util/args.hpp"
@@ -41,9 +44,17 @@ int Usage() {
       "  boost <node> <app> --instances k [--cap W]\n"
       "  ntc <node> <app> [--instances k]\n"
       "  characterize [app]\n"
+      "  sim <node> [--duration s] [--rate jobs/epoch] [--seed n]\n"
+      "      [--threads n] [--fault-seed n] [--fault-log-csv path]\n"
+      "      [--fault-sensor-dropout r] [--fault-sensor-nan r]\n"
+      "      [--fault-sensor-stuck r] [--fault-sensor-drift r]\n"
+      "      [--fault-sensor-noise sigma] [--fault-core-failstop r]\n"
+      "      [--fault-core-transient r] [--fault-dvfs-stuck r]\n"
+      "      [--fault-solver r] [--fault-max-failed-cores m]\n"
       "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
       "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
-      "densest\n";
+      "densest; fault rates are per control step (per core where\n"
+      "applicable), 0 disables the class\n";
   return 2;
 }
 
@@ -257,6 +268,68 @@ int CmdCharacterize(const util::ArgParser& args) {
   return 0;
 }
 
+int CmdSim(const util::ArgParser& args) {
+  if (args.positionals().size() < 2) return Usage();
+  const arch::Platform plat = arch::Platform::PaperPlatform(
+      power::TechByName(args.positionals()[1]).node);
+
+  sim::SimConfig cfg;
+  cfg.duration_s = args.GetDouble("duration", 2.0);
+  cfg.arrival_rate = args.GetDouble("rate", cfg.arrival_rate);
+  cfg.threads_per_job =
+      static_cast<std::size_t>(args.GetInt("threads", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  faults::FaultConfig& f = cfg.faults;
+  f.seed = static_cast<std::uint64_t>(args.GetInt("fault-seed", 42));
+  f.sensor_dropout_rate = args.GetDouble("fault-sensor-dropout", 0.0);
+  f.sensor_nan_rate = args.GetDouble("fault-sensor-nan", 0.0);
+  f.sensor_stuck_rate = args.GetDouble("fault-sensor-stuck", 0.0);
+  f.sensor_drift_rate = args.GetDouble("fault-sensor-drift", 0.0);
+  f.sensor_noise_sigma_c = args.GetDouble("fault-sensor-noise", 0.0);
+  f.core_failstop_rate = args.GetDouble("fault-core-failstop", 0.0);
+  f.core_transient_rate = args.GetDouble("fault-core-transient", 0.0);
+  f.dvfs_stuck_rate = args.GetDouble("fault-dvfs-stuck", 0.0);
+  f.solver_fail_rate = args.GetDouble("fault-solver", 0.0);
+  if (args.Has("fault-max-failed-cores"))
+    f.max_failed_cores =
+        static_cast<std::size_t>(args.GetInt("fault-max-failed-cores", 0));
+  f.enabled = true;
+  f.enabled = f.AnyFaultPossible();  // stay on the fault-free path if all 0
+
+  const sim::FullSimResult r = sim::ChipSimulator(plat, cfg).Run();
+
+  util::Table t({"metric", "value"});
+  t.Row().Cell("avg GIPS").Cell(r.avg_gips, 1);
+  t.Row().Cell("avg power [W]").Cell(r.avg_power_w, 1);
+  t.Row().Cell("energy [J]").Cell(r.energy_j, 1);
+  t.Row().Cell("max T [C]").Cell(r.max_temp_c, 1);
+  t.Row().Cell("time > T_DTM [ms]").Cell(1e3 * r.time_above_tdtm_s, 1);
+  t.Row().Cell("jobs arrived").Cell(r.jobs_arrived);
+  t.Row().Cell("jobs completed").Cell(r.jobs_completed);
+  if (f.enabled) {
+    t.Row().Cell("safe-state [ms]").Cell(1e3 * r.safe_state_s, 1);
+    t.Row().Cell("jobs requeued").Cell(r.jobs_requeued);
+    t.Row().Cell("cores failed").Cell(r.cores_failed);
+    t.Row().Cell("sensor substitutions").Cell(r.sensor_substitutions);
+    t.Row().Cell("solver retries").Cell(r.solver_retries);
+    t.Row()
+        .Cell("faults injected")
+        .Cell(r.fault_log.CountEvents(faults::FaultEventKind::kInjected));
+    t.Row()
+        .Cell("faults mitigated")
+        .Cell(r.fault_log.CountEvents(faults::FaultEventKind::kMitigated));
+  }
+  t.Print(std::cout);
+
+  const std::string log_path = args.GetString("fault-log-csv");
+  if (!log_path.empty()) {
+    r.fault_log.WriteCsv(log_path);
+    std::cout << "fault log written to " << log_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,6 +344,7 @@ int main(int argc, char** argv) {
     if (cmd == "boost") return CmdBoost(args);
     if (cmd == "ntc") return CmdNtc(args);
     if (cmd == "characterize") return CmdCharacterize(args);
+    if (cmd == "sim") return CmdSim(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
