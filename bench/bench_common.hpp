@@ -7,10 +7,14 @@
 #pragma once
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/app_profile.hpp"
+#include "telemetry/scoped.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace ds::bench {
@@ -30,6 +34,36 @@ inline bool FastMode() {
 inline double Duration(double full, double fast) {
   return FastMode() ? fast : full;
 }
+
+/// RAII wall-clock for one figure bench: construct at the top of main
+/// and every bench reports its total wall time the same way on exit.
+/// When DS_BENCH_TELEMETRY is set, telemetry is switched on for the
+/// run and the non-zero metric counters are printed too (a quick look
+/// at where the figure's time went without attaching a tracer).
+class FigureTimer {
+ public:
+  explicit FigureTimer(std::string name) : name_(std::move(name)) {
+    if (TelemetryMode()) telemetry::SetEnabled(true);
+  }
+
+  ~FigureTimer() {
+    std::cout << "\n[" << name_ << "] wall time: "
+              << util::FormatFixed(timer_.Seconds(), 2) << " s\n";
+    if (TelemetryMode()) telemetry::Registry().PrintNonZero(std::cout);
+  }
+
+  FigureTimer(const FigureTimer&) = delete;
+  FigureTimer& operator=(const FigureTimer&) = delete;
+
+  static bool TelemetryMode() {
+    const char* v = std::getenv("DS_BENCH_TELEMETRY");
+    return v != nullptr && *v != '\0';
+  }
+
+ private:
+  std::string name_;
+  telemetry::WallTimer timer_;
+};
 
 /// When DS_BENCH_CSV_DIR is set, dumps `table` to <dir>/<name>.csv so
 /// the figure data can be plotted externally. No-op otherwise.

@@ -14,6 +14,7 @@
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_aging");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const apps::AppProfile& app = apps::AppByName("swaptions");
   const std::size_t active = 60;

@@ -12,8 +12,11 @@
 #include "uarch/multicore.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_characterization");
   util::PrintBanner(std::cout,
                     "Extension: derived (simulated) vs calibrated "
                     "application characterization, 22 nm");

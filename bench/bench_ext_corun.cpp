@@ -11,6 +11,7 @@
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_corun");
   util::PrintBanner(std::cout,
                     "Extension: shared-L2 co-run interference "
                     "(private L1s, one 2 MiB L2)");

@@ -35,6 +35,7 @@ ds::sim::SimConfig BaseConfig(double duration_s) {
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_faults");
   const arch::Platform plat =
       arch::Platform::PaperPlatform(power::TechNode::N16);
   const double duration_s = bench::Duration(4.0, 1.0);

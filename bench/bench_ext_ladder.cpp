@@ -13,8 +13,11 @@
 #include "core/boosting.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_ladder");
   util::PrintBanner(std::cout,
                     "Extension: DVFS step-size ablation (x264 x12, 16 nm, "
                     "quasi-steady boost model)");

@@ -17,8 +17,11 @@
 #include "thermal/steady_state.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_model_ablations");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const core::DarkSiliconEstimator estimator(plat);
   const apps::AppProfile& app = apps::AppByName("swaptions");

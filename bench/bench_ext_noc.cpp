@@ -15,6 +15,7 @@
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_noc");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const core::DarkSiliconEstimator estimator(plat);
   const noc::MeshNoc mesh(plat.floorplan());

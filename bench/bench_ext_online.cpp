@@ -14,6 +14,7 @@
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_online");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const std::size_t epochs = bench::FastMode() ? 100 : 400;
 

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_rapl");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const core::BoostingSimulator sim(plat, apps::AppByName("x264"), 12, 8);
   const double duration = bench::Duration(20.0, 5.0);

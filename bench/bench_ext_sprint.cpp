@@ -14,6 +14,7 @@
 
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_sprint");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const apps::AppProfile& app = apps::AppByName("swaptions");
   const core::SprintAnalysis sprint(plat);

@@ -14,8 +14,11 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 int main() {
   using namespace ds;
+  const bench::FigureTimer bench_timer("ext_variation");
   arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
   const apps::AppProfile& app = apps::AppByName("swaptions");
   const core::DarkSiliconEstimator estimator(plat);

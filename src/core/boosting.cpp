@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::core {
 
 BoostingSimulator::BoostingSimulator(const arch::Platform& platform,
@@ -330,6 +332,9 @@ BoostTrace BoostingSimulator::RunBoosting(std::size_t start_level,
                                           double power_cap_w,
                                           double duration_s,
                                           double control_period_s) const {
+  DS_TELEM_SPAN_ARG("controller", "boosting_run",
+                    ds::telemetry::TraceLevel::kSpan, "duration_s",
+                    duration_s);
   const power::DvfsLadder& ladder = platform_->ladder();
   thermal::TransientSimulator sim(platform_->thermal_model(),
                                   control_period_s);
@@ -357,6 +362,7 @@ BoostTrace BoostingSimulator::RunBoosting(std::size_t start_level,
   for (std::size_t s = 0; s < steps; ++s) {
     // Control decision from the temperature at the period start.
     const double peak = sim.PeakDieTemp();
+    const std::size_t prev_level = level;
     if (peak < threshold_c) {
       const std::size_t up = ladder.StepUp(level);
       if (up != level) {
@@ -369,6 +375,13 @@ BoostTrace BoostingSimulator::RunBoosting(std::size_t start_level,
       }
     } else {
       level = ladder.StepDown(level);
+    }
+    if (level != prev_level) {
+      DS_TELEM_COUNT("boost.level_changes", 1);
+      ds::telemetry::EmitInstant(
+          "controller", level > prev_level ? "boost_up" : "boost_down",
+          ds::telemetry::TraceLevel::kDecision, "freq_ghz",
+          ladder[level].freq, "sim_time_s", sim.time());
     }
 
     std::vector<double> temps = sim.DieTemps();

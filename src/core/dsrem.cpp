@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::core {
 namespace {
 
@@ -21,6 +23,8 @@ JobList MakeJobList(const std::vector<const apps::AppProfile*>& apps,
 }
 
 Estimate TdpMap::Run(const JobList& jobs, double tdp_w) const {
+  DS_TELEM_SPAN("controller", "tdpmap_run", ds::telemetry::TraceLevel::kSpan);
+  DS_TELEM_COUNT("dsrem.tdpmap_runs", 1);
   const arch::Platform& plat = estimator_.platform();
   const std::size_t level = plat.ladder().NominalLevel();
   const power::VfLevel& vf = plat.ladder()[level];
@@ -150,6 +154,9 @@ apps::Workload DsRem::PackUnderTdp(const JobList& jobs, double tdp_w) const {
 }
 
 Estimate DsRem::Run(const JobList& jobs, double tdp_w) const {
+  DS_TELEM_SPAN("controller", "dsrem_run", ds::telemetry::TraceLevel::kSpan);
+  DS_TELEM_COUNT("dsrem.runs", 1);
+  DS_TELEM_TIMER("dsrem.run_us");
   const arch::Platform& plat = estimator_.platform();
   const power::DvfsLadder& ladder = plat.ladder();
   const std::size_t nominal = ladder.NominalLevel();

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "faults/sensor_bus.hpp"
+#include "telemetry/scoped.hpp"
 
 namespace ds::core {
 
@@ -49,6 +50,8 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
   if (!(duration_s > 0.0) || !std::isfinite(duration_s))
     throw std::invalid_argument("DtmSimulator: duration_s must be positive");
   options.Validate();
+  DS_TELEM_SPAN_ARG("controller", "dtm_run", ds::telemetry::TraceLevel::kSpan,
+                    "duration_s", duration_s);
   const double control_period_s = options.control_period_s;
   const double hysteresis_c = options.hysteresis_c;
 
@@ -130,8 +133,10 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
       std::lround(duration_s / control_period_s));
   const std::size_t stride = std::max<std::size_t>(1, steps / 500);
   double gips_acc = 0.0;
+  bool was_safe = false;
 
   for (std::size_t s = 0; s < steps; ++s) {
+    DS_TELEM_COUNT("dtm.control_steps", 1);
     const double now_s = static_cast<double>(s) * control_period_s;
     if (injector) {
       injector->BeginStep(now_s, control_period_s);
@@ -172,13 +177,32 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
         if (hottest < n) {
           on[hottest] = false;
           ++result.cores_shut_down;
+          DS_TELEM_COUNT("dtm.cores_gated", 1);
+          ds::telemetry::EmitInstant("controller", "dtm_gate_core",
+                                     ds::telemetry::TraceLevel::kDecision,
+                                     "core", static_cast<double>(hottest),
+                                     "sim_time_s", now_s);
         }
       }
     } else if (policy == DtmPolicy::kThrottleGlobal &&
                peak < t_crit - hysteresis_c && level < start_level) {
       requested = ladder.StepUp(level);
     }
+    const std::size_t prev_level = level;
     level = injector ? injector->ApplyDvfs(requested, level) : requested;
+    if (level != prev_level) {
+      DS_TELEM_COUNT("dtm.throttle_events", 1);
+      ds::telemetry::EmitInstant(
+          "controller", level < prev_level ? "dtm_throttle" : "dtm_relax",
+          ds::telemetry::TraceLevel::kDecision, "freq_ghz",
+          ladder[level].freq, "sim_time_s", now_s);
+    }
+    if (bus.InSafeState() != was_safe) {
+      was_safe = bus.InSafeState();
+      ds::telemetry::EmitInstant(
+          "controller", was_safe ? "safe_state_enter" : "safe_state_exit",
+          ds::telemetry::TraceLevel::kDecision, "sim_time_s", now_s);
+    }
     if (true_peak > t_crit) result.time_above_critical_s += control_period_s;
     if (bus.InSafeState()) result.safe_state_s += control_period_s;
 

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::core {
 namespace {
 
@@ -164,6 +166,8 @@ std::vector<std::size_t> SelectCoresGeometric(const thermal::Floorplan& fp,
 std::vector<std::size_t> SelectCores(const arch::Platform& platform,
                                      std::size_t count,
                                      MappingPolicy policy) {
+  DS_TELEM_COUNT("mapping.selections", 1);
+  DS_TELEM_TIMER("mapping.select_us");
   if (policy == MappingPolicy::kSpread)
     return SelectSpread(platform.solver().InfluenceMatrix(), count);
   return SelectCoresGeometric(platform.floorplan(), count, policy);

@@ -8,6 +8,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::core {
 namespace {
 
@@ -89,6 +91,8 @@ OnlineManager::OnlineManager(const arch::Platform& platform,
 }
 
 OnlineResult OnlineManager::Run(std::size_t epochs) const {
+  DS_TELEM_SPAN_ARG("sim", "online_run", ds::telemetry::TraceLevel::kSpan,
+                    "epochs", static_cast<double>(epochs));
   const std::size_t n = platform_->num_cores();
   const DarkSiliconEstimator estimator(*platform_);
   const std::size_t level = platform_->ladder().NominalLevel();
@@ -124,6 +128,7 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
   };
 
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    DS_TELEM_COUNT("online.epochs", 1);
     // 0. Fault schedule: migrate jobs off cores that went down.
     if (injector) {
       const double now_s = static_cast<double>(epoch);
@@ -150,6 +155,10 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
           budget_used -= p_core * static_cast<double>(config_.threads);
           it->cores.clear();
           ++result.jobs_requeued;
+          DS_TELEM_COUNT("online.jobs_requeued", 1);
+          ds::telemetry::EmitInstant("controller", "job_requeued",
+                                     ds::telemetry::TraceLevel::kDecision,
+                                     "epoch", static_cast<double>(epoch));
           queue.push_front(std::move(*it));
           it = running.erase(it);
         }
@@ -221,6 +230,7 @@ OnlineResult OnlineManager::Run(std::size_t epochs) const {
         job.cores = placed;
       }
       budget_used += p_core * static_cast<double>(config_.threads);
+      DS_TELEM_COUNT("online.jobs_admitted", 1);
       job.admit_epoch = epoch;
       wait_acc += static_cast<double>(epoch - job.arrival_epoch);
       ++admitted;

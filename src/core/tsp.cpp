@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::core {
 
 Tsp::Tsp(const arch::Platform& platform) : platform_(&platform) {}
@@ -12,6 +14,8 @@ Tsp::Tsp(const arch::Platform& platform) : platform_(&platform) {}
 double Tsp::ForMapping(std::span<const std::size_t> active) const {
   if (active.empty())
     throw std::invalid_argument("Tsp::ForMapping: empty active set");
+  DS_TELEM_COUNT("tsp.evaluations", 1);
+  DS_TELEM_TIMER("tsp.compute_us");
   const util::Matrix& a = platform_->solver().InfluenceMatrix();
   const std::size_t n = platform_->num_cores();
   const double t_amb = platform_->thermal_model().ambient_c();

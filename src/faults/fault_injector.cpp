@@ -4,7 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
-#include "util/csv.hpp"
+#include "telemetry/scoped.hpp"
+#include "util/table.hpp"
 
 namespace ds::faults {
 
@@ -46,6 +47,30 @@ const char* FaultEventKindName(FaultEventKind kind) {
 
 void FaultLog::Record(double time_s, FaultEventKind event, FaultKind kind,
                       std::size_t core, double value, std::string detail) {
+#if DS_TELEMETRY_COMPILED_IN
+  // Bridge every log entry into the trace stream as an instant event.
+  // Trace timestamps are wall-clock; simulation time and the affected
+  // core ride along as arguments. The category encodes the event kind
+  // so Perfetto can color-group injections vs. mitigations.
+  const char* cat = "fault.injected";
+  switch (event) {
+    case FaultEventKind::kInjected:
+      DS_TELEM_COUNT("faults.injected", 1);
+      break;
+    case FaultEventKind::kCleared:
+      cat = "fault.cleared";
+      DS_TELEM_COUNT("faults.cleared", 1);
+      break;
+    case FaultEventKind::kMitigated:
+      cat = "fault.mitigated";
+      DS_TELEM_COUNT("faults.mitigated", 1);
+      break;
+  }
+  ds::telemetry::EmitInstant(
+      cat, FaultKindName(kind), ds::telemetry::TraceLevel::kDecision,
+      "sim_time_s", time_s, "core",
+      core == kNoCore ? -1.0 : static_cast<double>(core));
+#endif
   events_.push_back(
       {time_s, event, kind, core, value, std::move(detail)});
 }
@@ -90,16 +115,19 @@ bool FaultLog::EveryInjectionMitigated() const {
 }
 
 void FaultLog::WriteCsv(const std::string& path) const {
-  util::CsvWriter csv(path, {"time_s", "event", "kind", "core", "value",
-                             "detail"});
+  // Build a util::Table and reuse its CSV writer (single dump path for
+  // tabular output across the repo).
+  util::Table table({"time_s", "event", "kind", "core", "value", "detail"});
   for (const FaultEvent& e : events_) {
-    csv.WriteRow(std::vector<std::string>{
-        std::to_string(e.time_s), FaultEventKindName(e.event),
-        FaultKindName(e.kind),
-        e.core == kNoCore ? std::string("-") : std::to_string(e.core),
-        std::to_string(e.value), e.detail});
+    table.Row()
+        .Cell(std::to_string(e.time_s))
+        .Cell(FaultEventKindName(e.event))
+        .Cell(FaultKindName(e.kind))
+        .Cell(e.core == kNoCore ? std::string("-") : std::to_string(e.core))
+        .Cell(std::to_string(e.value))
+        .Cell(e.detail);
   }
-  csv.Close();
+  table.WriteCsv(path);
 }
 
 void FaultConfig::Validate() const {

@@ -11,6 +11,7 @@
 #include "apps/app_profile.hpp"
 #include "apps/workload.hpp"
 #include "faults/sensor_bus.hpp"
+#include "telemetry/scoped.hpp"
 #include "thermal/transient.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +58,8 @@ ChipSimulator::ChipSimulator(const arch::Platform& platform,
 }
 
 FullSimResult ChipSimulator::Run() const {
+  DS_TELEM_SPAN_ARG("sim", "chip_sim_run", ds::telemetry::TraceLevel::kSpan,
+                    "duration_s", config_.duration_s);
   const std::size_t n = platform_->num_cores();
   const power::DvfsLadder& ladder = platform_->ladder();
   const power::PowerModel& pm = platform_->power_model();
@@ -160,6 +163,10 @@ FullSimResult ChipSimulator::Run() const {
             ++result.jobs_completed;  // finished before the core died
           } else {
             ++result.jobs_requeued;
+            DS_TELEM_COUNT("sim.jobs_requeued", 1);
+            ds::telemetry::EmitInstant("controller", "job_requeued",
+                                       ds::telemetry::TraceLevel::kDecision,
+                                       "sim_time_s", now_s);
             queue.push_front(std::move(*it));
           }
           it = running.erase(it);
@@ -180,6 +187,9 @@ FullSimResult ChipSimulator::Run() const {
 
     // ---- Scheduler epoch boundary.
     if (step % steps_per_epoch == 0) {
+      DS_TELEM_SPAN_ARG("sim", "scheduler_epoch",
+                        ds::telemetry::TraceLevel::kVerbose, "time_s", now_s);
+      DS_TELEM_COUNT("sim.epochs", 1);
       // Departures first (jobs that finished during the last epoch).
       for (auto it = running.begin(); it != running.end();) {
         if (it->remaining_s <= 0.0) {
@@ -316,7 +326,20 @@ FullSimResult ChipSimulator::Run() const {
     } else if (level > nominal && total_power > config_.power_cap_w) {
       requested = ladder.StepDown(level);
     }
+    const std::size_t prev_level = level;
     level = injector ? injector->ApplyDvfs(requested, level) : requested;
+    if (level != prev_level) {
+      const bool up = level > prev_level;
+      DS_TELEM_COUNT("sim.governor_changes", 1);
+      ds::telemetry::EmitInstant(
+          "controller",
+          bus.InSafeState() ? "governor_safe"
+          : up              ? "governor_up"
+                            : "governor_down",
+          ds::telemetry::TraceLevel::kDecision, "freq_ghz",
+          ladder[level].freq, "sim_time_s", now_s);
+    }
+    if (level > nominal) DS_TELEM_COUNT("sim.boost_steps", 1);
     if (true_peak > t_dtm)
       result.time_above_tdtm_s += config_.control_period_s;
     if (bus.InSafeState()) result.safe_state_s += config_.control_period_s;
@@ -336,6 +359,8 @@ FullSimResult ChipSimulator::Run() const {
     for (const double p : noc_power) noc_total += p;
     noc_acc += noc_total;
     ++control_steps;
+    DS_TELEM_COUNT("sim.control_steps", 1);
+    DS_TELEM_GAUGE_MAX("sim.peak_temp_c", thermal.PeakDieTemp());
 
     if (step % steps_per_epoch == 0) {
       SimSnapshot snap;
@@ -361,6 +386,10 @@ FullSimResult ChipSimulator::Run() const {
     result.cores_failed = injector->num_down_cores();
     result.fault_log = std::move(injector->log());
   }
+  DS_TELEM_GAUGE_SET("sim.sensor_substitutions",
+                     static_cast<double>(result.sensor_substitutions));
+  DS_TELEM_GAUGE_SET("sim.jobs_completed",
+                     static_cast<double>(result.jobs_completed));
   return result;
 }
 

@@ -1,0 +1,214 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace ds::telemetry {
+namespace {
+
+// Lock-free running min/max on an atomic<double> via CAS.
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void SetEnabled(bool on) {
+  internal::EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+void Gauge::UpdateMax(double v) { AtomicMax(value_, v); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i] > bounds_[i - 1]))
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Record(double v) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow = size()
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative +=
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (cumulative >= target)
+      return i < bounds_.size() ? bounds_[i] : max();
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> TimeBucketBoundsUs() {
+  // 1-2-5 series from 1 us to 10 s.
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (const double m : {1.0, 2.0, 5.0}) bounds.push_back(m * decade);
+  bounds.push_back(1e7);
+  return bounds;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricRow> MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  for (const auto& [name, c] : counters_)
+    rows.push_back({name, "counter", "value",
+                    static_cast<double>(c->value())});
+  for (const auto& [name, g] : gauges_)
+    rows.push_back({name, "gauge", "value", g->value()});
+  for (const auto& [name, h] : histograms_) {
+    rows.push_back({name, "histogram", "count",
+                    static_cast<double>(h->count())});
+    rows.push_back({name, "histogram", "sum", h->sum()});
+    rows.push_back({name, "histogram", "mean", h->mean()});
+    rows.push_back({name, "histogram", "min", h->min()});
+    rows.push_back({name, "histogram", "max", h->max()});
+    rows.push_back({name, "histogram", "p50", h->Quantile(0.50)});
+    rows.push_back({name, "histogram", "p95", h->Quantile(0.95)});
+    rows.push_back({name, "histogram", "p99", h->Quantile(0.99)});
+  }
+  return rows;
+}
+
+void MetricsRegistry::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("MetricsRegistry::WriteCsv: cannot open " +
+                             path);
+  out << "name,kind,field,value\n";
+  out.precision(17);
+  for (const MetricRow& row : Snapshot())
+    out << row.name << ',' << row.kind << ',' << row.field << ','
+        << row.value << '\n';
+  out.flush();
+  if (!out)
+    throw std::runtime_error("MetricsRegistry::WriteCsv: write failed for " +
+                             path);
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  os.precision(17);
+  for (const MetricRow& row : Snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << row.name << "\",\"kind\":\"" << row.kind
+       << "\",\"field\":\"" << row.field << "\",\"value\":" << row.value
+       << "}";
+  }
+  os << "\n]\n";
+}
+
+void MetricsRegistry::PrintNonZero(std::ostream& os) const {
+  for (const MetricRow& row : Snapshot()) {
+    if (row.value == 0.0) continue;
+    os << "  " << row.name << "." << row.field << " = " << row.value
+       << "\n";
+  }
+}
+
+void MetricsRegistry::ResetValues() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+}  // namespace ds::telemetry

@@ -1,0 +1,263 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ds::telemetry {
+namespace {
+
+std::atomic<std::size_t> g_buffer_capacity{65536};
+
+// Registry of every thread's buffer. Buffers are never destroyed
+// (threads may outlive the collector's view of them); the mutex guards
+// registration and export only, never emission.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<TraceBuffer*> buffers;
+};
+
+BufferRegistry& Buffers() {
+  static BufferRegistry* registry = new BufferRegistry();  // never freed
+  return *registry;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';  // control chars cannot appear in our literals
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+void AppendEventJson(std::ostream& os, const TraceEvent& e, int tid) {
+  os << "{\"name\":";
+  AppendJsonString(os, e.name != nullptr ? e.name : "?");
+  os << ",\"cat\":";
+  AppendJsonString(os, e.cat != nullptr ? e.cat : "ds");
+  os << ",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us
+     << ",\"pid\":1,\"tid\":" << tid;
+  if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
+  if (e.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+  if (e.arg0_name != nullptr || e.arg1_name != nullptr) {
+    os << ",\"args\":{";
+    bool first = true;
+    if (e.arg0_name != nullptr) {
+      AppendJsonString(os, e.arg0_name);
+      os << ":" << e.arg0;
+      first = false;
+    }
+    if (e.arg1_name != nullptr) {
+      if (!first) os << ",";
+      AppendJsonString(os, e.arg1_name);
+      os << ":" << e.arg1;
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void SetTraceLevel(TraceLevel level) {
+  internal::TraceLevelFlag().store(static_cast<int>(level),
+                                   std::memory_order_relaxed);
+}
+
+TraceLevel GetTraceLevel() {
+  return static_cast<TraceLevel>(
+      internal::TraceLevelFlag().load(std::memory_order_relaxed));
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceBuffer::Emit(const TraceEvent& event) {
+  const std::uint64_t w = written_.load(std::memory_order_relaxed);
+  ring_[static_cast<std::size_t>(w % ring_.size())] = event;
+  written_.store(w + 1, std::memory_order_release);
+}
+
+std::size_t TraceBuffer::size() const {
+  const std::uint64_t w = written_.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(w, ring_.size()));
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::uint64_t w = written_.load(std::memory_order_acquire);
+  return w > ring_.size() ? w - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  const std::uint64_t w = written_.load(std::memory_order_acquire);
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(w, ring_.size()));
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // Oldest retained event first: when wrapped, that is slot w % cap.
+  const std::uint64_t start = w > ring_.size() ? w - ring_.size() : 0;
+  for (std::uint64_t i = start; i < w; ++i)
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  return out;
+}
+
+void TraceBuffer::Clear() { written_.store(0, std::memory_order_release); }
+
+void SetTraceBufferCapacity(std::size_t capacity) {
+  g_buffer_capacity.store(capacity == 0 ? 1 : capacity,
+                          std::memory_order_relaxed);
+}
+
+TraceBuffer& ThreadTraceBuffer() {
+  thread_local TraceBuffer* buffer = [] {
+    auto* b = new TraceBuffer(
+        g_buffer_capacity.load(std::memory_order_relaxed));  // never freed
+    BufferRegistry& reg = Buffers();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void EmitInstant(const char* cat, const char* name, TraceLevel level,
+                 const char* arg0_name, double arg0, const char* arg1_name,
+                 double arg1) {
+  if (!TraceOn(level)) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_us = TraceNowUs();
+  e.arg0_name = arg0_name;
+  e.arg0 = arg0;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  ThreadTraceBuffer().Emit(e);
+}
+
+ScopedSpan::ScopedSpan(const char* cat, const char* name, TraceLevel level,
+                       const char* arg0_name, double arg0)
+    : cat_(cat),
+      name_(name),
+      arg0_name_(arg0_name),
+      arg0_(arg0),
+      start_us_(0),
+      active_(TraceOn(level)) {
+  if (active_) start_us_ = TraceNowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.phase = 'X';
+  e.ts_us = start_us_;
+  e.dur_us = TraceNowUs() - start_us_;
+  e.arg0_name = arg0_name_;
+  e.arg0 = arg0_;
+  ThreadTraceBuffer().Emit(e);
+}
+
+std::uint64_t TotalDroppedEvents() {
+  BufferRegistry& reg = Buffers();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t total = 0;
+  for (const TraceBuffer* b : reg.buffers) total += b->dropped();
+  return total;
+}
+
+std::size_t TotalTraceEvents() {
+  BufferRegistry& reg = Buffers();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t total = 0;
+  for (const TraceBuffer* b : reg.buffers) total += b->size();
+  return total;
+}
+
+void WriteChromeTrace(std::ostream& os) {
+  struct Tagged {
+    TraceEvent event;
+    int tid;
+  };
+  std::vector<Tagged> all;
+  {
+    BufferRegistry& reg = Buffers();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    int tid = 1;
+    for (const TraceBuffer* b : reg.buffers) {
+      for (const TraceEvent& e : b->Snapshot()) all.push_back({e, tid});
+      ++tid;
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.event.ts_us < b.event.ts_us;
+                   });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << TotalDroppedEvents() << "},\"traceEvents\":[";
+  bool first = true;
+  os.precision(17);
+  for (const Tagged& t : all) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    AppendEventJson(os, t.event, t.tid);
+  }
+  os << "\n]}\n";
+}
+
+void WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("WriteChromeTrace: cannot open " + path);
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out)
+    throw std::runtime_error("WriteChromeTrace: write failed for " + path);
+}
+
+void ClearTrace() {
+  BufferRegistry& reg = Buffers();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (TraceBuffer* b : reg.buffers) b->Clear();
+}
+
+}  // namespace ds::telemetry

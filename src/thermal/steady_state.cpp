@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::thermal {
 
 SteadyStateSolver::SteadyStateSolver(const RcModel& model)
@@ -15,6 +17,8 @@ std::vector<double> SteadyStateSolver::SolveFull(
     if (!std::isfinite(p))
       throw std::invalid_argument(
           "SteadyStateSolver: non-finite power input");
+  DS_TELEM_COUNT("thermal.steady_solves", 1);
+  DS_TELEM_TIMER("thermal.steady_solve_us");
   std::vector<double> rhs = model_->ExpandPower(core_powers);
   const auto& amb_g = model_->ambient_conductance();
   const double t_amb = model_->ambient_c();
@@ -52,6 +56,9 @@ std::vector<double> SteadyStateSolver::SolveWithFeedback(
 
 const util::Matrix& SteadyStateSolver::InfluenceMatrix() const {
   if (!influence_) {
+    DS_TELEM_SPAN("thermal", "influence_matrix_build",
+                  ds::telemetry::TraceLevel::kSpan);
+    DS_TELEM_TIMER("thermal.influence_build_us");
     const std::size_t n = model_->num_cores();
     auto a = std::make_unique<util::Matrix>(n, n);
     std::vector<double> rhs(model_->num_nodes(), 0.0);

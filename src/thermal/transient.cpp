@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/scoped.hpp"
 #include "thermal/steady_state.hpp"
 
 namespace ds::thermal {
@@ -53,6 +54,7 @@ void TransientSimulator::InitializeSteadyState(
 
 bool TransientSimulator::InitializeSteadyStateRobust(
     std::span<const double> core_powers, bool inject_failure) {
+  DS_TELEM_SPAN("thermal", "warm_start", ds::telemetry::TraceLevel::kSpan);
   try {
     if (inject_failure)
       throw util::SolverError(
@@ -68,6 +70,9 @@ bool TransientSimulator::InitializeSteadyStateRobust(
   } catch (const util::SolverError&) {
     // Retry with perturbed pivoting: regularizes a (near-)singular
     // conductance factorization at O(pivot_floor) accuracy cost.
+    DS_TELEM_COUNT("thermal.solver_retries", 1);
+    ds::telemetry::EmitInstant("thermal", "solver_retry",
+                               ds::telemetry::TraceLevel::kDecision);
     const util::LuFactorization lu(model_->conductance(),
                                    /*pivot_floor=*/1e-10);
     std::vector<double> rhs = model_->ExpandPower(core_powers);
@@ -90,6 +95,8 @@ void TransientSimulator::Step(std::span<const double> core_powers) {
   if (!AllFinite(core_powers))
     throw std::invalid_argument(
         "TransientSimulator::Step: non-finite power input");
+  DS_TELEM_COUNT("thermal.transient_steps", 1);
+  DS_TELEM_TIMER("thermal.transient_step_us");
   std::vector<double> rhs(model_->num_nodes());
   const auto& cap = model_->capacitance();
   for (std::size_t i = 0; i < rhs.size(); ++i)

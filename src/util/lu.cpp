@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/scoped.hpp"
+
 namespace ds::util {
 
 LuFactorization::LuFactorization(const Matrix& a)
@@ -16,6 +18,8 @@ LuFactorization::LuFactorization(const Matrix& a, double pivot_floor)
     throw std::invalid_argument("LuFactorization: matrix must be square");
   if (pivot_floor < 0.0)
     throw std::invalid_argument("LuFactorization: pivot_floor must be >= 0");
+  DS_TELEM_COUNT("lu.factorizations", 1);
+  DS_TELEM_TIMER("lu.factor_us");
   perm_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
 
@@ -73,6 +77,7 @@ void LuFactorization::SolveInPlace(std::span<double> x) const {
 }
 
 void LuFactorization::SolveInPlaceNoPermute(std::span<double> x) const {
+  DS_TELEM_COUNT("lu.solves", 1);
   // Forward substitution with unit-diagonal L.
   for (std::size_t r = 1; r < n_; ++r) {
     auto row = lu_.row(r);

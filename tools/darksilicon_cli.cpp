@@ -13,6 +13,7 @@
 //                                      closed-loop co-sim, fault injection
 //
 // Nodes: 16nm | 11nm | 8nm (paper platforms: 100/198/361 cores).
+#include <cmath>
 #include <iostream>
 #include <string>
 
@@ -24,6 +25,10 @@
 #include "core/ntc.hpp"
 #include "core/tsp.hpp"
 #include "sim/chip_sim.hpp"
+#include "telemetry/run_summary.hpp"
+#include "telemetry/scoped.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "thermal/thermal_map.hpp"
 #include "uarch/characterize.hpp"
 #include "util/args.hpp"
@@ -45,7 +50,9 @@ int Usage() {
       "  ntc <node> <app> [--instances k]\n"
       "  characterize [app]\n"
       "  sim <node> [--duration s] [--rate jobs/epoch] [--seed n]\n"
-      "      [--threads n] [--fault-seed n] [--fault-log-csv path]\n"
+      "      [--threads n] [--metrics-out path] [--trace-out path]\n"
+      "      [--trace-level off|decision|span|verbose]\n"
+      "      [--fault-seed n] [--fault-log-csv path]\n"
       "      [--fault-sensor-dropout r] [--fault-sensor-nan r]\n"
       "      [--fault-sensor-stuck r] [--fault-sensor-drift r]\n"
       "      [--fault-sensor-noise sigma] [--fault-core-failstop r]\n"
@@ -54,8 +61,17 @@ int Usage() {
       "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
       "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
       "densest; fault rates are per control step (per core where\n"
-      "applicable), 0 disables the class\n";
+      "applicable), 0 disables the class; --metrics-out / --trace-out\n"
+      "enable the telemetry subsystem (--trace-out opens in Perfetto)\n";
   return 2;
+}
+
+telemetry::TraceLevel TraceLevelByName(const std::string& name) {
+  if (name == "off") return telemetry::TraceLevel::kOff;
+  if (name == "decision") return telemetry::TraceLevel::kDecision;
+  if (name == "span") return telemetry::TraceLevel::kSpan;
+  if (name == "verbose") return telemetry::TraceLevel::kVerbose;
+  throw std::invalid_argument("unknown trace level: " + name);
 }
 
 core::MappingPolicy PolicyByName(const std::string& name) {
@@ -297,7 +313,18 @@ int CmdSim(const util::ArgParser& args) {
   f.enabled = true;
   f.enabled = f.AnyFaultPossible();  // stay on the fault-free path if all 0
 
+  // Telemetry is opt-in: any output flag switches it on for the run.
+  const std::string metrics_path = args.GetString("metrics-out");
+  const std::string trace_path = args.GetString("trace-out");
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    telemetry::SetEnabled(true);
+    telemetry::SetTraceLevel(
+        TraceLevelByName(args.GetString("trace-level", "span")));
+  }
+
+  const telemetry::WallTimer wall;
   const sim::FullSimResult r = sim::ChipSimulator(plat, cfg).Run();
+  const double wall_s = wall.Seconds();
 
   util::Table t({"metric", "value"});
   t.Row().Cell("avg GIPS").Cell(r.avg_gips, 1);
@@ -326,6 +353,40 @@ int CmdSim(const util::ArgParser& args) {
   if (!log_path.empty()) {
     r.fault_log.WriteCsv(log_path);
     std::cout << "fault log written to " << log_path << "\n";
+  }
+
+  telemetry::RunSummary summary;
+  summary.title = "sim " + args.positionals()[1];
+  summary.sim_time_s = cfg.duration_s;
+  // Only telemetry-enabled runs report wall time: the default `sim`
+  // output stays byte-identical across runs (fixed seeds everywhere).
+  if (telemetry::Enabled()) summary.wall_time_s = wall_s;
+  summary.epochs = r.trace.size();
+  summary.control_steps = static_cast<std::size_t>(
+      std::lround(cfg.duration_s / cfg.control_period_s));
+  summary.jobs_arrived = r.jobs_arrived;
+  summary.jobs_completed = r.jobs_completed;
+  summary.jobs_requeued = r.jobs_requeued;
+  summary.peak_temp_c = r.max_temp_c;
+  summary.time_above_tdtm_s = r.time_above_tdtm_s;
+  summary.avg_gips = r.avg_gips;
+  summary.avg_power_w = r.avg_power_w;
+  summary.sensor_fallbacks = r.sensor_substitutions;
+  summary.solver_retries = r.solver_retries;
+  summary.cores_failed = r.cores_failed;
+  summary.safe_state_s = r.safe_state_s;
+  summary.CollectTelemetry();
+  std::cout << "\n";
+  summary.Print(std::cout);
+
+  if (!metrics_path.empty()) {
+    telemetry::Registry().WriteCsv(metrics_path);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    telemetry::WriteChromeTrace(trace_path);
+    std::cout << "trace written to " << trace_path
+              << " (open in https://ui.perfetto.dev)\n";
   }
   return 0;
 }

@@ -1,0 +1,43 @@
+// trace_check -- validates a Chrome trace_event JSON file.
+//
+// Usage: trace_check <trace.json>
+//
+// Parses the file with the telemetry JSON reader and applies the same
+// structural checks Perfetto needs (traceEvents array, per-event name /
+// ph / ts fields). Exit 0 and a one-line summary on success; exit 1
+// with the parse error otherwise. CI runs this against the trace the
+// `darksilicon sim --trace-out` smoke test produced.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_check <trace.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::size_t num_events = 0;
+  std::string error;
+  if (!ds::telemetry::ValidateChromeTrace(buf.str(), &num_events, &error)) {
+    std::cerr << "trace_check: " << argv[1] << ": " << error << "\n";
+    return 1;
+  }
+  if (num_events == 0) {
+    std::cerr << "trace_check: " << argv[1] << ": trace has no events\n";
+    return 1;
+  }
+  std::cout << "trace_check: " << argv[1] << ": OK (" << num_events
+            << " events)\n";
+  return 0;
+}
