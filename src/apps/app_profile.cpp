@@ -1,12 +1,13 @@
 #include "apps/app_profile.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::apps {
 
 double AppProfile::Speedup(std::size_t threads) const {
-  assert(threads >= 1);
+  DS_REQUIRE(threads >= 1, "AppProfile::Speedup: thread count must be >= 1");
   const double n = static_cast<double>(threads);
   return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n);
 }

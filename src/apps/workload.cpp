@@ -1,7 +1,8 @@
 #include "apps/workload.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::apps {
 
@@ -11,10 +12,11 @@ double Instance::CorePower(const power::PowerModel& pm, double temp_c) const {
 }
 
 void Workload::Add(Instance instance) {
-  if (instance.app == nullptr)
-    throw std::invalid_argument("Workload::Add: null application");
-  if (instance.threads < 1 || instance.threads > kMaxThreadsPerInstance)
-    throw std::invalid_argument("Workload::Add: invalid thread count");
+  DS_REQUIRE(instance.app != nullptr, "Workload::Add: null application");
+  DS_REQUIRE(instance.threads >= 1 &&
+                 instance.threads <= kMaxThreadsPerInstance,
+             "Workload::Add: " << instance.threads
+                 << " threads not in [1, " << kMaxThreadsPerInstance << "]");
   instances_.push_back(instance);
 }
 

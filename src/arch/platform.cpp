@@ -1,6 +1,9 @@
 #include "arch/platform.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::arch {
 
@@ -11,7 +14,12 @@ Platform::Platform(power::TechNode node, std::size_t num_cores,
           thermal::Floorplan::MakeGrid(num_cores, tech_->core_area_mm2)),
       ladder_(*tech_, 1.0, tech_->boost_max_freq, ladder_step_ghz),
       power_model_(*tech_),
-      vf_curve_(*tech_) {}
+      vf_curve_(*tech_) {
+  DS_REQUIRE(num_cores >= 1, "Platform: core count must be >= 1");
+  DS_REQUIRE(ladder_step_ghz > 0.0 && std::isfinite(ladder_step_ghz),
+             "Platform: ladder step " << ladder_step_ghz
+                                      << " GHz must be positive");
+}
 
 Platform Platform::PaperPlatform(power::TechNode node) {
   switch (node) {

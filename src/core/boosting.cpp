@@ -1,11 +1,11 @@
 #include "core/boosting.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::core {
 
@@ -42,7 +42,8 @@ Estimate BoostingSimulator::SteadyAtLevel(std::size_t level) const {
 
 bool BoostingSimulator::MaxSafeConstantLevel(double power_cap_w,
                                              std::size_t* level_out) const {
-  assert(level_out != nullptr);
+  DS_REQUIRE(level_out != nullptr,
+             "MaxSafeConstantLevel: level_out must not be null");
   bool found = false;
   for (std::size_t level = 0; level < platform_->ladder().size(); ++level) {
     Estimate e;

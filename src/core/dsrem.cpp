@@ -1,10 +1,11 @@
 #include "core/dsrem.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::core {
 namespace {
@@ -15,6 +16,9 @@ constexpr double kThermalMarginC = 0.2;  // stop raising this close to TDTM
 
 JobList MakeJobList(const std::vector<const apps::AppProfile*>& apps,
                     std::size_t count) {
+  DS_REQUIRE(!apps.empty() || count == 0,
+             "MakeJobList: cannot draw " << count << " jobs from an empty "
+                                            "application set");
   JobList jobs;
   jobs.reserve(count);
   for (std::size_t i = 0; i < count; ++i)
@@ -23,6 +27,8 @@ JobList MakeJobList(const std::vector<const apps::AppProfile*>& apps,
 }
 
 Estimate TdpMap::Run(const JobList& jobs, double tdp_w) const {
+  DS_REQUIRE(tdp_w >= 0.0 && std::isfinite(tdp_w),
+             "TdpMap::Run: TDP " << tdp_w << " W must be >= 0");
   DS_TELEM_SPAN("controller", "tdpmap_run", ds::telemetry::TraceLevel::kSpan);
   DS_TELEM_COUNT("dsrem.tdpmap_runs", 1);
   const arch::Platform& plat = estimator_.platform();
@@ -51,6 +57,8 @@ Estimate TdpMap::Run(const JobList& jobs, double tdp_w) const {
 }
 
 apps::Workload DsRem::PackUnderTdp(const JobList& jobs, double tdp_w) const {
+  DS_REQUIRE(tdp_w >= 0.0 && std::isfinite(tdp_w),
+             "DsRem::PackUnderTdp: TDP " << tdp_w << " W must be >= 0");
   const arch::Platform& plat = estimator_.platform();
   const power::DvfsLadder& ladder = plat.ladder();
   const std::size_t nominal = ladder.NominalLevel();

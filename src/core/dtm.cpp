@@ -1,13 +1,13 @@
 #include "core/dtm.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 
 #include "faults/sensor_bus.hpp"
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::core {
 
@@ -22,12 +22,12 @@ const char* DtmPolicyName(DtmPolicy policy) {
 }
 
 void DtmRunOptions::Validate() const {
-  if (!(control_period_s > 0.0) || !std::isfinite(control_period_s))
-    throw std::invalid_argument(
-        "DtmRunOptions: control_period_s must be positive");
-  if (!(hysteresis_c >= 0.0) || !std::isfinite(hysteresis_c))
-    throw std::invalid_argument(
-        "DtmRunOptions: hysteresis_c must be finite and >= 0");
+  DS_REQUIRE(control_period_s > 0.0 && std::isfinite(control_period_s),
+             "DtmRunOptions: control_period_s " << control_period_s
+                 << " must be positive");
+  DS_REQUIRE(hysteresis_c >= 0.0 && std::isfinite(hysteresis_c),
+             "DtmRunOptions: hysteresis_c " << hysteresis_c
+                 << " must be finite and >= 0");
   faults.Validate();
 }
 
@@ -39,16 +39,19 @@ DtmSimulator::DtmSimulator(const arch::Platform& platform,
       app_(&app),
       instances_(instances),
       threads_(threads) {
-  if (instances * threads > platform.num_cores())
-    throw std::invalid_argument("DtmSimulator: workload does not fit");
+  DS_REQUIRE(instances * threads <= platform.num_cores(),
+             "DtmSimulator: " << instances << " x " << threads
+                 << " threads do not fit on " << platform.num_cores()
+                 << " cores");
   active_set_ = SelectCores(platform, instances * threads, placement);
 }
 
 DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
                             double duration_s,
                             const DtmRunOptions& options) const {
-  if (!(duration_s > 0.0) || !std::isfinite(duration_s))
-    throw std::invalid_argument("DtmSimulator: duration_s must be positive");
+  DS_REQUIRE(duration_s > 0.0 && std::isfinite(duration_s),
+             "DtmSimulator: duration_s " << duration_s
+                 << " must be positive");
   options.Validate();
   DS_TELEM_SPAN_ARG("controller", "dtm_run", ds::telemetry::TraceLevel::kSpan,
                     "duration_s", duration_s);

@@ -1,8 +1,9 @@
 #include "core/estimator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::core {
 namespace {
@@ -77,9 +78,9 @@ Estimate DarkSiliconEstimator::EvaluateImpl(
     const apps::Workload& workload, std::vector<std::size_t> active_set,
     const arch::VariationMap* variation,
     const std::vector<double>* extra_per_tile_w) const {
-  if (active_set.size() != workload.TotalCores())
-    throw std::invalid_argument(
-        "EvaluateWorkload: active set size != workload cores");
+  DS_REQUIRE(active_set.size() == workload.TotalCores(),
+             "EvaluateWorkload: active set of " << active_set.size()
+                 << " cores for a workload needing " << workload.TotalCores());
   const std::size_t n = platform_->num_cores();
   const auto slots = SlotsOf(workload);
   const power::PowerModel& pm = platform_->power_model();
@@ -88,7 +89,9 @@ Estimate DarkSiliconEstimator::EvaluateImpl(
   constexpr std::size_t kDark = static_cast<std::size_t>(-1);
   std::vector<std::size_t> slot_of(n, kDark);
   for (std::size_t k = 0; k < active_set.size(); ++k) {
-    assert(active_set[k] < n);
+    DS_REQUIRE(active_set[k] < n,
+               "EvaluateWorkload: active core " << active_set[k]
+                   << " out of range for " << n << " cores");
     slot_of[active_set[k]] = k;
   }
 

@@ -1,13 +1,13 @@
 #include "core/mapping.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::core {
 namespace {
@@ -68,8 +68,8 @@ const char* MappingPolicyName(MappingPolicy policy) {
 std::vector<std::size_t> SelectSpread(const util::Matrix& influence,
                                       std::size_t count) {
   const std::size_t n = influence.rows();
-  if (count > n)
-    throw std::invalid_argument("SelectSpread: count exceeds core count");
+  DS_REQUIRE(count <= n, "SelectSpread: count " << count << " exceeds "
+                             << n << " cores");
   std::vector<bool> chosen(n, false);
   // row_sum[i] = current steady-state rise at core i per watt applied
   // uniformly on the chosen set.
@@ -92,7 +92,8 @@ std::vector<std::size_t> SelectSpread(const util::Matrix& influence,
         best = cand;
       }
     }
-    assert(best < n);
+    DS_INVARIANT(best < n, "SelectSpread: greedy step " << step
+                               << " found no candidate");
     chosen[best] = true;
     out.push_back(best);
     for (std::size_t i = 0; i < n; ++i) row_sum[i] += influence(i, best);
@@ -106,12 +107,11 @@ std::vector<std::size_t> SelectVariationAware(
     const std::vector<double>& leakage_factors, std::size_t count,
     double leak_weight) {
   const std::size_t n = influence.rows();
-  if (count > n)
-    throw std::invalid_argument(
-        "SelectVariationAware: count exceeds core count");
-  if (leakage_factors.size() != n)
-    throw std::invalid_argument(
-        "SelectVariationAware: leakage factor size mismatch");
+  DS_REQUIRE(count <= n, "SelectVariationAware: count " << count
+                             << " exceeds " << n << " cores");
+  DS_REQUIRE(leakage_factors.size() == n,
+             "SelectVariationAware: " << leakage_factors.size()
+                 << " leakage factors for " << n << " cores");
   // Same greedy as SelectSpread, but core j contributes
   // w_j = (1 - leak_weight) + leak_weight * leak_j per unit of nominal
   // power: a leaky core heats its neighbourhood more.
@@ -136,7 +136,8 @@ std::vector<std::size_t> SelectVariationAware(
         best = cand;
       }
     }
-    assert(best < n);
+    DS_INVARIANT(best < n, "SelectVariationAware: greedy step " << step
+                               << " found no candidate");
     chosen[best] = true;
     out.push_back(best);
     for (std::size_t i = 0; i < n; ++i)
@@ -149,8 +150,9 @@ std::vector<std::size_t> SelectVariationAware(
 std::vector<std::size_t> SelectCoresGeometric(const thermal::Floorplan& fp,
                                               std::size_t count,
                                               MappingPolicy policy) {
-  if (count > fp.num_cores())
-    throw std::invalid_argument("SelectCores: count exceeds core count");
+  DS_REQUIRE(count <= fp.num_cores(),
+             "SelectCores: count " << count << " exceeds "
+                                   << fp.num_cores() << " cores");
   switch (policy) {
     case MappingPolicy::kContiguous:
       return SelectContiguous(fp, count);
@@ -177,7 +179,9 @@ std::vector<bool> ActiveMask(std::size_t num_cores,
                              const std::vector<std::size_t>& active) {
   std::vector<bool> mask(num_cores, false);
   for (const std::size_t i : active) {
-    assert(i < num_cores);
+    DS_REQUIRE(i < num_cores, "ActiveMask: core index " << i
+                                  << " out of range for " << num_cores
+                                  << " cores");
     mask[i] = true;
   }
   return mask;

@@ -1,7 +1,6 @@
 #include "core/online_manager.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -9,6 +8,7 @@
 #include <stdexcept>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::core {
 namespace {
@@ -49,7 +49,8 @@ std::vector<std::size_t> PlaceIncremental(const util::Matrix& influence,
         best = cand;
       }
     }
-    assert(best < n);
+    DS_INVARIANT(best < n, "PlaceIncremental: greedy step " << k
+                               << " found no free core");
     used[best] = true;
     placed.push_back(best);
     for (std::size_t i = 0; i < n; ++i)
@@ -71,16 +72,15 @@ const char* AdmissionPolicyName(AdmissionPolicy policy) {
 }
 
 void OnlineConfig::Validate() const {
-  if (!std::isfinite(arrival_rate) || arrival_rate < 0.0)
-    throw std::invalid_argument(
-        "OnlineConfig: arrival_rate must be finite and >= 0");
-  if (min_duration == 0 || max_duration < min_duration)
-    throw std::invalid_argument(
-        "OnlineConfig: need 1 <= min_duration <= max_duration");
-  if (threads == 0)
-    throw std::invalid_argument("OnlineConfig: threads must be >= 1");
-  if (!std::isfinite(tdp_w) || tdp_w <= 0.0)
-    throw std::invalid_argument("OnlineConfig: tdp_w must be positive");
+  DS_REQUIRE(std::isfinite(arrival_rate) && arrival_rate >= 0.0,
+             "OnlineConfig: arrival_rate " << arrival_rate
+                 << " must be finite and >= 0");
+  DS_REQUIRE(min_duration >= 1 && max_duration >= min_duration,
+             "OnlineConfig: duration band [" << min_duration << ", "
+                 << max_duration << "] must satisfy 1 <= min <= max");
+  DS_REQUIRE(threads >= 1, "OnlineConfig: threads must be >= 1");
+  DS_REQUIRE(std::isfinite(tdp_w) && tdp_w > 0.0,
+             "OnlineConfig: tdp_w " << tdp_w << " must be positive");
   faults.Validate();
 }
 

@@ -1,23 +1,25 @@
 #include "core/tsp.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <stdexcept>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::core {
 
 Tsp::Tsp(const arch::Platform& platform) : platform_(&platform) {}
 
 double Tsp::ForMapping(std::span<const std::size_t> active) const {
-  if (active.empty())
-    throw std::invalid_argument("Tsp::ForMapping: empty active set");
+  DS_REQUIRE(!active.empty(), "Tsp::ForMapping: empty active set");
   DS_TELEM_COUNT("tsp.evaluations", 1);
   DS_TELEM_TIMER("tsp.compute_us");
   const util::Matrix& a = platform_->solver().InfluenceMatrix();
   const std::size_t n = platform_->num_cores();
+  for (const std::size_t j : active)
+    DS_REQUIRE(j < n, "Tsp::ForMapping: core index " << j
+                          << " out of range for " << n << " cores");
   const double t_amb = platform_->thermal_model().ambient_c();
   const double headroom_total = platform_->tdtm_c() - t_amb;
   const double p_dark =
@@ -87,7 +89,8 @@ double Tsp::CorePowerAtLevel(const apps::AppProfile& app, std::size_t threads,
 bool Tsp::MaxLevelWithinBudget(const apps::AppProfile& app,
                                std::size_t threads, double budget_w,
                                std::size_t* level_out) const {
-  assert(level_out != nullptr);
+  DS_REQUIRE(level_out != nullptr,
+             "Tsp::MaxLevelWithinBudget: level_out must not be null");
   const std::size_t n_levels = platform_->ladder().size();
   bool found = false;
   for (std::size_t level = 0; level < n_levels; ++level) {

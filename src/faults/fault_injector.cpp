@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 #include "util/table.hpp"
 
 namespace ds::faults {
@@ -131,26 +132,24 @@ void FaultLog::WriteCsv(const std::string& path) const {
 }
 
 void FaultConfig::Validate() const {
-  auto rate_ok = [](double r) { return std::isfinite(r) && r >= 0.0 && r <= 1.0; };
-  if (!rate_ok(sensor_stuck_rate) || !rate_ok(sensor_dropout_rate) ||
-      !rate_ok(sensor_nan_rate) || !rate_ok(sensor_drift_rate) ||
-      !rate_ok(core_failstop_rate) || !rate_ok(core_transient_rate) ||
-      !rate_ok(dvfs_stuck_rate) || !rate_ok(solver_fail_rate))
-    throw std::invalid_argument(
-        "FaultConfig: rates must be finite and within [0, 1]");
-  if (!std::isfinite(sensor_noise_sigma_c) || sensor_noise_sigma_c < 0.0)
-    throw std::invalid_argument(
-        "FaultConfig: sensor_noise_sigma_c must be finite and >= 0");
-  if (!std::isfinite(sensor_drift_c_per_s))
-    throw std::invalid_argument(
-        "FaultConfig: sensor_drift_c_per_s must be finite");
-  if (stuck_duration_s <= 0.0 || dropout_duration_s <= 0.0 ||
-      transient_duration_s <= 0.0 || dvfs_stuck_duration_s <= 0.0)
-    throw std::invalid_argument(
-        "FaultConfig: fault durations must be positive");
-  if (std::isnan(max_injection_time_s))
-    throw std::invalid_argument(
-        "FaultConfig: max_injection_time_s must not be NaN");
+  auto rate_ok = [](double r) {
+    return std::isfinite(r) && r >= 0.0 && r <= 1.0;
+  };
+  DS_REQUIRE(rate_ok(sensor_stuck_rate) && rate_ok(sensor_dropout_rate) &&
+                 rate_ok(sensor_nan_rate) && rate_ok(sensor_drift_rate) &&
+                 rate_ok(core_failstop_rate) && rate_ok(core_transient_rate) &&
+                 rate_ok(dvfs_stuck_rate) && rate_ok(solver_fail_rate),
+             "FaultConfig: per-step rates must be finite and within [0, 1]");
+  DS_REQUIRE(std::isfinite(sensor_noise_sigma_c) && sensor_noise_sigma_c >= 0.0,
+             "FaultConfig: sensor_noise_sigma_c " << sensor_noise_sigma_c
+                 << " must be finite and >= 0");
+  DS_REQUIRE(std::isfinite(sensor_drift_c_per_s),
+             "FaultConfig: sensor_drift_c_per_s must be finite");
+  DS_REQUIRE(stuck_duration_s > 0.0 && dropout_duration_s > 0.0 &&
+                 transient_duration_s > 0.0 && dvfs_stuck_duration_s > 0.0,
+             "FaultConfig: fault durations must be positive");
+  DS_REQUIRE(!std::isnan(max_injection_time_s),
+             "FaultConfig: max_injection_time_s must not be NaN");
 }
 
 bool FaultConfig::AnyFaultPossible() const {

@@ -4,18 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace ds::faults {
 
 void SensorBusPolicy::Validate() const {
-  if (!(min_plausible_c < max_plausible_c))
-    throw std::invalid_argument(
-        "SensorBusPolicy: plausible band must be non-empty");
-  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0)
-    throw std::invalid_argument(
-        "SensorBusPolicy: ewma_alpha must be in (0, 1]");
-  if (watchdog_threshold == 0)
-    throw std::invalid_argument(
-        "SensorBusPolicy: watchdog_threshold must be >= 1");
+  DS_REQUIRE(min_plausible_c < max_plausible_c,
+             "SensorBusPolicy: plausible band [" << min_plausible_c << ", "
+                 << max_plausible_c << "] must be non-empty");
+  DS_REQUIRE(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+             "SensorBusPolicy: ewma_alpha " << ewma_alpha
+                 << " must be in (0, 1]");
+  DS_REQUIRE(watchdog_threshold >= 1,
+             "SensorBusPolicy: watchdog_threshold must be >= 1");
 }
 
 SensorBus::SensorBus(std::size_t num_cores, double ambient_c,

@@ -1,9 +1,10 @@
 #include "noc/mesh.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::noc {
 namespace {
@@ -61,10 +62,14 @@ void MeshNoc::RouteFlow(std::size_t a, std::size_t b, double gbs,
 NocResult MeshNoc::Evaluate(
     const apps::Workload& workload,
     const std::vector<std::size_t>& active_set) const {
-  if (active_set.size() != workload.TotalCores())
-    throw std::invalid_argument("MeshNoc::Evaluate: active set mismatch");
+  DS_REQUIRE(active_set.size() == workload.TotalCores(),
+             "MeshNoc::Evaluate: active set of " << active_set.size()
+                 << " cores for a workload needing "
+                 << workload.TotalCores());
   const std::size_t n = fp_.num_cores();
-  for (const std::size_t c : active_set) assert(c < n);
+  for (const std::size_t c : active_set)
+    DS_REQUIRE(c < n, "MeshNoc::Evaluate: core index " << c
+                          << " out of range for " << n << " cores");
 
   std::vector<double> router_gbs(n, 0.0);
   const std::size_t num_links =

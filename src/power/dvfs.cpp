@@ -3,15 +3,24 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace ds::power {
 
 DvfsLadder::DvfsLadder(const TechnologyParams& tech, double f_min,
                        double f_max, double step) {
-  if (f_min <= 0.0 || f_max < f_min || step <= 0.0)
-    throw std::invalid_argument("DvfsLadder: invalid frequency range");
+  DS_REQUIRE(f_min > 0.0 && f_max >= f_min && step > 0.0,
+             "DvfsLadder: invalid frequency range [" << f_min << ", " << f_max
+                 << "] step " << step << " GHz");
   const VfCurve curve(tech);
   for (double f = f_min; f <= f_max + step * 0.5; f += step) {
     levels_.push_back({f, curve.VoltageFor(f)});
+    // Every ladder entry must sit on the calibrated V/f curve: the
+    // voltage chosen for f must reproduce f when mapped back.
+    DS_INVARIANT(std::abs(curve.FrequencyAt(levels_.back().vdd) - f) <=
+                     1e-6 * f,
+                 "DvfsLadder: level (" << f << " GHz, " << levels_.back().vdd
+                     << " V) is off the V/f curve");
   }
   // Locate the nominal level (highest level not above nominal frequency).
   nominal_level_ = LevelAtOrBelow(tech.nominal_freq);

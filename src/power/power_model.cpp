@@ -1,30 +1,57 @@
 #include "power/power_model.hpp"
 
+#include <cmath>
+
+#include "util/contracts.hpp"
+
 namespace ds::power {
 
 double PowerModel::DynamicPower(double activity, double ceff22_nf, double vdd,
                                 double freq) const {
+  DS_REQUIRE(activity >= 0.0 && activity <= 1.0,
+             "PowerModel::DynamicPower: activity factor " << activity
+                                                          << " not in [0,1]");
+  DS_REQUIRE(ceff22_nf >= 0.0 && std::isfinite(ceff22_nf),
+             "PowerModel::DynamicPower: Ceff " << ceff22_nf << " nF");
+  DS_REQUIRE(vdd > 0.0 && std::isfinite(vdd),
+             "PowerModel::DynamicPower: Vdd " << vdd << " V");
+  DS_REQUIRE(freq >= 0.0 && std::isfinite(freq),
+             "PowerModel::DynamicPower: frequency " << freq << " GHz");
   // nF * V^2 * GHz = 1e-9 F * V^2 * 1e9 Hz = W.
   const double ceff = ceff22_nf * tech_->cap_scale;
   return activity * ceff * vdd * vdd * freq;
 }
 
 double PowerModel::IndependentPower(double pind22, double vdd) const {
+  DS_REQUIRE(pind22 >= 0.0 && std::isfinite(pind22),
+             "PowerModel::IndependentPower: P_ind " << pind22 << " W");
+  DS_REQUIRE(vdd > 0.0 && std::isfinite(vdd),
+             "PowerModel::IndependentPower: Vdd " << vdd << " V");
   return pind22 * tech_->cap_scale * tech_->vdd_scale *
          (vdd / tech_->nominal_vdd);
 }
 
 double PowerModel::TotalPower(double activity, double ceff22_nf, double pind22,
                               double vdd, double freq, double temp_c) const {
-  return DynamicPower(activity, ceff22_nf, vdd, freq) +
-         LeakagePower(vdd, temp_c) + IndependentPower(pind22, vdd);
+  DS_REQUIRE(std::isfinite(temp_c),
+             "PowerModel::TotalPower: temperature " << temp_c << " C");
+  const double p = DynamicPower(activity, ceff22_nf, vdd, freq) +
+                   LeakagePower(vdd, temp_c) + IndependentPower(pind22, vdd);
+  DS_ENSURE(p >= 0.0 && std::isfinite(p),
+            "PowerModel::TotalPower: computed " << p << " W");
+  return p;
 }
 
 double PowerModel::DarkCorePower(double temp_c) const {
+  DS_REQUIRE(std::isfinite(temp_c),
+             "PowerModel::DarkCorePower: temperature " << temp_c << " C");
   // A gated core sits at a low retention voltage; model the residual as
   // a fixed fraction of nominal-voltage leakage.
-  return kGatedLeakageFraction *
-         leakage_.Power(tech_->nominal_vdd, temp_c);
+  const double p = kGatedLeakageFraction *
+                   leakage_.Power(tech_->nominal_vdd, temp_c);
+  DS_ENSURE(p >= 0.0 && std::isfinite(p),
+            "PowerModel::DarkCorePower: computed " << p << " W");
+  return p;
 }
 
 }  // namespace ds::power

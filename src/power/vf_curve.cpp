@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace ds::power {
 
 double VfCurve::FrequencyAt(double vdd) const {
@@ -12,8 +14,8 @@ double VfCurve::FrequencyAt(double vdd) const {
 }
 
 double VfCurve::VoltageFor(double f) const {
-  if (f <= 0.0)
-    throw std::invalid_argument("VfCurve::VoltageFor: f must be positive");
+  DS_REQUIRE(f > 0.0 && std::isfinite(f),
+             "VfCurve::VoltageFor: frequency " << f << " GHz");
   // Solve k*V^2 - (2*k*vth + f)*V + k*vth^2 = 0 for V; the larger root is
   // the branch with V > Vth where frequency grows with voltage.
   const double b = 2.0 * k_ * vth_ + f;

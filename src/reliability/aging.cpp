@@ -1,11 +1,12 @@
 #include "reliability/aging.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::reliability {
 
@@ -85,7 +86,8 @@ std::vector<std::size_t> SelectAgingAware(const util::Matrix& influence,
         best = cand;
       }
     }
-    assert(best < n);
+    DS_INVARIANT(best < n, "SelectAgingAware: greedy step " << step
+                               << " found no candidate");
     chosen[best] = true;
     out.push_back(best);
     for (std::size_t i = 0; i < n; ++i) row_sum[i] += influence(i, best);

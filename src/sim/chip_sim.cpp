@@ -14,6 +14,7 @@
 #include "telemetry/scoped.hpp"
 #include "thermal/transient.hpp"
 #include "util/rng.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::sim {
 namespace {
@@ -27,27 +28,26 @@ struct Job {
 }  // namespace
 
 void SimConfig::Validate() const {
-  if (!(duration_s > 0.0) || !std::isfinite(duration_s))
-    throw std::invalid_argument("SimConfig: duration_s must be positive");
-  if (!(control_period_s > 0.0) || !std::isfinite(control_period_s))
-    throw std::invalid_argument(
-        "SimConfig: control_period_s must be positive");
-  if (!(scheduler_period_s > 0.0) || !std::isfinite(scheduler_period_s))
-    throw std::invalid_argument(
-        "SimConfig: scheduler_period_s must be positive");
-  if (!std::isfinite(arrival_rate) || arrival_rate < 0.0)
-    throw std::invalid_argument(
-        "SimConfig: arrival_rate must be finite and >= 0");
-  if (!(min_job_s > 0.0) || !(max_job_s >= min_job_s))
-    throw std::invalid_argument(
-        "SimConfig: need 0 < min_job_s <= max_job_s");
-  if (threads_per_job == 0)
-    throw std::invalid_argument("SimConfig: threads_per_job must be >= 1");
-  if (!std::isfinite(power_cap_w) || power_cap_w <= 0.0)
-    throw std::invalid_argument("SimConfig: power_cap_w must be positive");
-  if (!std::isfinite(thermal_margin_c) || thermal_margin_c < 0.0)
-    throw std::invalid_argument(
-        "SimConfig: thermal_margin_c must be finite and >= 0");
+  DS_REQUIRE(duration_s > 0.0 && std::isfinite(duration_s),
+             "SimConfig: duration_s " << duration_s << " must be positive");
+  DS_REQUIRE(control_period_s > 0.0 && std::isfinite(control_period_s),
+             "SimConfig: control_period_s " << control_period_s
+                 << " must be positive");
+  DS_REQUIRE(scheduler_period_s > 0.0 && std::isfinite(scheduler_period_s),
+             "SimConfig: scheduler_period_s " << scheduler_period_s
+                 << " must be positive");
+  DS_REQUIRE(std::isfinite(arrival_rate) && arrival_rate >= 0.0,
+             "SimConfig: arrival_rate " << arrival_rate
+                 << " must be finite and >= 0");
+  DS_REQUIRE(min_job_s > 0.0 && max_job_s >= min_job_s,
+             "SimConfig: job duration band [" << min_job_s << ", "
+                 << max_job_s << "] must satisfy 0 < min <= max");
+  DS_REQUIRE(threads_per_job >= 1, "SimConfig: threads_per_job must be >= 1");
+  DS_REQUIRE(std::isfinite(power_cap_w) && power_cap_w > 0.0,
+             "SimConfig: power_cap_w " << power_cap_w << " must be positive");
+  DS_REQUIRE(std::isfinite(thermal_margin_c) && thermal_margin_c >= 0.0,
+             "SimConfig: thermal_margin_c " << thermal_margin_c
+                 << " must be finite and >= 0");
   faults.Validate();
 }
 

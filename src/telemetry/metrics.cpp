@@ -193,7 +193,8 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
 
 void MetricsRegistry::PrintNonZero(std::ostream& os) const {
   for (const MetricRow& row : Snapshot()) {
-    if (row.value == 0.0) continue;
+    // Exact zero means "never touched": the filter is intentional.
+    if (row.value == 0.0) continue;  // ds_lint: allow(float-equals)
     os << "  " << row.name << "." << row.field << " = " << row.value
        << "\n";
   }
@@ -207,7 +208,10 @@ void MetricsRegistry::ResetValues() {
 }
 
 MetricsRegistry& Registry() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  // Intentional leak: function-local singleton must outlive all static
+  // destructors that may still record metrics during shutdown.
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // ds_lint: allow(naked-new)
   return *registry;
 }
 

@@ -22,7 +22,9 @@ struct BufferRegistry {
 };
 
 BufferRegistry& Buffers() {
-  static BufferRegistry* registry = new BufferRegistry();  // never freed
+  // Intentional leak: see Registry() in metrics.cpp.
+  static BufferRegistry* registry =
+      new BufferRegistry();  // ds_lint: allow(naked-new)
   return *registry;
 }
 
@@ -139,8 +141,10 @@ void SetTraceBufferCapacity(std::size_t capacity) {
 
 TraceBuffer& ThreadTraceBuffer() {
   thread_local TraceBuffer* buffer = [] {
-    auto* b = new TraceBuffer(
-        g_buffer_capacity.load(std::memory_order_relaxed));  // never freed
+    // Intentional leak: per-thread ring must survive thread exit so a
+    // late Snapshot() can still drain it.
+    auto* b = new TraceBuffer(  // ds_lint: allow(naked-new)
+        g_buffer_capacity.load(std::memory_order_relaxed));
     BufferRegistry& reg = Buffers();
     const std::lock_guard<std::mutex> lock(reg.mu);
     reg.buffers.push_back(b);
@@ -171,6 +175,9 @@ void EmitInstant(const char* cat, const char* name, TraceLevel level,
   ThreadTraceBuffer().Emit(e);
 }
 
+// arg0 is an opaque trace payload, not a physical quantity: any finite
+// or non-finite value is legal to record.
+// ds_lint: allow(missing-contract)
 ScopedSpan::ScopedSpan(const char* cat, const char* name, TraceLevel level,
                        const char* arg0_name, double arg0)
     : cat_(cat),

@@ -1,12 +1,48 @@
 #include "thermal/rc_model.hpp"
 
-#include <cassert>
+#include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::thermal {
 namespace {
 
 constexpr double kMmToM = 1e-3;
+
+/// Every layer parameter enters a conductance or capacitance as a
+/// positive factor; zero or negative values build a singular (or
+/// outright wrong) network that HotSpot-style solvers accept silently.
+void ValidatePackage(const PackageParams& p) {
+  const struct {
+    const char* name;
+    double value;
+  } positives[] = {
+      {"die_thickness", p.die_thickness},
+      {"die_conductivity", p.die_conductivity},
+      {"die_specific_heat", p.die_specific_heat},
+      {"tim_thickness", p.tim_thickness},
+      {"tim_conductivity", p.tim_conductivity},
+      {"tim_specific_heat", p.tim_specific_heat},
+      {"spreader_side", p.spreader_side},
+      {"spreader_thickness", p.spreader_thickness},
+      {"spreader_conductivity", p.spreader_conductivity},
+      {"spreader_specific_heat", p.spreader_specific_heat},
+      {"sink_side", p.sink_side},
+      {"sink_thickness", p.sink_thickness},
+      {"sink_conductivity", p.sink_conductivity},
+      {"sink_specific_heat", p.sink_specific_heat},
+      {"convection_resistance", p.convection_resistance},
+      {"convection_capacitance", p.convection_capacitance},
+  };
+  for (const auto& field : positives) {
+    DS_REQUIRE(field.value > 0.0 && std::isfinite(field.value),
+               "PackageParams::" << field.name << " = " << field.value
+                                 << " must be positive and finite");
+  }
+  DS_REQUIRE(std::isfinite(p.ambient_c),
+             "PackageParams::ambient_c = " << p.ambient_c);
+}
 
 /// Conductance of two stacked half-slabs of area `a`.
 double VerticalG(double a, double t1, double k1, double t2, double k2) {
@@ -29,11 +65,19 @@ RcModel::RcModel(const Floorplan& fp, const PackageParams& pkg)
       g_(num_nodes_, num_nodes_),
       cap_(num_nodes_, 0.0),
       amb_g_(num_nodes_, 0.0) {
+  DS_REQUIRE(num_cores_ > 0, "RcModel: floorplan has no cores");
+  ValidatePackage(pkg);
   Build();
+  CheckInvariants();
 }
 
 void RcModel::AddConductance(std::size_t a, std::size_t b, double g) {
-  assert(a < num_nodes_ && b < num_nodes_ && a != b);
+  DS_INVARIANT(a < num_nodes_ && b < num_nodes_ && a != b,
+               "RcModel::AddConductance: nodes " << a << "," << b
+                                                 << " of " << num_nodes_);
+  DS_INVARIANT(g > 0.0 && std::isfinite(g),
+               "RcModel::AddConductance: conductance " << g
+                   << " W/K between nodes " << a << " and " << b);
   g_(a, a) += g;
   g_(b, b) += g;
   g_(a, b) -= g;
@@ -41,9 +85,43 @@ void RcModel::AddConductance(std::size_t a, std::size_t b, double g) {
 }
 
 void RcModel::AddAmbient(std::size_t a, double g) {
-  assert(a < num_nodes_);
+  DS_INVARIANT(a < num_nodes_,
+               "RcModel::AddAmbient: node " << a << " of " << num_nodes_);
+  DS_INVARIANT(g > 0.0 && std::isfinite(g),
+               "RcModel::AddAmbient: conductance " << g << " W/K at node "
+                                                   << a);
   g_(a, a) += g;
   amb_g_[a] += g;
+}
+
+void RcModel::CheckInvariants() const {
+  // A well-formed conductance matrix is symmetric with positive
+  // diagonal, non-positive off-diagonal, and each row's diagonal equals
+  // the sum of its off-diagonal magnitudes plus the ambient conductance
+  // (weak diagonal dominance, strict on rows touching the ambient) --
+  // the structure the LU solver and the TSP influence-matrix bounds
+  // rely on. One O(nodes^2) pass at construction.
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const double diag = g_(i, i);
+    DS_INVARIANT(diag > 0.0 && std::isfinite(diag),
+                 "RcModel: diagonal " << diag << " at node " << i);
+    double off_sum = 0.0;
+    for (std::size_t j = 0; j < num_nodes_; ++j) {
+      if (j == i) continue;
+      DS_INVARIANT(g_(i, j) <= 0.0, "RcModel: positive off-diagonal "
+                                        << g_(i, j) << " at (" << i << ","
+                                        << j << ")");
+      off_sum -= g_(i, j);
+    }
+    DS_INVARIANT(std::abs(diag - (off_sum + amb_g_[i])) <= 1e-9 * diag,
+                 "RcModel: row " << i << " not diagonally dominant: diag "
+                                 << diag << " vs off-diagonal " << off_sum
+                                 << " + ambient " << amb_g_[i]);
+    DS_INVARIANT(cap_[i] > 0.0 && std::isfinite(cap_[i]),
+                 "RcModel: capacitance " << cap_[i] << " at node " << i);
+  }
+  DS_INVARIANT(g_.IsSymmetric(1e-9),
+               "RcModel: conductance matrix is not symmetric");
 }
 
 void RcModel::Build() {
@@ -212,7 +290,9 @@ void RcModel::Build() {
 
 std::vector<double> RcModel::ExpandPower(
     std::span<const double> core_powers) const {
-  assert(core_powers.size() == num_cores_);
+  DS_REQUIRE(core_powers.size() == num_cores_,
+             "RcModel::ExpandPower: " << core_powers.size() << " powers for "
+                                      << num_cores_ << " cores");
   std::vector<double> p(num_nodes_, 0.0);
   for (std::size_t i = 0; i < num_cores_; ++i) p[DieNode(i)] = core_powers[i];
   return p;

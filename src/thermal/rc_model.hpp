@@ -98,6 +98,7 @@ class RcModel {
 
  private:
   void Build();
+  void CheckInvariants() const;
   void AddConductance(std::size_t a, std::size_t b, double g);
   void AddAmbient(std::size_t a, double g);
 

@@ -1,10 +1,10 @@
 #include "thermal/steady_state.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::thermal {
 
@@ -13,17 +13,25 @@ SteadyStateSolver::SteadyStateSolver(const RcModel& model)
 
 std::vector<double> SteadyStateSolver::SolveFull(
     std::span<const double> core_powers) const {
-  for (const double p : core_powers)
-    if (!std::isfinite(p))
-      throw std::invalid_argument(
-          "SteadyStateSolver: non-finite power input");
+  for (std::size_t i = 0; i < core_powers.size(); ++i)
+    DS_REQUIRE(std::isfinite(core_powers[i]) && core_powers[i] >= 0.0,
+               "SteadyStateSolver: power " << core_powers[i] << " W at core "
+                                           << i
+                                           << " (heat sources are >= 0)");
   DS_TELEM_COUNT("thermal.steady_solves", 1);
   DS_TELEM_TIMER("thermal.steady_solve_us");
   std::vector<double> rhs = model_->ExpandPower(core_powers);
   const auto& amb_g = model_->ambient_conductance();
   const double t_amb = model_->ambient_c();
   for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += amb_g[i] * t_amb;
-  return lu_.Solve(rhs);
+  std::vector<double> temps = lu_.Solve(rhs);
+  // Physical sanity of the solution: with non-negative sources, an
+  // M-matrix network can only sit at or above the ambient.
+  for (std::size_t i = 0; i < temps.size(); ++i)
+    DS_ENSURE(std::isfinite(temps[i]) && temps[i] >= t_amb - 1e-6,
+              "SteadyStateSolver: node " << i << " solved to " << temps[i]
+                                         << " C below ambient " << t_amb);
+  return temps;
 }
 
 std::vector<double> SteadyStateSolver::Solve(
@@ -75,6 +83,12 @@ const util::Matrix& SteadyStateSolver::InfluenceMatrix() const {
 
 double SteadyStateSolver::PeakTempUniform(
     std::span<const std::size_t> active, double p_each) const {
+  DS_REQUIRE(p_each >= 0.0 && std::isfinite(p_each),
+             "SteadyStateSolver::PeakTempUniform: power " << p_each);
+  for (const std::size_t j : active)
+    DS_REQUIRE(j < model_->num_cores(),
+               "SteadyStateSolver::PeakTempUniform: core " << j << " of "
+                   << model_->num_cores());
   const util::Matrix& a = InfluenceMatrix();
   double worst = 0.0;
   // Peak is attained on an active core (A is diagonally dominant in the

@@ -1,8 +1,9 @@
 #include "thermal/subcore.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace ds::thermal {
 namespace {
@@ -51,7 +52,9 @@ SubCoreModel SubCoreModel::Default2x2(const Floorplan& core_fp,
 
 std::vector<double> SubCoreModel::ExpandToBlocks(
     std::span<const double> core_powers) const {
-  assert(core_powers.size() == core_fp_.num_cores());
+  DS_REQUIRE(core_powers.size() == core_fp_.num_cores(),
+             "SubCoreModel::ExpandToBlocks: " << core_powers.size()
+                 << " powers for " << core_fp_.num_cores() << " cores");
   std::vector<double> block_powers(fine_fp_.num_cores(), 0.0);
   for (std::size_t core = 0; core < core_fp_.num_cores(); ++core) {
     const TilePos pos = core_fp_.PosOf(core);

@@ -1,9 +1,9 @@
 #include "thermal/thermal_map.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 
+#include "util/contracts.hpp"
 #include "util/table.hpp"
 
 namespace ds::thermal {
@@ -11,7 +11,9 @@ namespace ds::thermal {
 std::string RenderAsciiMap(const Floorplan& fp,
                            std::span<const double> core_temps, double t_min,
                            double t_max, double t_crit) {
-  assert(core_temps.size() == fp.num_cores());
+  DS_REQUIRE(core_temps.size() == fp.num_cores(),
+             "RenderAsciiMap: " << core_temps.size() << " temps for "
+                                << fp.num_cores() << " cores");
   static const std::string ramp = " .:-=+*#%@";
   std::ostringstream out;
   for (std::size_t r = 0; r < fp.rows(); ++r) {
@@ -35,8 +37,12 @@ std::string RenderAsciiMap(const Floorplan& fp,
 std::string RenderNumericMap(const Floorplan& fp,
                              std::span<const double> core_temps,
                              const std::vector<bool>& active) {
-  assert(core_temps.size() == fp.num_cores());
-  assert(active.size() == fp.num_cores());
+  DS_REQUIRE(core_temps.size() == fp.num_cores(),
+             "RenderNumericMap: " << core_temps.size() << " temps for "
+                                  << fp.num_cores() << " cores");
+  DS_REQUIRE(active.size() == fp.num_cores(),
+             "RenderNumericMap: " << active.size() << " active flags for "
+                                  << fp.num_cores() << " cores");
   std::ostringstream out;
   for (std::size_t r = 0; r < fp.rows(); ++r) {
     for (std::size_t c = 0; c < fp.cols(); ++c) {

@@ -1,19 +1,19 @@
 #include "thermal/transient.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "telemetry/scoped.hpp"
 #include "thermal/steady_state.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::thermal {
 namespace {
 
 util::Matrix BuildSystem(const RcModel& model, double dt) {
-  if (dt <= 0.0)
-    throw std::invalid_argument("TransientSimulator: dt must be positive");
+  DS_REQUIRE(dt > 0.0 && std::isfinite(dt),
+             "TransientSimulator: step dt " << dt << " s must be positive");
   util::Matrix m = model.conductance();
   for (std::size_t i = 0; i < model.num_nodes(); ++i)
     m(i, i) += model.capacitance()[i] / dt;
@@ -28,6 +28,8 @@ bool AllFinite(std::span<const double> v) {
 
 }  // namespace
 
+// dt_s is validated by BuildSystem() in the initializer list below.
+// ds_lint: allow(missing-contract)
 TransientSimulator::TransientSimulator(const RcModel& model, double dt_s)
     : model_(&model),
       dt_(dt_s),
@@ -91,10 +93,11 @@ bool TransientSimulator::InitializeSteadyStateRobust(
 }
 
 void TransientSimulator::Step(std::span<const double> core_powers) {
-  assert(core_powers.size() == model_->num_cores());
-  if (!AllFinite(core_powers))
-    throw std::invalid_argument(
-        "TransientSimulator::Step: non-finite power input");
+  DS_REQUIRE(core_powers.size() == model_->num_cores(),
+             "TransientSimulator::Step: " << core_powers.size()
+                 << " powers for " << model_->num_cores() << " cores");
+  DS_REQUIRE(AllFinite(core_powers),
+             "TransientSimulator::Step: non-finite power input");
   DS_TELEM_COUNT("thermal.transient_steps", 1);
   DS_TELEM_TIMER("thermal.transient_step_us");
   std::vector<double> rhs(model_->num_nodes());

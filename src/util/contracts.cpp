@@ -1,0 +1,57 @@
+#include "util/contracts.hpp"
+
+#include <atomic>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ds::contracts {
+namespace {
+
+std::atomic<std::uint64_t>& ProcessCounter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// Telemetry counter name per contract kind; the registry hands out
+/// stable references, so resolve each once.
+ds::telemetry::Counter& KindCounter(const char* kind) {
+  ds::telemetry::MetricsRegistry& reg = ds::telemetry::Registry();
+  static ds::telemetry::Counter& require_c =
+      reg.GetCounter("contracts.violations.require");
+  static ds::telemetry::Counter& ensure_c =
+      reg.GetCounter("contracts.violations.ensure");
+  static ds::telemetry::Counter& invariant_c =
+      reg.GetCounter("contracts.violations.invariant");
+  if (kind[3] == 'R') return require_c;    // DS_REQUIRE
+  if (kind[3] == 'E') return ensure_c;     // DS_ENSURE
+  return invariant_c;                      // DS_INVARIANT
+}
+
+}  // namespace
+
+std::uint64_t ViolationCount() {
+  return ProcessCounter().load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void Raise(const char* kind, const char* condition, const char* file,
+           int line, const std::string& detail) {
+  ProcessCounter().fetch_add(1, std::memory_order_relaxed);
+  // Violations are exceptional and must be visible in a metrics dump
+  // even when the instrumentation gate is off, so count unconditionally
+  // (unlike the DS_TELEM_* macros, which respect Enabled()).
+  static ds::telemetry::Counter& total =
+      ds::telemetry::Registry().GetCounter("contracts.violations");
+  total.Add(1);
+  KindCounter(kind).Add(1);
+
+  std::ostringstream what;
+  what << kind << " violated at " << file << ":" << line << ": `"
+       << condition << "`";
+  if (!detail.empty()) what << " -- " << detail;
+  throw ContractViolation(what.str(), kind, condition, file, line);
+}
+
+}  // namespace internal
+}  // namespace ds::contracts

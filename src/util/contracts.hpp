@@ -1,0 +1,101 @@
+// Runtime contracts that stay live in Release builds.
+//
+// The library-level `assert` calls this repository started with vanish
+// under NDEBUG, which is exactly the configuration CI ships -- a
+// malformed floorplan or an out-of-range mapping set would sail through
+// a Release binary and produce silently wrong thermal numbers (the
+// classic HotSpot failure mode). These macros replace them:
+//
+//   DS_REQUIRE(cond, detail)   -- precondition at an API boundary
+//   DS_ENSURE(cond, detail)    -- postcondition on a produced result
+//   DS_INVARIANT(cond, detail) -- internal consistency mid-algorithm
+//
+// All three are always compiled in. On failure they count the violation
+// into the telemetry MetricsRegistry ("contracts.violations" plus a
+// per-kind counter) and throw ds::ContractViolation with the condition
+// text, source location and a formatted detail message. `detail` is a
+// stream expression, so call sites can embed values cheaply:
+//
+//   DS_REQUIRE(b.size() == n_, "rhs size " << b.size() << " != " << n_);
+//
+// The failure path is the only path that allocates; the passing path is
+// a single predicted branch, cheap enough for per-step solver code.
+//
+// ContractViolation derives from std::invalid_argument so existing
+// callers (and tests) that catch std::invalid_argument / std::logic_error
+// keep working; broad catches of std::runtime_error deliberately do NOT
+// swallow contract violations -- a broken precondition is a programming
+// error, not a recoverable solver condition.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ds {
+
+/// Thrown by DS_REQUIRE / DS_ENSURE / DS_INVARIANT on a failed check.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const std::string& what, const char* kind,
+                    const char* condition, const char* file, int line)
+      : std::invalid_argument(what),
+        kind_(kind),
+        condition_(condition),
+        file_(file),
+        line_(line) {}
+
+  /// "DS_REQUIRE", "DS_ENSURE" or "DS_INVARIANT".
+  const char* kind() const { return kind_; }
+  /// The stringified condition that failed.
+  const char* condition() const { return condition_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  const char* kind_;
+  const char* condition_;
+  const char* file_;
+  int line_;
+};
+
+namespace contracts {
+
+/// Total contract violations raised process-wide (all kinds). The same
+/// count is mirrored into the telemetry registry as
+/// "contracts.violations"; this accessor avoids the registry lock.
+std::uint64_t ViolationCount();
+
+namespace internal {
+
+/// Counts the violation (process counter + telemetry registry), formats
+/// the message and throws ContractViolation. Out of line so the cold
+/// path costs the call sites nothing but a function call.
+[[noreturn]] void Raise(const char* kind, const char* condition,
+                        const char* file, int line,
+                        const std::string& detail);
+
+}  // namespace internal
+}  // namespace contracts
+}  // namespace ds
+
+#define DS_CONTRACT_IMPL_(kind, cond, detail)                               \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::std::ostringstream ds_contract_detail_;                             \
+      ds_contract_detail_ << detail;                                        \
+      ::ds::contracts::internal::Raise(kind, #cond, __FILE__, __LINE__,     \
+                                       ds_contract_detail_.str());          \
+    }                                                                       \
+  } while (0)
+
+/// Precondition: validates caller-supplied input at an API boundary.
+#define DS_REQUIRE(cond, detail) DS_CONTRACT_IMPL_("DS_REQUIRE", cond, detail)
+
+/// Postcondition: validates a result this code is about to hand back.
+#define DS_ENSURE(cond, detail) DS_CONTRACT_IMPL_("DS_ENSURE", cond, detail)
+
+/// Invariant: internal consistency that must hold mid-computation.
+#define DS_INVARIANT(cond, detail) \
+  DS_CONTRACT_IMPL_("DS_INVARIANT", cond, detail)

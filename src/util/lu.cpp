@@ -1,11 +1,11 @@
 #include "util/lu.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
 
 namespace ds::util {
 
@@ -14,10 +14,10 @@ LuFactorization::LuFactorization(const Matrix& a)
 
 LuFactorization::LuFactorization(const Matrix& a, double pivot_floor)
     : n_(a.rows()), lu_(a) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("LuFactorization: matrix must be square");
-  if (pivot_floor < 0.0)
-    throw std::invalid_argument("LuFactorization: pivot_floor must be >= 0");
+  DS_REQUIRE(a.rows() == a.cols(), "LuFactorization: matrix is "
+                                       << a.rows() << "x" << a.cols());
+  DS_REQUIRE(pivot_floor >= 0.0,
+             "LuFactorization: pivot_floor " << pivot_floor << " < 0");
   DS_TELEM_COUNT("lu.factorizations", 1);
   DS_TELEM_TIMER("lu.factor_us");
   perm_.resize(n_);
@@ -51,7 +51,8 @@ LuFactorization::LuFactorization(const Matrix& a, double pivot_floor)
     for (std::size_t r = k + 1; r < n_; ++r) {
       const double factor = lu_(r, k) * inv_pivot;
       lu_(r, k) = factor;
-      if (factor == 0.0) continue;
+      // Exact zero skip is a sparsity fast path, not a tolerance test.
+      if (factor == 0.0) continue;  // ds_lint: allow(float-equals)
       auto row_r = lu_.row(r);
       auto row_k = lu_.row(k);
       for (std::size_t c = k + 1; c < n_; ++c) row_r[c] -= factor * row_k[c];
@@ -60,7 +61,8 @@ LuFactorization::LuFactorization(const Matrix& a, double pivot_floor)
 }
 
 std::vector<double> LuFactorization::Solve(std::span<const double> b) const {
-  assert(b.size() == n_);
+  DS_REQUIRE(b.size() == n_,
+             "LuFactorization::Solve: rhs size " << b.size() << " != " << n_);
   std::vector<double> x(n_);
   // Apply permutation while loading.
   for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
@@ -69,7 +71,8 @@ std::vector<double> LuFactorization::Solve(std::span<const double> b) const {
 }
 
 void LuFactorization::SolveInPlace(std::span<double> x) const {
-  assert(x.size() == n_);
+  DS_REQUIRE(x.size() == n_, "LuFactorization::SolveInPlace: size "
+                                 << x.size() << " != " << n_);
   std::vector<double> tmp(n_);
   for (std::size_t i = 0; i < n_; ++i) tmp[i] = x[perm_[i]];
   for (std::size_t i = 0; i < n_; ++i) x[i] = tmp[i];

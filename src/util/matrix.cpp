@@ -1,8 +1,9 @@
 #include "util/matrix.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "util/contracts.hpp"
 
 namespace ds::util {
 
@@ -13,7 +14,8 @@ Matrix Matrix::Identity(std::size_t n) {
 }
 
 std::vector<double> Matrix::Multiply(std::span<const double> x) const {
-  assert(x.size() == cols_);
+  DS_REQUIRE(x.size() == cols_,
+             "Matrix::Multiply: x size " << x.size() << " != cols " << cols_);
   std::vector<double> y(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* a = data_.data() + r * cols_;
@@ -25,7 +27,9 @@ std::vector<double> Matrix::Multiply(std::span<const double> x) const {
 }
 
 Matrix Matrix::Add(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  DS_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+             "Matrix::Add: " << rows_ << "x" << cols_ << " vs "
+                             << other.rows_ << "x" << other.cols_);
   Matrix out(rows_, cols_);
   for (std::size_t i = 0; i < data_.size(); ++i)
     out.data_[i] = data_[i] + other.data_[i];
@@ -39,7 +43,9 @@ Matrix Matrix::Scaled(double s) const {
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  DS_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+             "Matrix::MaxAbsDiff: " << rows_ << "x" << cols_ << " vs "
+                                    << other.rows_ << "x" << other.cols_);
   double m = 0.0;
   for (std::size_t i = 0; i < data_.size(); ++i)
     m = std::max(m, std::abs(data_[i] - other.data_[i]));
@@ -55,7 +61,8 @@ bool Matrix::IsSymmetric(double tol) const {
 }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  DS_REQUIRE(a.size() == b.size(),
+             "Dot: sizes " << a.size() << " != " << b.size());
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
@@ -69,7 +76,8 @@ std::vector<double> Scale(std::span<const double> v, double s) {
 
 std::vector<double> AddVec(std::span<const double> a,
                            std::span<const double> b) {
-  assert(a.size() == b.size());
+  DS_REQUIRE(a.size() == b.size(),
+             "AddVec: sizes " << a.size() << " != " << b.size());
   std::vector<double> out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
@@ -77,7 +85,8 @@ std::vector<double> AddVec(std::span<const double> a,
 
 std::vector<double> SubVec(std::span<const double> a,
                            std::span<const double> b) {
-  assert(a.size() == b.size());
+  DS_REQUIRE(a.size() == b.size(),
+             "SubVec: sizes " << a.size() << " != " << b.size());
   std::vector<double> out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;
@@ -102,7 +111,8 @@ double Norm2(std::span<const double> v) {
 }
 
 double MaxAbsDiffVec(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  DS_REQUIRE(a.size() == b.size(),
+             "MaxAbsDiffVec: sizes " << a.size() << " != " << b.size());
   double m = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i)
     m = std::max(m, std::abs(a[i] - b[i]));

@@ -1,9 +1,10 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "telemetry/telemetry.hpp"
 
 namespace ds::util {
 
@@ -23,13 +24,33 @@ double StdDev(std::span<const double> v) {
 }
 
 double GeoMean(std::span<const double> v) {
-  if (v.empty()) return 0.0;
+  return GeoMean(v, nullptr);
+}
+
+double GeoMean(std::span<const double> v, std::size_t* skipped_out) {
+  // The geometric mean is undefined for non-positive samples. The old
+  // `assert(x > 0.0)` was a no-op in Release, silently folding log(x)
+  // NaN/-inf into benchmark summaries; instead skip such samples and
+  // surface the count (telemetry + optional out-param).
+  std::size_t n = 0;
+  std::size_t skipped = 0;
   double log_sum = 0.0;
   for (double x : v) {
-    assert(x > 0.0);
-    log_sum += std::log(x);
+    if (x > 0.0 && std::isfinite(x)) {
+      log_sum += std::log(x);
+      ++n;
+    } else {
+      ++skipped;
+    }
   }
-  return std::exp(log_sum / static_cast<double>(v.size()));
+  if (skipped_out != nullptr) *skipped_out = skipped;
+  if (skipped > 0) {
+    static telemetry::Counter& c =
+        telemetry::Registry().GetCounter("stats.geomean_skipped");
+    c.Add(skipped);
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
 }
 
 double Median(std::span<const double> v) { return Percentile(v, 50.0); }

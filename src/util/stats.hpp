@@ -8,7 +8,15 @@ namespace ds::util {
 
 double Mean(std::span<const double> v);
 double StdDev(std::span<const double> v);  // population std-dev
-double GeoMean(std::span<const double> v);  // requires all elements > 0
+
+/// Geometric mean of the positive, finite samples. Non-positive or
+/// non-finite samples are undefined for a geometric mean; they are
+/// skipped, counted into the telemetry counter "stats.geomean_skipped"
+/// and (via the second overload) reported to the caller. Returns 0.0
+/// when no valid sample remains.
+double GeoMean(std::span<const double> v);
+double GeoMean(std::span<const double> v, std::size_t* skipped_out);
+
 double Median(std::span<const double> v);
 double Percentile(std::span<const double> v, double p);  // p in [0,100]
 

@@ -1,0 +1,217 @@
+// Contract-layer tests: malformed physical inputs must raise
+// ds::ContractViolation in Release builds (the macros never compile
+// out), violations must be counted into telemetry, and the GeoMean
+// regression from the old no-op assert must stay fixed.
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/mapping.hpp"
+#include "core/tsp.hpp"
+#include "power/power_model.hpp"
+#include "telemetry/telemetry.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/lu.hpp"
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace ds {
+namespace {
+
+const arch::Platform& Plat16() {
+  static const arch::Platform plat =
+      arch::Platform::PaperPlatform(power::TechNode::N16);
+  return plat;
+}
+
+thermal::Floorplan SmallPlan() {
+  return thermal::Floorplan::MakeGrid(16, 5.1);
+}
+
+// ------------------------------------------------------- macro behavior
+
+TEST(Contracts, PassingCheckIsSilent) {
+  const std::uint64_t before = contracts::ViolationCount();
+  DS_REQUIRE(1 + 1 == 2, "arithmetic broke");
+  DS_ENSURE(true, "unused");
+  DS_INVARIANT(true, "unused");
+  EXPECT_EQ(contracts::ViolationCount(), before);
+}
+
+TEST(Contracts, FailureThrowsWithContext) {
+  const int x = 3;
+  try {
+    DS_REQUIRE(x == 4, "x is " << x << ", want 4");
+    FAIL() << "DS_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "DS_REQUIRE");
+    EXPECT_STREQ(e.condition(), "x == 4");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x is 3, want 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, ViolationIsInvalidArgumentButNotRuntimeError) {
+  // Legacy EXPECT_THROW(..., std::invalid_argument) tests keep passing,
+  // while thermal-runaway recovery paths that catch std::runtime_error
+  // must NOT swallow a contract violation.
+  EXPECT_THROW(DS_REQUIRE(false, "boom"), std::invalid_argument);
+  bool caught_as_runtime_error = false;
+  try {
+    DS_INVARIANT(false, "boom");
+  } catch (const std::runtime_error&) {
+    caught_as_runtime_error = true;
+  } catch (const std::exception&) {
+  }
+  EXPECT_FALSE(caught_as_runtime_error);
+}
+
+TEST(Contracts, ViolationsAreCountedInTelemetry) {
+  telemetry::Counter& total =
+      telemetry::Registry().GetCounter("contracts.violations");
+  telemetry::Counter& requires_ =
+      telemetry::Registry().GetCounter("contracts.violations.require");
+  const std::uint64_t total_before = total.value();
+  const std::uint64_t require_before = requires_.value();
+  const std::uint64_t process_before = contracts::ViolationCount();
+  EXPECT_THROW(DS_REQUIRE(false, "counted"), ContractViolation);
+  EXPECT_THROW(DS_REQUIRE(false, "counted again"), ContractViolation);
+  EXPECT_EQ(total.value(), total_before + 2);
+  EXPECT_EQ(requires_.value(), require_before + 2);
+  EXPECT_EQ(contracts::ViolationCount(), process_before + 2);
+}
+
+// --------------------------------------------- malformed physical input
+
+TEST(Contracts, MalformedFloorplanPackageThrows) {
+  // Non-positive thermal path (zero-thickness TIM => zero resistance
+  // denominators / non-positive conductances) must be rejected at
+  // RcModel construction, not surface as NaN temperatures later.
+  thermal::PackageParams bad;
+  bad.tim_thickness = 0.0;
+  EXPECT_THROW(thermal::RcModel(SmallPlan(), bad), ContractViolation);
+
+  thermal::PackageParams negative;
+  negative.convection_resistance = -0.1;
+  EXPECT_THROW(thermal::RcModel(SmallPlan(), negative), ContractViolation);
+
+  thermal::PackageParams nan_pkg;
+  nan_pkg.die_conductivity = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(thermal::RcModel(SmallPlan(), nan_pkg), ContractViolation);
+}
+
+TEST(Contracts, NegativePowerInputThrows) {
+  const thermal::RcModel model(SmallPlan());
+  const thermal::SteadyStateSolver solver(model);
+  std::vector<double> powers(model.num_cores(), 1.0);
+  powers[3] = -0.5;
+  EXPECT_THROW(solver.SolveFull(powers), ContractViolation);
+  powers[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(solver.SolveFull(powers), ContractViolation);
+}
+
+TEST(Contracts, ValidPowerInputStillSolves) {
+  const thermal::RcModel model(SmallPlan());
+  const thermal::SteadyStateSolver solver(model);
+  const std::vector<double> powers(model.num_cores(), 2.0);
+  const std::vector<double> temps = solver.Solve(powers);
+  ASSERT_EQ(temps.size(), model.num_cores());
+  for (const double t : temps) {
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, model.ambient_c());
+  }
+}
+
+TEST(Contracts, OutOfRangeMappingSetThrows) {
+  const std::size_t n = Plat16().num_cores();
+  const core::Tsp tsp(Plat16());
+  const std::vector<std::size_t> bad = {0, 1, n};  // n is out of range
+  EXPECT_THROW(tsp.ForMapping(bad), ContractViolation);
+  EXPECT_THROW(core::ActiveMask(n, bad), ContractViolation);
+  EXPECT_THROW(tsp.ForMapping(std::vector<std::size_t>{}),
+               ContractViolation);
+}
+
+TEST(Contracts, PowerModelRejectsUnphysicalOperatingPoints) {
+  const power::PowerModel& pm = Plat16().power_model();
+  EXPECT_THROW(pm.DynamicPower(-0.1, 1.5, 1.0, 3.0), ContractViolation);
+  EXPECT_THROW(pm.DynamicPower(1.5, 1.5, 1.0, 3.0), ContractViolation);
+  EXPECT_THROW(pm.DynamicPower(0.5, 1.5, -1.0, 3.0), ContractViolation);
+  EXPECT_THROW(pm.TotalPower(0.5, 1.5, 0.9, 1.0, 3.0,
+                             std::numeric_limits<double>::infinity()),
+               ContractViolation);
+}
+
+TEST(Contracts, LuAndMatrixDimensionMismatchesThrowInRelease) {
+  // These were `assert`s before: a Release build would run right past
+  // a mismatched rhs and read out of bounds.
+  util::Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const util::LuFactorization lu(a);
+  const std::vector<double> short_rhs(2, 1.0);
+  EXPECT_THROW(lu.Solve(short_rhs), ContractViolation);
+
+  const std::vector<double> wrong_x(4, 1.0);
+  EXPECT_THROW(a.Multiply(wrong_x), ContractViolation);
+  const util::Matrix b(2, 3);
+  EXPECT_THROW(a.Add(b), ContractViolation);
+
+  const std::vector<double> u(3, 1.0), v(4, 1.0);
+  EXPECT_THROW(util::MaxAbsDiffVec(u, v), ContractViolation);
+}
+
+TEST(Contracts, TspBudgetIsMonotonicallyNonIncreasing) {
+  // TSP(m) must not grow with the active-core count; the contract layer
+  // guards the inputs, this guards the physics downstream of them.
+  const core::Tsp tsp(Plat16());
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 10; m <= 100; m += 10) {
+    const double budget = tsp.WorstCase(m);
+    EXPECT_LE(budget, prev + 1e-9) << "TSP increased at m=" << m;
+    prev = budget;
+  }
+}
+
+// ----------------------------------------------------- GeoMean satellite
+
+TEST(GeoMeanRegression, SkipsNonPositiveSamplesInsteadOfNan) {
+  // Regression for the old `assert(x > 0.0)` no-op: a zero sample used
+  // to produce -inf log and poison the whole summary in Release.
+  const std::vector<double> with_zero = {1.0, 4.0, 0.0};
+  std::size_t skipped = 0;
+  const double g = util::GeoMean(with_zero, &skipped);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_NEAR(g, 2.0, 1e-12);  // geomean of {1, 4}
+  EXPECT_TRUE(std::isfinite(util::GeoMean(with_zero)));
+}
+
+TEST(GeoMeanRegression, CountsSkippedIntoTelemetry) {
+  telemetry::Counter& c =
+      telemetry::Registry().GetCounter("stats.geomean_skipped");
+  const std::uint64_t before = c.value();
+  const std::vector<double> v = {
+      -1.0, 0.0, 2.0, std::numeric_limits<double>::quiet_NaN()};
+  std::size_t skipped = 0;
+  EXPECT_NEAR(util::GeoMean(v, &skipped), 2.0, 1e-12);
+  EXPECT_EQ(skipped, 3u);
+  EXPECT_EQ(c.value(), before + 3);
+}
+
+TEST(GeoMeanRegression, AllInvalidReturnsZero) {
+  const std::vector<double> v = {0.0, -2.0};
+  std::size_t skipped = 0;
+  EXPECT_EQ(util::GeoMean(v, &skipped), 0.0);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(util::GeoMean(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace ds
