@@ -5,14 +5,14 @@
 // predictor; the event-energy model reduces the activity counters to
 // Eq. (1) constants. The output cross-validates the calibrated
 // application table in src/apps that all paper figures use.
+//
+// The per-app characterizations and speed-up simulations are
+// independent, so both tables run as sweeps (one job per app).
 #include <iostream>
 
 #include "apps/app_profile.hpp"
-#include "uarch/characterize.hpp"
-#include "uarch/multicore.hpp"
-#include "util/table.hpp"
-
 #include "bench_common.hpp"
+#include "util/table.hpp"
 
 int main() {
   using namespace ds;
@@ -21,45 +21,58 @@ int main() {
                     "Extension: derived (simulated) vs calibrated "
                     "application characterization, 22 nm");
 
+  std::vector<std::string> app_names;
+  for (const apps::AppProfile& app : apps::ParsecSuite())
+    app_names.push_back(app.name);
+
+  bench::SweepAgg agg;
+  runtime::SweepSpec cspec("ext_characterize",
+                           runtime::SweepKind::kCharacterize);
+  cspec.Axis("app", app_names);
+  const std::vector<runtime::JobResult> derived =
+      bench::RunSweep(cspec, &agg);
+
   util::Table t({"app", "IPC sim", "IPC table", "Ceff sim [nF]",
                  "Ceff table", "Pind sim [W]", "Pind table", "L1 miss %",
                  "L2 MPKI", "br miss %"});
-  const auto derived = uarch::CharacterizeParsec();
-  for (const uarch::Characterization& c : derived) {
-    const apps::AppProfile& table = apps::AppByName(c.name);
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    const runtime::JobResult& r = derived[a];
+    const apps::AppProfile& table = apps::AppByName(app_names[a]);
     t.Row()
-        .Cell(c.name)
-        .Cell(c.ipc, 2)
+        .Cell(app_names[a])
+        .Cell(Metric(r, "ipc"), 2)
         .Cell(table.ipc, 2)
-        .Cell(c.ceff22_nf, 2)
+        .Cell(Metric(r, "ceff22_nf"), 2)
         .Cell(table.ceff22_nf, 2)
-        .Cell(c.pind22_w, 2)
+        .Cell(Metric(r, "pind22_w"), 2)
         .Cell(table.pind22, 2)
-        .Cell(100.0 * c.sim.l1_miss_rate, 1)
-        .Cell(c.sim.mpki_l2, 1)
-        .Cell(100.0 * c.sim.branch_mispredict_rate, 1);
+        .Cell(100.0 * Metric(r, "l1_miss_rate"), 1)
+        .Cell(Metric(r, "mpki_l2"), 1)
+        .Cell(100.0 * Metric(r, "branch_mispredict_rate"), 1);
   }
   t.Print(std::cout);
   // TLP side: simulate lock contention + barriers and fit Amdahl.
+  runtime::SweepSpec sspec("ext_speedup", runtime::SweepKind::kSpeedup);
+  sspec.Axis("app", app_names);
+  const std::vector<runtime::JobResult> speedups =
+      bench::RunSweep(sspec, &agg);
+
   util::Table s({"app", "S(2)", "S(4)", "S(8)", "S(16)", "S(64)",
                  "serial frac sim", "serial frac table", "lock wait %",
                  "barrier wait %"});
-  for (const uarch::SyncParams& params : uarch::ParsecSyncParams()) {
-    std::vector<uarch::SpeedupResult> curve;
-    for (const std::size_t n : {2UL, 4UL, 8UL, 16UL, 64UL})
-      curve.push_back(uarch::SimulateSpeedup(params, n));
-    const uarch::SpeedupResult& at8 = curve[2];
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    const runtime::JobResult& r = speedups[a];
     s.Row()
-        .Cell(params.name)
-        .Cell(curve[0].speedup, 2)
-        .Cell(curve[1].speedup, 2)
-        .Cell(curve[2].speedup, 2)
-        .Cell(curve[3].speedup, 2)
-        .Cell(curve[4].speedup, 2)
-        .Cell(uarch::FitSerialFraction(curve), 3)
-        .Cell(apps::AppByName(params.name).serial_fraction, 3)
-        .Cell(100.0 * at8.lock_wait_fraction, 1)
-        .Cell(100.0 * at8.barrier_wait_fraction, 1);
+        .Cell(app_names[a])
+        .Cell(Metric(r, "s2"), 2)
+        .Cell(Metric(r, "s4"), 2)
+        .Cell(Metric(r, "s8"), 2)
+        .Cell(Metric(r, "s16"), 2)
+        .Cell(Metric(r, "s64"), 2)
+        .Cell(Metric(r, "serial_frac_fit"), 3)
+        .Cell(apps::AppByName(app_names[a]).serial_fraction, 3)
+        .Cell(100.0 * Metric(r, "lock_wait_frac"), 1)
+        .Cell(100.0 * Metric(r, "barrier_wait_frac"), 1);
   }
   std::cout << "\n";
   s.Print(std::cout);
@@ -71,5 +84,6 @@ int main() {
          "its single-thread constants. The per-figure benches use the\n"
          "calibrated table; this bench demonstrates that those constants\n"
          "are reachable from a cycle-level substrate.\n";
+  bench::WriteSweepReport("ext_characterization", agg);
   return 0;
 }

@@ -5,65 +5,57 @@
 // application then runs at the highest v/f level that fits the budget.
 // The paper's claim: performance keeps rising with technology scaling
 // despite the growing dark fraction (+~60% average from 11 to 8 nm).
-#include <algorithm>
+//
+// (node, dark %) are coupled, so the sweep uses an explicit point list:
+// job index == config * |suite| + a.
 #include <iostream>
 
 #include "apps/app_profile.hpp"
-#include "arch/platform.hpp"
 #include "bench_common.hpp"
-#include "core/tsp.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ds;
   const auto& suite = apps::ParsecSuite();
   struct Config {
-    power::TechNode node;
+    std::string node;
     double dark_pct;
   };
-  const Config configs[] = {{power::TechNode::N16, 20.0},
-                            {power::TechNode::N11, 30.0},
-                            {power::TechNode::N8, 40.0}};
+  const std::vector<Config> configs = {
+      {"16nm", 20.0}, {"11nm", 30.0}, {"8nm", 40.0}};
+
+  runtime::SweepSpec spec("fig10", runtime::SweepKind::kTspPerf);
+  spec.Set("threads", 8.0);
+  for (const Config& cfg : configs)
+    for (const apps::AppProfile& app : suite)
+      spec.Point({{"node", cfg.node},
+                  {"dark_pct", runtime::CanonicalNumber(cfg.dark_pct)},
+                  {"app", app.name}});
+  bench::SweepAgg agg;
+  const std::vector<runtime::JobResult> results = bench::RunSweep(spec, &agg);
 
   util::PrintBanner(std::cout,
                     "Figure 10: system performance under TSP budgeting");
   util::Table t({"node", "dark %", "active", "TSP [W/core]", "app",
                  "f [GHz]", "GIPS"});
   double prev_avg = 0.0;
-  for (const Config& cfg : configs) {
-    arch::Platform plat = arch::Platform::PaperPlatform(cfg.node);
-    const core::Tsp tsp(plat);
-    const std::size_t active = static_cast<std::size_t>(
-        static_cast<double>(plat.num_cores()) * (1.0 - cfg.dark_pct / 100.0));
-    const double budget = tsp.WorstCase(active);
-
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const Config& cfg = configs[c];
     double gips_sum = 0.0;
     for (std::size_t a = 0; a < suite.size(); ++a) {
-      std::size_t level = 0;
-      double gips = 0.0;
-      double freq = 0.0;
-      if (tsp.MaxLevelWithinBudget(suite[a], 8, budget, &level)) {
-        // TSP operates within the nominal DVFS range (no boosting).
-        level = std::min(level, plat.ladder().NominalLevel());
-        freq = plat.ladder()[level].freq;
-        const std::size_t instances = active / 8;
-        gips = static_cast<double>(instances) *
-               suite[a].InstanceGips(8, freq);
-        if (active % 8 != 0)
-          gips += suite[a].InstanceGips(active % 8, freq);
-      }
-      gips_sum += gips;
+      const runtime::JobResult& r = results[c * suite.size() + a];
+      gips_sum += Metric(r, "gips");
       t.Row()
-          .Cell(plat.tech().name)
+          .Cell(cfg.node)
           .Cell(cfg.dark_pct, 0)
-          .Cell(active)
-          .Cell(budget, 2)
+          .Cell(static_cast<std::size_t>(Metric(r, "active")))
+          .Cell(Metric(r, "budget_w_per_core"), 2)
           .Cell(bench::AppLabel(a))
-          .Cell(freq, 1)
-          .Cell(gips, 1);
+          .Cell(Metric(r, "freq_ghz"), 1)
+          .Cell(Metric(r, "gips"), 1);
     }
     const double avg = gips_sum / static_cast<double>(suite.size());
-    std::cout << plat.tech().name << " average over apps: "
+    std::cout << cfg.node << " average over apps: "
               << util::FormatFixed(avg, 1) << " GIPS";
     if (prev_avg > 0.0)
       std::cout << "  (+"
@@ -74,7 +66,9 @@ int main() {
   }
   t.Print(std::cout);
   bench::MaybeWriteCsv(t, "fig10_tsp");
-  std::cout << "\nPaper: performance rises per node despite more dark "
-               "silicon; 11 nm -> 8 nm increment ~60% on average.\n";
+  bench::PaperNote(
+      "performance rises per node despite more dark silicon; 11 nm -> 8 nm "
+      "increment ~60% on average.");
+  bench::WriteSweepReport("fig10", agg);
   return 0;
 }

@@ -4,43 +4,50 @@
 // boosting points use the validated quasi-steady model (see
 // BoostingSimulator::EstimateBoosting); the constant points use the
 // highest steady-state-safe level per core count.
+//
+// One sweep over the instance-count axis; infeasible counts come back
+// as skipped rows and are left out of the table, like the original
+// loop's `continue`.
 #include <iostream>
 
-#include "apps/app_profile.hpp"
-#include "arch/platform.hpp"
-#include "core/boosting.hpp"
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ds;
-  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
-  const apps::AppProfile& app = apps::AppByName("x264");
-  const double power_cap = 500.0;
+  std::vector<double> instance_counts;
+  for (std::size_t instances = 1; instances <= 12; ++instances)
+    instance_counts.push_back(static_cast<double>(instances));
+
+  runtime::SweepSpec spec("fig12", runtime::SweepKind::kBoost);
+  spec.Set("node", "16nm").Set("app", "x264").Set("threads", 8.0);
+  spec.Set("power_cap_w", 500.0);
+  spec.Axis("instances", instance_counts);
+  bench::SweepAgg agg;
+  const std::vector<runtime::JobResult> results = bench::RunSweep(spec, &agg);
 
   util::PrintBanner(std::cout,
                     "Figure 12: performance & power vs active cores "
                     "(x264, 16 nm)");
   util::Table t({"cores", "const f [GHz]", "const GIPS", "const P [W]",
                  "boost GIPS", "boost avg P [W]", "boost peak P [W]"});
-  for (std::size_t instances = 1; instances <= 12; ++instances) {
-    const core::BoostingSimulator sim(plat, app, instances, 8);
-    std::size_t level = 0;
-    if (!sim.MaxSafeConstantLevel(power_cap, &level)) continue;
-    const core::Estimate steady = sim.SteadyAtLevel(level);
-    const auto boost = sim.EstimateBoosting(plat.tdtm_c(), power_cap);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const runtime::JobResult& r = results[i];
+    if (r.skipped) continue;
     t.Row()
-        .Cell(instances * 8)
-        .Cell(plat.ladder()[level].freq, 1)
-        .Cell(sim.GipsAtLevel(level), 1)
-        .Cell(steady.total_power_w, 0)
-        .Cell(boost.avg_gips, 1)
-        .Cell(boost.avg_power_w, 0)
-        .Cell(boost.peak_power_w, 0);
+        .Cell((i + 1) * 8)
+        .Cell(Metric(r, "const_freq_ghz"), 1)
+        .Cell(Metric(r, "const_gips"), 1)
+        .Cell(Metric(r, "const_power_w"), 0)
+        .Cell(Metric(r, "boost_gips"), 1)
+        .Cell(Metric(r, "boost_avg_power_w"), 0)
+        .Cell(Metric(r, "boost_peak_power_w"), 0);
   }
   t.Print(std::cout);
-  ds::bench::MaybeWriteCsv(t, "fig12_boost_cores");
-  std::cout << "\nPaper: boosting's performance edge is small while its "
-               "peak power grows substantially with the core count.\n";
+  bench::MaybeWriteCsv(t, "fig12_boost_cores");
+  bench::PaperNote(
+      "boosting's performance edge is small while its peak power grows "
+      "substantially with the core count.");
+  bench::WriteSweepReport("fig12", agg);
   return 0;
 }

@@ -37,14 +37,34 @@ Platform Platform::PaperPlatform(power::TechNode node) {
 }
 
 const thermal::RcModel& Platform::thermal_model() const {
-  if (!rc_) rc_ = std::make_unique<thermal::RcModel>(floorplan_);
+  if (!rc_) rc_ = std::make_shared<const thermal::RcModel>(floorplan_);
   return *rc_;
 }
 
 const thermal::SteadyStateSolver& Platform::solver() const {
   if (!solver_)
-    solver_ = std::make_unique<thermal::SteadyStateSolver>(thermal_model());
+    solver_ =
+        std::make_shared<const thermal::SteadyStateSolver>(thermal_model());
   return *solver_;
+}
+
+void Platform::AdoptThermalAssets(
+    std::shared_ptr<const thermal::RcModel> rc,
+    std::shared_ptr<const thermal::SteadyStateSolver> solver) {
+  DS_REQUIRE(rc != nullptr && solver != nullptr,
+             "Platform::AdoptThermalAssets: null asset");
+  DS_REQUIRE(&solver->model() == rc.get(),
+             "Platform::AdoptThermalAssets: solver not factored from rc");
+  const thermal::Floorplan& fp = rc->floorplan();
+  DS_REQUIRE(fp.rows() == floorplan_.rows() && fp.cols() == floorplan_.cols(),
+             "Platform::AdoptThermalAssets: grid "
+                 << fp.rows() << "x" << fp.cols() << " != platform "
+                 << floorplan_.rows() << "x" << floorplan_.cols());
+  DS_REQUIRE(fp.core_width_mm() == floorplan_.core_width_mm() &&
+                 fp.core_height_mm() == floorplan_.core_height_mm(),
+             "Platform::AdoptThermalAssets: core tile geometry differs");
+  rc_ = std::move(rc);
+  solver_ = std::move(solver);
 }
 
 }  // namespace ds::arch

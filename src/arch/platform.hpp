@@ -40,11 +40,22 @@ class Platform {
   const power::PowerModel& power_model() const { return power_model_; }
   const power::VfCurve& vf_curve() const { return vf_curve_; }
 
-  /// Thermal RC network (built on first use, cached).
+  /// Thermal RC network (built on first use, cached). Lazy build is
+  /// not synchronized: share a Platform instance across threads only
+  /// after the thermal assets exist (AdoptThermalAssets or a prior
+  /// call on one thread).
   const thermal::RcModel& thermal_model() const;
 
   /// Steady-state solver with factored conductance (cached).
   const thermal::SteadyStateSolver& solver() const;
+
+  /// Installs externally built (typically runtime::ModelCache-shared)
+  /// thermal assets instead of building private copies. `solver` must
+  /// be factored from `*rc`, and `rc` must match this platform's
+  /// floorplan; both requirements are contract-checked.
+  void AdoptThermalAssets(
+      std::shared_ptr<const thermal::RcModel> rc,
+      std::shared_ptr<const thermal::SteadyStateSolver> solver);
 
   /// Thermal threshold that triggers DTM (paper: 80 C).
   double tdtm_c() const { return tdtm_c_; }
@@ -57,8 +68,8 @@ class Platform {
   power::PowerModel power_model_;
   power::VfCurve vf_curve_;
   double tdtm_c_ = power::kTdtmC;
-  mutable std::unique_ptr<thermal::RcModel> rc_;
-  mutable std::unique_ptr<thermal::SteadyStateSolver> solver_;
+  mutable std::shared_ptr<const thermal::RcModel> rc_;
+  mutable std::shared_ptr<const thermal::SteadyStateSolver> solver_;
 };
 
 }  // namespace ds::arch

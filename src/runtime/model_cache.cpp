@@ -1,0 +1,154 @@
+#include "runtime/model_cache.hpp"
+
+#include <utility>
+
+#include "core/tsp.hpp"
+#include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
+
+namespace ds::runtime {
+
+namespace {
+
+/// Content key: every scalar that determines the RC network. Two
+/// (floorplan, package) pairs with equal values share one entry.
+std::vector<double> ContentKey(const thermal::Floorplan& fp,
+                               const thermal::PackageParams& pkg) {
+  return {
+      static_cast<double>(fp.rows()),
+      static_cast<double>(fp.cols()),
+      fp.core_width_mm(),
+      fp.core_height_mm(),
+      pkg.die_thickness,
+      pkg.die_conductivity,
+      pkg.die_specific_heat,
+      pkg.tim_thickness,
+      pkg.tim_conductivity,
+      pkg.tim_specific_heat,
+      pkg.spreader_side,
+      pkg.spreader_thickness,
+      pkg.spreader_conductivity,
+      pkg.spreader_specific_heat,
+      pkg.sink_side,
+      pkg.sink_thickness,
+      pkg.sink_conductivity,
+      pkg.sink_specific_heat,
+      pkg.convection_resistance,
+      pkg.convection_capacitance,
+      pkg.ambient_c,
+  };
+}
+
+}  // namespace
+
+std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
+    const thermal::Floorplan& fp, const thermal::PackageParams& pkg,
+    bool count_stats) {
+  std::vector<double> key = ContentKey(fp, pkg);
+  std::shared_ptr<Entry> entry;
+  bool created = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[std::move(key)];
+    if (!slot) {
+      slot = std::make_shared<Entry>();
+      created = true;
+    }
+    entry = slot;
+  }
+  if (count_stats) {
+    if (created) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      DS_TELEM_COUNT("modelcache.misses", 1);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      DS_TELEM_COUNT("modelcache.hits", 1);
+    }
+  }
+  // Exactly one caller builds; concurrent requesters block here until
+  // the assets exist. The influence matrix is forced up front so the
+  // shared solver is strictly read-only afterwards.
+  std::call_once(entry->once, [&entry, &fp, &pkg] {
+    DS_TELEM_SPAN("runtime", "modelcache_build",
+                  ds::telemetry::TraceLevel::kSpan);
+    DS_TELEM_TIMER("modelcache.build_us");
+    auto model = std::make_shared<const thermal::RcModel>(fp, pkg);
+    auto solver = std::make_shared<const thermal::SteadyStateSolver>(*model);
+    solver->InfluenceMatrix();
+    entry->assets = ThermalAssets{std::move(model), std::move(solver)};
+  });
+  return entry;
+}
+
+ThermalAssets ModelCache::Get(const thermal::Floorplan& fp,
+                              const thermal::PackageParams& pkg) {
+  return GetEntry(fp, pkg, /*count_stats=*/true)->assets;
+}
+
+void ModelCache::InstallThermal(arch::Platform& platform) {
+  ThermalAssets assets = Get(platform.floorplan());
+  platform.AdoptThermalAssets(std::move(assets.model),
+                              std::move(assets.solver));
+}
+
+double ModelCache::TspForEntry(const arch::Platform& platform, std::size_t m,
+                               char kind) {
+  DS_REQUIRE(m >= 1 && m <= platform.num_cores(),
+             "ModelCache: TSP active count " << m << " out of 1.."
+                                             << platform.num_cores());
+  const std::shared_ptr<Entry> entry =
+      GetEntry(platform.floorplan(), thermal::PackageParams{},
+               /*count_stats=*/false);
+  const std::pair<char, std::size_t> key{kind, m};
+  {
+    const std::lock_guard<std::mutex> lock(entry->tsp_mu);
+    const auto it = entry->tsp.find(key);
+    if (it != entry->tsp.end()) {
+      tsp_hits_.fetch_add(1, std::memory_order_relaxed);
+      DS_TELEM_COUNT("modelcache.tsp_hits", 1);
+      return it->second;
+    }
+  }
+  tsp_misses_.fetch_add(1, std::memory_order_relaxed);
+  DS_TELEM_COUNT("modelcache.tsp_misses", 1);
+  const core::Tsp tsp(platform);
+  const double budget = kind == 'w' ? tsp.WorstCase(m) : tsp.BestCase(m);
+  const std::lock_guard<std::mutex> lock(entry->tsp_mu);
+  entry->tsp.emplace(key, budget);
+  return budget;
+}
+
+double ModelCache::TspWorstCase(const arch::Platform& platform,
+                                std::size_t m) {
+  return TspForEntry(platform, m, 'w');
+}
+
+double ModelCache::TspBestCase(const arch::Platform& platform,
+                               std::size_t m) {
+  return TspForEntry(platform, m, 'b');
+}
+
+void ModelCache::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.tsp_hits = tsp_hits_.load(std::memory_order_relaxed);
+  s.tsp_misses = tsp_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ModelCache& ModelCache::Process() {
+  // Intentionally leaked process-wide singleton (same lifetime pattern
+  // as telemetry::Registry): sweeps may run during static destruction
+  // of other objects.
+  // ds_lint: allow(static-mutable)
+  static ModelCache* cache = new ModelCache();  // ds_lint: allow(naked-new)
+  return *cache;
+}
+
+}  // namespace ds::runtime

@@ -1,0 +1,104 @@
+// Shared thermal-model cache for the sweep engine.
+//
+// Every scenario in a sweep that shares a floorplan/package also shares
+// the expensive thermal artifacts: the LU factorization of the RC
+// conductance matrix (O(n^3) in 4N+12 nodes), the die influence matrix
+// (N more solves) and the TSP-per-active-count tables derived from it.
+// Pre-engine, each bench rebuilt those per Platform instance; the cache
+// memoizes them under a content key so that a 70-job sweep over one
+// floorplan performs exactly one factorization.
+//
+// Keying: the full geometric/material content of (Floorplan,
+// PackageParams), compared value-for-value -- two floorplans with the
+// same grid and tile size hit the same entry no matter how they were
+// constructed. Bitwise-identical inputs produce bitwise-identical
+// cached results, so cached and uncached solves agree exactly (tested
+// by test_runtime: max-abs diff == 0).
+//
+// Thread safety: the entry map is mutex-protected; each entry is built
+// exactly once under a std::once_flag, so concurrent first requests for
+// one key block until the single builder finishes. Hit/miss counts are
+// therefore deterministic for a fixed job set: misses == distinct keys.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+
+namespace ds::runtime {
+
+/// The shareable per-floorplan thermal state: RC network plus a solver
+/// factored from it (influence matrix forced, so sharing is read-only).
+struct ThermalAssets {
+  std::shared_ptr<const thermal::RcModel> model;
+  std::shared_ptr<const thermal::SteadyStateSolver> solver;
+};
+
+class ModelCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t tsp_hits = 0;
+    std::uint64_t tsp_misses = 0;
+  };
+
+  /// Returns the shared assets for (fp, pkg), building them on first
+  /// request. Also bumps the "modelcache.hits"/"modelcache.misses"
+  /// telemetry counters.
+  ThermalAssets Get(const thermal::Floorplan& fp,
+                    const thermal::PackageParams& pkg = {});
+
+  /// Get() for the platform's floorplan (default package) followed by
+  /// Platform::AdoptThermalAssets, after which the platform can be used
+  /// from the calling thread without ever factorizing.
+  void InstallThermal(arch::Platform& platform);
+
+  /// Memoized worst-case (densest-mapping) TSP(m) for the platform's
+  /// thermal model; equals core::Tsp(platform).WorstCase(m) exactly.
+  double TspWorstCase(const arch::Platform& platform, std::size_t m);
+
+  /// Memoized best-case (spread-mapping) TSP(m); equals
+  /// core::Tsp(platform).BestCase(m) exactly.
+  double TspBestCase(const arch::Platform& platform, std::size_t m);
+
+  /// Drops every entry (tests; long-lived processes switching studies).
+  void Clear();
+
+  Stats stats() const;
+
+  /// The process-wide cache used by default by the sweep engine.
+  static ModelCache& Process();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    ThermalAssets assets;
+    std::mutex tsp_mu;
+    // ('w' | 'b', active count) -> budget [W/core]
+    std::map<std::pair<char, std::size_t>, double> tsp;
+  };
+
+  std::shared_ptr<Entry> GetEntry(const thermal::Floorplan& fp,
+                                  const thermal::PackageParams& pkg,
+                                  bool count_stats);
+  double TspForEntry(const arch::Platform& platform, std::size_t m,
+                     char kind);
+
+  mutable std::mutex mu_;
+  std::map<std::vector<double>, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> tsp_hits_{0};
+  std::atomic<std::uint64_t> tsp_misses_{0};
+};
+
+}  // namespace ds::runtime

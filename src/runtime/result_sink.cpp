@@ -1,0 +1,247 @@
+#include "runtime/result_sink.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace ds::runtime {
+
+namespace {
+
+/// Exact round-trip float formatting for rows and journal lines.
+std::string ExactNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal JSON string escaping (keys here are identifiers, but error
+/// strings can carry anything).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* StatusOf(const JobResult& r) {
+  if (!r.ok) return "failed";
+  return r.skipped ? "skipped" : "ok";
+}
+
+}  // namespace
+
+double Metric(const JobResult& result, std::string_view name) {
+  for (const auto& [key, value] : result.metrics)
+    if (key == name) return value;
+  DS_REQUIRE(false, "JobResult " << result.index << ": no metric '" << name
+                                 << "'");
+}
+
+bool HasMetric(const JobResult& result, std::string_view name) {
+  for (const auto& [key, value] : result.metrics) {
+    (void)value;
+    if (key == name) return true;
+  }
+  return false;
+}
+
+ResultSink::ResultSink(const SweepSpec& spec,
+                       const std::vector<SweepJob>& jobs)
+    : param_columns_(spec.ParamColumns()) {
+  jobs_.reserve(jobs.size());
+  for (const SweepJob& job : jobs) {
+    DS_REQUIRE(job.index == jobs_.size(),
+               "ResultSink: jobs must arrive in index order");
+    jobs_.push_back(job.params);
+  }
+}
+
+std::vector<std::string> ResultSink::Header(
+    const std::vector<JobResult>& results) const {
+  std::vector<std::string> header{"job", "status"};
+  header.insert(header.end(), param_columns_.begin(), param_columns_.end());
+  for (const JobResult& r : results) {
+    if (!r.ok || r.skipped) continue;
+    for (const auto& [key, value] : r.metrics) {
+      (void)value;
+      header.push_back(key);
+    }
+    break;
+  }
+  return header;
+}
+
+void ResultSink::WriteCsv(std::ostream& os,
+                          const std::vector<JobResult>& results) const {
+  DS_REQUIRE(results.size() == jobs_.size(),
+             "ResultSink: " << results.size() << " results for "
+                            << jobs_.size() << " jobs");
+  const std::vector<std::string> header = Header(results);
+  for (std::size_t c = 0; c < header.size(); ++c)
+    os << (c > 0 ? "," : "") << header[c];
+  os << "\n";
+  const std::size_t metric_cols = header.size() - 2 - param_columns_.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    DS_REQUIRE(r.index == i, "ResultSink: result " << r.index << " at row "
+                                                   << i);
+    os << i << "," << StatusOf(r);
+    for (const auto& [field, value] : jobs_[i]) {
+      (void)field;
+      os << "," << value;
+    }
+    if (r.ok && !r.skipped) {
+      DS_REQUIRE(r.metrics.size() == metric_cols,
+                 "ResultSink: job " << i << " has " << r.metrics.size()
+                                    << " metrics, header has " << metric_cols);
+      for (const auto& [key, value] : r.metrics) {
+        (void)key;
+        os << "," << ExactNumber(value);
+      }
+    } else {
+      for (std::size_t c = 0; c < metric_cols; ++c) os << ",";
+    }
+    os << "\n";
+  }
+}
+
+void ResultSink::WriteCsv(const std::string& path,
+                          const std::vector<JobResult>& results) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DS_REQUIRE(out.good(), "ResultSink: cannot open '" << path << "'");
+  WriteCsv(out, results);
+  out.flush();
+  DS_REQUIRE(out.good(), "ResultSink: write to '" << path << "' failed");
+}
+
+void ResultSink::WriteJsonRows(std::ostream& os,
+                               const std::vector<JobResult>& results) const {
+  DS_REQUIRE(results.size() == jobs_.size(),
+             "ResultSink: " << results.size() << " results for "
+                            << jobs_.size() << " jobs");
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    os << "  {\"job\": " << i << ", \"status\": \"" << StatusOf(r) << "\"";
+    for (const auto& [field, value] : jobs_[i])
+      os << ", \"" << JsonEscape(field) << "\": \"" << JsonEscape(value)
+         << "\"";
+    if (r.ok && !r.skipped) {
+      for (const auto& [key, value] : r.metrics)
+        os << ", \"" << JsonEscape(key) << "\": " << ExactNumber(value);
+    }
+    if (!r.ok)
+      os << ", \"error\": \"" << JsonEscape(r.error) << "\"";
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void ResultSink::WriteJsonRows(const std::string& path,
+                               const std::vector<JobResult>& results) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DS_REQUIRE(out.good(), "ResultSink: cannot open '" << path << "'");
+  WriteJsonRows(out, results);
+  out.flush();
+  DS_REQUIRE(out.good(), "ResultSink: write to '" << path << "' failed");
+}
+
+std::string JournalHeaderLine(const SweepSpec& spec) {
+  std::ostringstream os;
+  os << "{\"sweep\": \"" << JsonEscape(spec.name()) << "\", \"version\": 1, "
+     << "\"fingerprint\": \"" << spec.Fingerprint() << "\"}";
+  return os.str();
+}
+
+std::string JournalLine(const JobResult& result) {
+  std::ostringstream os;
+  os << "{\"job\": " << result.index << ", \"ok\": "
+     << (result.ok ? "true" : "false")
+     << ", \"skipped\": " << (result.skipped ? "true" : "false");
+  if (!result.ok) os << ", \"error\": \"" << JsonEscape(result.error) << "\"";
+  os << ", \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : result.metrics) {
+    os << (first ? "" : ", ") << "\"" << JsonEscape(key)
+       << "\": " << ExactNumber(value);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool LoadJournal(const std::string& path,
+                 const std::string& expect_fingerprint,
+                 std::vector<JobResult>* completed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const telemetry::JsonValue doc = telemetry::ParseJson(line);
+    DS_REQUIRE(doc.is_object(), "sweep journal '" << path
+                                                  << "': malformed line");
+    if (!saw_header) {
+      const telemetry::JsonValue* version = doc.Find("version");
+      const telemetry::JsonValue* fingerprint = doc.Find("fingerprint");
+      DS_REQUIRE(version != nullptr && version->is_number() &&
+                     version->number == 1.0,  // ds_lint: allow(float-equals)
+                 "sweep journal '" << path << "': unsupported version");
+      DS_REQUIRE(fingerprint != nullptr && fingerprint->is_string() &&
+                     fingerprint->str == expect_fingerprint,
+                 "sweep journal '"
+                     << path
+                     << "' belongs to a different sweep spec; delete it or "
+                        "pass a fresh checkpoint path");
+      saw_header = true;
+      continue;
+    }
+    const telemetry::JsonValue* job = doc.Find("job");
+    const telemetry::JsonValue* ok = doc.Find("ok");
+    const telemetry::JsonValue* metrics = doc.Find("metrics");
+    DS_REQUIRE(job != nullptr && job->is_number() && ok != nullptr &&
+                   metrics != nullptr && metrics->is_object(),
+               "sweep journal '" << path << "': malformed job line");
+    JobResult r;
+    r.index = static_cast<std::size_t>(job->number);
+    r.ok = ok->boolean;
+    if (const telemetry::JsonValue* skipped = doc.Find("skipped"))
+      r.skipped = skipped->boolean;
+    if (const telemetry::JsonValue* error = doc.Find("error"))
+      r.error = error->str;
+    r.metrics.reserve(metrics->object.size());
+    for (const auto& [key, value] : metrics->object) {
+      DS_REQUIRE(value.is_number(), "sweep journal '"
+                                        << path << "': metric '" << key
+                                        << "' is not a number");
+      r.metrics.emplace_back(key, value.number);
+    }
+    completed->push_back(std::move(r));
+  }
+  DS_REQUIRE(saw_header, "sweep journal '" << path << "': missing header");
+  return true;
+}
+
+}  // namespace ds::runtime

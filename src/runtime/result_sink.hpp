@@ -1,0 +1,91 @@
+// Structured results for sweep runs: ordered rows out of unordered
+// parallel execution, CSV/JSON emission, and the checkpoint journal.
+//
+// Determinism contract: a row is a pure function of its job's spec
+// parameters, so the emitted CSV/JSON is byte-identical for any thread
+// count. Rows are keyed by job index and emitted in index order; wall
+// times and cache statistics never enter the rows (they live in
+// SweepStats / RunSummary, which are allowed to vary run-to-run).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/sweep_spec.hpp"
+
+namespace ds::runtime {
+
+/// Outcome of one job. `metrics` carries the kind's full metric set in
+/// a fixed order; `skipped` marks an infeasible scenario (still a row);
+/// `ok == false` records a failed job (exception text in `error`).
+struct JobResult {
+  std::size_t index = 0;
+  bool ok = false;
+  bool skipped = false;
+  std::string error;
+  std::vector<std::pair<std::string, double>> metrics;
+  double wall_ms = 0.0;  // informational only; never emitted into rows
+};
+
+/// Looks up a metric by name; contract-checked (a missing metric is a
+/// runner bug, not a data condition).
+double Metric(const JobResult& result, std::string_view name);
+bool HasMetric(const JobResult& result, std::string_view name);
+
+class ResultSink {
+ public:
+  /// Captures the spec's parameter columns and, from `jobs`, the echo
+  /// values for every row.
+  ResultSink(const SweepSpec& spec, const std::vector<SweepJob>& jobs);
+
+  /// Header: job, status, <param columns...>, <metric columns...>.
+  /// Metric columns come from the first completed row (every runner
+  /// emits the same set for one kind).
+  std::vector<std::string> Header(
+      const std::vector<JobResult>& results) const;
+
+  /// One CSV line per job, index order, "%.17g"-exact numbers.
+  void WriteCsv(std::ostream& os,
+                const std::vector<JobResult>& results) const;
+  void WriteCsv(const std::string& path,
+                const std::vector<JobResult>& results) const;
+
+  /// JSON array of row objects (same content as the CSV).
+  void WriteJsonRows(std::ostream& os,
+                     const std::vector<JobResult>& results) const;
+  void WriteJsonRows(const std::string& path,
+                     const std::vector<JobResult>& results) const;
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+
+ private:
+  std::vector<std::string> param_columns_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> jobs_;
+};
+
+/// Checkpoint journal: JSON-lines, one header line binding the spec
+/// fingerprint, then one line per completed job. Appends are atomic
+/// with respect to the engine's journal mutex; lines for the same job
+/// are idempotent on load (last one wins).
+struct JournalHeader {
+  std::string sweep;
+  std::string fingerprint;
+};
+
+/// Serializes one completed job as a journal line (no trailing \n).
+std::string JournalLine(const JobResult& result);
+
+/// Parses a journal file. Returns false (untouched outputs) if the
+/// file does not exist; contract-checks the header against
+/// `expect_fingerprint` and the format version.
+bool LoadJournal(const std::string& path,
+                 const std::string& expect_fingerprint,
+                 std::vector<JobResult>* completed);
+
+/// Writes the journal header line for a fresh checkpoint file.
+std::string JournalHeaderLine(const SweepSpec& spec);
+
+}  // namespace ds::runtime

@@ -1,0 +1,216 @@
+#include "runtime/scenarios.hpp"
+
+#include <algorithm>
+
+#include "apps/app_profile.hpp"
+#include "core/boosting.hpp"
+#include "core/estimator.hpp"
+#include "core/mapping.hpp"
+#include "core/tsp.hpp"
+#include "power/technology.hpp"
+#include "uarch/characterize.hpp"
+#include "uarch/multicore.hpp"
+#include "uarch/trace_gen.hpp"
+#include "util/contracts.hpp"
+
+namespace ds::runtime {
+
+namespace {
+
+core::MappingPolicy PolicyByName(const std::string& name) {
+  if (name == "contiguous") return core::MappingPolicy::kContiguous;
+  if (name == "spread") return core::MappingPolicy::kSpread;
+  if (name == "checkerboard") return core::MappingPolicy::kCheckerboard;
+  if (name == "densest" || name == "worst")
+    return core::MappingPolicy::kDensest;
+  DS_REQUIRE(false, "RunScenario: unknown mapping policy '" << name << "'");
+}
+
+/// Builds the point's platform with cache-shared thermal assets
+/// installed, so the job never factorizes a conductance matrix that any
+/// earlier job (or concurrent job, after blocking on the build) already
+/// produced.
+arch::Platform MakePlatform(const SweepPoint& point, ModelCache& cache) {
+  const power::TechnologyParams& tech = power::TechByName(point.node);
+  arch::Platform platform =
+      point.cores > 0 ? arch::Platform(tech.node, point.cores)
+                      : arch::Platform::PaperPlatform(tech.node);
+  if (point.tdtm_c > 0.0) platform.set_tdtm_c(point.tdtm_c);
+  cache.InstallThermal(platform);
+  return platform;
+}
+
+std::size_t LevelFor(const arch::Platform& platform, double freq_ghz) {
+  if (freq_ghz <= 0.0) return platform.ladder().NominalLevel();
+  return platform.ladder().LevelAtOrBelow(freq_ghz);
+}
+
+void RunEstimate(const SweepPoint& p, ModelCache& cache, JobResult* result) {
+  const arch::Platform platform = MakePlatform(p, cache);
+  const apps::AppProfile& app = apps::AppByName(p.app);
+  const core::DarkSiliconEstimator estimator(platform);
+  const std::size_t level = LevelFor(platform, p.freq_ghz);
+  const core::MappingPolicy policy = PolicyByName(p.mapping);
+  const core::Estimate e =
+      p.constraint == "thermal"
+          ? estimator.UnderTemperature(app, p.threads, level, policy)
+          : estimator.UnderPowerBudget(app, p.threads, level, p.tdp_w,
+                                       policy);
+  result->metrics = {
+      {"level_freq_ghz", platform.ladder()[level].freq},
+      {"active_cores", static_cast<double>(e.active_cores)},
+      {"instances", static_cast<double>(e.instances)},
+      {"dark_frac", e.dark_fraction},
+      {"total_power_w", e.total_power_w},
+      {"budget_power_w", e.budget_power_w},
+      {"peak_temp_c", e.peak_temp_c},
+      {"violation", e.thermal_violation ? 1.0 : 0.0},
+      {"gips", e.total_gips},
+  };
+}
+
+void RunTspCurve(const SweepPoint& p, ModelCache& cache, JobResult* result) {
+  const arch::Platform platform = MakePlatform(p, cache);
+  DS_REQUIRE(p.count >= 1 && p.count <= platform.num_cores(),
+             "tsp_curve: count " << p.count << " out of 1.."
+                                 << platform.num_cores());
+  const double budget = p.mapping == "spread"
+                            ? cache.TspBestCase(platform, p.count)
+                            : cache.TspWorstCase(platform, p.count);
+  result->metrics = {
+      {"tsp_w_per_core", budget},
+      {"total_w", budget * static_cast<double>(p.count)},
+  };
+}
+
+void RunTspPerf(const SweepPoint& p, ModelCache& cache, JobResult* result) {
+  const arch::Platform platform = MakePlatform(p, cache);
+  const apps::AppProfile& app = apps::AppByName(p.app);
+  const core::Tsp tsp(platform);
+  const std::size_t active = static_cast<std::size_t>(
+      static_cast<double>(platform.num_cores()) * (1.0 - p.dark_pct / 100.0));
+  DS_REQUIRE(active >= 1, "tsp_perf: dark_pct " << p.dark_pct
+                                                << " leaves no active core");
+  const double budget = p.mapping == "spread"
+                            ? cache.TspBestCase(platform, active)
+                            : cache.TspWorstCase(platform, active);
+  std::size_t level = 0;
+  double freq = 0.0;
+  double gips = 0.0;
+  const bool feasible =
+      tsp.MaxLevelWithinBudget(app, p.threads, budget, &level);
+  if (feasible) {
+    // TSP operates within the nominal DVFS range (no boosting).
+    level = std::min(level, platform.ladder().NominalLevel());
+    freq = platform.ladder()[level].freq;
+    const std::size_t instances = active / p.threads;
+    gips = static_cast<double>(instances) * app.InstanceGips(p.threads, freq);
+    if (active % p.threads != 0)
+      gips += app.InstanceGips(active % p.threads, freq);
+  }
+  result->metrics = {
+      {"active", static_cast<double>(active)},
+      {"budget_w_per_core", budget},
+      {"feasible", feasible ? 1.0 : 0.0},
+      {"freq_ghz", freq},
+      {"gips", gips},
+  };
+}
+
+void RunBoost(const SweepPoint& p, ModelCache& cache, JobResult* result) {
+  const arch::Platform platform = MakePlatform(p, cache);
+  const apps::AppProfile& app = apps::AppByName(p.app);
+  const core::BoostingSimulator sim(platform, app, p.instances, p.threads);
+  std::size_t level = 0;
+  if (!sim.MaxSafeConstantLevel(p.power_cap_w, &level)) {
+    result->skipped = true;
+    return;
+  }
+  const core::Estimate steady = sim.SteadyAtLevel(level);
+  const core::BoostingSimulator::QuasiSteadyBoost boost =
+      sim.EstimateBoosting(platform.tdtm_c(), p.power_cap_w);
+  result->metrics = {
+      {"const_freq_ghz", platform.ladder()[level].freq},
+      {"const_gips", sim.GipsAtLevel(level)},
+      {"const_power_w", steady.total_power_w},
+      {"boost_gips", boost.avg_gips},
+      {"boost_avg_power_w", boost.avg_power_w},
+      {"boost_peak_power_w", boost.peak_power_w},
+      {"boost_base_freq_ghz", platform.ladder()[boost.base_level].freq},
+  };
+}
+
+void RunCharacterize(const SweepPoint& p, JobResult* result) {
+  const uarch::Characterization c =
+      uarch::Characterize(uarch::TraceParamsByName(p.app));
+  result->metrics = {
+      {"ipc", c.ipc},
+      {"ceff22_nf", c.ceff22_nf},
+      {"pind22_w", c.pind22_w},
+      {"l1_miss_rate", c.sim.l1_miss_rate},
+      {"mpki_l2", c.sim.mpki_l2},
+      {"branch_mispredict_rate", c.sim.branch_mispredict_rate},
+  };
+}
+
+void RunSpeedup(const SweepPoint& p, JobResult* result) {
+  const uarch::SyncParams& params = uarch::SyncParamsByName(p.app);
+  std::vector<uarch::SpeedupResult> curve;
+  for (const std::size_t n : {2UL, 4UL, 8UL, 16UL, 64UL})
+    curve.push_back(uarch::SimulateSpeedup(params, n));
+  const uarch::SpeedupResult& at8 = curve[2];
+  result->metrics = {
+      {"s2", curve[0].speedup},
+      {"s4", curve[1].speedup},
+      {"s8", curve[2].speedup},
+      {"s16", curve[3].speedup},
+      {"s64", curve[4].speedup},
+      {"serial_frac_fit", uarch::FitSerialFraction(curve)},
+      {"lock_wait_frac", at8.lock_wait_fraction},
+      {"barrier_wait_frac", at8.barrier_wait_fraction},
+  };
+}
+
+}  // namespace
+
+void RunScenario(SweepKind kind, const SweepJob& job, ModelCache& cache,
+                 JobResult* result) {
+  result->index = job.index;
+  switch (kind) {
+    case SweepKind::kEstimate: RunEstimate(job.point, cache, result); break;
+    case SweepKind::kTspCurve: RunTspCurve(job.point, cache, result); break;
+    case SweepKind::kTspPerf: RunTspPerf(job.point, cache, result); break;
+    case SweepKind::kBoost: RunBoost(job.point, cache, result); break;
+    case SweepKind::kCharacterize: RunCharacterize(job.point, result); break;
+    case SweepKind::kSpeedup: RunSpeedup(job.point, result); break;
+  }
+  result->ok = true;
+}
+
+std::vector<std::string> MetricColumns(SweepKind kind) {
+  switch (kind) {
+    case SweepKind::kEstimate:
+      return {"level_freq_ghz", "active_cores", "instances",
+              "dark_frac",      "total_power_w", "budget_power_w",
+              "peak_temp_c",    "violation",     "gips"};
+    case SweepKind::kTspCurve:
+      return {"tsp_w_per_core", "total_w"};
+    case SweepKind::kTspPerf:
+      return {"active", "budget_w_per_core", "feasible", "freq_ghz", "gips"};
+    case SweepKind::kBoost:
+      return {"const_freq_ghz",    "const_gips",
+              "const_power_w",     "boost_gips",
+              "boost_avg_power_w", "boost_peak_power_w",
+              "boost_base_freq_ghz"};
+    case SweepKind::kCharacterize:
+      return {"ipc",         "ceff22_nf", "pind22_w",
+              "l1_miss_rate", "mpki_l2",  "branch_mispredict_rate"};
+    case SweepKind::kSpeedup:
+      return {"s2",  "s4",  "s8",
+              "s16", "s64", "serial_frac_fit",
+              "lock_wait_frac", "barrier_wait_frac"};
+  }
+  DS_REQUIRE(false, "MetricColumns: invalid kind");
+}
+
+}  // namespace ds::runtime

@@ -1,0 +1,29 @@
+// Scenario runners: one pure function per SweepKind mapping a bound
+// SweepPoint to its metric set. Runners are referentially transparent
+// (explicit seeds, no shared mutable state beyond the ModelCache, whose
+// cached artifacts are bitwise-identical to uncached computation), so
+// job results do not depend on scheduling -- the engine's determinism
+// guarantee rests on this file.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/model_cache.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/sweep_spec.hpp"
+
+namespace ds::runtime {
+
+/// Executes one job. Fills `result->metrics` (and `skipped` for
+/// infeasible scenarios); throws on invalid scenarios (unknown node or
+/// app, inconsistent parameters), which the engine records as a failed
+/// job. `cache` supplies the shared thermal artifacts.
+void RunScenario(SweepKind kind, const SweepJob& job, ModelCache& cache,
+                 JobResult* result);
+
+/// The metric column names RunScenario emits for `kind`, in order.
+std::vector<std::string> MetricColumns(SweepKind kind);
+
+}  // namespace ds::runtime

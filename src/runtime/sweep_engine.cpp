@@ -1,0 +1,230 @@
+#include "runtime/sweep_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "runtime/scenarios.hpp"
+#include "telemetry/scoped.hpp"
+#include "util/contracts.hpp"
+
+namespace ds::runtime {
+
+namespace {
+
+/// Per-worker job queue. Owner pops LIFO from the back; thieves take
+/// FIFO from the front. Coarse-grained (one mutex per deque) is plenty:
+/// jobs are milliseconds-to-seconds, so queue ops are noise.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;  // job indices
+
+  bool PopBack(std::size_t* out) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    *out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+
+  bool StealFront(std::size_t* out) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    *out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+};
+
+struct SharedState {
+  const SweepSpec* spec = nullptr;
+  const std::vector<SweepJob>* jobs = nullptr;
+  ModelCache* cache = nullptr;
+  std::vector<JobResult>* results = nullptr;
+  std::vector<WorkerQueue>* queues = nullptr;
+
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::size_t> completed{0};
+  std::size_t stop_after = 0;  // 0 = unlimited
+
+  std::mutex journal_mu;
+  std::ofstream* journal = nullptr;
+};
+
+/// Runs one job: telemetry span, scenario dispatch, failure capture,
+/// journal append. Never throws.
+void ExecuteJob(SharedState& state, std::size_t index) {
+  const SweepJob& job = (*state.jobs)[index];
+  JobResult& result = (*state.results)[index];
+  const auto start = std::chrono::steady_clock::now();
+  {
+    DS_TELEM_SPAN_ARG("runtime", "sweep_job",
+                      ds::telemetry::TraceLevel::kSpan, "job",
+                      static_cast<double>(index));
+    try {
+      RunScenario(state.spec->kind(), job, *state.cache, &result);
+    } catch (const std::exception& e) {
+      result = JobResult{};
+      result.index = index;
+      result.error = e.what();
+    }
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (state.journal != nullptr) {
+    const std::lock_guard<std::mutex> lock(state.journal_mu);
+    *state.journal << JournalLine(result) << "\n";
+    state.journal->flush();
+  }
+  state.completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WorkerLoop(SharedState& state, std::size_t self) {
+  std::vector<WorkerQueue>& queues = *state.queues;
+  const std::size_t workers = queues.size();
+  for (;;) {
+    if (state.stop_after != 0 &&
+        state.completed.load(std::memory_order_relaxed) >= state.stop_after)
+      return;
+    std::size_t index = 0;
+    if (queues[self].PopBack(&index)) {
+      ExecuteJob(state, index);
+      continue;
+    }
+    bool stole = false;
+    for (std::size_t k = 1; k < workers && !stole; ++k) {
+      if (queues[(self + k) % workers].StealFront(&index)) {
+        state.steals.fetch_add(1, std::memory_order_relaxed);
+        stole = true;
+      }
+    }
+    if (!stole) return;  // every queue empty: done
+    ExecuteJob(state, index);
+  }
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepSpec spec, SweepOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+SweepOutcome SweepEngine::Run() {
+  DS_TELEM_SPAN("runtime", "sweep_run", ds::telemetry::TraceLevel::kSpan);
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<SweepJob> jobs = spec_.Jobs();
+  DS_REQUIRE(!jobs.empty(), "SweepEngine: spec expands to zero jobs");
+
+  ModelCache& cache =
+      options_.cache != nullptr ? *options_.cache : ModelCache::Process();
+  const ModelCache::Stats cache_before = cache.stats();
+
+  SweepOutcome out;
+  out.results.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out.results[i].index = i;
+    out.results[i].error = "not executed";
+  }
+  out.stats.jobs_total = jobs.size();
+
+  // Resume: mark journaled jobs done so the queues never see them.
+  std::vector<bool> done(jobs.size(), false);
+  if (options_.resume) {
+    DS_REQUIRE(!options_.checkpoint_path.empty(),
+               "SweepEngine: resume requires a checkpoint path");
+    std::vector<JobResult> completed;
+    if (LoadJournal(options_.checkpoint_path, spec_.Fingerprint(),
+                    &completed)) {
+      for (JobResult& r : completed) {
+        DS_REQUIRE(r.index < jobs.size(),
+                   "SweepEngine: journal job " << r.index << " out of range");
+        if (!done[r.index]) ++out.stats.jobs_resumed;
+        done[r.index] = true;  // last line wins
+        out.results[r.index] = std::move(r);
+      }
+    }
+  }
+
+  // Open (or continue) the journal before spawning workers so an
+  // unwritable path fails the run up front, not mid-sweep.
+  std::ofstream journal;
+  if (!options_.checkpoint_path.empty()) {
+    const bool fresh = !options_.resume || out.stats.jobs_resumed == 0;
+    journal.open(options_.checkpoint_path,
+                 std::ios::binary |
+                     (fresh ? std::ios::trunc : std::ios::app));
+    DS_REQUIRE(journal.good(), "SweepEngine: cannot open checkpoint '"
+                                   << options_.checkpoint_path << "'");
+    if (fresh) {
+      journal << JournalHeaderLine(spec_) << "\n";
+      journal.flush();
+    }
+  }
+
+  std::size_t threads = options_.threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  // Pending jobs, round-robin across worker deques in index order.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (!done[i]) pending.push_back(i);
+  threads = std::min(threads, std::max<std::size_t>(pending.size(), 1));
+
+  std::vector<WorkerQueue> queues(threads);
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    queues[i % threads].jobs.push_front(pending[i]);
+  // push_front + owner PopBack => each worker drains its slice in
+  // ascending index order, matching the serial engine's traversal.
+
+  SharedState state;
+  state.spec = &spec_;
+  state.jobs = &jobs;
+  state.cache = &cache;
+  state.results = &out.results;
+  state.queues = &queues;
+  state.stop_after = options_.stop_after_jobs;
+  if (journal.is_open()) state.journal = &journal;
+
+  if (threads == 1) {
+    WorkerLoop(state, 0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+      pool.emplace_back([&state, w] { WorkerLoop(state, w); });
+    for (std::thread& t : pool) t.join();
+  }
+
+  const ModelCache::Stats cache_after = cache.stats();
+  out.stats.threads_used = threads;
+  out.stats.steals = state.steals.load();
+  out.stats.cache_hits = cache_after.hits - cache_before.hits;
+  out.stats.cache_misses = cache_after.misses - cache_before.misses;
+  for (const JobResult& r : out.results) {
+    if (r.ok) {
+      if (r.skipped) ++out.stats.jobs_skipped;
+    } else if (r.error == "not executed") {
+      ++out.stats.jobs_pending;
+    } else {
+      ++out.stats.jobs_failed;
+    }
+  }
+  out.stats.jobs_executed = jobs.size() - out.stats.jobs_resumed -
+                            out.stats.jobs_pending;
+  out.stats.wall_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+  DS_ENSURE(out.results.size() == jobs.size(),
+            "SweepEngine: result/job count mismatch");
+  return out;
+}
+
+}  // namespace ds::runtime

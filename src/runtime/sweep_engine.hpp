@@ -1,0 +1,87 @@
+// Work-stealing parallel executor for SweepSpec jobs.
+//
+// Jobs are distributed round-robin over per-worker deques; a worker
+// drains its own deque LIFO and steals FIFO from its neighbours when
+// empty, which keeps the long jobs of an irregular grid (different
+// core counts factor very differently) spread across the pool without
+// a central queue bottleneck. Scheduling never affects results: every
+// job writes only its own slot of the index-ordered result vector, and
+// the scenario runners are pure (see scenarios.hpp), so `--threads 1`
+// and `--threads N` produce byte-identical rows.
+//
+// Checkpointing: with a journal path set, every completed job is
+// appended as one JSON line (flushed immediately). A later run with
+// `resume = true` loads the journal, verifies it belongs to the same
+// spec (content fingerprint), and executes only the jobs missing from
+// it -- each job runs exactly once across the two runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/model_cache.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/sweep_spec.hpp"
+
+namespace ds::runtime {
+
+struct SweepOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 1;
+
+  /// Journal path; empty disables checkpointing.
+  std::string checkpoint_path;
+
+  /// Load `checkpoint_path` and skip jobs it already records.
+  bool resume = false;
+
+  /// Test hook: stop claiming new jobs once this many have completed
+  /// in this run (0 = run everything). Exact with threads == 1; with
+  /// more threads, in-flight jobs still finish.
+  std::size_t stop_after_jobs = 0;
+
+  /// Cache for shared thermal artifacts; nullptr = the process cache.
+  ModelCache* cache = nullptr;
+};
+
+struct SweepStats {
+  std::size_t jobs_total = 0;
+  std::size_t jobs_executed = 0;  // run by this engine instance
+  std::size_t jobs_resumed = 0;   // loaded from the journal
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_skipped = 0;   // infeasible scenarios (ok, no metrics)
+  std::size_t jobs_pending = 0;   // not run (stop_after_jobs)
+  std::size_t threads_used = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t cache_hits = 0;    // ModelCache hits during this run
+  std::uint64_t cache_misses = 0;
+  double wall_s = 0.0;
+};
+
+struct SweepOutcome {
+  /// One entry per job, index order. With stop_after_jobs, entries for
+  /// unexecuted jobs have ok == false and error == "not executed".
+  std::vector<JobResult> results;
+  SweepStats stats;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepSpec spec, SweepOptions options = {});
+
+  /// Expands, (optionally) resumes, executes, and returns the ordered
+  /// results. Individual job failures are recorded per-result; this
+  /// only throws for boundary errors (bad spec, unreadable or foreign
+  /// journal, unwritable checkpoint file).
+  SweepOutcome Run();
+
+  const SweepSpec& spec() const { return spec_; }
+
+ private:
+  SweepSpec spec_;
+  SweepOptions options_;
+};
+
+}  // namespace ds::runtime

@@ -63,7 +63,7 @@ std::vector<double> SteadyStateSolver::SolveWithFeedback(
 }
 
 const util::Matrix& SteadyStateSolver::InfluenceMatrix() const {
-  if (!influence_) {
+  std::call_once(influence_once_, [this] {
     DS_TELEM_SPAN("thermal", "influence_matrix_build",
                   ds::telemetry::TraceLevel::kSpan);
     DS_TELEM_TIMER("thermal.influence_build_us");
@@ -77,7 +77,7 @@ const util::Matrix& SteadyStateSolver::InfluenceMatrix() const {
       for (std::size_t i = 0; i < n; ++i) (*a)(i, j) = t[model_->DieNode(i)];
     }
     influence_ = std::move(a);
-  }
+  });
   return *influence_;
 }
 

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,8 @@ class SteadyStateSolver {
       double tol_c = 1e-4) const;
 
   /// Lazily computed influence matrix A (num_cores x num_cores).
+  /// Thread-safe: concurrent first calls build A exactly once (solvers
+  /// are shared across sweep jobs by runtime::ModelCache).
   const util::Matrix& InfluenceMatrix() const;
 
   /// Peak die temperature for a uniform power `p_each` on `active` cores
@@ -58,6 +61,7 @@ class SteadyStateSolver {
  private:
   const RcModel* model_;
   util::LuFactorization lu_;
+  mutable std::once_flag influence_once_;
   mutable std::unique_ptr<util::Matrix> influence_;  // lazy cache
 };
 

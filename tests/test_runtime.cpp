@@ -1,0 +1,357 @@
+// Sweep-engine tests: spec parsing/validation at the contract boundary,
+// cartesian expansion order, deterministic seeds, ModelCache sharing
+// and bit-exactness (cached vs uncached solves must agree to the last
+// bit), thread-count-independent results, checkpoint/resume
+// exactly-once semantics, and failed-job isolation.
+#include "runtime/sweep_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "core/tsp.hpp"
+#include "runtime/model_cache.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/scenarios.hpp"
+#include "runtime/sweep_spec.hpp"
+#include "telemetry/json.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/contracts.hpp"
+
+namespace ds::runtime {
+namespace {
+
+SweepSpec SmokeSpec() {
+  SweepSpec spec("smoke", SweepKind::kTspCurve);
+  spec.Set("node", "16nm");
+  spec.Axis("cores", std::vector<double>{16, 32});
+  spec.Axis("count", std::vector<double>{4, 8});
+  return spec;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SweepSpecTest, ParsesJsonGrid) {
+  const SweepSpec spec = SweepSpec::FromJsonText(R"({
+    "name": "fig05a", "kind": "estimate", "seed": 3,
+    "base": {"node": "16nm", "tdp_w": 220, "threads": 8},
+    "axes": {"app": ["x264", "ferret"], "freq_ghz": [2.8, 3.6]}
+  })");
+  EXPECT_EQ(spec.name(), "fig05a");
+  EXPECT_EQ(spec.kind(), SweepKind::kEstimate);
+  EXPECT_EQ(spec.seed(), 3u);
+  const std::vector<SweepJob> jobs = spec.Jobs();
+  ASSERT_EQ(jobs.size(), 4u);
+  // First axis outermost: (x264, 2.8), (x264, 3.6), (ferret, 2.8), ...
+  EXPECT_EQ(jobs[0].point.app, "x264");
+  EXPECT_DOUBLE_EQ(jobs[0].point.freq_ghz, 2.8);
+  EXPECT_EQ(jobs[1].point.app, "x264");
+  EXPECT_DOUBLE_EQ(jobs[1].point.freq_ghz, 3.6);
+  EXPECT_EQ(jobs[2].point.app, "ferret");
+  EXPECT_DOUBLE_EQ(jobs[2].point.tdp_w, 220.0);
+  EXPECT_EQ(jobs[2].point.threads, 8u);
+  EXPECT_EQ(spec.ParamColumns(),
+            (std::vector<std::string>{"app", "freq_ghz"}));
+}
+
+TEST(SweepSpecTest, ParsesPointsList) {
+  const SweepSpec spec = SweepSpec::FromJsonText(R"({
+    "kind": "tsp_perf",
+    "points": [{"node": "16nm", "dark_pct": 20},
+               {"node": "8nm", "dark_pct": 40}]
+  })");
+  const std::vector<SweepJob> jobs = spec.Jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].point.node, "16nm");
+  EXPECT_DOUBLE_EQ(jobs[1].point.dark_pct, 40.0);
+}
+
+TEST(SweepSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({"kind": "nope", "axes": {}})"),
+               ContractViolation);
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({"kind": "estimate"})"),
+               ContractViolation);  // neither axes nor points
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({
+    "kind": "estimate", "axes": {"app": ["x264"]}, "points": []})"),
+               ContractViolation);  // both
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({
+    "kind": "estimate", "axes": {"warp_factor": [9]}})"),
+               ContractViolation);  // unknown field
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({
+    "kind": "estimate", "typo": 1, "axes": {"app": ["x264"]}})"),
+               ContractViolation);  // unknown top-level key
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({
+    "kind": "estimate", "axes": {"constraint": ["neither"]}})"),
+               ContractViolation);  // invalid enum value
+  EXPECT_THROW(SweepSpec::FromJsonText(R"({
+    "kind": "estimate", "axes": {"dark_pct": [100]}})"),
+               ContractViolation);  // out of range
+  SweepSpec spec("x", SweepKind::kEstimate);
+  spec.Axis("app", std::vector<std::string>{"x264"});
+  EXPECT_THROW(spec.Axis("app", std::vector<std::string>{"ferret"}),
+               ContractViolation);  // duplicate axis
+}
+
+TEST(SweepSpecTest, SeedsAreStableAndPerJobDistinct) {
+  const SweepSpec spec = SmokeSpec();
+  const std::vector<SweepJob> a = spec.Jobs();
+  const std::vector<SweepJob> b = spec.Jobs();
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rng_seed, b[i].rng_seed);
+    EXPECT_EQ(a[i].rng_seed, MixSeed(spec.seed(), i));
+    for (std::size_t j = i + 1; j < a.size(); ++j)
+      EXPECT_NE(a[i].rng_seed, a[j].rng_seed);
+  }
+}
+
+TEST(SweepSpecTest, FingerprintTracksContent) {
+  const std::string fp = SmokeSpec().Fingerprint();
+  EXPECT_EQ(fp, SmokeSpec().Fingerprint());  // stable
+  SweepSpec other = SmokeSpec();
+  other.set_seed(99);
+  EXPECT_NE(fp, other.Fingerprint());
+}
+
+TEST(ModelCacheTest, SharesAssetsAcrossEqualFloorplans) {
+  ModelCache cache;
+  const arch::Platform p1(power::TechNode::N16, 16);
+  const arch::Platform p2(power::TechNode::N16, 16);
+  const ThermalAssets a1 = cache.Get(p1.floorplan());
+  const ThermalAssets a2 = cache.Get(p2.floorplan());
+  EXPECT_EQ(a1.model.get(), a2.model.get());
+  EXPECT_EQ(a1.solver.get(), a2.solver.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  const arch::Platform p3(power::TechNode::N16, 32);
+  const ThermalAssets a3 = cache.Get(p3.floorplan());
+  EXPECT_NE(a3.model.get(), a1.model.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ModelCacheTest, CachedSolveIsBitIdenticalToUncached) {
+  ModelCache cache;
+  arch::Platform plat(power::TechNode::N16, 24);
+  cache.InstallThermal(plat);
+
+  // An independent, uncached build from the same floorplan.
+  const thermal::RcModel fresh_model(plat.floorplan());
+  const thermal::SteadyStateSolver fresh(fresh_model);
+
+  std::vector<double> powers(plat.num_cores(), 0.0);
+  for (std::size_t i = 0; i < powers.size(); ++i)
+    powers[i] = 0.3 + 0.05 * static_cast<double>(i % 7);
+  const std::vector<double> cached = plat.solver().Solve(powers);
+  const std::vector<double> uncached = fresh.Solve(powers);
+  ASSERT_EQ(cached.size(), uncached.size());
+  double max_abs_diff = 0.0;
+  for (std::size_t i = 0; i < cached.size(); ++i)
+    max_abs_diff =
+        std::max(max_abs_diff, std::abs(cached[i] - uncached[i]));
+  EXPECT_EQ(max_abs_diff, 0.0);  // bit-identical, not merely close
+
+  const util::Matrix& a = plat.solver().InfluenceMatrix();
+  const util::Matrix& b = fresh.InfluenceMatrix();
+  for (std::size_t i = 0; i < plat.num_cores(); ++i)
+    for (std::size_t j = 0; j < plat.num_cores(); ++j)
+      EXPECT_EQ(a(i, j), b(i, j));
+}
+
+TEST(ModelCacheTest, TspMemoMatchesDirectComputation) {
+  ModelCache cache;
+  arch::Platform plat(power::TechNode::N16, 16);
+  cache.InstallThermal(plat);
+  const double memo1 = cache.TspWorstCase(plat, 8);
+  const double memo2 = cache.TspWorstCase(plat, 8);
+  EXPECT_EQ(memo1, memo2);
+  EXPECT_EQ(memo1, core::Tsp(plat).WorstCase(8));
+  EXPECT_EQ(cache.TspBestCase(plat, 8), core::Tsp(plat).BestCase(8));
+  EXPECT_EQ(cache.stats().tsp_misses, 2u);
+  EXPECT_EQ(cache.stats().tsp_hits, 1u);
+}
+
+TEST(SweepEngineTest, RunsAllJobsSerially) {
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  const SweepOutcome out = SweepEngine(SmokeSpec(), opts).Run();
+  ASSERT_EQ(out.results.size(), 4u);
+  for (const JobResult& r : out.results) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_GT(Metric(r, "tsp_w_per_core"), 0.0);
+  }
+  EXPECT_EQ(out.stats.jobs_executed, 4u);
+  EXPECT_EQ(out.stats.jobs_failed, 0u);
+  // 2 distinct floorplans (16 and 32 cores) over 4 jobs.
+  EXPECT_EQ(out.stats.cache_misses, 2u);
+  EXPECT_EQ(out.stats.cache_hits, 2u);
+}
+
+std::string CsvFor(std::size_t threads, ModelCache* cache) {
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.cache = cache;
+  const SweepSpec spec = SmokeSpec();
+  const SweepOutcome out = SweepEngine(spec, opts).Run();
+  const ResultSink sink(spec, spec.Jobs());
+  std::ostringstream os;
+  sink.WriteCsv(os, out.results);
+  return os.str();
+}
+
+TEST(SweepEngineTest, RowsAreByteIdenticalAcrossThreadCounts) {
+  ModelCache c1, c4, c8;
+  const std::string serial = CsvFor(1, &c1);
+  EXPECT_EQ(serial, CsvFor(4, &c4));
+  EXPECT_EQ(serial, CsvFor(8, &c8));
+  // Hit/miss counts are deterministic too: misses == distinct keys.
+  EXPECT_EQ(c1.stats().misses, c4.stats().misses);
+  EXPECT_EQ(c1.stats().hits, c4.stats().hits);
+}
+
+TEST(SweepEngineTest, CheckpointThenResumeRunsEachJobExactlyOnce) {
+  const std::string path = TempPath("ds_sweep_resume.jsonl");
+  std::remove(path.c_str());
+
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  opts.checkpoint_path = path;
+  opts.stop_after_jobs = 2;  // "kill" after k jobs
+  const SweepOutcome partial = SweepEngine(SmokeSpec(), opts).Run();
+  EXPECT_EQ(partial.stats.jobs_executed, 2u);
+  EXPECT_EQ(partial.stats.jobs_pending, 2u);
+
+  SweepOptions resume_opts;
+  resume_opts.threads = 1;
+  resume_opts.cache = &cache;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  const SweepOutcome full = SweepEngine(SmokeSpec(), resume_opts).Run();
+  EXPECT_EQ(full.stats.jobs_resumed, 2u);
+  EXPECT_EQ(full.stats.jobs_executed, 2u);  // the remaining two, once
+  EXPECT_EQ(full.stats.jobs_pending, 0u);
+  for (const JobResult& r : full.results) EXPECT_TRUE(r.ok) << r.error;
+
+  // The combined run must equal a clean serial run, byte for byte.
+  ModelCache fresh;
+  SweepOptions clean;
+  clean.threads = 1;
+  clean.cache = &fresh;
+  const SweepOutcome reference = SweepEngine(SmokeSpec(), clean).Run();
+  const SweepSpec spec = SmokeSpec();
+  const ResultSink sink(spec, spec.Jobs());
+  std::ostringstream a, b;
+  sink.WriteCsv(a, full.results);
+  sink.WriteCsv(b, reference.results);
+  EXPECT_EQ(a.str(), b.str());
+  std::remove(path.c_str());
+}
+
+TEST(SweepEngineTest, ResumeRejectsForeignJournal) {
+  const std::string path = TempPath("ds_sweep_foreign.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << R"({"sweep": "other", "version": 1, "fingerprint": "deadbeef"})"
+        << "\n";
+  }
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_path = path;
+  opts.resume = true;
+  ModelCache cache;
+  opts.cache = &cache;
+  SweepEngine engine(SmokeSpec(), opts);
+  EXPECT_THROW(engine.Run(), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(SweepEngineTest, FailedJobDoesNotPoisonOthers) {
+  SweepSpec spec("mixed", SweepKind::kEstimate);
+  spec.Set("node", "16nm").Set("cores", 16.0);
+  spec.Axis("app", std::vector<std::string>{"x264", "no_such_app", "ferret"});
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.cache = &cache;
+  const SweepOutcome out = SweepEngine(spec, opts).Run();
+  ASSERT_EQ(out.results.size(), 3u);
+  EXPECT_TRUE(out.results[0].ok);
+  EXPECT_FALSE(out.results[1].ok);
+  EXPECT_FALSE(out.results[1].error.empty());
+  EXPECT_TRUE(out.results[2].ok);
+  EXPECT_EQ(out.stats.jobs_failed, 1u);
+
+  // Failed rows render with empty metric cells, not garbage.
+  const ResultSink sink(spec, spec.Jobs());
+  std::ostringstream os;
+  sink.WriteCsv(os, out.results);
+  EXPECT_NE(os.str().find("1,failed,no_such_app"), std::string::npos);
+}
+
+TEST(SweepEngineTest, SkippedJobsAreCountedNotFailed) {
+  // 40 instances of 8 threads exceed the 100-core paper platform: the
+  // boost runner reports the scenario infeasible (skipped).
+  SweepSpec spec("boost_edge", SweepKind::kBoost);
+  spec.Set("node", "16nm").Set("app", "x264").Set("power_cap_w", 10.0);
+  spec.Axis("instances", std::vector<double>{1, 40});
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  const SweepOutcome out = SweepEngine(spec, opts).Run();
+  EXPECT_EQ(out.stats.jobs_failed + out.stats.jobs_skipped +
+                (out.results[0].ok && !out.results[0].skipped ? 1u : 0u),
+            2u);
+  EXPECT_EQ(out.stats.jobs_pending, 0u);
+}
+
+TEST(ResultSinkTest, JsonRowsParseBack) {
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  const SweepSpec spec = SmokeSpec();
+  const SweepOutcome out = SweepEngine(spec, opts).Run();
+  const ResultSink sink(spec, spec.Jobs());
+  std::ostringstream os;
+  sink.WriteJsonRows(os, out.results);
+  const telemetry::JsonValue doc = telemetry::ParseJson(os.str());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array.size(), 4u);
+  const telemetry::JsonValue* tsp = doc.array[0].Find("tsp_w_per_core");
+  ASSERT_NE(tsp, nullptr);
+  EXPECT_EQ(tsp->number, Metric(out.results[0], "tsp_w_per_core"));
+  const telemetry::JsonValue* cores = doc.array[3].Find("cores");
+  ASSERT_NE(cores, nullptr);
+  EXPECT_EQ(cores->str, "32");
+}
+
+TEST(ScenariosTest, MetricColumnsMatchRunnerOutput) {
+  ModelCache cache;
+  SweepSpec spec("cols", SweepKind::kTspCurve);
+  spec.Set("node", "16nm").Set("cores", 16.0);
+  spec.Axis("count", std::vector<double>{4});
+  const std::vector<SweepJob> jobs = spec.Jobs();
+  JobResult result;
+  RunScenario(spec.kind(), jobs[0], cache, &result);
+  ASSERT_TRUE(result.ok);
+  const std::vector<std::string> cols = MetricColumns(spec.kind());
+  ASSERT_EQ(cols.size(), result.metrics.size());
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    EXPECT_EQ(cols[i], result.metrics[i].first);
+}
+
+}  // namespace
+}  // namespace ds::runtime

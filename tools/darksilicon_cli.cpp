@@ -11,6 +11,9 @@
 //   characterize [app]                 first-principles Eq.(1) constants
 //   sim <node> [--duration s] [--rate r] [--seed n] [--fault-* ...]
 //                                      closed-loop co-sim, fault injection
+//   sweep <spec.json> [--threads n] [--out csv] [--json path]
+//         [--checkpoint path] [--resume]
+//                                      parallel scenario sweep
 //
 // Nodes: 16nm | 11nm | 8nm (paper platforms: 100/198/361 cores).
 #include <cmath>
@@ -24,6 +27,10 @@
 #include "core/mapping.hpp"
 #include "core/ntc.hpp"
 #include "core/tsp.hpp"
+#include "runtime/model_cache.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/sweep_engine.hpp"
+#include "runtime/sweep_spec.hpp"
 #include "sim/chip_sim.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/scoped.hpp"
@@ -32,6 +39,7 @@
 #include "thermal/thermal_map.hpp"
 #include "uarch/characterize.hpp"
 #include "util/args.hpp"
+#include "util/contracts.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -58,6 +66,8 @@ int Usage() {
       "      [--fault-sensor-noise sigma] [--fault-core-failstop r]\n"
       "      [--fault-core-transient r] [--fault-dvfs-stuck r]\n"
       "      [--fault-solver r] [--fault-max-failed-cores m]\n"
+      "  sweep <spec.json> [--threads n] [--out csv] [--json path]\n"
+      "      [--checkpoint path] [--resume] [--metrics-out path]\n"
       "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
       "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
       "densest; fault rates are per control step (per core where\n"
@@ -391,6 +401,52 @@ int CmdSim(const util::ArgParser& args) {
   return 0;
 }
 
+int CmdSweep(const util::ArgParser& args) {
+  if (args.positionals().size() < 2) return Usage();
+
+  const std::string metrics_path = args.GetString("metrics-out");
+  if (!metrics_path.empty()) telemetry::SetEnabled(true);
+
+  const runtime::SweepSpec spec =
+      runtime::SweepSpec::FromJsonFile(args.positionals()[1]);
+
+  runtime::SweepOptions opts;
+  opts.threads = static_cast<std::size_t>(args.GetInt("threads", 0));
+  opts.checkpoint_path = args.GetString("checkpoint");
+  opts.resume = args.Has("resume");
+
+  runtime::SweepEngine engine(spec, opts);
+  const runtime::SweepOutcome out = engine.Run();
+  const runtime::ResultSink sink(spec, spec.Jobs());
+
+  const std::string csv_path = args.GetString("out");
+  const std::string json_path = args.GetString("json");
+  if (!csv_path.empty()) sink.WriteCsv(csv_path, out.results);
+  if (!json_path.empty()) sink.WriteJsonRows(json_path, out.results);
+  if (csv_path.empty() && json_path.empty())
+    sink.WriteCsv(std::cout, out.results);
+
+  const runtime::SweepStats& s = out.stats;
+  std::cerr << "sweep '" << spec.name() << "': " << s.jobs_total << " jobs ("
+            << s.jobs_executed << " executed, " << s.jobs_resumed
+            << " resumed, " << s.jobs_skipped << " skipped, " << s.jobs_failed
+            << " failed) on " << s.threads_used << " threads in "
+            << util::FormatFixed(s.wall_s, 2) << " s\n"
+            << "model cache: " << s.cache_hits << " hits, " << s.cache_misses
+            << " misses; steals: " << s.steals << "\n"
+            << "contract violations: " << ds::contracts::ViolationCount()
+            << "\n";
+  for (const runtime::JobResult& r : out.results)
+    if (!r.ok && r.error != "not executed")
+      std::cerr << "job " << r.index << " failed: " << r.error << "\n";
+
+  if (!metrics_path.empty()) {
+    telemetry::Registry().WriteCsv(metrics_path);
+    std::cerr << "metrics written to " << metrics_path << "\n";
+  }
+  return s.jobs_failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,6 +462,7 @@ int main(int argc, char** argv) {
     if (cmd == "ntc") return CmdNtc(args);
     if (cmd == "characterize") return CmdCharacterize(args);
     if (cmd == "sim") return CmdSim(args);
+    if (cmd == "sweep") return CmdSweep(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

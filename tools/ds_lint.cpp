@@ -24,6 +24,13 @@
 //                     but whose body neither checks a contract
 //                     (DS_REQUIRE/...) nor throws nor delegates to a
 //                     Validate() helper.
+//   static-mutable    A mutable function-local `static` in library
+//                     code. Hidden shared state breaks the sweep
+//                     engine's pure-job determinism contract and is a
+//                     data race waiting for a parallel caller. Statics
+//                     that are const/constexpr, references, or
+//                     std::atomic/std::mutex/std::once_flag (their own
+//                     synchronization) are fine.
 //
 // Suppressions: append `// ds_lint: allow(<rule>)` to the offending
 // line, or place it alone on the line directly above. Every
@@ -410,6 +417,96 @@ void RuleMissingContract(const std::string& path, const CleanSource& src,
   }
 }
 
+/// Finds `static` declarations at function scope whose declaration
+/// carries neither constness nor its own synchronization. Scope is
+/// tracked with a brace stack: a `{` after `)` or `]` opens a function
+/// (or lambda) body, `namespace`/`class`/`struct`/`enum`/`union` open
+/// non-function scopes, and control-flow/initializer braces inherit
+/// the enclosing scope -- so macro bodies at namespace scope (the
+/// DS_TELEM_* do-while idiom) do not fire.
+void RuleStaticMutable(const std::string& path, const CleanSource& src,
+                       std::vector<Finding>* findings) {
+  enum class Scope { kNamespace, kType, kFunction };
+  const std::string& t = src.text;
+  std::vector<Scope> stack;  // file scope (empty stack) == kNamespace
+
+  auto effective = [&]() {
+    return stack.empty() ? Scope::kNamespace : stack.back();
+  };
+  auto head_has = [&](std::string_view head, std::string_view word) {
+    for (std::size_t p = head.find(word); p != std::string_view::npos;
+         p = head.find(word, p + 1)) {
+      const bool left_ok = p == 0 || !IsIdentChar(head[p - 1]);
+      const std::size_t end = p + word.size();
+      const bool right_ok = end >= head.size() || !IsIdentChar(head[end]);
+      if (left_ok && right_ok) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (c == '{') {
+      // The introducer: everything since the last ; { or }.
+      std::size_t start = i;
+      while (start > 0 && t[start - 1] != ';' && t[start - 1] != '{' &&
+             t[start - 1] != '}')
+        --start;
+      const std::string_view head(&t[start], i - start);
+      std::size_t last = head.size();
+      while (last > 0 && std::isspace(static_cast<unsigned char>(
+                             head[last - 1])) != 0)
+        --last;
+      const char prev = last > 0 ? head[last - 1] : '\0';
+      Scope opened;
+      if (head_has(head, "namespace")) {
+        opened = Scope::kNamespace;
+      } else if (head_has(head, "class") || head_has(head, "struct") ||
+                 head_has(head, "union") || head_has(head, "enum")) {
+        opened = Scope::kType;
+      } else if (head_has(head, "if") || head_has(head, "for") ||
+                 head_has(head, "while") || head_has(head, "switch") ||
+                 head_has(head, "catch") || head_has(head, "do") ||
+                 head_has(head, "else") || head_has(head, "try")) {
+        opened = effective();  // control block: same scope kind
+      } else if (prev == ')' || prev == ']') {
+        opened = Scope::kFunction;  // function, ctor, or lambda body
+      } else {
+        opened = effective();  // initializer list, requires, etc.
+      }
+      stack.push_back(opened);
+      continue;
+    }
+    if (c != 's' || !MatchWord(t, i, "static")) continue;
+    if (effective() != Scope::kFunction) continue;
+    // The declaration: `static` up to the terminating ';'. The part
+    // before any '=' is the declarator (where a '&' means reference).
+    const std::size_t semi = t.find(';', i);
+    if (semi == std::string::npos) continue;
+    const std::string_view decl(&t[i], semi - i);
+    const std::size_t eq = decl.find('=');
+    const std::string_view declarator =
+        decl.substr(0, eq == std::string_view::npos ? decl.size() : eq);
+    if (head_has(declarator, "const") || head_has(declarator, "constexpr") ||
+        head_has(declarator, "thread_local") ||
+        head_has(declarator, "atomic") || head_has(declarator, "mutex") ||
+        head_has(declarator, "once_flag") ||
+        declarator.find('&') != std::string_view::npos)
+      continue;
+    const std::size_t line_no = LineOf(t, i);
+    if (Allowed(src, line_no, "static-mutable")) continue;
+    findings->push_back(
+        {path, line_no + 1, "static-mutable",
+         "mutable function-local static; hidden shared state breaks "
+         "parallel-sweep determinism -- make it const, synchronize it, or "
+         "pass state explicitly"});
+  }
+}
+
 // ------------------------------------------------------------- driver
 
 void LintFile(const fs::path& path, std::vector<Finding>* findings) {
@@ -427,6 +524,7 @@ void LintFile(const fs::path& path, std::vector<Finding>* findings) {
   RuleIoInLibrary(p, src, findings);
   RuleNakedNew(p, src, findings);
   RuleMissingContract(p, src, findings);
+  RuleStaticMutable(p, src, findings);
 }
 
 bool IsSourceFile(const fs::path& p) {
