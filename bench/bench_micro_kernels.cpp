@@ -2,16 +2,39 @@
 // every experiment, plus the closed-form-vs-bisection TSP ablation that
 // DESIGN.md calls out: the closed form turns a thermal feasibility
 // check from dozens of linear solves into one row scan.
+//
+// The main() is custom: before the google-benchmark run it executes a
+// hand-timed A/B harness over the thermal step kernels -- dense
+// propagator vs legacy LU stepping, k-step power-hold vs explicit
+// loops, blocked multi-RHS influence build vs per-column solves, and
+// shortened end-to-end fig11-boosting / ext-online closed loops under
+// both kernels -- and records the measured speedups in
+// BENCH_thermal.json (path override: DS_BENCH_THERMAL_JSON). CI runs
+// this as a smoke step and archives the JSON, so a kernel regression
+// shows up as a speedup ratio sliding toward 1, not as a vague "the
+// sweep got slower".
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "apps/app_profile.hpp"
 #include "arch/platform.hpp"
+#include "core/boosting.hpp"
 #include "core/mapping.hpp"
+#include "core/online_manager.hpp"
 #include "core/tsp.hpp"
+#include "telemetry/scoped.hpp"
 #include "thermal/floorplan.hpp"
+#include "thermal/propagator.hpp"
 #include "thermal/rc_model.hpp"
 #include "thermal/steady_state.hpp"
 #include "thermal/transient.hpp"
+#include "util/kernels.hpp"
 #include "util/lu.hpp"
 
 namespace {
@@ -55,15 +78,87 @@ void BM_SteadySolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SteadySolve);
 
-void BM_TransientStep(benchmark::State& state) {
-  thermal::TransientSimulator sim(Plat16().thermal_model(), 1e-3);
+// The step-kernel A/B pair: identical physics, propagator GEMV pair vs
+// permuted LU triangular solve.
+void BM_TransientStepPropagator(benchmark::State& state) {
+  thermal::TransientSimulator sim(Plat16().thermal_model(), 1e-3,
+                                  thermal::StepKernel::kPropagator);
   const std::vector<double> p(100, 2.5);
   for (auto _ : state) {
     sim.Step(p);
     benchmark::DoNotOptimize(sim.PeakDieTemp());
   }
 }
-BENCHMARK(BM_TransientStep);
+BENCHMARK(BM_TransientStepPropagator);
+
+void BM_TransientStepLu(benchmark::State& state) {
+  thermal::TransientSimulator sim(Plat16().thermal_model(), 1e-3,
+                                  thermal::StepKernel::kLu);
+  const std::vector<double> p(100, 2.5);
+  for (auto _ : state) {
+    sim.Step(p);
+    benchmark::DoNotOptimize(sim.PeakDieTemp());
+  }
+}
+BENCHMARK(BM_TransientStepLu);
+
+// k-step power hold: one memoized operator application per iteration,
+// advancing range(0) simulated steps.
+void BM_StepHold(benchmark::State& state) {
+  thermal::TransientSimulator sim(Plat16().thermal_model(), 1e-3,
+                                  thermal::StepKernel::kPropagator);
+  const std::vector<double> p(100, 2.5);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  sim.StepHold(p, k);  // build + memoize outside the timing
+  for (auto _ : state) {
+    sim.StepHold(p, k);
+    benchmark::DoNotOptimize(sim.PeakDieTemp());
+  }
+}
+BENCHMARK(BM_StepHold)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GemvStateOperator(benchmark::State& state) {
+  const thermal::StepPropagator prop(Plat16().thermal_model(), 1e-3);
+  const std::size_t n = prop.num_nodes();
+  std::vector<double> x(n, 45.0), y(n, 0.0);
+  for (auto _ : state) {
+    util::Gemv(prop.state_operator(), x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GemvStateOperator);
+
+// Influence-matrix construction cost: one blocked multi-RHS solve over
+// all unit-injection columns vs the per-column loop it replaced.
+void BM_InfluenceSolveMany(benchmark::State& state) {
+  const thermal::RcModel& model = Plat16().thermal_model();
+  const util::LuFactorization lu(model.conductance());
+  const std::size_t n = model.num_cores();
+  for (auto _ : state) {
+    util::Matrix rhs(model.num_nodes(), n);
+    for (std::size_t j = 0; j < n; ++j) rhs(model.DieNode(j), j) = 1.0;
+    lu.SolveMany(&rhs);
+    benchmark::DoNotOptimize(rhs.data());
+  }
+}
+BENCHMARK(BM_InfluenceSolveMany);
+
+void BM_InfluencePerColumnAblation(benchmark::State& state) {
+  const thermal::RcModel& model = Plat16().thermal_model();
+  const util::LuFactorization lu(model.conductance());
+  const std::size_t n = model.num_cores();
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::vector<double> rhs(model.num_nodes(), 0.0);
+      rhs[model.DieNode(j)] = 1.0;
+      const std::vector<double> col = lu.Solve(rhs);
+      sink += col[0];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_InfluencePerColumnAblation);
 
 void BM_TspClosedForm(benchmark::State& state) {
   const core::Tsp tsp(Plat16());
@@ -125,6 +220,178 @@ void BM_FeedbackSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FeedbackSolve);
 
+// ------------------------------------------------- speedup harness
+
+bool FastMode() {
+  const char* v = std::getenv("DS_BENCH_FAST");
+  return v != nullptr && *v != '\0';
+}
+
+struct ThermalReport {
+  double step_us_propagator = 0.0;
+  double step_us_lu = 0.0;
+  double hold_us_per_step = 0.0;
+  double influence_ms_solve_many = 0.0;
+  double influence_ms_per_column = 0.0;
+  double fig11_wall_s_propagator = 0.0;
+  double fig11_wall_s_lu = 0.0;
+  double online_wall_s_propagator = 0.0;
+  double online_wall_s_lu = 0.0;
+};
+
+/// Per-step cost of `kernel` on the 100-core paper platform, in
+/// microseconds (best of three passes; steady powers).
+double MeasureStepUs(thermal::StepKernel kernel, std::size_t steps) {
+  thermal::TransientSimulator sim(Plat16().thermal_model(), 1e-3, kernel);
+  const std::vector<double> p(100, 2.5);
+  sim.Step(p);  // touch everything once
+  double best = 1e300;
+  for (int pass = 0; pass < 3; ++pass) {
+    const telemetry::WallTimer timer;
+    for (std::size_t i = 0; i < steps; ++i) sim.Step(p);
+    best = std::min(best,
+                    1e6 * timer.Seconds() / static_cast<double>(steps));
+  }
+  return best;
+}
+
+double MeasureHoldUsPerStep(std::size_t k, std::size_t reps) {
+  thermal::TransientSimulator sim(Plat16().thermal_model(), 1e-3,
+                                  thermal::StepKernel::kPropagator);
+  const std::vector<double> p(100, 2.5);
+  sim.StepHold(p, k);  // memoize the operator
+  const telemetry::WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r) sim.StepHold(p, k);
+  return 1e6 * timer.Seconds() / static_cast<double>(reps * k);
+}
+
+double MeasureInfluenceMs(bool solve_many, std::size_t reps) {
+  const thermal::RcModel& model = Plat16().thermal_model();
+  const util::LuFactorization lu(model.conductance());
+  const std::size_t n = model.num_cores();
+  const telemetry::WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (solve_many) {
+      util::Matrix rhs(model.num_nodes(), n);
+      for (std::size_t j = 0; j < n; ++j) rhs(model.DieNode(j), j) = 1.0;
+      lu.SolveMany(&rhs);
+      benchmark::DoNotOptimize(rhs.data());
+    } else {
+      double sink = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        std::vector<double> rhs(model.num_nodes(), 0.0);
+        rhs[model.DieNode(j)] = 1.0;
+        sink += lu.Solve(rhs)[0];
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+  }
+  return 1e3 * timer.Seconds() / static_cast<double>(reps);
+}
+
+/// Shortened fig11-style boosting closed loop (fresh platform per run
+/// so no thermal assets leak between the A and B measurements).
+double MeasureFig11WallS(double duration_s) {
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  const apps::AppProfile& app = apps::AppByName("x264");
+  const core::BoostingSimulator sim(plat, app, 12, 8);
+  std::size_t const_level = 0;
+  if (!sim.MaxSafeConstantLevel(500.0, &const_level)) return 0.0;
+  const telemetry::WallTimer timer;
+  const core::BoostTrace boost =
+      sim.RunBoosting(const_level, plat.tdtm_c(), 500.0, duration_s);
+  benchmark::DoNotOptimize(boost.avg_gips);
+  return timer.Seconds();
+}
+
+/// Shortened ext-online-style run (thermal-safe admission, load 1.0).
+double MeasureOnlineWallS(std::size_t epochs) {
+  arch::Platform plat = arch::Platform::PaperPlatform(power::TechNode::N16);
+  core::OnlineConfig cfg;
+  cfg.arrival_rate = 1.0;
+  cfg.seed = 7;
+  const core::OnlineManager manager(plat, core::AdmissionPolicy::kThermalSafe,
+                                    cfg);
+  const telemetry::WallTimer timer;
+  const core::OnlineResult r = manager.Run(epochs);
+  benchmark::DoNotOptimize(r.avg_gips);
+  return timer.Seconds();
+}
+
+void WriteThermalReport(const ThermalReport& r) {
+  const char* env = std::getenv("DS_BENCH_THERMAL_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_thermal.json";
+  const auto ratio = [](double slow, double fast_v) {
+    return fast_v > 0.0 ? slow / fast_v : 0.0;
+  };
+  char body[1024];
+  std::snprintf(
+      body, sizeof(body),
+      "{\n"
+      "  \"step_us_propagator\": %.4f,\n"
+      "  \"step_us_lu\": %.4f,\n"
+      "  \"step_speedup\": %.3f,\n"
+      "  \"hold_us_per_step\": %.4f,\n"
+      "  \"hold_speedup_vs_step_loop\": %.3f,\n"
+      "  \"influence_ms_solve_many\": %.4f,\n"
+      "  \"influence_ms_per_column\": %.4f,\n"
+      "  \"influence_speedup\": %.3f,\n"
+      "  \"fig11_wall_s_propagator\": %.4f,\n"
+      "  \"fig11_wall_s_lu\": %.4f,\n"
+      "  \"fig11_speedup\": %.3f,\n"
+      "  \"online_wall_s_propagator\": %.4f,\n"
+      "  \"online_wall_s_lu\": %.4f,\n"
+      "  \"online_speedup\": %.3f\n"
+      "}\n",
+      r.step_us_propagator, r.step_us_lu,
+      ratio(r.step_us_lu, r.step_us_propagator), r.hold_us_per_step,
+      ratio(r.step_us_propagator, r.hold_us_per_step),
+      r.influence_ms_solve_many, r.influence_ms_per_column,
+      ratio(r.influence_ms_per_column, r.influence_ms_solve_many),
+      r.fig11_wall_s_propagator, r.fig11_wall_s_lu,
+      ratio(r.fig11_wall_s_lu, r.fig11_wall_s_propagator),
+      r.online_wall_s_propagator, r.online_wall_s_lu,
+      ratio(r.online_wall_s_lu, r.online_wall_s_propagator));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  std::cout << "[thermal kernels] report written to " << path << "\n"
+            << body;
+}
+
+void RunThermalHarness() {
+  ThermalReport r;
+  const std::size_t steps = FastMode() ? 500 : 2000;
+  r.step_us_propagator =
+      MeasureStepUs(thermal::StepKernel::kPropagator, steps);
+  r.step_us_lu = MeasureStepUs(thermal::StepKernel::kLu, steps);
+  r.hold_us_per_step = MeasureHoldUsPerStep(1000, FastMode() ? 20 : 100);
+  r.influence_ms_solve_many =
+      MeasureInfluenceMs(/*solve_many=*/true, FastMode() ? 5 : 20);
+  r.influence_ms_per_column =
+      MeasureInfluenceMs(/*solve_many=*/false, FastMode() ? 5 : 20);
+
+  // End-to-end A/B: the closed loops construct their simulators with
+  // StepKernel::kAuto, so DS_THERMAL_KERNEL selects the path.
+  const double fig11_s = FastMode() ? 1.0 : 2.0;
+  const std::size_t online_epochs = FastMode() ? 20 : 40;
+  setenv("DS_THERMAL_KERNEL", "lu", 1);
+  r.fig11_wall_s_lu = MeasureFig11WallS(fig11_s);
+  r.online_wall_s_lu = MeasureOnlineWallS(online_epochs);
+  unsetenv("DS_THERMAL_KERNEL");
+  r.fig11_wall_s_propagator = MeasureFig11WallS(fig11_s);
+  r.online_wall_s_propagator = MeasureOnlineWallS(online_epochs);
+
+  WriteThermalReport(r);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RunThermalHarness();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -48,9 +48,22 @@ const thermal::SteadyStateSolver& Platform::solver() const {
   return *solver_;
 }
 
+std::shared_ptr<const thermal::PropagatorSet> Platform::propagators() const {
+  if (!propagators_)
+    propagators_ = std::make_shared<const thermal::PropagatorSet>();
+  return propagators_;
+}
+
+thermal::TransientSimulator Platform::MakeTransient(double dt_s) const {
+  return thermal::TransientSimulator(thermal_model(), dt_s,
+                                     thermal::StepKernel::kAuto,
+                                     propagators());
+}
+
 void Platform::AdoptThermalAssets(
     std::shared_ptr<const thermal::RcModel> rc,
-    std::shared_ptr<const thermal::SteadyStateSolver> solver) {
+    std::shared_ptr<const thermal::SteadyStateSolver> solver,
+    std::shared_ptr<const thermal::PropagatorSet> propagators) {
   DS_REQUIRE(rc != nullptr && solver != nullptr,
              "Platform::AdoptThermalAssets: null asset");
   DS_REQUIRE(&solver->model() == rc.get(),
@@ -63,6 +76,13 @@ void Platform::AdoptThermalAssets(
   DS_REQUIRE(fp.core_width_mm() == floorplan_.core_width_mm() &&
                  fp.core_height_mm() == floorplan_.core_height_mm(),
              "Platform::AdoptThermalAssets: core tile geometry differs");
+  // A PropagatorSet is tied to one RcModel instance: adopting a new
+  // model invalidates any private set built against the old one.
+  if (propagators != nullptr) {
+    propagators_ = std::move(propagators);
+  } else if (rc_.get() != rc.get()) {
+    propagators_.reset();
+  }
   rc_ = std::move(rc);
   solver_ = std::move(solver);
 }

@@ -14,8 +14,10 @@
 #include "power/technology.hpp"
 #include "power/vf_curve.hpp"
 #include "thermal/floorplan.hpp"
+#include "thermal/propagator.hpp"
 #include "thermal/rc_model.hpp"
 #include "thermal/steady_state.hpp"
+#include "thermal/transient.hpp"
 
 namespace ds::arch {
 
@@ -49,13 +51,30 @@ class Platform {
   /// Steady-state solver with factored conductance (cached).
   const thermal::SteadyStateSolver& solver() const;
 
+  /// The dt -> step-propagator cache tied to this platform's thermal
+  /// model (created lazily; internally thread-safe once it exists).
+  /// Every transient simulator built via MakeTransient shares it, so
+  /// repeated runs at one control period fold the dense step operator
+  /// exactly once per platform -- or once per sweep when the set was
+  /// adopted from runtime::ModelCache.
+  std::shared_ptr<const thermal::PropagatorSet> propagators() const;
+
+  /// Transient simulator over this platform's thermal model with the
+  /// shared propagator set attached. The control loops in src/core and
+  /// src/sim build their simulators through this.
+  thermal::TransientSimulator MakeTransient(double dt_s) const;
+
   /// Installs externally built (typically runtime::ModelCache-shared)
   /// thermal assets instead of building private copies. `solver` must
   /// be factored from `*rc`, and `rc` must match this platform's
-  /// floorplan; both requirements are contract-checked.
+  /// floorplan; both requirements are contract-checked. `propagators`
+  /// (optional) shares a step-propagator cache as well; when null the
+  /// platform lazily creates a private set (a set built against a
+  /// previously installed model is dropped).
   void AdoptThermalAssets(
       std::shared_ptr<const thermal::RcModel> rc,
-      std::shared_ptr<const thermal::SteadyStateSolver> solver);
+      std::shared_ptr<const thermal::SteadyStateSolver> solver,
+      std::shared_ptr<const thermal::PropagatorSet> propagators = nullptr);
 
   /// Thermal threshold that triggers DTM (paper: 80 C).
   double tdtm_c() const { return tdtm_c_; }
@@ -70,6 +89,7 @@ class Platform {
   double tdtm_c_ = power::kTdtmC;
   mutable std::shared_ptr<const thermal::RcModel> rc_;
   mutable std::shared_ptr<const thermal::SteadyStateSolver> solver_;
+  mutable std::shared_ptr<const thermal::PropagatorSet> propagators_;
 };
 
 }  // namespace ds::arch

@@ -66,8 +66,7 @@ BoostTrace BoostingSimulator::RunPerInstanceBoosting(
   const power::DvfsLadder& ladder = platform_->ladder();
   const power::PowerModel& pm = platform_->power_model();
   const std::size_t n = platform_->num_cores();
-  thermal::TransientSimulator sim(platform_->thermal_model(),
-                                  control_period_s);
+  thermal::TransientSimulator sim = platform_->MakeTransient(control_period_s);
   {
     std::vector<double> temps(n, platform_->thermal_model().ambient_c());
     for (int it = 0; it < 3; ++it) {
@@ -157,8 +156,7 @@ BoostTrace BoostingSimulator::RunRaplBoosting(std::size_t start_level,
                                               double duration_s,
                                               double control_period_s) const {
   const power::DvfsLadder& ladder = platform_->ladder();
-  thermal::TransientSimulator sim(platform_->thermal_model(),
-                                  control_period_s);
+  thermal::TransientSimulator sim = platform_->MakeTransient(control_period_s);
   {
     std::vector<double> temps(platform_->num_cores(),
                               platform_->thermal_model().ambient_c());
@@ -337,8 +335,7 @@ BoostTrace BoostingSimulator::RunBoosting(std::size_t start_level,
                     ds::telemetry::TraceLevel::kSpan, "duration_s",
                     duration_s);
   const power::DvfsLadder& ladder = platform_->ladder();
-  thermal::TransientSimulator sim(platform_->thermal_model(),
-                                  control_period_s);
+  thermal::TransientSimulator sim = platform_->MakeTransient(control_period_s);
   {
     // Warm start from the steady state of the starting level.
     std::vector<double> temps(platform_->num_cores(),

@@ -63,8 +63,7 @@ DtmResult DtmSimulator::Run(DtmPolicy policy, std::size_t start_level,
   const double t_crit = platform_->tdtm_c();
   const std::size_t n = platform_->num_cores();
 
-  thermal::TransientSimulator sim(platform_->thermal_model(),
-                                  control_period_s);
+  thermal::TransientSimulator sim = platform_->MakeTransient(control_period_s);
 
   // Fault machinery; null when disabled keeps the fault-free loop
   // bit-identical (the bus then passes true temperatures through).

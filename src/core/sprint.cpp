@@ -42,7 +42,7 @@ SprintResult SprintAnalysis::Measure(const apps::AppProfile& app,
     return p;
   };
 
-  thermal::TransientSimulator sim(platform_->thermal_model(), dt_s);
+  thermal::TransientSimulator sim = platform_->MakeTransient(dt_s);
   // Background state: steady state at idle_fraction of the sprint power.
   {
     std::vector<double> temps(n, platform_->thermal_model().ambient_c());
@@ -60,7 +60,7 @@ SprintResult SprintAnalysis::Measure(const apps::AppProfile& app,
   // Where would the sprint settle? (Fixed point at full power.)
   {
     std::vector<double> temps(n, platform_->thermal_model().ambient_c());
-    thermal::TransientSimulator probe(platform_->thermal_model(), dt_s);
+    thermal::TransientSimulator probe = platform_->MakeTransient(dt_s);
     for (int it = 0; it < 5; ++it) {
       probe.InitializeSteadyState(powers_at(temps, 1.0));
       temps = probe.DieTemps();

@@ -75,7 +75,12 @@ std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
     auto model = std::make_shared<const thermal::RcModel>(fp, pkg);
     auto solver = std::make_shared<const thermal::SteadyStateSolver>(*model);
     solver->InfluenceMatrix();
-    entry->assets = ThermalAssets{std::move(model), std::move(solver)};
+    // The propagator set starts empty; each (model, dt) folds lazily on
+    // the first transient simulator that needs it and is then shared by
+    // every job in the sweep.
+    auto propagators = std::make_shared<const thermal::PropagatorSet>();
+    entry->assets = ThermalAssets{std::move(model), std::move(solver),
+                                  std::move(propagators)};
   });
   return entry;
 }
@@ -88,7 +93,8 @@ ThermalAssets ModelCache::Get(const thermal::Floorplan& fp,
 void ModelCache::InstallThermal(arch::Platform& platform) {
   ThermalAssets assets = Get(platform.floorplan());
   platform.AdoptThermalAssets(std::move(assets.model),
-                              std::move(assets.solver));
+                              std::move(assets.solver),
+                              std::move(assets.propagators));
 }
 
 double ModelCache::TspForEntry(const arch::Platform& platform, std::size_t m,

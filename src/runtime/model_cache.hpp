@@ -30,16 +30,21 @@
 
 #include "arch/platform.hpp"
 #include "thermal/floorplan.hpp"
+#include "thermal/propagator.hpp"
 #include "thermal/rc_model.hpp"
 #include "thermal/steady_state.hpp"
 
 namespace ds::runtime {
 
-/// The shareable per-floorplan thermal state: RC network plus a solver
-/// factored from it (influence matrix forced, so sharing is read-only).
+/// The shareable per-floorplan thermal state: RC network, a solver
+/// factored from it (influence matrix forced, so sharing is read-only)
+/// and the dt -> step-propagator cache tied to the model, so every
+/// sweep job at a given control period reuses one folded step operator
+/// (PropagatorSet is internally synchronized).
 struct ThermalAssets {
   std::shared_ptr<const thermal::RcModel> model;
   std::shared_ptr<const thermal::SteadyStateSolver> solver;
+  std::shared_ptr<const thermal::PropagatorSet> propagators;
 };
 
 class ModelCache {

@@ -75,8 +75,8 @@ FullSimResult ChipSimulator::Run() const {
 
   util::Rng rng(config_.seed);
   std::poisson_distribution<int> arrivals(config_.arrival_rate);
-  thermal::TransientSimulator thermal(platform_->thermal_model(),
-                                      config_.control_period_s);
+  thermal::TransientSimulator thermal =
+      platform_->MakeTransient(config_.control_period_s);
   const noc::MeshNoc mesh(platform_->floorplan());
   reliability::AgingState aging(n);
 

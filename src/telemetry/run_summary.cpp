@@ -13,6 +13,11 @@ void RunSummary::CollectTelemetry() {
   lu_solves = Registry().GetCounter("lu.solves").value();
   trace_events = TotalTraceEvents();
   trace_events_dropped = TotalDroppedEvents();
+  propagator_steps =
+      Registry().GetCounter("thermal.kernel.propagator_steps").value();
+  lu_kernel_steps = Registry().GetCounter("thermal.kernel.lu_steps").value();
+  hold_steps = Registry().GetCounter("thermal.kernel.hold_steps").value();
+  lu_fallbacks = Registry().GetCounter("thermal.kernel.lu_fallbacks").value();
 }
 
 void RunSummary::Print(std::ostream& os) const {
@@ -42,6 +47,10 @@ void RunSummary::Print(std::ostream& os) const {
   if (solver_retries > 0) line("solver retries", solver_retries);
   if (cores_failed > 0) line("cores failed", cores_failed);
   if (lu_solves > 0) line("LU solves", lu_solves);
+  if (propagator_steps > 0) line("propagator steps", propagator_steps);
+  if (lu_kernel_steps > 0) line("LU-kernel steps", lu_kernel_steps);
+  if (hold_steps > 0) line("power-hold steps", hold_steps);
+  if (lu_fallbacks > 0) line("LU fallbacks", lu_fallbacks);
   if (trace_events > 0) line("trace events", trace_events);
   if (trace_events_dropped > 0)
     line("trace events dropped", trace_events_dropped);

@@ -39,8 +39,19 @@ struct RunSummary {
   std::uint64_t trace_events = 0;
   std::uint64_t trace_events_dropped = 0;
 
-  /// Fills lu_solves/trace_events* from the live registry and trace
-  /// collector (no-op values when telemetry is disabled).
+  // Thermal step-kernel path selection (thermal.kernel.* counters):
+  // how many transient steps ran on the folded dense propagator, how
+  // many on the legacy LU triangular solve, how many were covered by
+  // k-step power-hold applications, and how many simulators fell back
+  // from propagator to LU on a degraded model.
+  std::uint64_t propagator_steps = 0;
+  std::uint64_t lu_kernel_steps = 0;
+  std::uint64_t hold_steps = 0;
+  std::uint64_t lu_fallbacks = 0;
+
+  /// Fills lu_solves/trace_events*/kernel-path counts from the live
+  /// registry and trace collector (no-op values when telemetry is
+  /// disabled).
   void CollectTelemetry();
 
   void Print(std::ostream& os) const;

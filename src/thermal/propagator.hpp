@@ -1,0 +1,126 @@
+// Dense step-propagator kernels for the implicit-Euler transient solve.
+//
+// The backward-Euler update  (G + C/dt) T' = (C/dt) T + P_full + g_amb T_amb
+// is linear in (T, P), so the whole step can be folded, once per
+// (model, dt), into a dense affine operator
+//
+//     T' = M_state T + M_in P + c_amb
+//
+// with M_state = (G + C/dt)^-1 (C/dt)   [n x n]
+//      M_in    = (G + C/dt)^-1 E_die    [n x num_cores]
+//      c_amb   = (G + C/dt)^-1 (g_amb T_amb)
+//
+// where E_die holds the unit power-injection columns of the die nodes.
+// All three come out of ONE blocked multi-RHS solve on the identity
+// (util::LuFactorization::SolveMany): A^-1 e_i is column i, so M_state
+// is A^-1 with column i scaled by cap_i/dt and M_in is the die-node
+// column subset. After that, stepping is a pair of allocation-free
+// GEMVs -- no permutation gather, no triangular dependency chain, pure
+// row-major multiply-add streams (util/kernels.hpp).
+//
+// Power-hold fast path: k identical steps compose into one affine
+// operator. Composition of two holds (A2,B2,c2) o (A1,B1,c1) is
+// (A2 A1, A2 B1 + B2, A2 c1 + c2), so Hold(k) is built by binary
+// powering in O(log k) GEMMs and memoized; advancing a constant-power
+// segment then costs ONE application regardless of k. Used by
+// TransientSimulator::StepHold / StepN for warm-up and constant-power
+// segments where intermediate samples are not needed.
+//
+// Sharing: a propagator is immutable after construction except for the
+// mutex-protected hold-operator cache, so one instance can serve every
+// simulator (and every sweep thread) that uses the same (model, dt) --
+// see PropagatorSet, which runtime::ModelCache and arch::Platform hand
+// out so a 70-job sweep folds the step operator exactly once.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "thermal/rc_model.hpp"
+#include "util/matrix.hpp"
+
+namespace ds::thermal {
+
+class StepPropagator {
+ public:
+  /// One k-step affine operator: T_{+k} = t_op T + in_op P + amb_op.
+  struct HoldOperator {
+    std::size_t k = 0;
+    util::Matrix t_op;             // n x n
+    util::Matrix in_op;            // n x num_cores
+    std::vector<double> amb_op;    // n
+  };
+
+  /// Folds the implicit-Euler step of `model` at step `dt_s` into the
+  /// dense operator triple. O(n^3) build (factor + multi-RHS solve on
+  /// the identity), done once per (model, dt). Throws
+  /// std::invalid_argument for non-positive dt and util::SolverError
+  /// if the system matrix is singular or the fold is non-finite.
+  StepPropagator(const RcModel& model, double dt_s);
+
+  /// One step: out = M_state state + M_in core_powers + c_amb.
+  /// Allocation-free; `out` must not alias `state`.
+  void Apply(std::span<const double> state,
+             std::span<const double> core_powers,
+             std::span<double> out) const;
+
+  /// k steps under constant power in one application of Hold(k).
+  /// Allocation-free after the memoized hold operator exists.
+  void ApplyHold(const HoldOperator& hold, std::span<const double> state,
+                 std::span<const double> core_powers,
+                 std::span<double> out) const;
+
+  /// Memoized k-step hold operator (k >= 1), built by binary powering
+  /// over a cached chain of power-of-two holds. Thread-safe.
+  std::shared_ptr<const HoldOperator> Hold(std::size_t k) const;
+
+  double dt() const { return dt_; }
+  std::size_t num_nodes() const { return m_state_.rows(); }
+  std::size_t num_cores() const { return m_in_.cols(); }
+  const RcModel& model() const { return *model_; }
+  const util::Matrix& state_operator() const { return m_state_; }
+  const util::Matrix& input_operator() const { return m_in_; }
+  std::span<const double> ambient_operator() const { return c_amb_; }
+
+ private:
+  /// hold_out = b o a (apply `a` first, then `b`).
+  HoldOperator Compose(const HoldOperator& b, const HoldOperator& a) const;
+
+  const RcModel* model_;
+  double dt_;
+  util::Matrix m_state_;
+  util::Matrix m_in_;
+  std::vector<double> c_amb_;
+
+  mutable std::mutex hold_mu_;
+  mutable std::vector<std::shared_ptr<const HoldOperator>> pow2_;
+  mutable std::map<std::size_t, std::shared_ptr<const HoldOperator>> holds_;
+};
+
+/// Thread-safe dt -> StepPropagator cache for one RcModel. Platforms
+/// own one (lazily) and runtime::ModelCache shares one per cached
+/// thermal entry, so every simulator and sweep job over the same model
+/// reuses the same folded operators. Counts builds and hits into the
+/// "thermal.propagator_*" telemetry counters.
+class PropagatorSet {
+ public:
+  /// Returns the propagator for (model, dt), building it on first use.
+  /// All calls must pass the same model (contract-checked): a set is
+  /// tied to the model whose assets it caches.
+  std::shared_ptr<const StepPropagator> For(const RcModel& model,
+                                            double dt_s) const;
+
+  /// Number of distinct (dt) entries built so far (tests/telemetry).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable const RcModel* model_ = nullptr;
+  mutable std::map<double, std::shared_ptr<const StepPropagator>> by_dt_;
+};
+
+}  // namespace ds::thermal

@@ -49,6 +49,9 @@ std::vector<double> SteadyStateSolver::SolveWithFeedback(
   std::vector<double> powers(n, 0.0);
   for (int iter = 0; iter < max_iters; ++iter) {
     for (std::size_t i = 0; i < n; ++i) powers[i] = power_at_temp(i, temps[i]);
+    // Cold fixed-point iteration (a handful of rounds at setup, not the
+    // per-millisecond stepping path); Solve returns by value anyway.
+    // ds_lint: allow(alloc-in-loop)
     std::vector<double> next = Solve(powers);
     const double delta = util::MaxAbsDiffVec(next, temps);
     temps = std::move(next);
@@ -69,12 +72,15 @@ const util::Matrix& SteadyStateSolver::InfluenceMatrix() const {
     DS_TELEM_TIMER("thermal.influence_build_us");
     const std::size_t n = model_->num_cores();
     auto a = std::make_unique<util::Matrix>(n, n);
-    std::vector<double> rhs(model_->num_nodes(), 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      rhs.assign(model_->num_nodes(), 0.0);
-      rhs[model_->DieNode(j)] = 1.0;
-      const std::vector<double> t = lu_.Solve(rhs);
-      for (std::size_t i = 0; i < n; ++i) (*a)(i, j) = t[model_->DieNode(i)];
+    // One blocked multi-RHS solve over all unit-injection columns at
+    // once, instead of num_cores permuted one-column solves each
+    // re-allocating a full-node RHS.
+    util::Matrix rhs(model_->num_nodes(), n);
+    for (std::size_t j = 0; j < n; ++j) rhs(model_->DieNode(j), j) = 1.0;
+    lu_.SolveMany(&rhs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t node = model_->DieNode(i);
+      for (std::size_t j = 0; j < n; ++j) (*a)(i, j) = rhs(node, j);
     }
     influence_ = std::move(a);
   });

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "telemetry/scoped.hpp"
 #include "thermal/steady_state.hpp"
@@ -11,35 +13,63 @@
 namespace ds::thermal {
 namespace {
 
-util::Matrix BuildSystem(const RcModel& model, double dt) {
-  DS_REQUIRE(dt > 0.0 && std::isfinite(dt),
-             "TransientSimulator: step dt " << dt << " s must be positive");
-  util::Matrix m = model.conductance();
-  for (std::size_t i = 0; i < model.num_nodes(); ++i)
-    m(i, i) += model.capacitance()[i] / dt;
-  return m;
-}
-
 bool AllFinite(std::span<const double> v) {
   for (const double x : v)
     if (!std::isfinite(x)) return false;
   return true;
 }
 
+/// kAuto resolution: DS_THERMAL_KERNEL=lu|propagator overrides for A/B
+/// runs; the default is the propagator fast path.
+StepKernel ResolveKernel(StepKernel requested) {
+  if (requested != StepKernel::kAuto) return requested;
+  const char* env = std::getenv("DS_THERMAL_KERNEL");
+  if (env != nullptr && std::string_view(env) == "lu") return StepKernel::kLu;
+  return StepKernel::kPropagator;
+}
+
 }  // namespace
 
-// dt_s is validated by BuildSystem() in the initializer list below.
+// dt_s is validated by the propagator / legacy system build below.
 // ds_lint: allow(missing-contract)
-TransientSimulator::TransientSimulator(const RcModel& model, double dt_s)
+TransientSimulator::TransientSimulator(
+    const RcModel& model, double dt_s, StepKernel kernel,
+    std::shared_ptr<const PropagatorSet> shared)
     : model_(&model),
       dt_(dt_s),
-      system_(BuildSystem(model, dt_s)),
-      system_lu_(system_),
+      kernel_(ResolveKernel(kernel)),
       state_(model.num_nodes(), model.ambient_c()),
+      scratch_(model.num_nodes(), 0.0),
       amb_rhs_(model.num_nodes(), 0.0) {
+  DS_REQUIRE(dt_s > 0.0 && std::isfinite(dt_s),
+             "TransientSimulator: step dt " << dt_s << " s must be positive");
   const auto& amb_g = model.ambient_conductance();
   for (std::size_t i = 0; i < amb_rhs_.size(); ++i)
     amb_rhs_[i] = amb_g[i] * model.ambient_c();
+
+  if (kernel_ == StepKernel::kPropagator) {
+    try {
+      prop_ = shared != nullptr ? shared->For(model, dt_s)
+                                : std::make_shared<const StepPropagator>(
+                                      model, dt_s);
+    } catch (const util::SolverError&) {
+      // Degraded model (singular / non-finite fold): keep stepping on
+      // the legacy factorization, which tolerates more and is the
+      // baseline the fault-retry machinery reasons about.
+      DS_TELEM_COUNT("thermal.kernel.lu_fallbacks", 1);
+      ds::telemetry::EmitInstant("thermal", "propagator_fallback_lu",
+                                 ds::telemetry::TraceLevel::kDecision);
+      kernel_ = StepKernel::kLu;
+    }
+  }
+  if (kernel_ == StepKernel::kLu) BuildLegacyLu();
+}
+
+void TransientSimulator::BuildLegacyLu() {
+  system_ = model_->conductance();
+  for (std::size_t i = 0; i < model_->num_nodes(); ++i)
+    system_(i, i) += model_->capacitance()[i] / dt_;
+  system_lu_ = std::make_unique<util::LuFactorization>(system_);
 }
 
 void TransientSimulator::Reset() {
@@ -92,6 +122,14 @@ bool TransientSimulator::InitializeSteadyStateRobust(
   }
 }
 
+void TransientSimulator::FillLegacyRhs(std::span<const double> core_powers) {
+  const auto& cap = model_->capacitance();
+  for (std::size_t i = 0; i < scratch_.size(); ++i)
+    scratch_[i] = cap[i] / dt_ * state_[i] + amb_rhs_[i];
+  for (std::size_t i = 0; i < model_->num_cores(); ++i)
+    scratch_[model_->DieNode(i)] += core_powers[i];
+}
+
 void TransientSimulator::Step(std::span<const double> core_powers) {
   DS_REQUIRE(core_powers.size() == model_->num_cores(),
              "TransientSimulator::Step: " << core_powers.size()
@@ -100,20 +138,52 @@ void TransientSimulator::Step(std::span<const double> core_powers) {
              "TransientSimulator::Step: non-finite power input");
   DS_TELEM_COUNT("thermal.transient_steps", 1);
   DS_TELEM_TIMER("thermal.transient_step_us");
-  std::vector<double> rhs(model_->num_nodes());
-  const auto& cap = model_->capacitance();
-  for (std::size_t i = 0; i < rhs.size(); ++i)
-    rhs[i] = cap[i] / dt_ * state_[i] + amb_rhs_[i];
-  for (std::size_t i = 0; i < model_->num_cores(); ++i)
-    rhs[model_->DieNode(i)] += core_powers[i];
-  system_lu_.SolveInPlace(rhs);
-  state_ = std::move(rhs);
+  if (prop_ != nullptr) {
+    DS_TELEM_COUNT("thermal.kernel.propagator_steps", 1);
+    prop_->Apply(state_, core_powers, scratch_);
+  } else {
+    DS_TELEM_COUNT("thermal.kernel.lu_steps", 1);
+    FillLegacyRhs(core_powers);
+    system_lu_->Solve(scratch_, state_);  // permute + triangular sweeps
+  }
+  // Both paths leave the new state in a member buffer; commit by
+  // pointer swap so stepping never allocates.
+  if (prop_ != nullptr) state_.swap(scratch_);
   time_ += dt_;
 }
 
 void TransientSimulator::StepN(std::span<const double> core_powers,
                                std::size_t n) {
+  if (n == 0) return;
+  if (prop_ != nullptr && n > 1) {
+    StepHold(core_powers, n);
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) Step(core_powers);
+}
+
+void TransientSimulator::StepHold(std::span<const double> core_powers,
+                                  std::size_t k) {
+  DS_REQUIRE(k >= 1, "TransientSimulator::StepHold: k must be >= 1");
+  DS_REQUIRE(core_powers.size() == model_->num_cores(),
+             "TransientSimulator::StepHold: " << core_powers.size()
+                 << " powers for " << model_->num_cores() << " cores");
+  DS_REQUIRE(AllFinite(core_powers),
+             "TransientSimulator::StepHold: non-finite power input");
+  if (prop_ == nullptr) {
+    // Legacy path: the hold operators do not exist; degrade to the
+    // step-by-step loop (identical semantics, no fast path).
+    for (std::size_t i = 0; i < k; ++i) Step(core_powers);
+    return;
+  }
+  DS_TELEM_COUNT("thermal.kernel.hold_calls", 1);
+  DS_TELEM_COUNT("thermal.kernel.hold_steps", k);
+  DS_TELEM_TIMER("thermal.transient_hold_us");
+  const std::shared_ptr<const StepPropagator::HoldOperator> hold =
+      prop_->Hold(k);
+  prop_->ApplyHold(*hold, state_, core_powers, scratch_);
+  state_.swap(scratch_);
+  time_ += static_cast<double>(k) * dt_;
 }
 
 std::vector<double> TransientSimulator::DieTemps() const {

@@ -5,24 +5,52 @@
 //
 // Backward Euler is unconditionally stable, which matters here: the sink
 // time constant (R_conv * C_conv ~ 14 s) and the die time constant
-// (~ms) differ by four orders of magnitude. The system matrix is
-// factored once for a fixed step; each step is a back-substitution. The
-// 1 ms default step aligns with the paper's Turbo-Boost control period.
+// (~ms) differ by four orders of magnitude. The 1 ms default step
+// aligns with the paper's Turbo-Boost control period.
+//
+// Step kernels (selectable, see StepKernel):
+//  - kPropagator (default): the step is folded once per (model, dt)
+//    into dense operators T' = M_state T + M_in P + c_amb
+//    (thermal/propagator.hpp) and each step is an allocation-free
+//    GEMV pair -- no permutation gather, no triangular dependency
+//    chain. Constant-power segments can advance k steps in one
+//    application via StepHold. Propagators are shared across
+//    simulators (and sweep threads) through PropagatorSet.
+//  - kLu (legacy / A/B baseline): the system matrix is factored once
+//    and each step is a permuted triangular solve, now into a reused
+//    member scratch buffer so even this path is allocation-free. The
+//    construction also falls back to this path if the propagator fold
+//    fails (singular or non-finite), so a degraded model still steps.
+// DS_THERMAL_KERNEL=lu|propagator overrides kAuto for A/B runs.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "thermal/propagator.hpp"
 #include "thermal/rc_model.hpp"
 #include "util/lu.hpp"
 
 namespace ds::thermal {
 
+/// Which stepping kernel a TransientSimulator uses. kAuto resolves to
+/// kPropagator unless the DS_THERMAL_KERNEL environment variable says
+/// otherwise ("lu" selects the legacy path for A/B comparisons).
+enum class StepKernel { kAuto, kPropagator, kLu };
+
 class TransientSimulator {
  public:
-  /// Factors (C/dt + G). `dt_s` is the fixed step in seconds.
+  /// Prepares stepping at fixed step `dt_s` (seconds): folds the dense
+  /// step propagator, or factors (C/dt + G) on the legacy path.
+  /// `shared` (optional) memoizes propagators across simulators of the
+  /// same model -- pass arch::Platform::propagators() or the set from
+  /// runtime::ModelCache so sweeps fold each (model, dt) exactly once.
   /// Throws std::invalid_argument for non-positive dt.
-  TransientSimulator(const RcModel& model, double dt_s = 1e-3);
+  explicit TransientSimulator(
+      const RcModel& model, double dt_s = 1e-3,
+      StepKernel kernel = StepKernel::kAuto,
+      std::shared_ptr<const PropagatorSet> shared = nullptr);
 
   /// Resets all node temperatures to the ambient.
   void Reset();
@@ -47,8 +75,16 @@ class TransientSimulator {
   /// solve and poison the whole state vector).
   void Step(std::span<const double> core_powers);
 
-  /// Advances `n` steps with constant powers.
+  /// Advances `n` steps with constant powers. On the propagator path
+  /// this routes through StepHold (one operator application instead of
+  /// n); the trajectory between the endpoints is not materialized.
   void StepN(std::span<const double> core_powers, std::size_t n);
+
+  /// Power-hold fast path: advances `k` steps under constant powers in
+  /// one application of the memoized k-step hold operator. Matches k
+  /// explicit Step() calls to rounding error (tested at 1e-9 C). On
+  /// the legacy LU path this degrades to k explicit steps.
+  void StepHold(std::span<const double> core_powers, std::size_t k);
 
   /// Current die temperatures [C].
   std::vector<double> DieTemps() const;
@@ -61,13 +97,22 @@ class TransientSimulator {
   const RcModel& model() const { return *model_; }
   const std::vector<double>& state() const { return state_; }
 
+  /// The kernel actually in use (kAuto resolved; reflects a fallback).
+  StepKernel kernel() const { return kernel_; }
+
  private:
+  void BuildLegacyLu();
+  void FillLegacyRhs(std::span<const double> core_powers);
+
   const RcModel* model_;
   double dt_;
   double time_ = 0.0;
-  util::Matrix system_;               // C/dt + G
-  util::LuFactorization system_lu_;
+  StepKernel kernel_;
+  std::shared_ptr<const StepPropagator> prop_;  // propagator path
+  util::Matrix system_;                         // C/dt + G (legacy path)
+  std::unique_ptr<util::LuFactorization> system_lu_;  // legacy path
   std::vector<double> state_;         // all node temperatures
+  std::vector<double> scratch_;       // step output / RHS, reused
   std::vector<double> amb_rhs_;       // g_amb * T_amb, precomputed
 };
 

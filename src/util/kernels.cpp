@@ -1,0 +1,121 @@
+#include "util/kernels.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ds::util {
+namespace {
+
+/// Shared GEMV body: y (+)= A x with a 4-row register block over a
+/// column panel [c0, c1). The four accumulators share every x load and
+/// give the compiler four independent FMA chains per column.
+template <bool Accumulate>
+void GemvPanel(const Matrix& a, std::span<const double> x,
+               std::span<double> y) {
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* a0 = a.row(r).data();
+    const double* a1 = a.row(r + 1).data();
+    const double* a2 = a.row(r + 2).data();
+    const double* a3 = a.row(r + 3).data();
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c0 = 0; c0 < cols; c0 += kKernelColBlock) {
+      const std::size_t c1 = std::min(cols, c0 + kKernelColBlock);
+      for (std::size_t c = c0; c < c1; ++c) {
+        const double xc = x[c];
+        s0 += a0[c] * xc;
+        s1 += a1[c] * xc;
+        s2 += a2[c] * xc;
+        s3 += a3[c] * xc;
+      }
+    }
+    if constexpr (Accumulate) {
+      y[r] += s0;
+      y[r + 1] += s1;
+      y[r + 2] += s2;
+      y[r + 3] += s3;
+    } else {
+      y[r] = s0;
+      y[r + 1] = s1;
+      y[r + 2] = s2;
+      y[r + 3] = s3;
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* ar = a.row(r).data();
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) s += ar[c] * x[c];
+    if constexpr (Accumulate) {
+      y[r] += s;
+    } else {
+      y[r] = s;
+    }
+  }
+}
+
+void CheckGemvShapes(const Matrix& a, std::span<const double> x,
+                     std::span<double> y) {
+  DS_REQUIRE(x.size() == a.cols() && y.size() == a.rows(),
+             "Gemv: A is " << a.rows() << "x" << a.cols() << ", x "
+                           << x.size() << ", y " << y.size());
+}
+
+/// Shared GEMM body: C (+)= A B, i-k-j order so the inner loop streams
+/// one row of B and one row of C (both contiguous), blocked over the
+/// k dimension to keep the active B panel resident in cache.
+template <bool Accumulate>
+void GemmImpl(const Matrix& a, const Matrix& b, Matrix* c) {
+  DS_REQUIRE(c != nullptr, "Gemm: null output");
+  DS_REQUIRE(a.cols() == b.rows() && c->rows() == a.rows() &&
+                 c->cols() == b.cols(),
+             "Gemm: A " << a.rows() << "x" << a.cols() << " * B "
+                        << b.rows() << "x" << b.cols() << " -> C "
+                        << c->rows() << "x" << c->cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  if constexpr (!Accumulate) {
+    std::fill(c->data().begin(), c->data().end(), 0.0);
+  }
+  constexpr std::size_t kBlock = 64;  // B panel: 64 rows x n cols
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+    const std::size_t k1 = std::min(k, k0 + kBlock);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ai = a.row(i).data();
+      double* ci = c->row(i).data();
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double aik = ai[kk];
+        // Exact zero skip is a sparsity fast path, not a tolerance test.
+        if (aik == 0.0) continue;  // ds_lint: allow(float-equals)
+        const double* bk = b.row(kk).data();
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  CheckGemvShapes(a, x, y);
+  GemvPanel<false>(a, x, y);
+}
+
+void GemvAdd(const Matrix& a, std::span<const double> x,
+             std::span<double> y) {
+  CheckGemvShapes(a, x, y);
+  GemvPanel<true>(a, x, y);
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  GemmImpl<false>(a, b, c);
+}
+
+void GemmAdd(const Matrix& a, const Matrix& b, Matrix* c) {
+  GemmImpl<true>(a, b, c);
+}
+
+}  // namespace ds::util

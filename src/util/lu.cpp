@@ -1,5 +1,6 @@
 #include "util/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -70,6 +71,17 @@ std::vector<double> LuFactorization::Solve(std::span<const double> b) const {
   return x;
 }
 
+void LuFactorization::Solve(std::span<const double> b,
+                            std::span<double> x) const {
+  DS_REQUIRE(b.size() == n_ && x.size() == n_,
+             "LuFactorization::Solve: rhs size " << b.size() << ", out size "
+                                                 << x.size() << " != " << n_);
+  DS_REQUIRE(b.data() != x.data(),
+             "LuFactorization::Solve: rhs and output must not alias");
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  SolveInPlaceNoPermute(x);
+}
+
 void LuFactorization::SolveInPlace(std::span<double> x) const {
   DS_REQUIRE(x.size() == n_, "LuFactorization::SolveInPlace: size "
                                  << x.size() << " != " << n_);
@@ -94,6 +106,62 @@ void LuFactorization::SolveInPlaceNoPermute(std::span<double> x) const {
     double acc = x[ri];
     for (std::size_t c = ri + 1; c < n_; ++c) acc -= row[c] * x[c];
     x[ri] = acc / row[ri];
+  }
+}
+
+void LuFactorization::SolveMany(Matrix* b) const {
+  DS_REQUIRE(b != nullptr, "LuFactorization::SolveMany: null rhs matrix");
+  DS_REQUIRE(b->rows() == n_,
+             "LuFactorization::SolveMany: rhs has " << b->rows()
+                                                    << " rows, need " << n_);
+  DS_TELEM_COUNT("lu.solve_many_calls", 1);
+  DS_TELEM_COUNT("lu.solve_many_rhs", b->cols());
+  const std::size_t k = b->cols();
+  if (k == 0) return;
+
+  // Apply the pivot permutation once, row-for-row, into a staging
+  // matrix, then take it over. Build-time only; the per-step paths
+  // never reach this function.
+  Matrix permuted(n_, k);
+  for (std::size_t r = 0; r < n_; ++r) {
+    auto src = b->row(perm_[r]);
+    auto dst = permuted.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  *b = std::move(permuted);
+
+  // Both triangular sweeps, cache-blocked over column panels so the
+  // active panel of B stays resident while the factor rows stream by.
+  // Inside a panel the update is row_r -= lu(r,c) * row_c: the inner
+  // loop runs across the panel width with no dependency chain.
+  constexpr std::size_t kPanel = 128;
+  for (std::size_t j0 = 0; j0 < k; j0 += kPanel) {
+    const std::size_t j1 = std::min(k, j0 + kPanel);
+    // Forward substitution with unit-diagonal L.
+    for (std::size_t r = 1; r < n_; ++r) {
+      auto lr = lu_.row(r);
+      double* xr = b->row(r).data();
+      for (std::size_t c = 0; c < r; ++c) {
+        const double factor = lr[c];
+        // Exact zero skip is a sparsity fast path, not a tolerance test.
+        if (factor == 0.0) continue;  // ds_lint: allow(float-equals)
+        const double* xc = b->row(c).data();
+        for (std::size_t j = j0; j < j1; ++j) xr[j] -= factor * xc[j];
+      }
+    }
+    // Back substitution with U.
+    for (std::size_t ri = n_; ri-- > 0;) {
+      auto lr = lu_.row(ri);
+      double* xr = b->row(ri).data();
+      for (std::size_t c = ri + 1; c < n_; ++c) {
+        const double factor = lr[c];
+        if (factor == 0.0) continue;  // ds_lint: allow(float-equals)
+        const double* xc = b->row(c).data();
+        for (std::size_t j = j0; j < j1; ++j) xr[j] -= factor * xc[j];
+      }
+      const double inv_diag = 1.0 / lr[ri];
+      for (std::size_t j = j0; j < j1; ++j) xr[j] *= inv_diag;
+    }
   }
 }
 

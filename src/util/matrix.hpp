@@ -10,9 +10,13 @@
 #include <span>
 #include <vector>
 
+#include "util/aligned.hpp"
+
 namespace ds::util {
 
-/// Dense row-major matrix of doubles.
+/// Dense row-major matrix of doubles. The backing store is 64-byte
+/// aligned (util/aligned.hpp) so the blocked GEMV/GEMM kernels and the
+/// multi-RHS triangular solves stream split-free cache lines.
 ///
 /// Invariant: data_.size() == rows_ * cols_ at all times.
 class Matrix {
@@ -68,7 +72,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double, AlignedAllocator<double>> data_;
 };
 
 /// Elementwise vector helpers (kept free so they read like math).

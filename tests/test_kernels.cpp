@@ -1,0 +1,208 @@
+// Blocked GEMV/GEMM kernels and the multi-RHS LU solve, checked
+// against naive reference implementations on sizes chosen to exercise
+// every blocking remainder: the 4-row register block (sizes 1..5), the
+// 256-column panel (sizes straddling kKernelColBlock) and the 128-wide
+// RHS panels of SolveMany.
+#include "util/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/lu.hpp"
+#include "util/matrix.hpp"
+
+namespace ds::util {
+namespace {
+
+/// Deterministic pseudo-random fill (xorshift; no <random> seeding
+/// subtleties across platforms).
+class Fill {
+ public:
+  explicit Fill(std::uint64_t seed) : s_(seed) {}
+  double Next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    // Map to [-1, 1); plenty of sign changes and magnitudes.
+    return static_cast<double>(static_cast<std::int64_t>(s_ >> 11)) /
+           static_cast<double>(std::int64_t{1} << 52);
+  }
+  Matrix Make(std::size_t r, std::size_t c) {
+    Matrix m(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) m(i, j) = Next();
+    return m;
+  }
+  std::vector<double> MakeVec(std::size_t n) {
+    std::vector<double> v(n);
+    for (double& x : v) x = Next();
+    return v;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+std::vector<double> NaiveGemv(const Matrix& a, const std::vector<double>& x) {
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  return y;
+}
+
+Matrix NaiveGemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+
+TEST(Kernels, GemvMatchesNaiveAcrossBlockRemainders) {
+  Fill fill(0x9e3779b97f4a7c15ull);
+  // Rows 1..5 cover every remainder of the 4-row register block; cols
+  // straddle the 256-wide column panel.
+  for (const std::size_t rows : {1u, 2u, 3u, 4u, 5u, 31u, 64u}) {
+    for (const std::size_t cols : {1u, 7u, 255u, 256u, 257u, 300u}) {
+      const Matrix a = fill.Make(rows, cols);
+      const std::vector<double> x = fill.MakeVec(cols);
+      std::vector<double> y(rows, -7.0);
+      Gemv(a, x, y);
+      const std::vector<double> ref = NaiveGemv(a, x);
+      for (std::size_t i = 0; i < rows; ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-12 * static_cast<double>(cols))
+            << rows << "x" << cols << " row " << i;
+    }
+  }
+}
+
+TEST(Kernels, GemvAddAccumulatesIntoExistingY) {
+  Fill fill(42);
+  const Matrix a = fill.Make(9, 260);
+  const std::vector<double> x = fill.MakeVec(260);
+  std::vector<double> y = fill.MakeVec(9);
+  const std::vector<double> y0 = y;
+  GemvAdd(a, x, y);
+  const std::vector<double> ax = NaiveGemv(a, x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], y0[i] + ax[i], 1e-10);
+}
+
+TEST(Kernels, GemvRejectsShapeMismatch) {
+  const Matrix a(3, 4);
+  std::vector<double> x(4, 0.0), y(3, 0.0);
+  std::vector<double> bad_x(5, 0.0), bad_y(2, 0.0);
+  EXPECT_THROW(Gemv(a, bad_x, y), std::invalid_argument);
+  EXPECT_THROW(Gemv(a, x, bad_y), std::invalid_argument);
+}
+
+TEST(Kernels, GemmMatchesNaive) {
+  Fill fill(7);
+  // Sizes straddle the k-panel (64) and exercise non-square shapes.
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 1, 1}, {3, 5, 2}, {16, 16, 16},
+                {63, 64, 65}, {10, 130, 7}};
+  for (const auto& s : shapes) {
+    const Matrix a = fill.Make(s.m, s.k);
+    const Matrix b = fill.Make(s.k, s.n);
+    Matrix c(s.m, s.n);
+    for (std::size_t i = 0; i < s.m; ++i)
+      for (std::size_t j = 0; j < s.n; ++j) c(i, j) = 99.0;  // overwritten
+    Gemm(a, b, &c);
+    const Matrix ref = NaiveGemm(a, b);
+    for (std::size_t i = 0; i < s.m; ++i)
+      for (std::size_t j = 0; j < s.n; ++j)
+        EXPECT_NEAR(c(i, j), ref(i, j), 1e-11 * static_cast<double>(s.k));
+  }
+}
+
+TEST(Kernels, GemmAddAccumulates) {
+  Fill fill(11);
+  const Matrix a = fill.Make(6, 70);
+  const Matrix b = fill.Make(70, 5);
+  Matrix c = fill.Make(6, 5);
+  const Matrix c0 = c;
+  GemmAdd(a, b, &c);
+  const Matrix ab = NaiveGemm(a, b);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c(i, j), c0(i, j) + ab(i, j), 1e-10);
+}
+
+TEST(Kernels, GemmRejectsShapeMismatch) {
+  const Matrix a(3, 4), b(4, 2);
+  Matrix wrong_inner(5, 2), wrong_out(3, 3), ok(3, 2);
+  EXPECT_THROW(Gemm(a, wrong_inner, &ok), std::invalid_argument);
+  EXPECT_THROW(Gemm(a, b, &wrong_out), std::invalid_argument);
+}
+
+/// A well-conditioned diagonally dominant test matrix (same structure
+/// class as the thermal conductance systems).
+Matrix DominantMatrix(std::size_t n, Fill* fill) {
+  Matrix a = fill->Make(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) += static_cast<double>(n) + 1.0;
+  return a;
+}
+
+TEST(Kernels, SolveManyMatchesColumnwiseSolve) {
+  Fill fill(1234);
+  // RHS widths straddle the 128-wide SolveMany column panel.
+  for (const std::size_t n : {1u, 4u, 37u}) {
+    for (const std::size_t k : {1u, 3u, 127u, 128u, 129u}) {
+      const Matrix a = DominantMatrix(n, &fill);
+      const LuFactorization lu(a);
+      Matrix b = fill.Make(n, k);
+      const Matrix b0 = b;
+      lu.SolveMany(&b);
+      for (std::size_t j = 0; j < k; ++j) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i) col[i] = b0(i, j);
+        const std::vector<double> x = lu.Solve(col);
+        for (std::size_t i = 0; i < n; ++i)
+          EXPECT_NEAR(b(i, j), x[i], 1e-10)
+              << "n=" << n << " k=" << k << " col " << j;
+      }
+    }
+  }
+}
+
+TEST(Kernels, SolveManyOnIdentityGivesInverse) {
+  Fill fill(99);
+  const std::size_t n = 24;
+  const Matrix a = DominantMatrix(n, &fill);
+  const LuFactorization lu(a);
+  Matrix inv = Matrix::Identity(n);
+  lu.SolveMany(&inv);
+  const Matrix prod = NaiveGemm(a, inv);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Kernels, SolveManyRejectsWrongRowCount) {
+  Fill fill(5);
+  const Matrix a = DominantMatrix(6, &fill);
+  const LuFactorization lu(a);
+  Matrix wrong(5, 2);
+  EXPECT_THROW(lu.SolveMany(&wrong), std::invalid_argument);
+}
+
+TEST(Kernels, AllocationFreeSolveMatchesAllocating) {
+  Fill fill(77);
+  const std::size_t n = 19;
+  const Matrix a = DominantMatrix(n, &fill);
+  const LuFactorization lu(a);
+  const std::vector<double> b = fill.MakeVec(n);
+  std::vector<double> x(n, 0.0);
+  lu.Solve(b, x);
+  const std::vector<double> ref = lu.Solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x[i], ref[i]);
+}
+
+}  // namespace
+}  // namespace ds::util

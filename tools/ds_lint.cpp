@@ -31,6 +31,16 @@
 //                     that are const/constexpr, references, or
 //                     std::atomic/std::mutex/std::once_flag (their own
 //                     synchronization) are fine.
+//   alloc-in-loop     A std::vector or util::Matrix constructed inside
+//                     a loop body in src/thermal/. The transient
+//                     stepping path is called once per simulated
+//                     millisecond across every sweep job; per-iteration
+//                     heap allocation there is a measured hot-loop cost
+//                     (and allocator contention under the parallel
+//                     sweep engine). Hoist the buffer out of the loop
+//                     or reuse a member scratch vector. Cold loops
+//                     (one-time model construction) suppress with a
+//                     justification.
 //
 // Suppressions: append `// ds_lint: allow(<rule>)` to the offending
 // line, or place it alone on the line directly above. Every
@@ -206,6 +216,15 @@ bool IsUtilFile(const std::string& path) {
          path.rfind("util/", 0) == 0;
 }
 
+/// True if `pos` sits on a preprocessor line (`#include <new>` must not
+/// count as a `new` expression).
+bool OnPreprocessorLine(const std::string& text, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && text[i - 1] != '\n') --i;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  return i < text.size() && text[i] == '#';
+}
+
 // ---------------------------------------------------------------- rules
 
 void RuleBareAssert(const std::string& path, const CleanSource& src,
@@ -339,6 +358,7 @@ void RuleNakedNew(const std::string& path, const CleanSource& src,
     for (std::size_t pos = t.find(word); pos != std::string::npos;
          pos = t.find(word, pos + 1)) {
       if (!MatchWord(t, pos, word)) continue;
+      if (OnPreprocessorLine(t, pos)) continue;  // #include <new>
       // `= delete` / `= default` declarations are not expressions.
       std::size_t before = pos;
       while (before > 0 && t[before - 1] == ' ') --before;
@@ -507,6 +527,104 @@ void RuleStaticMutable(const std::string& path, const CleanSource& src,
   }
 }
 
+/// Flags owning std::vector / util::Matrix declarations inside loop
+/// bodies under src/thermal/. Loop scopes are tracked with the same
+/// brace-stack technique as RuleStaticMutable: a `{` whose introducer
+/// contains `for`, `while` or `do` opens a loop scope; inner braces
+/// inherit it. References (`&` declarators) and uses of an existing
+/// object (member access, calls) never match -- only a declaration
+/// `std::vector<...> name ...` / `Matrix name(...)` that constructs a
+/// fresh buffer each iteration.
+void RuleAllocInLoop(const std::string& path, const CleanSource& src,
+                     std::vector<Finding>* findings) {
+  if (path.find("/thermal/") == std::string::npos &&
+      path.rfind("thermal/", 0) != 0)
+    return;
+  const std::string& t = src.text;
+
+  auto head_has = [&](std::string_view head, std::string_view word) {
+    for (std::size_t p = head.find(word); p != std::string_view::npos;
+         p = head.find(word, p + 1)) {
+      const bool left_ok = p == 0 || !IsIdentChar(head[p - 1]);
+      const std::size_t end = p + word.size();
+      const bool right_ok = end >= head.size() || !IsIdentChar(head[end]);
+      if (left_ok && right_ok) return true;
+    }
+    return false;
+  };
+
+  // depth of loop nesting per brace level; loop_depth > 0 == in a loop.
+  std::vector<bool> stack;  // true: this brace level is a loop body
+  std::size_t loop_depth = 0;
+
+  auto flag = [&](std::size_t pos, std::string_view what) {
+    const std::size_t line_no = LineOf(t, pos);
+    if (Allowed(src, line_no, "alloc-in-loop")) return;
+    findings->push_back(
+        {path, line_no + 1, "alloc-in-loop",
+         std::string(what) +
+             " constructed inside a loop body; per-iteration heap "
+             "allocation in the thermal hot path -- hoist or reuse a "
+             "scratch buffer"});
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '}') {
+      if (!stack.empty()) {
+        if (stack.back()) --loop_depth;
+        stack.pop_back();
+      }
+      continue;
+    }
+    if (c == '{') {
+      // Introducer: back to the last top-level ; { or }. Unlike the
+      // static-mutable scan, semicolons inside parentheses must not
+      // terminate, or `for (a; b; c)` loses its `for`.
+      std::size_t start = i;
+      int parens = 0;
+      while (start > 0) {
+        const char p = t[start - 1];
+        if (p == ')') ++parens;
+        if (p == '(' && parens > 0) --parens;
+        if (parens == 0 && (p == ';' || p == '{' || p == '}')) break;
+        --start;
+      }
+      const std::string_view head(&t[start], i - start);
+      const bool is_loop = head_has(head, "for") || head_has(head, "while") ||
+                           head_has(head, "do");
+      stack.push_back(is_loop);
+      if (is_loop) ++loop_depth;
+      continue;
+    }
+    if (loop_depth == 0) continue;
+
+    // A declaration `std::vector<...> name` (not a reference binding).
+    if (c == 's' && MatchWord(t, i, "std") &&
+        t.compare(i, 12, "std::vector<") == 0) {
+      std::size_t j = i + 12;
+      int angle = 1;
+      while (j < t.size() && angle > 0) {
+        if (t[j] == '<') ++angle;
+        if (t[j] == '>') --angle;
+        ++j;
+      }
+      while (j < t.size() && t[j] == ' ') ++j;
+      if (j < t.size() && IsIdentChar(t[j])) flag(i, "std::vector");
+      i = j;
+      continue;
+    }
+    // A declaration `Matrix name(...)` / `util::Matrix name(...)`.
+    if (c == 'M' && MatchWord(t, i, "Matrix")) {
+      std::size_t j = i + 6;
+      while (j < t.size() && t[j] == ' ') ++j;
+      if (j < t.size() && IsIdentChar(t[j])) flag(i, "util::Matrix");
+      i = j;
+      continue;
+    }
+  }
+}
+
 // ------------------------------------------------------------- driver
 
 void LintFile(const fs::path& path, std::vector<Finding>* findings) {
@@ -525,6 +643,7 @@ void LintFile(const fs::path& path, std::vector<Finding>* findings) {
   RuleNakedNew(p, src, findings);
   RuleMissingContract(p, src, findings);
   RuleStaticMutable(p, src, findings);
+  RuleAllocInLoop(p, src, findings);
 }
 
 bool IsSourceFile(const fs::path& p) {
