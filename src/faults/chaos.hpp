@@ -1,0 +1,104 @@
+// Job-level chaos injection for the sweep runtime.
+//
+// The PR-1 fault injector exercises the *physics* consumers (sensors,
+// cores, DVFS, solver). This layer exercises the *executor*: it makes
+// individual sweep jobs fail with a transient error or hang long
+// enough to trip the watchdog deadline, so the retry / backoff /
+// quarantine machinery in runtime::SweepEngine can be proven under
+// TSan instead of trusted.
+//
+// Determinism contract: every decision is a pure function of
+// (config.seed, job index, attempt index). A chaos run is therefore
+// exactly reproducible regardless of thread count or scheduling, and a
+// test can pick (rates, max_faulty_attempts, retry budget) so that
+// every job is guaranteed to eventually succeed -- which is what lets
+// CI demand byte-identical result rows from a chaos run and a clean
+// run. Injections are recorded through the same faults::FaultLog used
+// by the closed-loop simulator.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+#include "faults/fault_injector.hpp"
+
+namespace ds::faults {
+
+/// Cancellable sleep primitive shared by the watchdog and the chaos
+/// delay path. A worker sleeps on the token; the watchdog cancels it
+/// when the job deadline passes, so even an injected multi-second hang
+/// unblocks within one watchdog tick.
+class CancelToken {
+ public:
+  void Cancel();
+  bool cancelled() const;
+
+  /// Blocks up to `duration_ms`. Returns true if the full duration
+  /// elapsed, false if the token was cancelled first (or already was).
+  bool SleepFor(double duration_ms) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool cancelled_ = false;
+};
+
+/// Chaos scenario description for `darksilicon sweep --chaos-*`.
+/// Rates are per job *attempt*; 0 disables the class.
+struct ChaosConfig {
+  bool enabled = false;
+  std::uint64_t seed = 42;
+
+  /// P(attempt throws a transient util::SolverError).
+  double fail_rate = 0.0;
+  /// P(attempt sleeps `delay_ms` before running). Combined with a job
+  /// deadline this exercises the watchdog-timeout path.
+  double delay_rate = 0.0;
+  double delay_ms = 0.0;
+
+  /// Attempts at index >= this are never sabotaged. Setting it at or
+  /// below the engine's retry budget guarantees every job eventually
+  /// succeeds -- the knob behind the byte-identical chaos CI check.
+  std::size_t max_faulty_attempts = std::numeric_limits<std::size_t>::max();
+
+  /// Throws std::invalid_argument on rates outside [0, 1], a negative
+  /// or non-finite delay, or a zero max_faulty_attempts.
+  void Validate() const;
+
+  /// enabled and at least one class has a non-zero rate.
+  bool AnyChaosPossible() const;
+};
+
+/// What happens to one (job, attempt).
+struct ChaosDecision {
+  bool fail = false;
+  bool delay = false;
+  double delay_ms = 0.0;
+};
+
+class ChaosInjector {
+ public:
+  /// Throws std::invalid_argument if `config` fails Validate().
+  explicit ChaosInjector(const ChaosConfig& config);
+
+  /// Decision for attempt `attempt` (0-based) of job `job`. Pure and
+  /// thread-safe: a fresh generator is seeded from (seed, job, attempt)
+  /// per call, so concurrent workers never share mutable state.
+  ChaosDecision Decide(std::size_t job, std::size_t attempt) const;
+
+  /// Records an injected decision into `log` (caller synchronizes; the
+  /// engine serializes on its journal mutex). `time_s` is the attempt
+  /// index -- chaos events are logical, not wall-clock.
+  static void LogDecision(FaultLog& log, const ChaosDecision& decision,
+                          std::size_t job, std::size_t attempt);
+
+  const ChaosConfig& config() const { return config_; }
+
+ private:
+  ChaosConfig config_;
+};
+
+}  // namespace ds::faults

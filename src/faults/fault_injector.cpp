@@ -30,6 +30,10 @@ const char* FaultKindName(FaultKind kind) {
       return "dvfs-stuck";
     case FaultKind::kSolverNonConvergence:
       return "solver-non-convergence";
+    case FaultKind::kJobTransient:
+      return "job-transient";
+    case FaultKind::kJobDelay:
+      return "job-delay";
   }
   return "?";
 }

@@ -44,6 +44,8 @@ enum class FaultKind {
   kCoreTransient,
   kDvfsStuck,
   kSolverNonConvergence,
+  kJobTransient,  // sweep job attempt fails with a transient error
+  kJobDelay,      // sweep job attempt is delayed (deadline/watchdog test)
 };
 
 const char* FaultKindName(FaultKind kind);

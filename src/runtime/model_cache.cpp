@@ -1,5 +1,6 @@
 #include "runtime/model_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/tsp.hpp"
@@ -54,6 +55,7 @@ std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
       slot = std::make_shared<Entry>();
       created = true;
     }
+    slot->last_use = ++use_counter_;
     entry = slot;
   }
   if (count_stats) {
@@ -81,8 +83,65 @@ std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
     auto propagators = std::make_shared<const thermal::PropagatorSet>();
     entry->assets = ThermalAssets{std::move(model), std::move(solver),
                                   std::move(propagators)};
+    entry->built.store(true, std::memory_order_release);
   });
+  EnforceBudget(entry.get());
   return entry;
+}
+
+std::size_t ModelCache::EntryBytes(const Entry& entry) {
+  if (!entry.built.load(std::memory_order_acquire)) return 0;
+  const ThermalAssets& a = entry.assets;
+  const std::size_t n = a.model->num_nodes();
+  const std::size_t cores = a.model->num_cores();
+  // Dense G + C diagonal in the model, the solver's LU of the n x n
+  // system plus its forced cores x cores influence matrix, and the
+  // folded propagators. Element counts, not allocator overhead -- the
+  // budget is a working-set cap, not an allocator audit.
+  std::size_t doubles = n * n;           // conductance
+  doubles += n;                          // capacitance diagonal
+  doubles += n * n + n;                  // LU factors + pivots/scratch
+  doubles += cores * cores;              // influence matrix
+  return sizeof(double) * doubles + a.propagators->ApproxBytes();
+}
+
+void ModelCache::EnforceBudget(const Entry* pinned) {
+  // Dropped entries are destroyed outside mu_: their destructors can
+  // free O(n^2) matrices, and in-flight users may hold the last other
+  // reference anyway.
+  std::vector<std::shared_ptr<Entry>> dropped;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    struct Candidate {
+      std::map<std::vector<double>, std::shared_ptr<Entry>>::iterator it;
+      std::size_t size = 0;
+      std::uint64_t last_use = 0;
+    };
+    std::uint64_t total = 0;
+    std::vector<Candidate> victims;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const std::size_t size = EntryBytes(*it->second);
+      total += size;
+      if (it->second.get() != pinned)
+        victims.push_back({it, size, it->second->last_use});
+    }
+    if (budget_bytes_ != 0 && total > budget_bytes_) {
+      std::sort(victims.begin(), victims.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.last_use < b.last_use;
+                });
+      for (Candidate& v : victims) {
+        if (total <= budget_bytes_) break;
+        total -= v.size;
+        dropped.push_back(std::move(v.it->second));
+        entries_.erase(v.it);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        DS_TELEM_COUNT("modelcache.evictions", 1);
+      }
+    }
+    bytes_.store(total, std::memory_order_relaxed);
+    DS_TELEM_GAUGE_SET("modelcache.bytes", static_cast<double>(total));
+  }
 }
 
 ThermalAssets ModelCache::Get(const thermal::Floorplan& fp,
@@ -137,6 +196,17 @@ double ModelCache::TspBestCase(const arch::Platform& platform,
 void ModelCache::Clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  bytes_.store(0, std::memory_order_relaxed);
+}
+
+void ModelCache::set_budget_bytes(std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+}
+
+std::size_t ModelCache::budget_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
 }
 
 ModelCache::Stats ModelCache::stats() const {
@@ -145,6 +215,8 @@ ModelCache::Stats ModelCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.tsp_hits = tsp_hits_.load(std::memory_order_relaxed);
   s.tsp_misses = tsp_misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

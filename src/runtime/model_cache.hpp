@@ -19,6 +19,17 @@
 // exactly once under a std::once_flag, so concurrent first requests for
 // one key block until the single builder finishes. Hit/miss counts are
 // therefore deterministic for a fixed job set: misses == distinct keys.
+//
+// Byte budget: set_budget_bytes caps the approximate resident size
+// (dense G/C matrices, LU factorization, influence matrix, folded
+// propagators). After each request the least-recently-used entries are
+// evicted until the cache fits -- except the entry just requested,
+// which is pinned so a single oversized floorplan still works (the
+// budget degrades to "keep one"). Eviction only drops the cache's
+// reference: in-flight users keep their shared_ptrs alive, so a tight
+// budget costs rebuilds (counted in stats().evictions and the
+// "modelcache.evictions" counter), never correctness and never an
+// unbounded footprint.
 #pragma once
 
 #include <atomic>
@@ -54,6 +65,8 @@ class ModelCache {
     std::uint64_t misses = 0;
     std::uint64_t tsp_hits = 0;
     std::uint64_t tsp_misses = 0;
+    std::uint64_t evictions = 0;  // entries dropped to fit the budget
+    std::uint64_t bytes = 0;      // approx resident bytes after last Get
   };
 
   /// Returns the shared assets for (fp, pkg), building them on first
@@ -78,6 +91,11 @@ class ModelCache {
   /// Drops every entry (tests; long-lived processes switching studies).
   void Clear();
 
+  /// Byte ceiling for cached entries; 0 = unlimited. Takes effect on
+  /// the next Get (never evicts eagerly here).
+  void set_budget_bytes(std::size_t bytes);
+  std::size_t budget_bytes() const;
+
   Stats stats() const;
 
   /// The process-wide cache used by default by the sweep engine.
@@ -87,6 +105,8 @@ class ModelCache {
   struct Entry {
     std::once_flag once;
     ThermalAssets assets;
+    std::atomic<bool> built{false};  // assets valid (set after call_once)
+    std::uint64_t last_use = 0;      // guarded by ModelCache::mu_
     std::mutex tsp_mu;
     // ('w' | 'b', active count) -> budget [W/core]
     std::map<std::pair<char, std::size_t>, double> tsp;
@@ -98,12 +118,25 @@ class ModelCache {
   double TspForEntry(const arch::Platform& platform, std::size_t m,
                      char kind);
 
+  /// Approximate resident bytes of one *built* entry (0 while the
+  /// builder is still running -- mid-build entries are never charged
+  /// or evicted; their size lands on the next enforcement pass).
+  static std::size_t EntryBytes(const Entry& entry);
+
+  /// Recomputes total bytes and evicts LRU entries (never `pinned`)
+  /// until the budget fits. Updates bytes_ and the telemetry gauge.
+  void EnforceBudget(const Entry* pinned);
+
   mutable std::mutex mu_;
   std::map<std::vector<double>, std::shared_ptr<Entry>> entries_;
+  std::size_t budget_bytes_ = 0;  // guarded by mu_; 0 = unlimited
+  std::uint64_t use_counter_ = 0;  // guarded by mu_
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> tsp_hits_{0};
   std::atomic<std::uint64_t> tsp_misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace ds::runtime

@@ -4,7 +4,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "telemetry/json.hpp"
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
 
@@ -12,7 +11,7 @@ namespace ds::runtime {
 
 namespace {
 
-/// Exact round-trip float formatting for rows and journal lines.
+/// Exact round-trip float formatting for rows.
 std::string ExactNumber(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -45,8 +44,20 @@ std::string JsonEscape(const std::string& s) {
 }
 
 const char* StatusOf(const JobResult& r) {
+  if (r.quarantined) return "quarantined";
   if (!r.ok) return "failed";
   return r.skipped ? "skipped" : "ok";
+}
+
+/// Flushes `os` and raises SinkWriteError if the stream has gone bad.
+void CheckStream(std::ostream& os, std::size_t rows_written,
+                 const char* what) {
+  os.flush();
+  if (os.good()) return;
+  std::ostringstream msg;
+  msg << "ResultSink: " << what << " stream failed after " << rows_written
+      << " rows";
+  throw SinkWriteError(msg.str(), rows_written);
 }
 
 }  // namespace
@@ -123,16 +134,22 @@ void ResultSink::WriteCsv(std::ostream& os,
       for (std::size_t c = 0; c < metric_cols; ++c) os << ",";
     }
     os << "\n";
+    if ((i + 1) % kFlushEveryRows == 0) CheckStream(os, i + 1, "CSV");
   }
+  CheckStream(os, results.size(), "CSV");
 }
 
 void ResultSink::WriteCsv(const std::string& path,
                           const std::vector<JobResult>& results) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  DS_REQUIRE(out.good(), "ResultSink: cannot open '" << path << "'");
-  WriteCsv(out, results);
-  out.flush();
-  DS_REQUIRE(out.good(), "ResultSink: write to '" << path << "' failed");
+  if (!out.good())
+    throw SinkWriteError("ResultSink: cannot open '" + path + "'", 0);
+  try {
+    WriteCsv(out, results);
+  } catch (const SinkWriteError& e) {
+    throw SinkWriteError(std::string(e.what()) + " (path '" + path + "')",
+                         e.rows_written());
+  }
 }
 
 void ResultSink::WriteJsonRows(std::ostream& os,
@@ -154,94 +171,23 @@ void ResultSink::WriteJsonRows(std::ostream& os,
     if (!r.ok)
       os << ", \"error\": \"" << JsonEscape(r.error) << "\"";
     os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    if ((i + 1) % kFlushEveryRows == 0) CheckStream(os, i + 1, "JSON");
   }
   os << "]\n";
+  CheckStream(os, results.size(), "JSON");
 }
 
 void ResultSink::WriteJsonRows(const std::string& path,
                                const std::vector<JobResult>& results) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  DS_REQUIRE(out.good(), "ResultSink: cannot open '" << path << "'");
-  WriteJsonRows(out, results);
-  out.flush();
-  DS_REQUIRE(out.good(), "ResultSink: write to '" << path << "' failed");
-}
-
-std::string JournalHeaderLine(const SweepSpec& spec) {
-  std::ostringstream os;
-  os << "{\"sweep\": \"" << JsonEscape(spec.name()) << "\", \"version\": 1, "
-     << "\"fingerprint\": \"" << spec.Fingerprint() << "\"}";
-  return os.str();
-}
-
-std::string JournalLine(const JobResult& result) {
-  std::ostringstream os;
-  os << "{\"job\": " << result.index << ", \"ok\": "
-     << (result.ok ? "true" : "false")
-     << ", \"skipped\": " << (result.skipped ? "true" : "false");
-  if (!result.ok) os << ", \"error\": \"" << JsonEscape(result.error) << "\"";
-  os << ", \"metrics\": {";
-  bool first = true;
-  for (const auto& [key, value] : result.metrics) {
-    os << (first ? "" : ", ") << "\"" << JsonEscape(key)
-       << "\": " << ExactNumber(value);
-    first = false;
+  if (!out.good())
+    throw SinkWriteError("ResultSink: cannot open '" + path + "'", 0);
+  try {
+    WriteJsonRows(out, results);
+  } catch (const SinkWriteError& e) {
+    throw SinkWriteError(std::string(e.what()) + " (path '" + path + "')",
+                         e.rows_written());
   }
-  os << "}}";
-  return os.str();
-}
-
-bool LoadJournal(const std::string& path,
-                 const std::string& expect_fingerprint,
-                 std::vector<JobResult>* completed) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::string line;
-  bool saw_header = false;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const telemetry::JsonValue doc = telemetry::ParseJson(line);
-    DS_REQUIRE(doc.is_object(), "sweep journal '" << path
-                                                  << "': malformed line");
-    if (!saw_header) {
-      const telemetry::JsonValue* version = doc.Find("version");
-      const telemetry::JsonValue* fingerprint = doc.Find("fingerprint");
-      DS_REQUIRE(version != nullptr && version->is_number() &&
-                     version->number == 1.0,  // ds_lint: allow(float-equals)
-                 "sweep journal '" << path << "': unsupported version");
-      DS_REQUIRE(fingerprint != nullptr && fingerprint->is_string() &&
-                     fingerprint->str == expect_fingerprint,
-                 "sweep journal '"
-                     << path
-                     << "' belongs to a different sweep spec; delete it or "
-                        "pass a fresh checkpoint path");
-      saw_header = true;
-      continue;
-    }
-    const telemetry::JsonValue* job = doc.Find("job");
-    const telemetry::JsonValue* ok = doc.Find("ok");
-    const telemetry::JsonValue* metrics = doc.Find("metrics");
-    DS_REQUIRE(job != nullptr && job->is_number() && ok != nullptr &&
-                   metrics != nullptr && metrics->is_object(),
-               "sweep journal '" << path << "': malformed job line");
-    JobResult r;
-    r.index = static_cast<std::size_t>(job->number);
-    r.ok = ok->boolean;
-    if (const telemetry::JsonValue* skipped = doc.Find("skipped"))
-      r.skipped = skipped->boolean;
-    if (const telemetry::JsonValue* error = doc.Find("error"))
-      r.error = error->str;
-    r.metrics.reserve(metrics->object.size());
-    for (const auto& [key, value] : metrics->object) {
-      DS_REQUIRE(value.is_number(), "sweep journal '"
-                                        << path << "': metric '" << key
-                                        << "' is not a number");
-      r.metrics.emplace_back(key, value.number);
-    }
-    completed->push_back(std::move(r));
-  }
-  DS_REQUIRE(saw_header, "sweep journal '" << path << "': missing header");
-  return true;
 }
 
 }  // namespace ds::runtime

@@ -1,15 +1,21 @@
 // Structured results for sweep runs: ordered rows out of unordered
-// parallel execution, CSV/JSON emission, and the checkpoint journal.
+// parallel execution with CSV/JSON emission. (The checkpoint journal
+// lives in runtime/journal.hpp.)
 //
 // Determinism contract: a row is a pure function of its job's spec
 // parameters, so the emitted CSV/JSON is byte-identical for any thread
 // count. Rows are keyed by job index and emitted in index order; wall
-// times and cache statistics never enter the rows (they live in
-// SweepStats / RunSummary, which are allowed to vary run-to-run).
+// times, attempt counts and cache statistics never enter the rows
+// (they live in SweepStats / RunSummary, which are allowed to vary
+// run-to-run). The row status is the one resilience fact that IS
+// deterministic -- "quarantined" means the job exhausted its retry
+// budget, which under deterministic chaos is a pure function of the
+// job too.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,13 +27,34 @@ namespace ds::runtime {
 /// Outcome of one job. `metrics` carries the kind's full metric set in
 /// a fixed order; `skipped` marks an infeasible scenario (still a row);
 /// `ok == false` records a failed job (exception text in `error`).
+/// `quarantined` marks a job retired after exhausting its retry budget
+/// on transient failures; `timed_out` marks that at least one attempt
+/// hit the watchdog deadline.
 struct JobResult {
   std::size_t index = 0;
   bool ok = false;
   bool skipped = false;
   std::string error;
   std::vector<std::pair<std::string, double>> metrics;
-  double wall_ms = 0.0;  // informational only; never emitted into rows
+  double wall_ms = 0.0;      // informational only; never emitted into rows
+  std::size_t attempts = 0;  // execution attempts (0 = resumed from journal)
+  bool timed_out = false;
+  bool quarantined = false;
+};
+
+/// A result file write failed mid-stream (disk full, pipe closed, ...).
+/// `rows_written` says how many data rows made it out before the
+/// failure, so callers can report partial output instead of a mystery
+/// truncated file.
+class SinkWriteError : public std::runtime_error {
+ public:
+  SinkWriteError(const std::string& what, std::size_t rows_written)
+      : std::runtime_error(what), rows_written_(rows_written) {}
+
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::size_t rows_written_;
 };
 
 /// Looks up a metric by name; contract-checked (a missing metric is a
@@ -47,13 +74,17 @@ class ResultSink {
   std::vector<std::string> Header(
       const std::vector<JobResult>& results) const;
 
-  /// One CSV line per job, index order, "%.17g"-exact numbers.
+  /// One CSV line per job, index order, "%.17g"-exact numbers. The
+  /// stream is flushed and checked every batch of rows and at the end;
+  /// a bad stream raises SinkWriteError with the row count that made
+  /// it out (the path overloads prefix the file name).
   void WriteCsv(std::ostream& os,
                 const std::vector<JobResult>& results) const;
   void WriteCsv(const std::string& path,
                 const std::vector<JobResult>& results) const;
 
-  /// JSON array of row objects (same content as the CSV).
+  /// JSON array of row objects (same content as the CSV); same
+  /// flush-and-check / SinkWriteError behavior as WriteCsv.
   void WriteJsonRows(std::ostream& os,
                      const std::vector<JobResult>& results) const;
   void WriteJsonRows(const std::string& path,
@@ -61,31 +92,12 @@ class ResultSink {
 
   std::size_t num_jobs() const { return jobs_.size(); }
 
+  /// Rows between flush-and-check points in WriteCsv/WriteJsonRows.
+  static constexpr std::size_t kFlushEveryRows = 64;
+
  private:
   std::vector<std::string> param_columns_;
   std::vector<std::vector<std::pair<std::string, std::string>>> jobs_;
 };
-
-/// Checkpoint journal: JSON-lines, one header line binding the spec
-/// fingerprint, then one line per completed job. Appends are atomic
-/// with respect to the engine's journal mutex; lines for the same job
-/// are idempotent on load (last one wins).
-struct JournalHeader {
-  std::string sweep;
-  std::string fingerprint;
-};
-
-/// Serializes one completed job as a journal line (no trailing \n).
-std::string JournalLine(const JobResult& result);
-
-/// Parses a journal file. Returns false (untouched outputs) if the
-/// file does not exist; contract-checks the header against
-/// `expect_fingerprint` and the format version.
-bool LoadJournal(const std::string& path,
-                 const std::string& expect_fingerprint,
-                 std::vector<JobResult>* completed);
-
-/// Writes the journal header line for a fresh checkpoint file.
-std::string JournalHeaderLine(const SweepSpec& spec);
 
 }  // namespace ds::runtime

@@ -1,20 +1,41 @@
 #include "runtime/sweep_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <fstream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "runtime/scenarios.hpp"
 #include "telemetry/scoped.hpp"
 #include "util/contracts.hpp"
+#include "util/lu.hpp"
+#include "util/rng.hpp"
 
 namespace ds::runtime {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Internal signal: the watchdog cancelled this attempt (or a chaos
+/// delay was cut short by cancellation). Not a std::exception on
+/// purpose -- nothing but the attempt loop may catch it.
+struct JobTimeout {};
+
+/// SplitMix64 finalizer (same mixing as the sweep spec / chaos seeds)
+/// for deterministic backoff jitter.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// Per-worker job queue. Owner pops LIFO from the back; thieves take
 /// FIFO from the front. Coarse-grained (one mutex per deque) is plenty:
@@ -40,6 +61,74 @@ struct WorkerQueue {
   }
 };
 
+/// Deadline enforcement: one slot per worker holding the attempt's
+/// cancel token and absolute deadline; one watchdog thread scanning
+/// the slots. The watchdog only ever *cancels tokens* -- the worker
+/// owns its result slot, so there is no data race on rows.
+class Watchdog {
+ public:
+  Watchdog(std::size_t workers, double deadline_ms)
+      : slots_(workers), deadline_ms_(deadline_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void Begin(std::size_t worker,
+             std::shared_ptr<faults::CancelToken> token) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_[worker].token = std::move(token);
+    slots_[worker].deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               deadline_ms_));
+  }
+
+  void End(std::size_t worker) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_[worker].token.reset();
+  }
+
+ private:
+  struct Slot {
+    std::shared_ptr<faults::CancelToken> token;  // null = idle
+    Clock::time_point deadline;
+  };
+
+  void Loop() {
+    // Tick fast enough that a cancellation lands well inside the
+    // deadline's own order of magnitude, but never busier than 1 kHz.
+    const auto tick = std::chrono::duration<double, std::milli>(
+        std::clamp(deadline_ms_ / 4.0, 1.0, 50.0));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!shutdown_) {
+      cv_.wait_for(lock, tick, [this] { return shutdown_; });
+      if (shutdown_) return;
+      const auto now = Clock::now();
+      for (Slot& slot : slots_) {
+        if (slot.token != nullptr && now >= slot.deadline) {
+          slot.token->Cancel();
+          slot.token.reset();  // cancel once; worker will End() anyway
+        }
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  double deadline_ms_;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
 struct SharedState {
   const SweepSpec* spec = nullptr;
   const std::vector<SweepJob>* jobs = nullptr;
@@ -51,36 +140,123 @@ struct SharedState {
   std::atomic<std::size_t> completed{0};
   std::size_t stop_after = 0;  // 0 = unlimited
 
+  // Resilience knobs + counters.
+  std::size_t max_attempts = 1;
+  double backoff_ms = 0.0;
+  Watchdog* watchdog = nullptr;  // null when job_deadline_ms == 0
+  const faults::ChaosInjector* chaos = nullptr;
+  std::mutex chaos_log_mu;
+  faults::FaultLog* chaos_log = nullptr;
+  std::atomic<std::size_t> jobs_retried{0};
+  std::atomic<std::size_t> jobs_timed_out{0};
+  std::atomic<std::size_t> jobs_quarantined{0};
+  std::atomic<std::uint64_t> retries_total{0};
+
   std::mutex journal_mu;
-  std::ofstream* journal = nullptr;
+  JournalWriter* journal = nullptr;
 };
 
-/// Runs one job: telemetry span, scenario dispatch, failure capture,
-/// journal append. Never throws.
-void ExecuteJob(SharedState& state, std::size_t index) {
+/// Exponential backoff with deterministic +/-25% jitter, capped at 1 s.
+void BackoffBeforeRetry(const SharedState& state, std::size_t index,
+                        std::size_t attempt) {
+  if (state.backoff_ms <= 0.0) return;
+  double wait_ms = state.backoff_ms *
+                   std::pow(2.0, static_cast<double>(attempt - 1));
+  util::Rng rng(Mix(Mix(static_cast<std::uint64_t>(index) ^
+                        0x626b6f66ULL) ^  // distinct stream from chaos
+                    static_cast<std::uint64_t>(attempt)));
+  wait_ms *= rng.Uniform(0.75, 1.25);
+  wait_ms = std::min(wait_ms, 1000.0);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(wait_ms));
+}
+
+/// Runs one job to its final outcome: up to max_attempts attempts with
+/// chaos injection, deadline enforcement, retry classification and
+/// quarantine; then journal append. Never throws.
+void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
   const SweepJob& job = (*state.jobs)[index];
   JobResult& result = (*state.results)[index];
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
+  bool ever_timed_out = false;
   {
     DS_TELEM_SPAN_ARG("runtime", "sweep_job",
                       ds::telemetry::TraceLevel::kSpan, "job",
                       static_cast<double>(index));
-    try {
-      RunScenario(state.spec->kind(), job, *state.cache, &result);
-    } catch (const std::exception& e) {
-      result = JobResult{};
+    for (std::size_t attempt = 1;; ++attempt) {
+      result = JobResult{};  // each attempt starts from a clean row
       result.index = index;
-      result.error = e.what();
+      result.attempts = attempt;
+      auto token = std::make_shared<faults::CancelToken>();
+      if (state.watchdog != nullptr) state.watchdog->Begin(worker, token);
+      bool transient = false;
+      try {
+        if (state.chaos != nullptr) {
+          const faults::ChaosDecision decision =
+              state.chaos->Decide(index, attempt - 1);
+          if ((decision.fail || decision.delay) &&
+              state.chaos_log != nullptr) {
+            const std::lock_guard<std::mutex> lock(state.chaos_log_mu);
+            faults::ChaosInjector::LogDecision(*state.chaos_log, decision,
+                                               index, attempt - 1);
+          }
+          if (decision.delay && !token->SleepFor(decision.delay_ms))
+            throw JobTimeout{};
+          if (decision.fail)
+            throw util::SolverError("chaos: injected transient job failure");
+        }
+        RunScenario(state.spec->kind(), job, *state.cache, &result);
+        // Scenario runners are pure compute and cannot observe the
+        // token mid-run; an overrun is detected here and the (late)
+        // result is discarded so rows never depend on host speed vs.
+        // an enabled deadline.
+        if (token->cancelled()) throw JobTimeout{};
+      } catch (const JobTimeout&) {
+        transient = true;
+        ever_timed_out = true;
+        result = JobResult{};
+        result.index = index;
+        result.attempts = attempt;
+        result.error = "deadline exceeded";
+        DS_TELEM_COUNT("sweep.job_timeouts", 1);
+      } catch (const util::SolverError& e) {
+        transient = true;
+        result = JobResult{};
+        result.index = index;
+        result.attempts = attempt;
+        result.error = e.what();
+      } catch (const std::exception& e) {
+        result = JobResult{};
+        result.index = index;
+        result.attempts = attempt;
+        result.error = e.what();
+      }
+      if (state.watchdog != nullptr) state.watchdog->End(worker);
+      result.timed_out = ever_timed_out;
+      if (result.ok || !transient) break;  // success or permanent failure
+      if (attempt >= state.max_attempts) {
+        result.quarantined = true;
+        break;
+      }
+      state.retries_total.fetch_add(1, std::memory_order_relaxed);
+      DS_TELEM_COUNT("sweep.retries", 1);
+      BackoffBeforeRetry(state, index, attempt);
     }
   }
+  if (result.attempts > 1)
+    state.jobs_retried.fetch_add(1, std::memory_order_relaxed);
+  if (ever_timed_out)
+    state.jobs_timed_out.fetch_add(1, std::memory_order_relaxed);
+  if (result.quarantined) {
+    state.jobs_quarantined.fetch_add(1, std::memory_order_relaxed);
+    DS_TELEM_COUNT("sweep.quarantined", 1);
+  }
   result.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
           .count();
   if (state.journal != nullptr) {
     const std::lock_guard<std::mutex> lock(state.journal_mu);
-    *state.journal << JournalLine(result) << "\n";
-    state.journal->flush();
+    state.journal->Append(JournalLine(result));
   }
   state.completed.fetch_add(1, std::memory_order_relaxed);
 }
@@ -94,7 +270,7 @@ void WorkerLoop(SharedState& state, std::size_t self) {
       return;
     std::size_t index = 0;
     if (queues[self].PopBack(&index)) {
-      ExecuteJob(state, index);
+      ExecuteJob(state, self, index);
       continue;
     }
     bool stole = false;
@@ -105,24 +281,29 @@ void WorkerLoop(SharedState& state, std::size_t self) {
       }
     }
     if (!stole) return;  // every queue empty: done
-    ExecuteJob(state, index);
+    ExecuteJob(state, self, index);
   }
 }
 
 }  // namespace
 
 SweepEngine::SweepEngine(SweepSpec spec, SweepOptions options)
-    : spec_(std::move(spec)), options_(std::move(options)) {}
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  options_.chaos.Validate();
+}
 
 SweepOutcome SweepEngine::Run() {
   DS_TELEM_SPAN("runtime", "sweep_run", ds::telemetry::TraceLevel::kSpan);
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
 
   const std::vector<SweepJob> jobs = spec_.Jobs();
   DS_REQUIRE(!jobs.empty(), "SweepEngine: spec expands to zero jobs");
 
   ModelCache& cache =
       options_.cache != nullptr ? *options_.cache : ModelCache::Process();
+  if (options_.cache_budget_mb > 0.0)
+    cache.set_budget_bytes(static_cast<std::size_t>(
+        options_.cache_budget_mb * 1024.0 * 1024.0));
   const ModelCache::Stats cache_before = cache.stats();
 
   SweepOutcome out;
@@ -134,37 +315,35 @@ SweepOutcome SweepEngine::Run() {
   out.stats.jobs_total = jobs.size();
 
   // Resume: mark journaled jobs done so the queues never see them.
+  // Quarantined journal rows count as done too -- a job that exhausted
+  // its budget once is poison until the operator clears the journal.
   std::vector<bool> done(jobs.size(), false);
   if (options_.resume) {
     DS_REQUIRE(!options_.checkpoint_path.empty(),
                "SweepEngine: resume requires a checkpoint path");
     std::vector<JobResult> completed;
+    JournalLoadStats load_stats;
     if (LoadJournal(options_.checkpoint_path, spec_.Fingerprint(),
-                    &completed)) {
+                    &completed, &load_stats)) {
       for (JobResult& r : completed) {
         DS_REQUIRE(r.index < jobs.size(),
                    "SweepEngine: journal job " << r.index << " out of range");
         if (!done[r.index]) ++out.stats.jobs_resumed;
-        done[r.index] = true;  // last line wins
+        done[r.index] = true;  // last record wins
         out.results[r.index] = std::move(r);
       }
     }
+    out.stats.journal_corrupt_records = load_stats.corrupt_records;
+    out.stats.journal_truncated_bytes = load_stats.truncated_bytes;
   }
 
   // Open (or continue) the journal before spawning workers so an
   // unwritable path fails the run up front, not mid-sweep.
-  std::ofstream journal;
+  JournalWriter journal;
   if (!options_.checkpoint_path.empty()) {
     const bool fresh = !options_.resume || out.stats.jobs_resumed == 0;
-    journal.open(options_.checkpoint_path,
-                 std::ios::binary |
-                     (fresh ? std::ios::trunc : std::ios::app));
-    DS_REQUIRE(journal.good(), "SweepEngine: cannot open checkpoint '"
-                                   << options_.checkpoint_path << "'");
-    if (fresh) {
-      journal << JournalHeaderLine(spec_) << "\n";
-      journal.flush();
-    }
+    journal.Open(options_.checkpoint_path, fresh, options_.journal_sync);
+    if (fresh) journal.Append(JournalHeaderLine(spec_));
   }
 
   std::size_t threads = options_.threads;
@@ -190,9 +369,25 @@ SweepOutcome SweepEngine::Run() {
   state.results = &out.results;
   state.queues = &queues;
   state.stop_after = options_.stop_after_jobs;
+  state.max_attempts = 1 + options_.job_retries;
+  state.backoff_ms = options_.retry_backoff_ms;
   if (journal.is_open()) state.journal = &journal;
 
-  if (threads == 1) {
+  std::unique_ptr<faults::ChaosInjector> chaos;
+  if (options_.chaos.AnyChaosPossible()) {
+    chaos = std::make_unique<faults::ChaosInjector>(options_.chaos);
+    state.chaos = chaos.get();
+    state.chaos_log = &out.chaos_log;
+  }
+
+  std::unique_ptr<Watchdog> watchdog;
+  if (options_.job_deadline_ms > 0.0) {
+    watchdog =
+        std::make_unique<Watchdog>(threads, options_.job_deadline_ms);
+    state.watchdog = watchdog.get();
+  }
+
+  if (threads == 1 && watchdog == nullptr) {
     WorkerLoop(state, 0);
   } else {
     std::vector<std::thread> pool;
@@ -201,12 +396,20 @@ SweepOutcome SweepEngine::Run() {
       pool.emplace_back([&state, w] { WorkerLoop(state, w); });
     for (std::thread& t : pool) t.join();
   }
+  watchdog.reset();  // stop the scanner before stats are read
+  journal.Close();
 
   const ModelCache::Stats cache_after = cache.stats();
   out.stats.threads_used = threads;
   out.stats.steals = state.steals.load();
   out.stats.cache_hits = cache_after.hits - cache_before.hits;
   out.stats.cache_misses = cache_after.misses - cache_before.misses;
+  out.stats.cache_evictions = cache_after.evictions - cache_before.evictions;
+  out.stats.cache_bytes = cache_after.bytes;
+  out.stats.jobs_retried = state.jobs_retried.load();
+  out.stats.jobs_timed_out = state.jobs_timed_out.load();
+  out.stats.jobs_quarantined = state.jobs_quarantined.load();
+  out.stats.retries_total = state.retries_total.load();
   for (const JobResult& r : out.results) {
     if (r.ok) {
       if (r.skipped) ++out.stats.jobs_skipped;
@@ -218,9 +421,8 @@ SweepOutcome SweepEngine::Run() {
   }
   out.stats.jobs_executed = jobs.size() - out.stats.jobs_resumed -
                             out.stats.jobs_pending;
-  out.stats.wall_s = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  out.stats.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
 
   DS_ENSURE(out.results.size() == jobs.size(),
             "SweepEngine: result/job count mismatch");

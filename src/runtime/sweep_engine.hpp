@@ -1,4 +1,4 @@
-// Work-stealing parallel executor for SweepSpec jobs.
+// Work-stealing, failure-tolerant parallel executor for SweepSpec jobs.
 //
 // Jobs are distributed round-robin over per-worker deques; a worker
 // drains its own deque LIFO and steals FIFO from its neighbours when
@@ -9,11 +9,30 @@
 // the scenario runners are pure (see scenarios.hpp), so `--threads 1`
 // and `--threads N` produce byte-identical rows.
 //
+// Resilience model (per job):
+//   - transient failures (util::SolverError, injected chaos faults,
+//     watchdog timeouts) are retried up to `job_retries` times with
+//     exponential backoff + deterministic jitter;
+//   - a job that exhausts its budget is *quarantined*: recorded as a
+//     failed row (status "quarantined") in the results and the
+//     journal, never retried on resume, and never aborts the sweep;
+//   - any other exception is a permanent failure -- recorded
+//     immediately, no retries (re-running a deterministic bug wastes
+//     the budget);
+//   - with `job_deadline_ms` set, a watchdog thread cancels attempts
+//     that overrun their wall-clock deadline. Cancellation interrupts
+//     chaos delays immediately; a scenario computation that overruns
+//     is detected when it returns and the attempt is discarded as a
+//     timeout.
+//
 // Checkpointing: with a journal path set, every completed job is
-// appended as one JSON line (flushed immediately). A later run with
-// `resume = true` loads the journal, verifies it belongs to the same
-// spec (content fingerprint), and executes only the jobs missing from
-// it -- each job runs exactly once across the two runs.
+// appended as one CRC-framed record (see journal.hpp) under the
+// configured fsync policy. A later run with `resume = true` loads the
+// journal, verifies it belongs to the same spec (content fingerprint),
+// repairs a torn tail, skips corrupt records, and executes only the
+// jobs missing from it -- each job runs exactly once across the two
+// runs (quarantined jobs are *not* re-run; delete the journal to give
+// them another chance).
 #pragma once
 
 #include <cstddef>
@@ -21,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/chaos.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/model_cache.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/sweep_spec.hpp"
@@ -44,19 +65,55 @@ struct SweepOptions {
 
   /// Cache for shared thermal artifacts; nullptr = the process cache.
   ModelCache* cache = nullptr;
+
+  /// Per-attempt wall-clock deadline enforced by the watchdog thread;
+  /// 0 disables the watchdog entirely.
+  double job_deadline_ms = 0.0;
+
+  /// Extra attempts after the first for transient failures.
+  std::size_t job_retries = 2;
+
+  /// Base backoff before retry k is 2^(k-1) * this, +/-25% jitter
+  /// (deterministic per job/attempt), capped at 1 s.
+  double retry_backoff_ms = 10.0;
+
+  /// fsync policy for journal appends.
+  JournalSync journal_sync = JournalSync::kBatch;
+
+  /// ModelCache byte budget applied for this run; 0 = leave the
+  /// cache's current budget untouched.
+  double cache_budget_mb = 0.0;
+
+  /// Job-level chaos injection (tests / --chaos-* flags).
+  faults::ChaosConfig chaos;
 };
 
 struct SweepStats {
   std::size_t jobs_total = 0;
   std::size_t jobs_executed = 0;  // run by this engine instance
   std::size_t jobs_resumed = 0;   // loaded from the journal
-  std::size_t jobs_failed = 0;
+  std::size_t jobs_failed = 0;    // includes quarantined jobs
   std::size_t jobs_skipped = 0;   // infeasible scenarios (ok, no metrics)
   std::size_t jobs_pending = 0;   // not run (stop_after_jobs)
   std::size_t threads_used = 0;
   std::uint64_t steals = 0;
   std::uint64_t cache_hits = 0;    // ModelCache hits during this run
   std::uint64_t cache_misses = 0;
+
+  // Resilience counters (this run only; resumed rows don't count).
+  std::size_t jobs_retried = 0;      // jobs that needed >= 2 attempts
+  std::size_t jobs_timed_out = 0;    // jobs with >= 1 watchdog timeout
+  std::size_t jobs_quarantined = 0;  // jobs retired after exhausting retries
+  std::uint64_t retries_total = 0;   // attempts beyond each job's first
+
+  // Journal recovery (resume only).
+  std::size_t journal_corrupt_records = 0;  // CRC/framing records skipped
+  std::size_t journal_truncated_bytes = 0;  // torn tail repaired on load
+
+  // ModelCache budget accounting (deltas/absolute at end of run).
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+
   double wall_s = 0.0;
 };
 
@@ -65,10 +122,15 @@ struct SweepOutcome {
   /// unexecuted jobs have ok == false and error == "not executed".
   std::vector<JobResult> results;
   SweepStats stats;
+
+  /// Injected chaos events (kJobTransient / kJobDelay), when chaos is
+  /// enabled. Event order follows completion order, not job order.
+  faults::FaultLog chaos_log;
 };
 
 class SweepEngine {
  public:
+  /// Throws std::invalid_argument if options.chaos fails Validate().
   explicit SweepEngine(SweepSpec spec, SweepOptions options = {});
 
   /// Expands, (optionally) resumes, executes, and returns the ordered

@@ -18,6 +18,12 @@ void RunSummary::CollectTelemetry() {
   lu_kernel_steps = Registry().GetCounter("thermal.kernel.lu_steps").value();
   hold_steps = Registry().GetCounter("thermal.kernel.hold_steps").value();
   lu_fallbacks = Registry().GetCounter("thermal.kernel.lu_fallbacks").value();
+  sweep_retries = Registry().GetCounter("sweep.retries").value();
+  sweep_timeouts = Registry().GetCounter("sweep.job_timeouts").value();
+  sweep_quarantined = Registry().GetCounter("sweep.quarantined").value();
+  cache_evictions = Registry().GetCounter("modelcache.evictions").value();
+  cache_bytes =
+      static_cast<std::uint64_t>(Registry().GetGauge("modelcache.bytes").value());
 }
 
 void RunSummary::Print(std::ostream& os) const {
@@ -51,6 +57,12 @@ void RunSummary::Print(std::ostream& os) const {
   if (lu_kernel_steps > 0) line("LU-kernel steps", lu_kernel_steps);
   if (hold_steps > 0) line("power-hold steps", hold_steps);
   if (lu_fallbacks > 0) line("LU fallbacks", lu_fallbacks);
+  if (sweep_retries > 0) line("sweep retries", sweep_retries);
+  if (sweep_timeouts > 0) line("sweep timeouts", sweep_timeouts);
+  if (sweep_quarantined > 0) line("jobs quarantined", sweep_quarantined);
+  if (cache_evictions > 0) line("cache evictions", cache_evictions);
+  if (cache_bytes > 0)
+    line("cache bytes", cache_bytes / (1024.0 * 1024.0), " MiB");
   if (trace_events > 0) line("trace events", trace_events);
   if (trace_events_dropped > 0)
     line("trace events dropped", trace_events_dropped);

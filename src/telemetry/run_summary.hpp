@@ -49,6 +49,19 @@ struct RunSummary {
   std::uint64_t hold_steps = 0;
   std::uint64_t lu_fallbacks = 0;
 
+  // Sweep resilience (sweep.* counters / filled by the sweep CLI from
+  // SweepStats): retried attempts, watchdog timeouts, jobs retired to
+  // quarantine after exhausting their retry budget.
+  std::uint64_t sweep_retries = 0;
+  std::uint64_t sweep_timeouts = 0;
+  std::uint64_t sweep_quarantined = 0;
+
+  // ModelCache budget accounting (modelcache.* counter/gauge): entries
+  // evicted to fit the byte budget and the approximate resident bytes
+  // after the last request.
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+
   /// Fills lu_solves/trace_events*/kernel-path counts from the live
   /// registry and trace collector (no-op values when telemetry is
   /// disabled).

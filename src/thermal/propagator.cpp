@@ -1,6 +1,7 @@
 #include "thermal/propagator.hpp"
 
 #include <cmath>
+#include <set>
 #include <utility>
 
 #include "telemetry/scoped.hpp"
@@ -168,6 +169,45 @@ std::shared_ptr<const StepPropagator> PropagatorSet::For(const RcModel& model,
 std::size_t PropagatorSet::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return by_dt_.size();
+}
+
+std::size_t StepPropagator::ApproxBytes() const {
+  const auto operator_bytes = [](const HoldOperator& h) {
+    return sizeof(double) * (h.t_op.rows() * h.t_op.cols() +
+                             h.in_op.rows() * h.in_op.cols() +
+                             h.amb_op.size());
+  };
+  std::size_t bytes =
+      sizeof(double) * (m_state_.rows() * m_state_.cols() +
+                        m_in_.rows() * m_in_.cols() + c_amb_.size());
+  const std::lock_guard<std::mutex> lock(hold_mu_);
+  std::set<const HoldOperator*> seen;
+  for (const auto& hold : pow2_)
+    if (hold != nullptr && seen.insert(hold.get()).second)
+      bytes += operator_bytes(*hold);
+  for (const auto& [k, hold] : holds_) {
+    (void)k;
+    if (hold != nullptr && seen.insert(hold.get()).second)
+      bytes += operator_bytes(*hold);
+  }
+  return bytes;
+}
+
+std::size_t PropagatorSet::ApproxBytes() const {
+  std::vector<std::shared_ptr<const StepPropagator>> props;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    props.reserve(by_dt_.size());
+    for (const auto& [dt, prop] : by_dt_) {
+      (void)dt;
+      props.push_back(prop);
+    }
+  }
+  // Summed outside mu_: StepPropagator::ApproxBytes takes the
+  // propagator's own hold mutex, and For() may build under mu_.
+  std::size_t bytes = 0;
+  for (const auto& prop : props) bytes += prop->ApproxBytes();
+  return bytes;
 }
 
 }  // namespace ds::thermal

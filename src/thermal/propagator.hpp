@@ -78,6 +78,11 @@ class StepPropagator {
   /// over a cached chain of power-of-two holds. Thread-safe.
   std::shared_ptr<const HoldOperator> Hold(std::size_t k) const;
 
+  /// Approximate resident bytes: the operator triple plus the memoized
+  /// hold operators (deduplicated -- holds_ aliases pow2_ entries).
+  /// Thread-safe; used by ModelCache budget accounting.
+  std::size_t ApproxBytes() const;
+
   double dt() const { return dt_; }
   std::size_t num_nodes() const { return m_state_.rows(); }
   std::size_t num_cores() const { return m_in_.cols(); }
@@ -116,6 +121,9 @@ class PropagatorSet {
 
   /// Number of distinct (dt) entries built so far (tests/telemetry).
   std::size_t size() const;
+
+  /// Sum of ApproxBytes over every propagator in the set.
+  std::size_t ApproxBytes() const;
 
  private:
   mutable std::mutex mu_;

@@ -19,13 +19,17 @@ bool AllFinite(std::span<const double> v) {
   return true;
 }
 
-/// kAuto resolution: DS_THERMAL_KERNEL=lu|propagator overrides for A/B
-/// runs; the default is the propagator fast path.
+/// kAuto resolution: DS_THERMAL_KERNEL=lu|propagator pins the kernel
+/// for A/B runs; otherwise kAuto stays kAuto (lazy upgrade).
 StepKernel ResolveKernel(StepKernel requested) {
   if (requested != StepKernel::kAuto) return requested;
   const char* env = std::getenv("DS_THERMAL_KERNEL");
-  if (env != nullptr && std::string_view(env) == "lu") return StepKernel::kLu;
-  return StepKernel::kPropagator;
+  if (env != nullptr) {
+    const std::string_view name(env);
+    if (name == "lu") return StepKernel::kLu;
+    if (name == "propagator") return StepKernel::kPropagator;
+  }
+  return StepKernel::kAuto;
 }
 
 }  // namespace
@@ -61,8 +65,35 @@ TransientSimulator::TransientSimulator(
                                  ds::telemetry::TraceLevel::kDecision);
       kernel_ = StepKernel::kLu;
     }
+  } else if (kernel_ == StepKernel::kAuto) {
+    // Lazy kAuto: pay only the cheap factorization now; fold the
+    // propagator once this simulator has asked for enough steps to
+    // amortize it (NoteAutoSteps).
+    auto_pending_ = true;
+    shared_ = std::move(shared);
+    kernel_ = StepKernel::kLu;
   }
   if (kernel_ == StepKernel::kLu) BuildLegacyLu();
+}
+
+void TransientSimulator::NoteAutoSteps(std::size_t n) {
+  if (!auto_pending_) return;
+  auto_steps_ += n;
+  if (auto_steps_ < kAutoUpgradeSteps) return;
+  auto_pending_ = false;
+  try {
+    prop_ = shared_ != nullptr
+                ? shared_->For(*model_, dt_)
+                : std::make_shared<const StepPropagator>(*model_, dt_);
+    kernel_ = StepKernel::kPropagator;
+    DS_TELEM_COUNT("thermal.kernel.auto_upgrades", 1);
+  } catch (const util::SolverError&) {
+    // Fold failed on a degraded model: stay on the LU path for good.
+    DS_TELEM_COUNT("thermal.kernel.lu_fallbacks", 1);
+    ds::telemetry::EmitInstant("thermal", "propagator_fallback_lu",
+                               ds::telemetry::TraceLevel::kDecision);
+  }
+  shared_.reset();
 }
 
 void TransientSimulator::BuildLegacyLu() {
@@ -131,6 +162,11 @@ void TransientSimulator::FillLegacyRhs(std::span<const double> core_powers) {
 }
 
 void TransientSimulator::Step(std::span<const double> core_powers) {
+  NoteAutoSteps(1);
+  StepImpl(core_powers);
+}
+
+void TransientSimulator::StepImpl(std::span<const double> core_powers) {
   DS_REQUIRE(core_powers.size() == model_->num_cores(),
              "TransientSimulator::Step: " << core_powers.size()
                  << " powers for " << model_->num_cores() << " cores");
@@ -155,15 +191,22 @@ void TransientSimulator::Step(std::span<const double> core_powers) {
 void TransientSimulator::StepN(std::span<const double> core_powers,
                                std::size_t n) {
   if (n == 0) return;
+  NoteAutoSteps(n);
   if (prop_ != nullptr && n > 1) {
-    StepHold(core_powers, n);
+    StepHoldImpl(core_powers, n);
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) Step(core_powers);
+  for (std::size_t i = 0; i < n; ++i) StepImpl(core_powers);
 }
 
 void TransientSimulator::StepHold(std::span<const double> core_powers,
                                   std::size_t k) {
+  NoteAutoSteps(k);
+  StepHoldImpl(core_powers, k);
+}
+
+void TransientSimulator::StepHoldImpl(std::span<const double> core_powers,
+                                      std::size_t k) {
   DS_REQUIRE(k >= 1, "TransientSimulator::StepHold: k must be >= 1");
   DS_REQUIRE(core_powers.size() == model_->num_cores(),
              "TransientSimulator::StepHold: " << core_powers.size()
@@ -173,7 +216,7 @@ void TransientSimulator::StepHold(std::span<const double> core_powers,
   if (prop_ == nullptr) {
     // Legacy path: the hold operators do not exist; degrade to the
     // step-by-step loop (identical semantics, no fast path).
-    for (std::size_t i = 0; i < k; ++i) Step(core_powers);
+    for (std::size_t i = 0; i < k; ++i) StepImpl(core_powers);
     return;
   }
   DS_TELEM_COUNT("thermal.kernel.hold_calls", 1);

@@ -9,8 +9,8 @@
 // aligns with the paper's Turbo-Boost control period.
 //
 // Step kernels (selectable, see StepKernel):
-//  - kPropagator (default): the step is folded once per (model, dt)
-//    into dense operators T' = M_state T + M_in P + c_amb
+//  - kPropagator: the step is folded once per (model, dt) into dense
+//    operators T' = M_state T + M_in P + c_amb
 //    (thermal/propagator.hpp) and each step is an allocation-free
 //    GEMV pair -- no permutation gather, no triangular dependency
 //    chain. Constant-power segments can advance k steps in one
@@ -21,6 +21,16 @@
 //    member scratch buffer so even this path is allocation-free. The
 //    construction also falls back to this path if the propagator fold
 //    fails (singular or non-finite), so a degraded model still steps.
+//  - kAuto (default): starts on the LU path (factor only -- roughly a
+//    third of the propagator's fold cost) and upgrades to the
+//    propagator once the *requested* step count reaches
+//    kAutoUpgradeSteps, so short-lived simulators never pay a fold
+//    they cannot amortize. The upgrade decision depends only on the
+//    sequence of Step/StepN/StepHold calls on THIS simulator -- never
+//    on shared-cache warmth or scheduling -- so results stay
+//    byte-identical across sweep thread counts. Both kernels step the
+//    same implicit-Euler update; the trajectory is identical to
+//    rounding error either way.
 // DS_THERMAL_KERNEL=lu|propagator overrides kAuto for A/B runs.
 #pragma once
 
@@ -34,15 +44,23 @@
 
 namespace ds::thermal {
 
-/// Which stepping kernel a TransientSimulator uses. kAuto resolves to
-/// kPropagator unless the DS_THERMAL_KERNEL environment variable says
-/// otherwise ("lu" selects the legacy path for A/B comparisons).
+/// Which stepping kernel a TransientSimulator uses. kAuto starts on
+/// the cheap-to-build LU path and upgrades to the propagator at
+/// kAutoUpgradeSteps requested steps; the DS_THERMAL_KERNEL
+/// environment variable ("lu" | "propagator") pins the kernel for A/B
+/// comparisons.
 enum class StepKernel { kAuto, kPropagator, kLu };
 
 class TransientSimulator {
  public:
+  /// Requested steps after which a kAuto simulator folds the
+  /// propagator. 64 steps ~ the fold's cost expressed in LU steps, so
+  /// the upgrade pays for itself within the next ~64 steps.
+  static constexpr std::size_t kAutoUpgradeSteps = 64;
+
   /// Prepares stepping at fixed step `dt_s` (seconds): folds the dense
-  /// step propagator, or factors (C/dt + G) on the legacy path.
+  /// step propagator, or factors (C/dt + G) on the legacy path (kAuto
+  /// defers the fold; see kAutoUpgradeSteps).
   /// `shared` (optional) memoizes propagators across simulators of the
   /// same model -- pass arch::Platform::propagators() or the set from
   /// runtime::ModelCache so sweeps fold each (model, dt) exactly once.
@@ -97,12 +115,23 @@ class TransientSimulator {
   const RcModel& model() const { return *model_; }
   const std::vector<double>& state() const { return state_; }
 
-  /// The kernel actually in use (kAuto resolved; reflects a fallback).
+  /// The kernel currently in use: kLu while a kAuto simulator has not
+  /// yet upgraded (and after a fold-failure fallback), kPropagator
+  /// after the upgrade / for an eager propagator build.
   StepKernel kernel() const { return kernel_; }
 
  private:
   void BuildLegacyLu();
   void FillLegacyRhs(std::span<const double> core_powers);
+
+  /// kAuto bookkeeping: adds `n` requested steps and folds the
+  /// propagator once the total reaches kAutoUpgradeSteps.
+  void NoteAutoSteps(std::size_t n);
+
+  /// Step/StepHold bodies without kAuto counting (public entry points
+  /// count exactly the steps they were asked for, then dispatch here).
+  void StepImpl(std::span<const double> core_powers);
+  void StepHoldImpl(std::span<const double> core_powers, std::size_t k);
 
   const RcModel* model_;
   double dt_;
@@ -114,6 +143,9 @@ class TransientSimulator {
   std::vector<double> state_;         // all node temperatures
   std::vector<double> scratch_;       // step output / RHS, reused
   std::vector<double> amb_rhs_;       // g_amb * T_amb, precomputed
+  bool auto_pending_ = false;         // kAuto: propagator not folded yet
+  std::size_t auto_steps_ = 0;        // kAuto: requested steps so far
+  std::shared_ptr<const PropagatorSet> shared_;  // kept for lazy upgrade
 };
 
 }  // namespace ds::thermal

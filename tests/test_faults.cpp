@@ -2,15 +2,19 @@
 // deterministic fault traces, zero-cost-when-off, the sensor-dropout
 // safe-state path, fail-stop job migration, the perturbed-pivot solver
 // retry, and the new API-boundary input validation.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "arch/platform.hpp"
 #include "core/dtm.hpp"
 #include "core/online_manager.hpp"
+#include "faults/chaos.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/sensor_bus.hpp"
 #include "sim/chip_sim.hpp"
@@ -459,6 +463,106 @@ TEST(OnlineFaults, DisabledFaultsLeaveResultUnchanged) {
   EXPECT_EQ(a.jobs_completed, b.jobs_completed);
   EXPECT_EQ(b.jobs_requeued, 0u);
   EXPECT_TRUE(b.fault_log.empty());
+}
+
+// ------------------------------------------------ job-level chaos
+
+TEST(ChaosInjector, DecisionsArePureFunctionsOfSeedJobAttempt) {
+  faults::ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 123;
+  cfg.fail_rate = 0.5;
+  cfg.delay_rate = 0.5;
+  cfg.delay_ms = 25.0;
+  const faults::ChaosInjector a(cfg);
+  const faults::ChaosInjector b(cfg);
+  bool any_fail = false, any_delay = false, any_clean = false;
+  for (std::size_t job = 0; job < 64; ++job) {
+    for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+      const faults::ChaosDecision d1 = a.Decide(job, attempt);
+      const faults::ChaosDecision d2 = b.Decide(job, attempt);
+      EXPECT_EQ(d1.fail, d2.fail);
+      EXPECT_EQ(d1.delay, d2.delay);
+      EXPECT_DOUBLE_EQ(d1.delay_ms, d2.delay_ms);
+      any_fail |= d1.fail;
+      any_delay |= d1.delay;
+      any_clean |= !d1.fail && !d1.delay;
+      if (d1.delay) {
+        EXPECT_DOUBLE_EQ(d1.delay_ms, 25.0);
+      }
+    }
+  }
+  // At 50/50 rates over 256 draws, all three outcomes must appear.
+  EXPECT_TRUE(any_fail);
+  EXPECT_TRUE(any_delay);
+  EXPECT_TRUE(any_clean);
+
+  // A different seed must produce a different decision sequence.
+  faults::ChaosConfig other = cfg;
+  other.seed = 124;
+  const faults::ChaosInjector c(other);
+  bool diverged = false;
+  for (std::size_t job = 0; job < 64 && !diverged; ++job)
+    diverged = a.Decide(job, 0).fail != c.Decide(job, 0).fail;
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ChaosInjector, MaxFaultyAttemptsGuaranteesEventualSuccess) {
+  faults::ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.fail_rate = 1.0;
+  cfg.delay_rate = 1.0;
+  cfg.delay_ms = 10.0;
+  cfg.max_faulty_attempts = 3;
+  const faults::ChaosInjector inj(cfg);
+  for (std::size_t job = 0; job < 16; ++job) {
+    for (std::size_t attempt = 0; attempt < 3; ++attempt)
+      EXPECT_TRUE(inj.Decide(job, attempt).fail);
+    const faults::ChaosDecision clean = inj.Decide(job, 3);
+    EXPECT_FALSE(clean.fail);
+    EXPECT_FALSE(clean.delay);
+  }
+}
+
+TEST(ChaosConfig, ValidateRejectsBadValues) {
+  faults::ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.fail_rate = 1.5;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.fail_rate = -0.1;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.fail_rate = 0.5;
+  cfg.delay_ms = -1.0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.delay_ms = 10.0;
+  cfg.max_faulty_attempts = 0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.max_faulty_attempts = 1;
+  cfg.Validate();  // now sound
+  EXPECT_TRUE(cfg.AnyChaosPossible());
+  cfg.fail_rate = 0.0;
+  cfg.delay_rate = 0.0;
+  EXPECT_FALSE(cfg.AnyChaosPossible());  // enabled but inert
+}
+
+TEST(CancelToken, SleepRunsFullDurationWhenNotCancelled) {
+  const faults::CancelToken token;
+  EXPECT_TRUE(token.SleepFor(1.0));
+  EXPECT_TRUE(token.SleepFor(0.0));  // degenerate duration
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, CancelInterruptsASleeperQuickly) {
+  faults::CancelToken token;
+  std::atomic<bool> slept_full{true};
+  std::thread sleeper([&] { slept_full = token.SleepFor(30000.0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  sleeper.join();
+  EXPECT_FALSE(slept_full);
+  EXPECT_TRUE(token.cancelled());
+  // Cancelled tokens never sleep again.
+  EXPECT_FALSE(token.SleepFor(10000.0));
 }
 
 }  // namespace

@@ -135,13 +135,18 @@ TEST(PropagatorSet, PlatformMakeTransientSharesPropagators) {
   const arch::Platform platform(power::TechNode::N16, 16);
   TransientSimulator a = platform.MakeTransient(1e-3);
   TransientSimulator b = platform.MakeTransient(1e-3);
+  // kAuto folds lazily: nothing lands in the shared set until a
+  // simulator crosses the upgrade threshold...
+  EXPECT_EQ(platform.propagators()->size(), 0u);
+  const std::vector<double> p(16, 2.0);
+  a.StepHold(p, TransientSimulator::kAutoUpgradeSteps);
+  b.StepHold(p, TransientSimulator::kAutoUpgradeSteps);
+  // ...after which every simulator at that dt shares one fold.
   EXPECT_EQ(platform.propagators()->size(), 1u);
   TransientSimulator c = platform.MakeTransient(5e-3);
+  c.StepHold(p, TransientSimulator::kAutoUpgradeSteps);
   EXPECT_EQ(platform.propagators()->size(), 2u);
-  // All three step correctly off the shared operators.
-  const std::vector<double> p(16, 2.0);
-  a.Step(p);
-  b.Step(p);
+  // a and b advanced identically off the shared operators.
   EXPECT_LT(MaxAbsDiff(a.state(), b.state()), 1e-15);
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,6 +16,7 @@
 
 #include "arch/platform.hpp"
 #include "core/tsp.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/model_cache.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/scenarios.hpp"
@@ -336,6 +338,331 @@ TEST(ResultSinkTest, JsonRowsParseBack) {
   const telemetry::JsonValue* cores = doc.array[3].Find("cores");
   ASSERT_NE(cores, nullptr);
   EXPECT_EQ(cores->str, "32");
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Splits journal text into lines (without the trailing newline each).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string CleanCsv() {
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  const SweepSpec spec = SmokeSpec();
+  const SweepOutcome out = SweepEngine(spec, opts).Run();
+  const ResultSink sink(spec, spec.Jobs());
+  std::ostringstream os;
+  sink.WriteCsv(os, out.results);
+  return os.str();
+}
+
+std::string CsvOf(const SweepOutcome& out) {
+  const SweepSpec spec = SmokeSpec();
+  const ResultSink sink(spec, spec.Jobs());
+  std::ostringstream os;
+  sink.WriteCsv(os, out.results);
+  return os.str();
+}
+
+TEST(JournalTest, FramedRecordRoundTripsThroughCrc) {
+  const std::string payload = R"({"job": 7, "ok": true, "metrics": {}})";
+  const std::string framed = FrameJournalRecord(payload);
+  // <len> <crc8hex> <payload>
+  const std::size_t sp1 = framed.find(' ');
+  ASSERT_NE(sp1, std::string::npos);
+  EXPECT_EQ(std::stoul(framed.substr(0, sp1)), payload.size());
+  EXPECT_EQ(framed.substr(sp1 + 10), payload);
+  char expect[16];
+  std::snprintf(expect, sizeof(expect), "%08x", Crc32(payload));
+  EXPECT_EQ(framed.substr(sp1 + 1, 8), expect);
+  // The CRC32 implementation itself against a known vector.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+}
+
+TEST(JournalTest, TornTailIsTruncatedOnResume) {
+  const std::string path = TempPath("ds_journal_torn.jsonl");
+  std::remove(path.c_str());
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  opts.checkpoint_path = path;
+  opts.stop_after_jobs = 2;
+  (void)SweepEngine(SmokeSpec(), opts).Run();
+
+  // Crash mid-append: a record whose declared length exceeds the bytes
+  // that actually landed, no trailing newline.
+  const std::string before = ReadFile(path);
+  WriteFile(path, before + "57 0badf00d {\"job\": 2, \"ok\": tr");
+
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.cache = &cache;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const SweepOutcome out = SweepEngine(SmokeSpec(), resume).Run();
+  EXPECT_EQ(out.stats.jobs_resumed, 2u);
+  EXPECT_EQ(out.stats.jobs_executed, 2u);
+  EXPECT_GT(out.stats.journal_truncated_bytes, 0u);
+  EXPECT_EQ(out.stats.journal_corrupt_records, 0u);
+  EXPECT_EQ(CsvOf(out), CleanCsv());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FlippedCrcSkipsOnlyThatRecord) {
+  const std::string path = TempPath("ds_journal_crc.jsonl");
+  std::remove(path.c_str());
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  opts.checkpoint_path = path;
+  (void)SweepEngine(SmokeSpec(), opts).Run();
+
+  // Flip one hex digit of job 1's CRC: framing stays valid, the
+  // checksum no longer matches the payload.
+  std::vector<std::string> lines = Lines(ReadFile(path));
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 job records
+  const std::size_t sp = lines[2].find(' ');
+  ASSERT_NE(sp, std::string::npos);
+  lines[2][sp + 1] = lines[2][sp + 1] == '0' ? '1' : '0';
+  std::string text;
+  for (const std::string& l : lines) text += l + "\n";
+  WriteFile(path, text);
+
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.cache = &cache;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const SweepOutcome out = SweepEngine(SmokeSpec(), resume).Run();
+  EXPECT_EQ(out.stats.jobs_resumed, 3u);
+  EXPECT_EQ(out.stats.jobs_executed, 1u);  // only the corrupted job re-runs
+  EXPECT_EQ(out.stats.journal_corrupt_records, 1u);
+  EXPECT_EQ(CsvOf(out), CleanCsv());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, DuplicateJobRecordResumesOnce) {
+  const std::string path = TempPath("ds_journal_dup.jsonl");
+  std::remove(path.c_str());
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  opts.checkpoint_path = path;
+  (void)SweepEngine(SmokeSpec(), opts).Run();
+
+  // A re-appended record for job 0 (e.g. a retry that raced a crash):
+  // last record wins, the job resumes exactly once.
+  const std::vector<std::string> lines = Lines(ReadFile(path));
+  ASSERT_EQ(lines.size(), 5u);
+  WriteFile(path, ReadFile(path) + lines[1] + "\n");
+
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.cache = &cache;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const SweepOutcome out = SweepEngine(SmokeSpec(), resume).Run();
+  EXPECT_EQ(out.stats.jobs_resumed, 4u);
+  EXPECT_EQ(out.stats.jobs_executed, 0u);
+  EXPECT_EQ(out.stats.jobs_pending, 0u);
+  EXPECT_EQ(CsvOf(out), CleanCsv());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ResumeRejectsWrongFingerprint) {
+  const std::string path = TempPath("ds_journal_wrongfp.jsonl");
+  // A structurally perfect v2 header whose fingerprint belongs to some
+  // other spec content.
+  const std::string payload =
+      R"({"sweep": "smoke", "version": 2, "fingerprint": "0000000000000000"})";
+  WriteFile(path, FrameJournalRecord(payload) + "\n");
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  opts.checkpoint_path = path;
+  opts.resume = true;
+  SweepEngine engine(SmokeSpec(), opts);
+  EXPECT_THROW(engine.Run(), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(SweepEngineTest, DeadlineQuarantinesHungJobs) {
+  const std::string path = TempPath("ds_sweep_hung.jsonl");
+  std::remove(path.c_str());
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.cache = &cache;
+  opts.checkpoint_path = path;
+  opts.job_deadline_ms = 50.0;
+  opts.job_retries = 1;
+  opts.retry_backoff_ms = 1.0;
+  opts.chaos.enabled = true;
+  opts.chaos.delay_rate = 1.0;  // every attempt hangs far past the deadline
+  opts.chaos.delay_ms = 60000.0;
+  const SweepOutcome out = SweepEngine(SmokeSpec(), opts).Run();
+  ASSERT_EQ(out.results.size(), 4u);
+  for (const JobResult& r : out.results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.quarantined);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_EQ(r.attempts, 2u);  // first attempt + one retry
+    EXPECT_EQ(r.error, "deadline exceeded");
+  }
+  EXPECT_EQ(out.stats.jobs_failed, 4u);
+  EXPECT_EQ(out.stats.jobs_quarantined, 4u);
+  EXPECT_EQ(out.stats.jobs_timed_out, 4u);
+  EXPECT_EQ(out.stats.retries_total, 4u);
+  EXPECT_FALSE(out.chaos_log.empty());
+  const std::string csv = CsvOf(out);
+  EXPECT_NE(csv.find("0,quarantined"), std::string::npos);
+
+  // Quarantined journal rows are poison on resume: nothing re-runs,
+  // even with chaos off and no deadline.
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.cache = &cache;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const SweepOutcome again = SweepEngine(SmokeSpec(), resume).Run();
+  EXPECT_EQ(again.stats.jobs_resumed, 4u);
+  EXPECT_EQ(again.stats.jobs_executed, 0u);
+  EXPECT_EQ(again.stats.jobs_failed, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepEngineTest, ChaosRunRecoversByteIdenticalRows) {
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.cache = &cache;
+  opts.job_retries = 4;
+  opts.retry_backoff_ms = 0.1;
+  opts.chaos.enabled = true;
+  opts.chaos.fail_rate = 1.0;  // every attempt fails...
+  opts.chaos.max_faulty_attempts = 2;  // ...until attempt index 2
+  const SweepOutcome out = SweepEngine(SmokeSpec(), opts).Run();
+  for (const JobResult& r : out.results) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.quarantined);
+    EXPECT_EQ(r.attempts, 3u);
+  }
+  EXPECT_EQ(out.stats.jobs_failed, 0u);
+  EXPECT_EQ(out.stats.jobs_retried, 4u);
+  EXPECT_EQ(out.stats.retries_total, 8u);
+  EXPECT_EQ(out.chaos_log.events().size(), 8u);
+  EXPECT_EQ(CsvOf(out), CleanCsv());
+}
+
+TEST(SweepEngineTest, ChaosDecisionsAreThreadCountInvariant) {
+  const auto run = [](std::size_t threads) {
+    ModelCache cache;
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.cache = &cache;
+    opts.job_retries = 3;
+    opts.retry_backoff_ms = 0.1;
+    opts.chaos.enabled = true;
+    opts.chaos.seed = 11;
+    opts.chaos.fail_rate = 0.5;
+    opts.chaos.max_faulty_attempts = 3;
+    return SweepEngine(SmokeSpec(), opts).Run();
+  };
+  const SweepOutcome a = run(1);
+  const SweepOutcome b = run(4);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].attempts, b.results[i].attempts) << "job " << i;
+    EXPECT_EQ(a.results[i].ok, b.results[i].ok) << "job " << i;
+  }
+  EXPECT_EQ(CsvOf(a), CsvOf(b));
+  EXPECT_EQ(a.chaos_log.events().size(), b.chaos_log.events().size());
+}
+
+TEST(ModelCacheTest, BudgetEvictsLruAndStaysUnderCeiling) {
+  ModelCache cache;
+  const arch::Platform p16(power::TechNode::N16, 16);
+  const arch::Platform p24(power::TechNode::N16, 24);
+  const arch::Platform p32(power::TechNode::N16, 32);
+  cache.set_budget_bytes(400 * 1024);
+  EXPECT_EQ(cache.budget_bytes(), 400u * 1024u);
+  (void)cache.Get(p16.floorplan());
+  (void)cache.Get(p24.floorplan());
+  const ThermalAssets a32 = cache.Get(p32.floorplan());
+  const ModelCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, 400u * 1024u);
+  EXPECT_GT(stats.bytes, 0u);
+  // Eviction dropped the cache's reference only: our assets stay valid,
+  // and re-requesting an evicted key is a rebuild (miss), not an error.
+  EXPECT_NE(a32.model.get(), nullptr);
+  const std::uint64_t misses_before = stats.misses;
+  (void)cache.Get(p16.floorplan());
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(SweepEngineTest, CacheBudgetDoesNotChangeRows) {
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  // Tight enough that the 16- and 32-core entries cannot coexist, but
+  // large enough to hold either alone (so the ceiling is respected
+  // rather than degraded to keep-the-pinned-entry).
+  opts.cache_budget_mb = 0.35;
+  const SweepOutcome out = SweepEngine(SmokeSpec(), opts).Run();
+  for (const JobResult& r : out.results) EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GE(out.stats.cache_evictions, 1u);
+  EXPECT_LE(out.stats.cache_bytes, static_cast<std::uint64_t>(0.35 * 1024 *
+                                                              1024));
+  EXPECT_EQ(CsvOf(out), CleanCsv());
+}
+
+TEST(ResultSinkTest, SurfacesStreamFailureWithRowCount) {
+  ModelCache cache;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache = &cache;
+  const SweepSpec spec = SmokeSpec();
+  const SweepOutcome out = SweepEngine(spec, opts).Run();
+  const ResultSink sink(spec, spec.Jobs());
+  EXPECT_THROW(
+      sink.WriteCsv("/nonexistent_ds_dir/rows.csv", out.results),
+      SinkWriteError);
+  EXPECT_THROW(
+      sink.WriteJsonRows("/nonexistent_ds_dir/rows.json", out.results),
+      SinkWriteError);
+  try {
+    sink.WriteCsv("/nonexistent_ds_dir/rows.csv", out.results);
+  } catch (const SinkWriteError& e) {
+    EXPECT_EQ(e.rows_written(), 0u);
+  }
 }
 
 TEST(ScenariosTest, MetricColumnsMatchRunnerOutput) {

@@ -68,11 +68,19 @@ int Usage() {
       "      [--fault-solver r] [--fault-max-failed-cores m]\n"
       "  sweep <spec.json> [--threads n] [--out csv] [--json path]\n"
       "      [--checkpoint path] [--resume] [--metrics-out path]\n"
+      "      [--stop-after n] [--job-deadline-ms t] [--job-retries n]\n"
+      "      [--retry-backoff-ms t] [--journal-sync none|batch|always]\n"
+      "      [--cache-budget-mb m]\n"
+      "      [--chaos-fail r] [--chaos-delay r] [--chaos-delay-ms t]\n"
+      "      [--chaos-seed n] [--chaos-max-faulty-attempts k]\n"
+      "      [--chaos-log-csv path]\n"
       "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
       "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
       "densest; fault rates are per control step (per core where\n"
       "applicable), 0 disables the class; --metrics-out / --trace-out\n"
-      "enable the telemetry subsystem (--trace-out opens in Perfetto)\n";
+      "enable the telemetry subsystem (--trace-out opens in Perfetto);\n"
+      "chaos rates are per job attempt (transient failure / delay\n"
+      "injection into the sweep executor)\n";
   return 2;
 }
 
@@ -414,6 +422,23 @@ int CmdSweep(const util::ArgParser& args) {
   opts.threads = static_cast<std::size_t>(args.GetInt("threads", 0));
   opts.checkpoint_path = args.GetString("checkpoint");
   opts.resume = args.Has("resume");
+  opts.stop_after_jobs =
+      static_cast<std::size_t>(args.GetInt("stop-after", 0));
+  opts.job_deadline_ms = args.GetDouble("job-deadline-ms", 0.0);
+  opts.job_retries = static_cast<std::size_t>(args.GetInt("job-retries", 2));
+  opts.retry_backoff_ms = args.GetDouble("retry-backoff-ms", 10.0);
+  opts.journal_sync =
+      runtime::JournalSyncByName(args.GetString("journal-sync", "batch"));
+  opts.cache_budget_mb = args.GetDouble("cache-budget-mb", 0.0);
+  opts.chaos.fail_rate = args.GetDouble("chaos-fail", 0.0);
+  opts.chaos.delay_rate = args.GetDouble("chaos-delay", 0.0);
+  opts.chaos.delay_ms = args.GetDouble("chaos-delay-ms", 50.0);
+  opts.chaos.seed = static_cast<std::uint64_t>(args.GetInt("chaos-seed", 42));
+  if (args.Has("chaos-max-faulty-attempts"))
+    opts.chaos.max_faulty_attempts =
+        static_cast<std::size_t>(args.GetInt("chaos-max-faulty-attempts", 1));
+  opts.chaos.enabled =
+      opts.chaos.fail_rate > 0.0 || opts.chaos.delay_rate > 0.0;
 
   runtime::SweepEngine engine(spec, opts);
   const runtime::SweepOutcome out = engine.Run();
@@ -426,6 +451,9 @@ int CmdSweep(const util::ArgParser& args) {
   if (csv_path.empty() && json_path.empty())
     sink.WriteCsv(std::cout, out.results);
 
+  const std::string chaos_log_path = args.GetString("chaos-log-csv");
+  if (!chaos_log_path.empty()) out.chaos_log.WriteCsv(chaos_log_path);
+
   const runtime::SweepStats& s = out.stats;
   std::cerr << "sweep '" << spec.name() << "': " << s.jobs_total << " jobs ("
             << s.jobs_executed << " executed, " << s.jobs_resumed
@@ -433,12 +461,29 @@ int CmdSweep(const util::ArgParser& args) {
             << " failed) on " << s.threads_used << " threads in "
             << util::FormatFixed(s.wall_s, 2) << " s\n"
             << "model cache: " << s.cache_hits << " hits, " << s.cache_misses
-            << " misses; steals: " << s.steals << "\n"
-            << "contract violations: " << ds::contracts::ViolationCount()
+            << " misses";
+  if (s.cache_evictions > 0 || opts.cache_budget_mb > 0.0)
+    std::cerr << ", " << s.cache_evictions << " evictions, "
+              << util::FormatFixed(
+                     static_cast<double>(s.cache_bytes) / (1024.0 * 1024.0), 2)
+              << " MiB resident";
+  std::cerr << "; steals: " << s.steals << "\n";
+  if (s.jobs_retried > 0 || s.jobs_timed_out > 0 || s.jobs_quarantined > 0 ||
+      s.retries_total > 0)
+    std::cerr << "resilience: " << s.retries_total << " retries over "
+              << s.jobs_retried << " jobs, " << s.jobs_timed_out
+              << " timed out, " << s.jobs_quarantined << " quarantined\n";
+  if (s.journal_corrupt_records > 0 || s.journal_truncated_bytes > 0)
+    std::cerr << "journal recovery: " << s.journal_corrupt_records
+              << " corrupt records skipped, " << s.journal_truncated_bytes
+              << " torn bytes truncated\n";
+  std::cerr << "contract violations: " << ds::contracts::ViolationCount()
             << "\n";
   for (const runtime::JobResult& r : out.results)
     if (!r.ok && r.error != "not executed")
-      std::cerr << "job " << r.index << " failed: " << r.error << "\n";
+      std::cerr << "job " << r.index
+                << (r.quarantined ? " quarantined: " : " failed: ") << r.error
+                << " (attempts: " << r.attempts << ")\n";
 
   if (!metrics_path.empty()) {
     telemetry::Registry().WriteCsv(metrics_path);

@@ -31,6 +31,14 @@
 //                     that are const/constexpr, references, or
 //                     std::atomic/std::mutex/std::once_flag (their own
 //                     synchronization) are fine.
+//   swallowed-catch   A `catch` handler in src/runtime/ whose body
+//                     neither rethrows nor records the failure (no
+//                     `throw`, telemetry count, Record/log call, or
+//                     assignment into an error field). The resilient
+//                     sweep runtime's whole contract is that every
+//                     failure is classified and surfaced -- a silent
+//                     catch there turns a poison job into a silently
+//                     wrong sweep row.
 //   alloc-in-loop     A std::vector or util::Matrix constructed inside
 //                     a loop body in src/thermal/. The transient
 //                     stepping path is called once per simulated
@@ -527,6 +535,65 @@ void RuleStaticMutable(const std::string& path, const CleanSource& src,
   }
 }
 
+/// Flags `catch` handlers under src/runtime/ that swallow the failure:
+/// the handler body contains no rethrow, no telemetry, no Record/log
+/// call and no assignment into an error field. The runtime layer is
+/// the failure-classification boundary (retry vs quarantine vs abort);
+/// an exception that dies silently there breaks the "every failure is
+/// surfaced" contract the journal and ResultSink depend on.
+void RuleSwallowedCatch(const std::string& path, const CleanSource& src,
+                        std::vector<Finding>* findings) {
+  if (path.find("/runtime/") == std::string::npos &&
+      path.rfind("runtime/", 0) != 0)
+    return;
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find("catch"); pos != std::string::npos;
+       pos = t.find("catch", pos + 1)) {
+    if (!MatchWord(t, pos, "catch")) continue;
+    // Skip the exception-declaration parens.
+    std::size_t i = pos + 5;
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    if (i >= t.size() || t[i] != '(') continue;
+    int depth = 1;
+    ++i;
+    while (i < t.size() && depth > 0) {
+      if (t[i] == '(') ++depth;
+      if (t[i] == ')') --depth;
+      ++i;
+    }
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    if (i >= t.size() || t[i] != '{') continue;
+    // Capture the handler body up to the matching brace.
+    depth = 1;
+    const std::size_t body_begin = ++i;
+    while (i < t.size() && depth > 0) {
+      if (t[i] == '{') ++depth;
+      if (t[i] == '}') --depth;
+      ++i;
+    }
+    const std::string_view body(&t[body_begin], i - 1 - body_begin);
+    auto has = [&](std::string_view w) {
+      return body.find(w) != std::string_view::npos;
+    };
+    // Any of these marks the failure as handled: rethrown, counted,
+    // recorded into a sink/journal, or stored in an error field.
+    if (has("throw") || has("DS_TELEM") || has("Record") || has("error") ||
+        has("Error") || has("log") || has("Log"))
+      continue;
+    const std::size_t line_no = LineOf(t, pos);
+    if (Allowed(src, line_no, "swallowed-catch")) continue;
+    findings->push_back(
+        {path, line_no + 1, "swallowed-catch",
+         "catch handler in the sweep runtime swallows the exception; "
+         "rethrow, record it (telemetry / journal / sink), or store it "
+         "in an error field"});
+  }
+}
+
 /// Flags owning std::vector / util::Matrix declarations inside loop
 /// bodies under src/thermal/. Loop scopes are tracked with the same
 /// brace-stack technique as RuleStaticMutable: a `{` whose introducer
@@ -643,6 +710,7 @@ void LintFile(const fs::path& path, std::vector<Finding>* findings) {
   RuleNakedNew(p, src, findings);
   RuleMissingContract(p, src, findings);
   RuleStaticMutable(p, src, findings);
+  RuleSwallowedCatch(p, src, findings);
   RuleAllocInLoop(p, src, findings);
 }
 
