@@ -27,6 +27,21 @@
 
 namespace ds::bench {
 
+/// Version of the BENCH_*.json report schema. Bump when the shape of
+/// the per-bench entries changes so ds_report can refuse to diff
+/// incompatible baselines. v2 added the schema_version/git stamps.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// The commit that produced this binary (configure-time `git describe`
+/// via the DS_GIT_DESCRIBE definition in bench/CMakeLists.txt).
+inline const char* BenchGitDescribe() {
+#ifdef DS_GIT_DESCRIBE
+  return DS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Figure labels (a)..(g) in the paper's order.
 inline std::string AppLabel(std::size_t index) {
   return std::string(1, static_cast<char>('a' + index)) + ") " +
@@ -185,6 +200,10 @@ inline void WriteSweepReport(const std::string& bench, const SweepAgg& agg) {
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out << "{\n";
+  // Provenance stamps first. The merge loop above keeps only object
+  // entries, so stale stamps from the previous write never duplicate.
+  out << "  \"schema_version\": " << kBenchSchemaVersion << ",\n";
+  out << "  \"git\": \"" << BenchGitDescribe() << "\",\n";
   for (std::size_t i = 0; i < rows.size(); ++i)
     out << "  \"" << rows[i].first << "\": " << rows[i].second
         << (i + 1 < rows.size() ? "," : "") << "\n";

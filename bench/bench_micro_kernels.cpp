@@ -327,10 +327,17 @@ void WriteThermalReport(const ThermalReport& r) {
   const auto ratio = [](double slow, double fast_v) {
     return fast_v > 0.0 ? slow / fast_v : 0.0;
   };
+#ifdef DS_GIT_DESCRIBE
+  const char* git = DS_GIT_DESCRIBE;
+#else
+  const char* git = "unknown";
+#endif
   char body[1536];
   std::snprintf(
       body, sizeof(body),
       "{\n"
+      "  \"schema_version\": 2,\n"
+      "  \"git\": \"%s\",\n"
       "  \"step_us_propagator\": %.4f,\n"
       "  \"step_us_lu\": %.4f,\n"
       "  \"step_us_auto\": %.4f,\n"
@@ -348,7 +355,7 @@ void WriteThermalReport(const ThermalReport& r) {
       "  \"online_wall_s_lu\": %.4f,\n"
       "  \"online_speedup\": %.3f\n"
       "}\n",
-      r.step_us_propagator, r.step_us_lu, r.step_us_auto,
+      git, r.step_us_propagator, r.step_us_lu, r.step_us_auto,
       ratio(r.step_us_lu, r.step_us_auto),
       ratio(r.step_us_lu, r.step_us_propagator), r.hold_us_per_step,
       ratio(r.step_us_propagator, r.hold_us_per_step),

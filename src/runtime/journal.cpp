@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/event_bus.hpp"
 #include "telemetry/json.hpp"
 #include "util/contracts.hpp"
 
@@ -200,6 +202,17 @@ bool LoadJournal(const std::string& path,
   bool torn = false;
   std::size_t pos = 0;
   std::size_t keep = 0;  // end offset of the last structurally sound record
+  std::set<std::size_t> seen_jobs;
+
+  const auto note_corrupt = [&] {
+    ++st.corrupt_records;
+    if (telemetry::EventsOn()) {
+      telemetry::Event e =
+          telemetry::MakeEvent(telemetry::EventKind::kJournalSkip);
+      e.SetDetail("corrupt_record");
+      telemetry::Emit(e);
+    }
+  };
 
   // A framing problem before the header is validated means the file is
   // not a v2 journal at all (or its header is damaged): refuse to
@@ -230,7 +243,7 @@ bool LoadJournal(const std::string& path,
         break;
       }
       if (!saw_header) bad_preheader("unsupported or corrupt journal header");
-      ++st.corrupt_records;
+      note_corrupt();
       pos = nl + 1;
       keep = pos;
       continue;
@@ -257,7 +270,7 @@ bool LoadJournal(const std::string& path,
         break;
       }
       if (!saw_header) bad_preheader("corrupt journal header frame");
-      ++st.corrupt_records;
+      note_corrupt();
       pos = nl + 1;
       keep = pos;
       continue;
@@ -266,7 +279,7 @@ bool LoadJournal(const std::string& path,
     pos = payload_at + len + 1;
     if (Crc32(payload) != expect_crc) {
       if (!saw_header) bad_preheader("journal header checksum mismatch");
-      ++st.corrupt_records;
+      note_corrupt();
       keep = pos;
       continue;
     }
@@ -316,6 +329,19 @@ bool LoadJournal(const std::string& path,
                                         << "' is not a number");
       r.metrics.emplace_back(key, value.number);
     }
+    if (!seen_jobs.insert(r.index).second) {
+      // A duplicate means a crash landed between execution and journal
+      // sync on a prior run; the engine keeps the last record. Count
+      // the superseded one so the recovery is visible downstream.
+      ++st.dedup_drops;
+      if (telemetry::EventsOn()) {
+        telemetry::Event e = telemetry::MakeEvent(
+            telemetry::EventKind::kJournalSkip,
+            static_cast<std::int64_t>(r.index));
+        e.SetDetail("dedup_drop");
+        telemetry::Emit(e);
+      }
+    }
     completed->push_back(std::move(r));
     ++st.records;
     keep = pos;
@@ -327,6 +353,13 @@ bool LoadJournal(const std::string& path,
     std::filesystem::resize_file(path, keep, ec);
     DS_REQUIRE(!ec, "sweep journal '" << path
                                       << "': cannot truncate torn tail");
+    if (telemetry::EventsOn()) {
+      telemetry::Event e =
+          telemetry::MakeEvent(telemetry::EventKind::kJournalSkip);
+      e.AddField("bytes", static_cast<double>(st.truncated_bytes));
+      e.SetDetail("torn_tail");
+      telemetry::Emit(e);
+    }
   }
   if (!saw_header) return false;  // torn before the header completed
   return true;

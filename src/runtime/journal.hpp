@@ -97,6 +97,8 @@ struct JournalLoadStats {
   std::size_t records = 0;          // valid job records parsed
   std::size_t corrupt_records = 0;  // CRC/framing failures skipped
   std::size_t truncated_bytes = 0;  // torn tail removed from the file
+  std::size_t dedup_drops = 0;      // duplicate job records superseded
+                                    // (last record wins on resume)
 };
 
 /// Parses (and, on a torn tail, repairs) a journal file. Returns false

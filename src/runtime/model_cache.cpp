@@ -1,9 +1,11 @@
 #include "runtime/model_cache.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "core/tsp.hpp"
+#include "telemetry/event_bus.hpp"
 #include "telemetry/scoped.hpp"
 #include "util/contracts.hpp"
 
@@ -40,12 +42,37 @@ std::vector<double> ContentKey(const thermal::Floorplan& fp,
   };
 }
 
+/// SplitMix64 finalizer (same mixer the sweep engine uses for jitter).
+std::uint64_t MixBits(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t KeyHash(const std::vector<double>& key) {
+  std::uint64_t h = 0x8f3a9c1d2e5b7a40ull ^ key.size();
+  for (const double v : key) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = MixBits(h ^ bits);
+  }
+  // Zero means "no hash" in the event schema; keep real hashes nonzero.
+  return h == 0 ? 1 : h;
+}
+
 }  // namespace
+
+std::uint64_t ModelContentHash(const thermal::Floorplan& fp,
+                               const thermal::PackageParams& pkg) {
+  return KeyHash(ContentKey(fp, pkg));
+}
 
 std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
     const thermal::Floorplan& fp, const thermal::PackageParams& pkg,
     bool count_stats) {
   std::vector<double> key = ContentKey(fp, pkg);
+  const std::uint64_t key_hash = KeyHash(key);
   std::shared_ptr<Entry> entry;
   bool created = false;
   {
@@ -53,6 +80,7 @@ std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
     std::shared_ptr<Entry>& slot = entries_[std::move(key)];
     if (!slot) {
       slot = std::make_shared<Entry>();
+      slot->key_hash = key_hash;
       created = true;
     }
     slot->last_use = ++use_counter_;
@@ -110,6 +138,7 @@ void ModelCache::EnforceBudget(const Entry* pinned) {
   // free O(n^2) matrices, and in-flight users may hold the last other
   // reference anyway.
   std::vector<std::shared_ptr<Entry>> dropped;
+  std::vector<std::pair<std::uint64_t, std::size_t>> evicted;  // hash, bytes
   {
     const std::lock_guard<std::mutex> lock(mu_);
     struct Candidate {
@@ -133,6 +162,7 @@ void ModelCache::EnforceBudget(const Entry* pinned) {
       for (Candidate& v : victims) {
         if (total <= budget_bytes_) break;
         total -= v.size;
+        evicted.emplace_back(v.it->second->key_hash, v.size);
         dropped.push_back(std::move(v.it->second));
         entries_.erase(v.it);
         evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -141,6 +171,15 @@ void ModelCache::EnforceBudget(const Entry* pinned) {
     }
     bytes_.store(total, std::memory_order_relaxed);
     DS_TELEM_GAUGE_SET("modelcache.bytes", static_cast<double>(total));
+  }
+  if (telemetry::EventsOn()) {
+    for (const auto& [hash, bytes] : evicted) {
+      telemetry::Event e =
+          telemetry::MakeEvent(telemetry::EventKind::kCacheEvict);
+      e.model_hash = hash;
+      e.AddField("bytes", static_cast<double>(bytes));
+      telemetry::Emit(e);
+    }
   }
 }
 

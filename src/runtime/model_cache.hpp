@@ -47,6 +47,13 @@
 
 namespace ds::runtime {
 
+/// Content hash of the (floorplan, package) cache key: SplitMix64 mixed
+/// over the key scalars' bit patterns. This is the `model_hash`
+/// correlation field on cache_evict events -- a Perfetto/ds_report user
+/// can tie an eviction back to the model family it dropped.
+std::uint64_t ModelContentHash(const thermal::Floorplan& fp,
+                               const thermal::PackageParams& pkg = {});
+
 /// The shareable per-floorplan thermal state: RC network, a solver
 /// factored from it (influence matrix forced, so sharing is read-only)
 /// and the dt -> step-propagator cache tied to the model, so every
@@ -107,6 +114,7 @@ class ModelCache {
     ThermalAssets assets;
     std::atomic<bool> built{false};  // assets valid (set after call_once)
     std::uint64_t last_use = 0;      // guarded by ModelCache::mu_
+    std::uint64_t key_hash = 0;      // content-key hash (event correlation)
     std::mutex tsp_mu;
     // ('w' | 'b', active count) -> budget [W/core]
     std::map<std::pair<char, std::size_t>, double> tsp;

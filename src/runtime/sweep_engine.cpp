@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "runtime/scenarios.hpp"
+#include "telemetry/event_bus.hpp"
+#include "telemetry/heartbeat.hpp"
 #include "telemetry/scoped.hpp"
 #include "util/contracts.hpp"
 #include "util/lu.hpp"
@@ -154,7 +156,20 @@ struct SharedState {
 
   std::mutex journal_mu;
   JournalWriter* journal = nullptr;
+
+  // Observability: engine-emitted job-lifecycle events (resolved from
+  // SweepOptions::events or the ambient bus) and the in-flight gauge
+  // the heartbeat sampler reads.
+  telemetry::EventBus* events = nullptr;
+  std::atomic<std::size_t> in_flight{0};
 };
+
+/// Publishes to the engine's resolved bus; no-op without one. Dropped
+/// events are counted by the bus, never reported here -- observability
+/// must not steer the run.
+void PublishEvent(const SharedState& state, const telemetry::Event& event) {
+  if (state.events != nullptr) state.events->Publish(event);
+}
 
 /// Exponential backoff with deterministic +/-25% jitter, capped at 1 s.
 void BackoffBeforeRetry(const SharedState& state, std::size_t index,
@@ -167,6 +182,13 @@ void BackoffBeforeRetry(const SharedState& state, std::size_t index,
                     static_cast<std::uint64_t>(attempt)));
   wait_ms *= rng.Uniform(0.75, 1.25);
   wait_ms = std::min(wait_ms, 1000.0);
+  if (state.events != nullptr) {
+    telemetry::Event e = telemetry::MakeEvent(
+        telemetry::EventKind::kBackoff, static_cast<std::int64_t>(index),
+        static_cast<std::int32_t>(attempt));
+    e.AddField("wait_ms", wait_ms);
+    PublishEvent(state, e);
+  }
   std::this_thread::sleep_for(
       std::chrono::duration<double, std::milli>(wait_ms));
 }
@@ -179,11 +201,24 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
   JobResult& result = (*state.results)[index];
   const auto start = Clock::now();
   bool ever_timed_out = false;
+  state.in_flight.fetch_add(1, std::memory_order_relaxed);
   {
     DS_TELEM_SPAN_ARG("runtime", "sweep_job",
                       ds::telemetry::TraceLevel::kSpan, "job",
                       static_cast<double>(index));
     for (std::size_t attempt = 1;; ++attempt) {
+      // Attempt-scoped span carrying the same correlation pair as the
+      // events, so Perfetto can line a retry chain up against its
+      // chaos injections and the events file.
+      DS_TELEM_SPAN_ARG2("runtime", "sweep_attempt",
+                         ds::telemetry::TraceLevel::kSpan, "job",
+                         static_cast<double>(index), "attempt",
+                         static_cast<double>(attempt));
+      if (state.events != nullptr)
+        PublishEvent(state, telemetry::MakeEvent(
+                                telemetry::EventKind::kStarted,
+                                static_cast<std::int64_t>(index),
+                                static_cast<std::int32_t>(attempt)));
       result = JobResult{};  // each attempt starts from a clean row
       result.index = index;
       result.attempts = attempt;
@@ -199,6 +234,15 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
             const std::lock_guard<std::mutex> lock(state.chaos_log_mu);
             faults::ChaosInjector::LogDecision(*state.chaos_log, decision,
                                                index, attempt - 1);
+          }
+          if ((decision.fail || decision.delay) && state.events != nullptr) {
+            telemetry::Event e = telemetry::MakeEvent(
+                telemetry::EventKind::kChaosInject,
+                static_cast<std::int64_t>(index),
+                static_cast<std::int32_t>(attempt));
+            e.SetDetail(decision.fail ? "fail" : "delay");
+            if (decision.delay) e.AddField("delay_ms", decision.delay_ms);
+            PublishEvent(state, e);
           }
           if (decision.delay && !token->SleepFor(decision.delay_ms))
             throw JobTimeout{};
@@ -236,10 +280,26 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
       if (result.ok || !transient) break;  // success or permanent failure
       if (attempt >= state.max_attempts) {
         result.quarantined = true;
+        if (state.events != nullptr) {
+          telemetry::Event e = telemetry::MakeEvent(
+              telemetry::EventKind::kQuarantined,
+              static_cast<std::int64_t>(index),
+              static_cast<std::int32_t>(attempt));
+          e.SetDetail(result.error);
+          PublishEvent(state, e);
+        }
         break;
       }
       state.retries_total.fetch_add(1, std::memory_order_relaxed);
       DS_TELEM_COUNT("sweep.retries", 1);
+      if (state.events != nullptr) {
+        telemetry::Event e = telemetry::MakeEvent(
+            telemetry::EventKind::kRetry,
+            static_cast<std::int64_t>(index),
+            static_cast<std::int32_t>(attempt));
+        e.SetDetail(result.error);
+        PublishEvent(state, e);
+      }
       BackoffBeforeRetry(state, index, attempt);
     }
   }
@@ -258,7 +318,20 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
     const std::lock_guard<std::mutex> lock(state.journal_mu);
     state.journal->Append(JournalLine(result));
   }
+  if (state.events != nullptr) {
+    telemetry::Event e = telemetry::MakeEvent(
+        telemetry::EventKind::kCompleted,
+        static_cast<std::int64_t>(index),
+        static_cast<std::int32_t>(result.attempts));
+    e.SetDetail(result.quarantined ? "quarantined"
+                : !result.ok       ? "failed"
+                : result.skipped   ? "skipped"
+                                   : "ok");
+    e.AddField("wall_ms", result.wall_ms);
+    PublishEvent(state, e);
+  }
   state.completed.fetch_add(1, std::memory_order_relaxed);
+  state.in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void WorkerLoop(SharedState& state, std::size_t self) {
@@ -335,6 +408,7 @@ SweepOutcome SweepEngine::Run() {
     }
     out.stats.journal_corrupt_records = load_stats.corrupt_records;
     out.stats.journal_truncated_bytes = load_stats.truncated_bytes;
+    out.stats.journal_dedup_drops = load_stats.dedup_drops;
   }
 
   // Open (or continue) the journal before spawning workers so an
@@ -372,6 +446,23 @@ SweepOutcome SweepEngine::Run() {
   state.max_attempts = 1 + options_.job_retries;
   state.backoff_ms = options_.retry_backoff_ms;
   if (journal.is_open()) state.journal = &journal;
+  state.events = options_.events != nullptr ? options_.events
+                                            : telemetry::ProcessEventBus();
+
+  if (state.events != nullptr) {
+    telemetry::Event e =
+        telemetry::MakeEvent(telemetry::EventKind::kRunStart);
+    e.AddField("jobs_total", static_cast<double>(jobs.size()));
+    e.AddField("jobs_resumed",
+               static_cast<double>(out.stats.jobs_resumed));
+    e.AddField("threads", static_cast<double>(threads));
+    e.SetDetail(spec_.name());
+    PublishEvent(state, e);
+    for (const std::size_t i : pending)
+      PublishEvent(state,
+                   telemetry::MakeEvent(telemetry::EventKind::kScheduled,
+                                        static_cast<std::int64_t>(i)));
+  }
 
   std::unique_ptr<faults::ChaosInjector> chaos;
   if (options_.chaos.AnyChaosPossible()) {
@@ -387,6 +478,39 @@ SweepOutcome SweepEngine::Run() {
     state.watchdog = watchdog.get();
   }
 
+  // Progress heartbeat: pure observation of the atomics the workers
+  // bump, so the reporter can run alongside any thread count (including
+  // the inline single-thread path) without touching results.
+  std::unique_ptr<telemetry::HeartbeatReporter> heartbeat;
+  if (options_.progress_stream != nullptr || state.events != nullptr) {
+    const std::size_t jobs_total = jobs.size();
+    const std::size_t jobs_resumed = out.stats.jobs_resumed;
+    auto sampler = [&state, &cache, jobs_total, jobs_resumed, start] {
+      telemetry::HeartbeatSnapshot snap;
+      snap.jobs_total = jobs_total;
+      snap.jobs_done =
+          jobs_resumed + state.completed.load(std::memory_order_relaxed);
+      snap.jobs_in_flight = state.in_flight.load(std::memory_order_relaxed);
+      snap.jobs_quarantined =
+          state.jobs_quarantined.load(std::memory_order_relaxed);
+      snap.retries = state.retries_total.load(std::memory_order_relaxed);
+      const ModelCache::Stats cs = cache.stats();
+      snap.cache_hits = cs.hits;
+      snap.cache_misses = cs.misses;
+      snap.cache_bytes = cs.bytes;
+      snap.elapsed_s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      return snap;
+    };
+    telemetry::HeartbeatReporter::Options hb;
+    hb.period_ms = options_.heartbeat_ms > 0.0 ? options_.heartbeat_ms
+                                               : 500.0;
+    hb.progress = options_.progress_stream;
+    hb.label = spec_.name().empty() ? "sweep" : spec_.name();
+    heartbeat = std::make_unique<telemetry::HeartbeatReporter>(
+        std::move(sampler), std::move(hb));
+  }
+
   if (threads == 1 && watchdog == nullptr) {
     WorkerLoop(state, 0);
   } else {
@@ -396,6 +520,7 @@ SweepOutcome SweepEngine::Run() {
       pool.emplace_back([&state, w] { WorkerLoop(state, w); });
     for (std::thread& t : pool) t.join();
   }
+  if (heartbeat != nullptr) heartbeat->Stop();
   watchdog.reset();  // stop the scanner before stats are read
   journal.Close();
 
@@ -423,6 +548,19 @@ SweepOutcome SweepEngine::Run() {
                             out.stats.jobs_pending;
   out.stats.wall_s =
       std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (state.events != nullptr) {
+    telemetry::Event e = telemetry::MakeEvent(telemetry::EventKind::kRunEnd);
+    e.AddField("executed", static_cast<double>(out.stats.jobs_executed));
+    e.AddField("failed", static_cast<double>(out.stats.jobs_failed));
+    e.AddField("quarantined",
+               static_cast<double>(out.stats.jobs_quarantined));
+    e.AddField("retries", static_cast<double>(out.stats.retries_total));
+    e.AddField("steals", static_cast<double>(out.stats.steals));
+    e.AddField("wall_s", out.stats.wall_s);
+    e.SetDetail(spec_.name());
+    PublishEvent(state, e);
+  }
 
   DS_ENSURE(out.results.size() == jobs.size(),
             "SweepEngine: result/job count mismatch");

@@ -37,6 +37,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,10 @@
 #include "runtime/model_cache.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/sweep_spec.hpp"
+
+namespace ds::telemetry {
+class EventBus;
+}  // namespace ds::telemetry
 
 namespace ds::runtime {
 
@@ -86,6 +91,21 @@ struct SweepOptions {
 
   /// Job-level chaos injection (tests / --chaos-* flags).
   faults::ChaosConfig chaos;
+
+  /// Event bus for job-lifecycle events emitted by the engine itself;
+  /// nullptr falls back to the ambient telemetry::ProcessEventBus().
+  /// (Deep layers -- journal recovery, ModelCache eviction -- and the
+  /// heartbeat always use the ambient bus; this override exists so
+  /// tests can capture engine events without global state.)
+  telemetry::EventBus* events = nullptr;
+
+  /// Live status line sink (--progress hands it stderr); nullptr
+  /// disables rendering. Enables the HeartbeatReporter.
+  std::ostream* progress_stream = nullptr;
+
+  /// Heartbeat sampling period. The reporter runs whenever
+  /// progress_stream is set or an event bus is active.
+  double heartbeat_ms = 500.0;
 };
 
 struct SweepStats {
@@ -109,6 +129,7 @@ struct SweepStats {
   // Journal recovery (resume only).
   std::size_t journal_corrupt_records = 0;  // CRC/framing records skipped
   std::size_t journal_truncated_bytes = 0;  // torn tail repaired on load
+  std::size_t journal_dedup_drops = 0;      // duplicate records superseded
 
   // ModelCache budget accounting (deltas/absolute at end of run).
   std::uint64_t cache_evictions = 0;

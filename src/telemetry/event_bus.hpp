@@ -1,0 +1,192 @@
+// Structured job-lifecycle event bus: bounded MPSC queue + one writer
+// thread emitting JSON-lines, the live observability plane over the
+// sweep runtime (--events-out).
+//
+// Design goals, in the telemetry tradition (telemetry.hpp):
+//   1. Zero-cost when off. Every emission site goes through Emit(),
+//      which starts with one relaxed atomic pointer load; with no bus
+//      installed that load-and-branch is the entire cost.
+//   2. Never perturb or stall the run. Publish() copies one fixed-size
+//      POD into a bounded ring under a short mutex hold -- no
+//      allocation, no I/O, and *no waiting*: when the consumer falls
+//      behind and the ring is full, the event is counted as dropped
+//      and the producer returns immediately (backpressure sheds load,
+//      it never blocks a worker).
+//   3. Deterministic results. Events carry observations only; nothing
+//      reads them back into control decisions, so result rows are
+//      byte-identical with the bus on or off.
+//
+// Output format: one JSON object per line,
+//
+//   {"ev":"retry","ts_us":1234,"job":5,"attempt":2,"error":"..."}
+//
+// with correlation fields `job` (index into the sweep's job order),
+// `attempt` (1-based execution attempt) and `model_hash` (hex content
+// hash of the thermal-model cache key) present whenever the emitting
+// site knows them. The final line is always
+//
+//   {"ev":"bus_close","ts_us":...,"written":N,"dropped":M}
+//
+// so a reader can audit completeness: published == written + dropped.
+// Close() drains every queued event before writing it (shutdown flush
+// ordering is part of the contract and tested under TSan).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ds::telemetry {
+
+/// Job-lifecycle event kinds (DESIGN.md §12 documents the schema).
+enum class EventKind : std::uint8_t {
+  kRunStart,     // sweep accepted: jobs_total, threads
+  kScheduled,    // job queued for execution
+  kStarted,      // attempt began
+  kRetry,        // transient failure classified; another attempt follows
+  kBackoff,      // retry backoff sleep (wait_ms)
+  kQuarantined,  // job retired after exhausting its retry budget
+  kCacheEvict,   // ModelCache dropped an entry to fit the byte budget
+  kJournalSkip,  // journal recovery skipped/repaired a record
+  kChaosInject,  // chaos layer sabotaged this attempt
+  kCompleted,    // job reached its final outcome
+  kHeartbeat,    // periodic progress snapshot (HeartbeatReporter)
+  kRunEnd,       // sweep finished: stats summary
+  kBusClose,     // writer shutdown record (emitted by the bus itself)
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One event: fixed-size POD so Publish() never allocates. Numeric
+/// payload fields are (name, value) pairs with *string-literal* names
+/// (the bus stores the pointer only, exactly like TraceEvent); `detail`
+/// holds a short kind-specific string (status, error text, reason) and
+/// is truncated to fit.
+struct Event {
+  static constexpr std::size_t kMaxFields = 10;
+  static constexpr std::size_t kDetailBytes = 48;
+
+  EventKind kind = EventKind::kRunStart;
+  std::int64_t ts_us = 0;       // TraceNowUs() timebase, shared with spans
+  std::int64_t job = -1;        // job index; -1 = not job-scoped
+  std::int32_t attempt = 0;     // 1-based; 0 = not attempt-scoped
+  std::uint64_t model_hash = 0; // ModelCache content-key hash; 0 = none
+
+  struct Field {
+    const char* name = nullptr;  // string literal; nullptr = end of list
+    double value = 0.0;
+  };
+  Field fields[kMaxFields];
+  char detail[kDetailBytes] = {};  // NUL-terminated, possibly truncated
+
+  /// Appends a numeric field (silently ignored once full -- the schema
+  /// is fixed per kind, so overflow is a programming error caught by
+  /// the event-file validator, not a runtime hazard).
+  void AddField(const char* name, double value);
+
+  /// Copies `text` into `detail`, truncating to kDetailBytes - 1.
+  void SetDetail(const std::string& text);
+};
+
+/// Builds an event stamped with the current trace clock.
+Event MakeEvent(EventKind kind, std::int64_t job = -1,
+                std::int32_t attempt = 0);
+
+struct EventBusStats {
+  std::uint64_t published = 0;  // accepted into the queue
+  std::uint64_t dropped = 0;    // rejected: queue full
+  std::uint64_t written = 0;    // serialized by the writer thread
+};
+
+/// The bus. One writer thread owns the output stream; any number of
+/// producers Publish(). Lifecycle: construct (spawns the writer),
+/// Publish() from anywhere, Close() (drain + final bus_close record +
+/// join). The destructor Close()s if the caller did not.
+class EventBus {
+ public:
+  struct Options {
+    /// Ring capacity in events. 16384 events * ~200 B/event keeps the
+    /// bus under ~3.5 MiB while absorbing multi-second writer stalls.
+    std::size_t capacity = 16384;
+  };
+
+  /// Opens `path` (truncating) and starts the writer thread. Throws
+  /// std::runtime_error if the file cannot be created.
+  explicit EventBus(const std::string& path) : EventBus(path, Options()) {}
+  EventBus(const std::string& path, Options options);
+
+  /// Stream variant for tests: the caller keeps `os` alive until
+  /// Close() returns.
+  explicit EventBus(std::ostream& os) : EventBus(os, Options()) {}
+  EventBus(std::ostream& os, Options options);
+
+  ~EventBus();
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Enqueues one event. Never blocks on a full queue: the event is
+  /// dropped and counted instead. Returns false iff dropped.
+  bool Publish(const Event& event);
+
+  /// Drains the queue, writes the final bus_close accounting record,
+  /// flushes, and joins the writer. Idempotent. After Close() further
+  /// Publish() calls are counted as dropped.
+  void Close();
+
+  EventBusStats stats() const;
+
+ private:
+  void WriterLoop();
+  void WriteEvent(std::ostream& os, const Event& event);
+
+  Options options_;
+  std::unique_ptr<std::ostream> owned_os_;  // file mode
+  std::ostream* os_ = nullptr;              // either owned_os_ or caller's
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next slot to consume
+  std::size_t size_ = 0;  // queued events
+  bool closing_ = false;  // guarded by mu_
+
+  std::mutex close_mu_;   // serializes Close() end-to-end
+  bool closed_ = false;   // guarded by close_mu_
+
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> written_{0};
+
+  std::thread writer_;
+};
+
+/// Process-wide bus used by ambient emission sites (the sweep engine,
+/// ModelCache, journal recovery). Null when no --events-out is active;
+/// emission sites must treat null as "off". The installer owns the bus
+/// and must Uninstall (or install nullptr) before destroying it.
+EventBus* ProcessEventBus();
+void SetProcessEventBus(EventBus* bus);
+
+/// True when an ambient bus is installed -- the one-load fast gate.
+inline bool EventsOn() { return ProcessEventBus() != nullptr; }
+
+/// Publishes to the ambient bus when installed; no-op otherwise.
+void Emit(const Event& event);
+
+/// Validates a JSON-lines event file: every line one JSON object with
+/// a known string "ev" and numeric "ts_us"; job-scoped kinds carry a
+/// numeric "job"; the last line is a bus_close record whose `written`
+/// equals the number of preceding lines. Returns true and fills
+/// `*num_events` (excluding bus_close) and `*num_dropped`; on failure
+/// returns false with a line-annotated message in `*error`.
+bool ValidateEventFile(const std::string& text, std::size_t* num_events,
+                       std::uint64_t* num_dropped, std::string* error);
+
+}  // namespace ds::telemetry

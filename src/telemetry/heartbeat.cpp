@@ -1,0 +1,118 @@
+#include "telemetry/heartbeat.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/event_bus.hpp"
+
+namespace ds::telemetry {
+
+HeartbeatReporter::HeartbeatReporter(
+    std::function<HeartbeatSnapshot()> sampler, Options options)
+    : sampler_(std::move(sampler)), options_(std::move(options)) {
+  // Plain throws, not DS_REQUIRE: telemetry sits below ds_util and must
+  // not call back into the contracts machinery.
+  if (sampler_ == nullptr)
+    throw std::invalid_argument("HeartbeatReporter: null sampler");
+  if (!(options_.period_ms > 0.0 && options_.period_ms <= 60000.0))
+    throw std::invalid_argument("HeartbeatReporter: period " +
+                                std::to_string(options_.period_ms) +
+                                " ms out of (0, 60000]");
+  thread_ = std::thread([this] { Loop(); });
+}
+
+HeartbeatReporter::~HeartbeatReporter() { Stop(); }
+
+void HeartbeatReporter::Stop() {
+  // Serialized end-to-end: a concurrent second caller waits until the
+  // first has joined the thread and written the final line.
+  const std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final snapshot from the caller's thread, after the loop is done:
+  // short runs always record at least one heartbeat, and the status
+  // line ends in a newline instead of a dangling \r.
+  ReportOnce(/*final_line=*/true);
+  stopped_ = true;
+}
+
+std::size_t HeartbeatReporter::beats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return beats_;
+}
+
+std::string HeartbeatReporter::StatusLine(const std::string& label,
+                                          const HeartbeatSnapshot& snap,
+                                          double rows_per_s, double eta_s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[%s] %zu/%zu done (%zu in flight, %zu quarantined) | "
+                "%.1f rows/s | ETA %.2f s",
+                label.c_str(), snap.jobs_done, snap.jobs_total,
+                snap.jobs_in_flight, snap.jobs_quarantined, rows_per_s,
+                eta_s);
+  return buf;
+}
+
+void HeartbeatReporter::Loop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      options_.period_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
+    lock.unlock();
+    ReportOnce(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void HeartbeatReporter::ReportOnce(bool final_line) {
+  const HeartbeatSnapshot snap = sampler_();
+  const double rows_per_s =
+      snap.elapsed_s > 0.0
+          ? static_cast<double>(snap.jobs_done) / snap.elapsed_s
+          : 0.0;
+  const std::size_t remaining =
+      snap.jobs_total > snap.jobs_done ? snap.jobs_total - snap.jobs_done
+                                       : 0;
+  const double eta_s =
+      rows_per_s > 0.0 ? static_cast<double>(remaining) / rows_per_s : 0.0;
+
+  if (options_.emit_events && EventsOn()) {
+    Event e = MakeEvent(EventKind::kHeartbeat);
+    e.AddField("done", static_cast<double>(snap.jobs_done));
+    e.AddField("total", static_cast<double>(snap.jobs_total));
+    e.AddField("in_flight", static_cast<double>(snap.jobs_in_flight));
+    e.AddField("quarantined", static_cast<double>(snap.jobs_quarantined));
+    e.AddField("retries", static_cast<double>(snap.retries));
+    e.AddField("rows_per_s", rows_per_s);
+    e.AddField("eta_s", eta_s);
+    e.AddField("cache_hits", static_cast<double>(snap.cache_hits));
+    e.AddField("cache_misses", static_cast<double>(snap.cache_misses));
+    e.AddField("cache_bytes", static_cast<double>(snap.cache_bytes));
+    Emit(e);
+  }
+
+  if (options_.progress != nullptr) {
+    // One overwritten line while running; sealed with \n at the end.
+    *options_.progress << '\r'
+                       << StatusLine(options_.label, snap, rows_per_s,
+                                     eta_s);
+    if (final_line) *options_.progress << '\n';
+    options_.progress->flush();
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++beats_;
+}
+
+}  // namespace ds::telemetry

@@ -1,0 +1,99 @@
+// Periodic progress reporting for long-running sweeps: one sampler
+// thread that, every period, pulls a snapshot from the run (a callback
+// supplied by the engine -- this layer knows nothing about sweeps),
+// publishes it as a "heartbeat" event on the ambient EventBus, and
+// optionally renders a single carriage-return status line
+//
+//   [sweep] 42/70 done (3 in flight, 1 quarantined) | 618.2 rows/s | ETA 0.05 s
+//
+// to a caller-provided stream (--progress hands it stderr; the library
+// itself never touches a process stream -- see the ds_lint raw-stderr
+// rule).
+//
+// Like every telemetry component, the reporter observes and never
+// steers: snapshots read atomics published by the workers, so results
+// stay byte-identical with the heartbeat on or off, and a slow or
+// blocked output stream delays only the reporter thread, never a
+// worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ds::telemetry {
+
+/// One progress observation. The sampler fills what it knows; rate and
+/// ETA are derived by the reporter from successive snapshots.
+struct HeartbeatSnapshot {
+  std::size_t jobs_total = 0;
+  std::size_t jobs_done = 0;        // completed in this run + resumed
+  std::size_t jobs_in_flight = 0;   // attempts currently executing
+  std::size_t jobs_quarantined = 0;
+  std::uint64_t retries = 0;        // attempts beyond first, so far
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes = 0;
+  double elapsed_s = 0.0;           // wall time since run start
+};
+
+class HeartbeatReporter {
+ public:
+  struct Options {
+    /// Sampling period. 500 ms keeps a human-readable cadence while
+    /// adding two snapshots per second of pure atomic loads.
+    double period_ms = 500.0;
+    /// Status-line sink; nullptr disables rendering (events only).
+    std::ostream* progress = nullptr;
+    /// Label prefixed to the status line (the sweep name).
+    std::string label = "sweep";
+    /// Publish heartbeat events on the ambient EventBus.
+    bool emit_events = true;
+  };
+
+  /// Starts the reporter thread; `sampler` is called from that thread
+  /// only. Stop() (or destruction) emits one final snapshot so short
+  /// runs still record at least one heartbeat.
+  HeartbeatReporter(std::function<HeartbeatSnapshot()> sampler,
+                    Options options);
+  ~HeartbeatReporter();
+
+  HeartbeatReporter(const HeartbeatReporter&) = delete;
+  HeartbeatReporter& operator=(const HeartbeatReporter&) = delete;
+
+  /// Final sample + status line (newline-terminated), then joins the
+  /// thread. Idempotent.
+  void Stop();
+
+  /// Snapshots taken so far (monotonic; tests).
+  std::size_t beats() const;
+
+  /// Renders the status line for `snap` (exposed for tests).
+  static std::string StatusLine(const std::string& label,
+                                const HeartbeatSnapshot& snap,
+                                double rows_per_s, double eta_s);
+
+ private:
+  void Loop();
+  void ReportOnce(bool final_line);
+
+  std::function<HeartbeatSnapshot()> sampler_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;      // guarded by mu_
+  std::size_t beats_ = 0;  // guarded by mu_
+
+  std::mutex stop_mu_;     // serializes Stop() end-to-end
+  bool stopped_ = false;   // guarded by stop_mu_
+
+  std::thread thread_;
+};
+
+}  // namespace ds::telemetry

@@ -1,9 +1,12 @@
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace ds::telemetry {
@@ -28,6 +31,35 @@ void AtomicAdd(std::atomic<double>& a, double v) {
   double cur = a.load(std::memory_order_relaxed);
   while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
+}
+
+// Maps a dotted registry name ("sweep.jobs.completed") onto the
+// OpenMetrics charset and namespaces it under ds_.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "ds_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// HELP text escaping per the OpenMetrics ABNF: backslash and newline.
+std::string OpenMetricsHelp(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+void AppendSampleValue(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
 }
 
 }  // namespace
@@ -200,11 +232,202 @@ void MetricsRegistry::PrintNonZero(std::ostream& os) const {
   }
 }
 
+void MetricsRegistry::DumpOpenMetrics(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string om = OpenMetricsName(name);
+    os << "# TYPE " << om << " counter\n";
+    os << "# HELP " << om << " source metric '" << OpenMetricsHelp(name)
+       << "'\n";
+    os << om << "_total ";
+    AppendSampleValue(os, static_cast<double>(c->value()));
+    os << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string om = OpenMetricsName(name);
+    os << "# TYPE " << om << " gauge\n";
+    os << "# HELP " << om << " source metric '" << OpenMetricsHelp(name)
+       << "'\n";
+    os << om << " ";
+    AppendSampleValue(os, g->value());
+    os << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string om = OpenMetricsName(name);
+    os << "# TYPE " << om << " histogram\n";
+    os << "# HELP " << om << " source metric '" << OpenMetricsHelp(name)
+       << "'\n";
+    const std::vector<double>& bounds = h->bounds();
+    const std::vector<std::uint64_t> buckets = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += buckets[i];
+      os << om << "_bucket{le=\"";
+      AppendSampleValue(os, bounds[i]);
+      os << "\"} " << cumulative << "\n";
+    }
+    cumulative += buckets[bounds.size()];  // overflow bucket
+    os << om << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << om << "_sum ";
+    AppendSampleValue(os, h->sum());
+    os << "\n";
+    // Derived from the same bucket read as +Inf so a concurrent
+    // Record() can never make the exposition internally inconsistent.
+    os << om << "_count " << cumulative << "\n";
+  }
+  os << "# EOF\n";
+}
+
 void MetricsRegistry::ResetValues() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+bool ValidateOpenMetrics(const std::string& text, std::string* error) {
+  auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr)
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    return false;
+  };
+  auto valid_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) return false;
+    }
+    return !(s[0] >= '0' && s[0] <= '9');
+  };
+
+  std::string family;       // current # TYPE family name
+  std::string family_type;  // "counter" | "gauge" | "histogram"
+  bool saw_eof = false;
+  bool family_sampled = false;
+  std::uint64_t prev_bucket = 0;
+  bool have_inf_bucket = false;
+  double inf_bucket = 0.0;
+  bool have_count = false;
+  double count_value = 0.0;
+
+  auto close_family = [&](std::size_t line_no) {
+    if (!family.empty() && !family_sampled)
+      return fail(line_no, "family '" + family + "' declared but has no samples");
+    if (family_type == "histogram") {
+      if (!have_inf_bucket)
+        return fail(line_no, "histogram '" + family + "' missing +Inf bucket");
+      if (!have_count)
+        return fail(line_no, "histogram '" + family + "' missing _count");
+      if (inf_bucket != count_value)  // ds_lint: allow(float-equals)
+        return fail(line_no, "histogram '" + family +
+                                 "' +Inf bucket != _count");
+    }
+    return true;
+  };
+
+  std::size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (saw_eof) return fail(line_no, "content after # EOF");
+    if (line.empty()) return fail(line_no, "empty line");
+    if (line == "# EOF") {
+      if (!close_family(line_no)) return false;
+      saw_eof = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string::npos)
+        return fail(line_no, "malformed # TYPE line");
+      const std::string name = rest.substr(0, sp);
+      const std::string type = rest.substr(sp + 1);
+      if (!valid_name(name))
+        return fail(line_no, "invalid metric name '" + name + "'");
+      if (type != "counter" && type != "gauge" && type != "histogram")
+        return fail(line_no, "unsupported metric type '" + type + "'");
+      if (!close_family(line_no)) return false;
+      family = name;
+      family_type = type;
+      family_sampled = false;
+      prev_bucket = 0;
+      have_inf_bucket = false;
+      have_count = false;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line[0] == '#') return fail(line_no, "unknown comment directive");
+
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of(" {");
+    if (name_end == std::string::npos)
+      return fail(line_no, "malformed sample line");
+    const std::string name = line.substr(0, name_end);
+    if (!valid_name(name))
+      return fail(line_no, "invalid sample name '" + name + "'");
+    std::string labels;
+    std::size_t value_begin = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos)
+        return fail(line_no, "unterminated label set");
+      labels = line.substr(name_end + 1, close - name_end - 1);
+      value_begin = close + 1;
+    }
+    if (value_begin >= line.size() || line[value_begin] != ' ')
+      return fail(line_no, "missing sample value");
+    const std::string value_text = line.substr(value_begin + 1);
+    double value = 0.0;
+    try {
+      std::size_t used = 0;
+      value = std::stod(value_text, &used);
+      if (used != value_text.size()) throw std::invalid_argument("trail");
+    } catch (const std::exception&) {
+      return fail(line_no, "non-numeric sample value '" + value_text + "'");
+    }
+    if (family.empty())
+      return fail(line_no, "sample before any # TYPE declaration");
+    if (name.rfind(family, 0) != 0)
+      return fail(line_no, "sample '" + name + "' outside family '" +
+                               family + "'");
+    const std::string suffix = name.substr(family.size());
+    if (family_type == "counter") {
+      if (suffix != "_total")
+        return fail(line_no, "counter sample must be '" + family +
+                                 "_total', got '" + name + "'");
+      if (value < 0.0) return fail(line_no, "negative counter value");
+    } else if (family_type == "gauge") {
+      if (!suffix.empty())
+        return fail(line_no, "gauge sample must be exactly '" + family +
+                                 "', got '" + name + "'");
+    } else {  // histogram
+      if (suffix == "_bucket") {
+        if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"')
+          return fail(line_no, "histogram bucket without le label");
+        const auto bucket = static_cast<std::uint64_t>(value);
+        if (family_sampled && bucket < prev_bucket)
+          return fail(line_no, "histogram buckets not cumulative");
+        prev_bucket = bucket;
+        if (labels == "le=\"+Inf\"") {
+          have_inf_bucket = true;
+          inf_bucket = value;
+        }
+      } else if (suffix == "_sum") {
+        // any finite value
+      } else if (suffix == "_count") {
+        have_count = true;
+        count_value = value;
+      } else {
+        return fail(line_no, "unknown histogram sample '" + name + "'");
+      }
+    }
+    family_sampled = true;
+  }
+  if (!saw_eof) return fail(line_no, "missing terminal # EOF line");
+  return true;
 }
 
 MetricsRegistry& Registry() {

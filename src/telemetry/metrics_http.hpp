@@ -1,0 +1,61 @@
+// Minimal embedded HTTP listener exposing the metrics registry in
+// OpenMetrics text format, the scrape plane behind `darksilicon sweep
+// --metrics-port N`:
+//
+//   GET /metrics  -> 200, DumpOpenMetrics() exposition
+//   GET /healthz  -> 200, "ok\n" (liveness: the serve thread is up)
+//   anything else -> 404
+//
+// Scope is deliberately tiny: one accept thread, one request per
+// connection, loopback only (binds 127.0.0.1 -- this is a local
+// observability tap, not a service). Serving reads the same atomics
+// the workers bump, so a scrape never perturbs the sweep; a slow or
+// stalled client can delay at most other *scrapes*, never a worker.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace ds::telemetry {
+
+class MetricsHttpServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (tests) --
+    /// read the bound port back with port().
+    std::uint16_t port = 0;
+  };
+
+  /// Binds and starts the serve thread. Throws std::runtime_error when
+  /// the socket cannot be created or bound (e.g. port in use).
+  MetricsHttpServer() : MetricsHttpServer(Options()) {}
+  explicit MetricsHttpServer(Options options);
+
+  /// Stop()s if the caller did not.
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Shuts the listener down and joins the serve thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves ephemeral requests).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void HandleClient(int client_fd);
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() unblocks poll()
+  std::uint16_t port_ = 0;
+
+  std::mutex stop_mu_;    // serializes Stop() end-to-end
+  bool stopped_ = false;  // guarded by stop_mu_
+
+  std::thread thread_;
+};
+
+}  // namespace ds::telemetry

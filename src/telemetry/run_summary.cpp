@@ -60,6 +60,12 @@ void RunSummary::Print(std::ostream& os) const {
   if (sweep_retries > 0) line("sweep retries", sweep_retries);
   if (sweep_timeouts > 0) line("sweep timeouts", sweep_timeouts);
   if (sweep_quarantined > 0) line("jobs quarantined", sweep_quarantined);
+  if (journal_corrupt_records > 0)
+    line("journal corrupt recs", journal_corrupt_records);
+  if (journal_truncated_bytes > 0)
+    line("journal torn bytes", journal_truncated_bytes);
+  if (journal_dedup_drops > 0)
+    line("journal dedup drops", journal_dedup_drops);
   if (cache_evictions > 0) line("cache evictions", cache_evictions);
   if (cache_bytes > 0)
     line("cache bytes", cache_bytes / (1024.0 * 1024.0), " MiB");
@@ -67,6 +73,55 @@ void RunSummary::Print(std::ostream& os) const {
   if (trace_events_dropped > 0)
     line("trace events dropped", trace_events_dropped);
   os.unsetf(std::ios::fixed);
+}
+
+void RunSummary::WriteJson(std::ostream& os) const {
+  os.precision(17);
+  bool first = true;
+  const auto field = [&](const char* name, double value) {
+    os << (first ? "\n  " : ",\n  ") << "\"" << name << "\": " << value;
+    first = false;
+  };
+  os << "{";
+  field("sim_time_s", sim_time_s);
+  field("wall_time_s", wall_time_s);
+  field("epochs", static_cast<double>(epochs));
+  field("control_steps", static_cast<double>(control_steps));
+  field("jobs_arrived", static_cast<double>(jobs_arrived));
+  field("jobs_completed", static_cast<double>(jobs_completed));
+  field("jobs_requeued", static_cast<double>(jobs_requeued));
+  field("peak_temp_c", peak_temp_c);
+  field("time_above_tdtm_s", time_above_tdtm_s);
+  field("avg_gips", avg_gips);
+  field("avg_power_w", avg_power_w);
+  field("sensor_fallbacks", static_cast<double>(sensor_fallbacks));
+  field("solver_retries", static_cast<double>(solver_retries));
+  field("cores_failed", static_cast<double>(cores_failed));
+  field("safe_state_s", safe_state_s);
+  field("lu_solves", static_cast<double>(lu_solves));
+  field("trace_events", static_cast<double>(trace_events));
+  field("trace_events_dropped",
+        static_cast<double>(trace_events_dropped));
+  field("propagator_steps", static_cast<double>(propagator_steps));
+  field("lu_kernel_steps", static_cast<double>(lu_kernel_steps));
+  field("hold_steps", static_cast<double>(hold_steps));
+  field("lu_fallbacks", static_cast<double>(lu_fallbacks));
+  field("sweep_retries", static_cast<double>(sweep_retries));
+  field("sweep_timeouts", static_cast<double>(sweep_timeouts));
+  field("sweep_quarantined", static_cast<double>(sweep_quarantined));
+  field("cache_evictions", static_cast<double>(cache_evictions));
+  field("cache_bytes", static_cast<double>(cache_bytes));
+  field("sweep_jobs_total", static_cast<double>(sweep_jobs_total));
+  field("sweep_jobs_executed", static_cast<double>(sweep_jobs_executed));
+  field("sweep_jobs_resumed", static_cast<double>(sweep_jobs_resumed));
+  field("sweep_jobs_failed", static_cast<double>(sweep_jobs_failed));
+  field("journal_corrupt_records",
+        static_cast<double>(journal_corrupt_records));
+  field("journal_truncated_bytes",
+        static_cast<double>(journal_truncated_bytes));
+  field("journal_dedup_drops",
+        static_cast<double>(journal_dedup_drops));
+  os << "\n}\n";
 }
 
 }  // namespace ds::telemetry

@@ -62,12 +62,33 @@ struct RunSummary {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_bytes = 0;
 
+  // Sweep job accounting (filled by the sweep CLI from SweepStats;
+  // independent of the telemetry gate).
+  std::size_t sweep_jobs_total = 0;
+  std::size_t sweep_jobs_executed = 0;
+  std::size_t sweep_jobs_resumed = 0;
+  std::size_t sweep_jobs_failed = 0;
+
+  // Journal recovery accounting (filled from SweepStats): CRC-failed
+  // records skipped, torn-tail bytes truncated, duplicate job records
+  // dropped last-record-wins on resume. Previously these surfaced only
+  // as stderr notes; the summary (and its JSON form) is the durable
+  // record.
+  std::uint64_t journal_corrupt_records = 0;
+  std::uint64_t journal_truncated_bytes = 0;
+  std::uint64_t journal_dedup_drops = 0;
+
   /// Fills lu_solves/trace_events*/kernel-path counts from the live
   /// registry and trace collector (no-op values when telemetry is
   /// disabled).
   void CollectTelemetry();
 
   void Print(std::ostream& os) const;
+
+  /// Machine-readable form (--summary-json): one flat JSON object with
+  /// every field, including zeros, so downstream join tools (ds_report)
+  /// never have to guess whether a counter was absent or zero.
+  void WriteJson(std::ostream& os) const;
 };
 
 }  // namespace ds::telemetry

@@ -112,6 +112,12 @@ class ScopedTimer {
   ds::telemetry::ScopedSpan DS_TELEM_CAT(ds_telem_s_, __LINE__)(          \
       cat, name, level, arg_name, arg_value)
 
+/// Span with two numeric arguments (correlation fields: job + attempt).
+#define DS_TELEM_SPAN_ARG2(cat, name, level, arg0_name, arg0_value,       \
+                           arg1_name, arg1_value)                         \
+  ds::telemetry::ScopedSpan DS_TELEM_CAT(ds_telem_s_, __LINE__)(          \
+      cat, name, level, arg0_name, arg0_value, arg1_name, arg1_value)
+
 #else  // !DS_TELEMETRY_COMPILED_IN
 
 #define DS_TELEM_COUNT(name, n) \
@@ -126,6 +132,9 @@ class ScopedTimer {
 #define DS_TELEM_TIMER(name) static_cast<void>(0)
 #define DS_TELEM_SPAN(cat, name, level) static_cast<void>(0)
 #define DS_TELEM_SPAN_ARG(cat, name, level, arg_name, arg_value) \
+  static_cast<void>(0)
+#define DS_TELEM_SPAN_ARG2(cat, name, level, arg0_name, arg0_value, \
+                           arg1_name, arg1_value)                   \
   static_cast<void>(0)
 
 #endif  // DS_TELEMETRY_COMPILED_IN

@@ -148,6 +148,14 @@ class MetricsRegistry {
   /// harness snapshot reporting).
   void PrintNonZero(std::ostream& os) const;
 
+  /// Dumps every metric in OpenMetrics text format (what the
+  /// --metrics-port HTTP endpoint serves at /metrics). Dotted names
+  /// are sanitized to [a-zA-Z0-9_:] and prefixed `ds_`; the original
+  /// name is preserved in the HELP line. Counters emit `<name>_total`,
+  /// histograms emit cumulative `_bucket{le="..."}` series plus
+  /// `_sum`/`_count`, and the exposition ends with `# EOF`.
+  void DumpOpenMetrics(std::ostream& os) const;
+
   /// Zeroes every metric value. References stay valid (call sites
   /// cache them in function-local statics); intended for tests and the
   /// bench harness between figures.
@@ -162,5 +170,13 @@ class MetricsRegistry {
 
 /// The process-wide registry every instrumentation macro records into.
 MetricsRegistry& Registry();
+
+/// Validates an OpenMetrics text exposition (trace_check --openmetrics,
+/// CI /metrics smoke): every sample belongs to a declared # TYPE
+/// family with the right suffix for its type, histogram buckets are
+/// cumulative with a +Inf bucket equal to _count, and the last line is
+/// `# EOF`. Returns true on success; on failure returns false with a
+/// line-annotated message in `*error`.
+bool ValidateOpenMetrics(const std::string& text, std::string* error);
 
 }  // namespace ds::telemetry

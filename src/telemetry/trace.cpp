@@ -181,11 +181,14 @@ void EmitInstant(const char* cat, const char* name, TraceLevel level,
 // or non-finite value is legal to record.
 // ds_lint: allow(missing-contract)
 ScopedSpan::ScopedSpan(const char* cat, const char* name, TraceLevel level,
-                       const char* arg0_name, double arg0)
+                       const char* arg0_name, double arg0,
+                       const char* arg1_name, double arg1)
     : cat_(cat),
       name_(name),
       arg0_name_(arg0_name),
       arg0_(arg0),
+      arg1_name_(arg1_name),
+      arg1_(arg1),
       start_us_(0),
       active_(TraceOn(level)) {
   if (active_) start_us_ = TraceNowUs();
@@ -201,6 +204,8 @@ ScopedSpan::~ScopedSpan() {
   e.dur_us = TraceNowUs() - start_us_;
   e.arg0_name = arg0_name_;
   e.arg0 = arg0_;
+  e.arg1_name = arg1_name_;
+  e.arg1 = arg1_;
   ThreadTraceBuffer().Emit(e);
 }
 

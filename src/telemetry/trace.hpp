@@ -113,11 +113,14 @@ void EmitInstant(const char* cat, const char* name, TraceLevel level,
                  const char* arg1_name = nullptr, double arg1 = 0.0);
 
 /// RAII span: emits one 'X' complete event covering its lifetime.
-/// Costs two clock reads when active, one branch when not.
+/// Costs two clock reads when active, one branch when not. The second
+/// argument pair exists for correlation fields (job index + attempt),
+/// so Perfetto can line a retry chain up against its chaos injections.
 class ScopedSpan {
  public:
   ScopedSpan(const char* cat, const char* name, TraceLevel level,
-             const char* arg0_name = nullptr, double arg0 = 0.0);
+             const char* arg0_name = nullptr, double arg0 = 0.0,
+             const char* arg1_name = nullptr, double arg1 = 0.0);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -128,6 +131,8 @@ class ScopedSpan {
   const char* name_;
   const char* arg0_name_;
   double arg0_;
+  const char* arg1_name_;
+  double arg1_;
   std::int64_t start_us_;
   bool active_;
 };

@@ -17,7 +17,10 @@
 //
 // Nodes: 16nm | 11nm | 8nm (paper platforms: 100/198/361 cores).
 #include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "apps/app_profile.hpp"
@@ -32,6 +35,8 @@
 #include "runtime/sweep_engine.hpp"
 #include "runtime/sweep_spec.hpp"
 #include "sim/chip_sim.hpp"
+#include "telemetry/event_bus.hpp"
+#include "telemetry/metrics_http.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/scoped.hpp"
 #include "telemetry/telemetry.hpp"
@@ -74,13 +79,18 @@ int Usage() {
       "      [--chaos-fail r] [--chaos-delay r] [--chaos-delay-ms t]\n"
       "      [--chaos-seed n] [--chaos-max-faulty-attempts k]\n"
       "      [--chaos-log-csv path]\n"
+      "      [--events-out path] [--progress] [--heartbeat-ms t]\n"
+      "      [--metrics-port p] [--summary-json path]\n"
+      "      [--trace-out path] [--trace-level off|decision|span|verbose]\n"
       "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
       "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
       "densest; fault rates are per control step (per core where\n"
       "applicable), 0 disables the class; --metrics-out / --trace-out\n"
       "enable the telemetry subsystem (--trace-out opens in Perfetto);\n"
       "chaos rates are per job attempt (transient failure / delay\n"
-      "injection into the sweep executor)\n";
+      "injection into the sweep executor); --events-out streams\n"
+      "JSON-lines job-lifecycle events; --metrics-port serves live\n"
+      "OpenMetrics on 127.0.0.1 at /metrics (+ /healthz), 0 = ephemeral\n";
   return 2;
 }
 
@@ -412,8 +422,16 @@ int CmdSim(const util::ArgParser& args) {
 int CmdSweep(const util::ArgParser& args) {
   if (args.positionals().size() < 2) return Usage();
 
+  // Telemetry is opt-in: any metrics/trace output (or the live
+  // endpoint) switches the registry on for the run.
   const std::string metrics_path = args.GetString("metrics-out");
-  if (!metrics_path.empty()) telemetry::SetEnabled(true);
+  const std::string trace_path = args.GetString("trace-out");
+  const bool serve_metrics = args.Has("metrics-port");
+  if (!metrics_path.empty() || !trace_path.empty() || serve_metrics) {
+    telemetry::SetEnabled(true);
+    telemetry::SetTraceLevel(
+        TraceLevelByName(args.GetString("trace-level", "span")));
+  }
 
   const runtime::SweepSpec spec =
       runtime::SweepSpec::FromJsonFile(args.positionals()[1]);
@@ -439,6 +457,35 @@ int CmdSweep(const util::ArgParser& args) {
         static_cast<std::size_t>(args.GetInt("chaos-max-faulty-attempts", 1));
   opts.chaos.enabled =
       opts.chaos.fail_rate > 0.0 || opts.chaos.delay_rate > 0.0;
+  if (args.Has("progress")) opts.progress_stream = &std::cerr;
+  opts.heartbeat_ms = args.GetDouble("heartbeat-ms", 500.0);
+
+  // The event bus outlives the ambient-pointer guard below
+  // (declaration order), so the pointer is always uninstalled --
+  // even on exception unwind -- before the bus itself is destroyed.
+  const std::string events_path = args.GetString("events-out");
+  std::unique_ptr<telemetry::EventBus> events;
+  struct AmbientBusGuard {
+    bool active = false;
+    ~AmbientBusGuard() {
+      if (active) telemetry::SetProcessEventBus(nullptr);
+    }
+  };
+  AmbientBusGuard bus_guard;
+  if (!events_path.empty()) {
+    events = std::make_unique<telemetry::EventBus>(events_path);
+    telemetry::SetProcessEventBus(events.get());
+    bus_guard.active = true;
+  }
+
+  std::unique_ptr<telemetry::MetricsHttpServer> http;
+  if (serve_metrics) {
+    telemetry::MetricsHttpServer::Options ho;
+    ho.port = static_cast<std::uint16_t>(args.GetInt("metrics-port", 0));
+    http = std::make_unique<telemetry::MetricsHttpServer>(ho);
+    std::cerr << "metrics endpoint: http://127.0.0.1:" << http->port()
+              << "/metrics\n";
+  }
 
   runtime::SweepEngine engine(spec, opts);
   const runtime::SweepOutcome out = engine.Run();
@@ -473,10 +520,12 @@ int CmdSweep(const util::ArgParser& args) {
     std::cerr << "resilience: " << s.retries_total << " retries over "
               << s.jobs_retried << " jobs, " << s.jobs_timed_out
               << " timed out, " << s.jobs_quarantined << " quarantined\n";
-  if (s.journal_corrupt_records > 0 || s.journal_truncated_bytes > 0)
+  if (s.journal_corrupt_records > 0 || s.journal_truncated_bytes > 0 ||
+      s.journal_dedup_drops > 0)
     std::cerr << "journal recovery: " << s.journal_corrupt_records
               << " corrupt records skipped, " << s.journal_truncated_bytes
-              << " torn bytes truncated\n";
+              << " torn bytes truncated, " << s.journal_dedup_drops
+              << " duplicate records dropped\n";
   std::cerr << "contract violations: " << ds::contracts::ViolationCount()
             << "\n";
   for (const runtime::JobResult& r : out.results)
@@ -488,6 +537,40 @@ int CmdSweep(const util::ArgParser& args) {
   if (!metrics_path.empty()) {
     telemetry::Registry().WriteCsv(metrics_path);
     std::cerr << "metrics written to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    telemetry::WriteChromeTrace(trace_path);
+    std::cerr << "trace written to " << trace_path
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+
+  const std::string summary_path = args.GetString("summary-json");
+  if (!summary_path.empty()) {
+    telemetry::RunSummary summary;
+    summary.title = "sweep " + spec.name();
+    summary.wall_time_s = s.wall_s;
+    summary.sweep_jobs_total = s.jobs_total;
+    summary.sweep_jobs_executed = s.jobs_executed;
+    summary.sweep_jobs_resumed = s.jobs_resumed;
+    summary.sweep_jobs_failed = s.jobs_failed;
+    summary.journal_corrupt_records = s.journal_corrupt_records;
+    summary.journal_truncated_bytes = s.journal_truncated_bytes;
+    summary.journal_dedup_drops = s.journal_dedup_drops;
+    summary.CollectTelemetry();
+    std::ofstream f(summary_path);
+    if (!f) throw std::runtime_error("cannot open " + summary_path);
+    summary.WriteJson(f);
+    std::cerr << "summary written to " << summary_path << "\n";
+  }
+
+  if (http != nullptr) http->Stop();
+  if (events != nullptr) {
+    telemetry::SetProcessEventBus(nullptr);
+    bus_guard.active = false;
+    events->Close();
+    const telemetry::EventBusStats es = events->stats();
+    std::cerr << "events: " << es.written << " written, " << es.dropped
+              << " dropped -> " << events_path << "\n";
   }
   return s.jobs_failed > 0 ? 1 : 0;
 }

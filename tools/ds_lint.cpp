@@ -15,6 +15,12 @@
 //   io-in-library     printf/std::cout/std::cerr in library code.
 //                     Libraries report through return values, telemetry
 //                     or exceptions; only tools/ and benches print.
+//   raw-stderr        `stderr`/`stdout`/`std::clog`/`perror` in
+//                     src/runtime or src/telemetry. These are the two
+//                     layers that own structured reporting (the event
+//                     bus, metrics, RunSummary); a raw stream write
+//                     there bypasses the drop-accounted observability
+//                     plane and tears the --progress status line.
 //   naked-new         `new`/`delete` expressions. Ownership must go
 //                     through std::unique_ptr/std::make_unique; the few
 //                     intentional leaks (function-local singletons) are
@@ -355,6 +361,40 @@ void RuleIoInLibrary(const std::string& path, const CleanSource& src,
       findings->push_back({path, line_no + 1, "io-in-library",
                            "library code must not print; return data or "
                            "use telemetry"});
+    }
+  }
+}
+
+/// Flags raw stream handles in the two structured-reporting layers.
+/// src/runtime and src/telemetry own the observability plane (event
+/// bus, metrics, heartbeat); anything they report must flow through it
+/// -- a stray fprintf(stderr, ...) is unaccounted, unparseable, and
+/// interleaves with the `\r`-rewritten --progress line. Streams handed
+/// in by the caller (std::ostream* parameters) are fine; the rule only
+/// matches the global handles.
+void RuleRawStderr(const std::string& path, const CleanSource& src,
+                   std::vector<Finding>* findings) {
+  const bool scoped = path.find("/runtime/") != std::string::npos ||
+                      path.rfind("runtime/", 0) == 0 ||
+                      path.find("/telemetry/") != std::string::npos ||
+                      path.rfind("telemetry/", 0) == 0;
+  if (!scoped) return;
+  const std::string& t = src.text;
+  static const std::string_view kHandles[] = {"stderr", "stdout", "std::clog",
+                                              "perror"};
+  for (const std::string_view pat : kHandles) {
+    for (std::size_t pos = t.find(pat); pos != std::string::npos;
+         pos = t.find(pat, pos + 1)) {
+      if (pos > 0 && (IsIdentChar(t[pos - 1]) || t[pos - 1] == ':')) continue;
+      const std::size_t end = pos + pat.size();
+      if (end < t.size() && (IsIdentChar(t[end]) || t[end] == ':')) continue;
+      const std::size_t line_no = LineOf(t, pos);
+      if (Allowed(src, line_no, "raw-stderr")) continue;
+      findings->push_back(
+          {path, line_no + 1, "raw-stderr",
+           std::string(pat) +
+               " in a structured-reporting layer; emit through the event "
+               "bus / telemetry, or take a std::ostream* from the caller"});
     }
   }
 }
@@ -707,6 +747,7 @@ void LintFile(const fs::path& path, std::vector<Finding>* findings) {
   RuleBareAssert(p, src, findings);
   RuleFloatEquals(p, src, findings);
   RuleIoInLibrary(p, src, findings);
+  RuleRawStderr(p, src, findings);
   RuleNakedNew(p, src, findings);
   RuleMissingContract(p, src, findings);
   RuleStaticMutable(p, src, findings);

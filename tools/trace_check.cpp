@@ -1,43 +1,109 @@
-// trace_check -- validates a Chrome trace_event JSON file.
+// trace_check -- validates telemetry output files.
 //
 // Usage: trace_check <trace.json>
+//        trace_check --events <events.jsonl>
+//        trace_check --openmetrics <metrics.txt>
 //
-// Parses the file with the telemetry JSON reader and applies the same
-// structural checks Perfetto needs (traceEvents array, per-event name /
-// ph / ts fields). Exit 0 and a one-line summary on success; exit 1
-// with the parse error otherwise. CI runs this against the trace the
-// `darksilicon sim --trace-out` smoke test produced.
+// Default mode parses a Chrome trace_event JSON file with the telemetry
+// JSON reader and applies the same structural checks Perfetto needs
+// (traceEvents array, per-event name / ph / ts fields). `--events`
+// validates a JSON-lines job-lifecycle event file (known kinds,
+// correlation fields, terminal bus_close accounting record).
+// `--openmetrics` validates an OpenMetrics exposition (family
+// structure, counter/histogram suffixes, cumulative buckets, `# EOF`).
+// Exit 0 and a one-line summary on success; exit 1 with the error
+// otherwise. CI runs all three modes against the artifacts the
+// `darksilicon sim` / `sweep` smoke tests produce.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "telemetry/event_bus.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: trace_check <trace.json>\n";
-    return 2;
-  }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::cerr << "trace_check: cannot open " << argv[1] << "\n";
-    return 1;
-  }
+namespace {
+
+int Usage() {
+  std::cerr << "usage: trace_check <trace.json>\n"
+               "       trace_check --events <events.jsonl>\n"
+               "       trace_check --openmetrics <metrics.txt>\n";
+  return 2;
+}
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
 
+int CheckTrace(const char* path, const std::string& text) {
   std::size_t num_events = 0;
   std::string error;
-  if (!ds::telemetry::ValidateChromeTrace(buf.str(), &num_events, &error)) {
-    std::cerr << "trace_check: " << argv[1] << ": " << error << "\n";
+  if (!ds::telemetry::ValidateChromeTrace(text, &num_events, &error)) {
+    std::cerr << "trace_check: " << path << ": " << error << "\n";
     return 1;
   }
   if (num_events == 0) {
-    std::cerr << "trace_check: " << argv[1] << ": trace has no events\n";
+    std::cerr << "trace_check: " << path << ": trace has no events\n";
     return 1;
   }
-  std::cout << "trace_check: " << argv[1] << ": OK (" << num_events
+  std::cout << "trace_check: " << path << ": OK (" << num_events
             << " events)\n";
   return 0;
+}
+
+int CheckEvents(const char* path, const std::string& text) {
+  std::size_t num_events = 0;
+  std::uint64_t num_dropped = 0;
+  std::string error;
+  if (!ds::telemetry::ValidateEventFile(text, &num_events, &num_dropped,
+                                        &error)) {
+    std::cerr << "trace_check: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "trace_check: " << path << ": OK (" << num_events
+            << " events, " << num_dropped << " dropped)\n";
+  return 0;
+}
+
+int CheckOpenMetrics(const char* path, const std::string& text) {
+  std::string error;
+  if (!ds::telemetry::ValidateOpenMetrics(text, &error)) {
+    std::cerr << "trace_check: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "trace_check: " << path << ": OK (OpenMetrics)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::string mode = "trace";
+  if (argc == 2) {
+    path = argv[1];
+  } else if (argc == 3 && std::string(argv[1]) == "--events") {
+    mode = "events";
+    path = argv[2];
+  } else if (argc == 3 && std::string(argv[1]) == "--openmetrics") {
+    mode = "openmetrics";
+    path = argv[2];
+  } else {
+    return Usage();
+  }
+
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::cerr << "trace_check: cannot open " << path << "\n";
+    return 1;
+  }
+  if (mode == "events") return CheckEvents(path, text);
+  if (mode == "openmetrics") return CheckOpenMetrics(path, text);
+  return CheckTrace(path, text);
 }
