@@ -25,22 +25,28 @@ std::uint64_t Mix(std::uint64_t x) {
 
 void CancelToken::Cancel() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     cancelled_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool CancelToken::cancelled() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return cancelled_;
 }
 
 bool CancelToken::SleepFor(double duration_ms) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (duration_ms <= 0.0) return !cancelled_;
-  const auto duration = std::chrono::duration<double, std::milli>(duration_ms);
-  return !cv_.wait_for(lock, duration, [this] { return cancelled_; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(duration_ms));
+  while (!cancelled_) {
+    if (cv_.WaitUntil(lock, deadline)) return !cancelled_;
+  }
+  return false;
 }
 
 void ChaosConfig::Validate() const {

@@ -17,13 +17,13 @@
 // by the closed-loop simulator.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 
 #include "faults/fault_injector.hpp"
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::faults {
 
@@ -41,9 +41,9 @@ class CancelToken {
   bool SleepFor(double duration_ms) const;
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  bool cancelled_ = false;
+  mutable Mutex mu_{locks::kCancelToken};
+  mutable CondVar cv_;
+  bool cancelled_ DS_GUARDED_BY(mu_) = false;
 };
 
 /// Chaos scenario description for `darksilicon sweep --chaos-*`.

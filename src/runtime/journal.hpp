@@ -61,7 +61,9 @@ const char* JournalSyncName(JournalSync sync);
 
 /// Append-side of the journal: framed records with the configured
 /// durability. Not internally synchronized -- the engine serializes
-/// appends under its journal mutex.
+/// appends under its journal mutex (SweepEngine's journal_mu at
+/// locks::kJournal; the writer pointer is DS_PT_GUARDED_BY it, so the
+/// thread-safety analysis rejects an unserialized Append).
 class JournalWriter {
  public:
   static constexpr std::size_t kSyncBatchRecords = 16;

@@ -76,7 +76,7 @@ std::shared_ptr<ModelCache::Entry> ModelCache::GetEntry(
   std::shared_ptr<Entry> entry;
   bool created = false;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     std::shared_ptr<Entry>& slot = entries_[std::move(key)];
     if (!slot) {
       slot = std::make_shared<Entry>();
@@ -140,7 +140,7 @@ void ModelCache::EnforceBudget(const Entry* pinned) {
   std::vector<std::shared_ptr<Entry>> dropped;
   std::vector<std::pair<std::uint64_t, std::size_t>> evicted;  // hash, bytes
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     struct Candidate {
       std::map<std::vector<double>, std::shared_ptr<Entry>>::iterator it;
       std::size_t size = 0;
@@ -205,7 +205,7 @@ double ModelCache::TspForEntry(const arch::Platform& platform, std::size_t m,
                /*count_stats=*/false);
   const std::pair<char, std::size_t> key{kind, m};
   {
-    const std::lock_guard<std::mutex> lock(entry->tsp_mu);
+    const ds::MutexLock lock(entry->tsp_mu);
     const auto it = entry->tsp.find(key);
     if (it != entry->tsp.end()) {
       tsp_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +217,7 @@ double ModelCache::TspForEntry(const arch::Platform& platform, std::size_t m,
   DS_TELEM_COUNT("modelcache.tsp_misses", 1);
   const core::Tsp tsp(platform);
   const double budget = kind == 'w' ? tsp.WorstCase(m) : tsp.BestCase(m);
-  const std::lock_guard<std::mutex> lock(entry->tsp_mu);
+  const ds::MutexLock lock(entry->tsp_mu);
   entry->tsp.emplace(key, budget);
   return budget;
 }
@@ -233,18 +233,18 @@ double ModelCache::TspBestCase(const arch::Platform& platform,
 }
 
 void ModelCache::Clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   entries_.clear();
   bytes_.store(0, std::memory_order_relaxed);
 }
 
 void ModelCache::set_budget_bytes(std::size_t bytes) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   budget_bytes_ = bytes;
 }
 
 std::size_t ModelCache::budget_bytes() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   return budget_bytes_;
 }
 

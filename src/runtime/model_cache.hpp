@@ -39,6 +39,9 @@
 #include <mutex>
 #include <vector>
 
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
+
 #include "arch/platform.hpp"
 #include "thermal/floorplan.hpp"
 #include "thermal/propagator.hpp"
@@ -113,11 +116,15 @@ class ModelCache {
     std::once_flag once;
     ThermalAssets assets;
     std::atomic<bool> built{false};  // assets valid (set after call_once)
-    std::uint64_t last_use = 0;      // guarded by ModelCache::mu_
+    // Guarded by the *enclosing* ModelCache::mu_ -- a nested struct
+    // cannot name the outer capability, so this one stays a comment
+    // contract (every access site sits under a MutexLock on mu_).
+    std::uint64_t last_use = 0;
     std::uint64_t key_hash = 0;      // content-key hash (event correlation)
-    std::mutex tsp_mu;
+    /// Taken only after ModelCache::mu_ is released, never beneath it.
+    Mutex tsp_mu{locks::kModelCacheEntry};
     // ('w' | 'b', active count) -> budget [W/core]
-    std::map<std::pair<char, std::size_t>, double> tsp;
+    std::map<std::pair<char, std::size_t>, double> tsp DS_GUARDED_BY(tsp_mu);
   };
 
   std::shared_ptr<Entry> GetEntry(const thermal::Floorplan& fp,
@@ -135,10 +142,11 @@ class ModelCache {
   /// until the budget fits. Updates bytes_ and the telemetry gauge.
   void EnforceBudget(const Entry* pinned);
 
-  mutable std::mutex mu_;
-  std::map<std::vector<double>, std::shared_ptr<Entry>> entries_;
-  std::size_t budget_bytes_ = 0;  // guarded by mu_; 0 = unlimited
-  std::uint64_t use_counter_ = 0;  // guarded by mu_
+  mutable Mutex mu_{locks::kModelCache};
+  std::map<std::vector<double>, std::shared_ptr<Entry>> entries_
+      DS_GUARDED_BY(mu_);
+  std::size_t budget_bytes_ DS_GUARDED_BY(mu_) = 0;   // 0 = unlimited
+  std::uint64_t use_counter_ DS_GUARDED_BY(mu_) = 0;  // LRU clock
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> tsp_hits_{0};

@@ -2,6 +2,12 @@
 // parallel execution with CSV/JSON emission. (The checkpoint journal
 // lives in runtime/journal.hpp.)
 //
+// Concurrency: nothing here owns a lock. Each worker writes only its
+// own index's JobResult slot (disjoint by construction), and emission
+// happens after the pool joins -- the lock-free exception to the
+// annotated-mutex regime of util/thread_annotations.hpp, safe because
+// the engine's join provides the happens-before edge.
+//
 // Determinism contract: a row is a pure function of its job's spec
 // parameters, so the emitted CSV/JSON is byte-identical for any thread
 // count. Rows are keyed by job index and emitted in index order; wall

@@ -4,11 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "runtime/scenarios.hpp"
@@ -16,8 +14,10 @@
 #include "telemetry/heartbeat.hpp"
 #include "telemetry/scoped.hpp"
 #include "util/contracts.hpp"
+#include "util/lock_levels.hpp"
 #include "util/lu.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::runtime {
 
@@ -43,11 +43,16 @@ std::uint64_t Mix(std::uint64_t x) {
 /// FIFO from the front. Coarse-grained (one mutex per deque) is plenty:
 /// jobs are milliseconds-to-seconds, so queue ops are noise.
 struct WorkerQueue {
-  std::mutex mu;
-  std::deque<std::size_t> jobs;  // job indices
+  ds::Mutex mu{ds::locks::kSweepQueue};
+  std::deque<std::size_t> jobs DS_GUARDED_BY(mu);  // job indices
+
+  void PushFront(std::size_t index) {
+    const ds::MutexLock lock(mu);
+    jobs.push_front(index);
+  }
 
   bool PopBack(std::size_t* out) {
-    const std::lock_guard<std::mutex> lock(mu);
+    const ds::MutexLock lock(mu);
     if (jobs.empty()) return false;
     *out = jobs.back();
     jobs.pop_back();
@@ -55,7 +60,7 @@ struct WorkerQueue {
   }
 
   bool StealFront(std::size_t* out) {
-    const std::lock_guard<std::mutex> lock(mu);
+    const ds::MutexLock lock(mu);
     if (jobs.empty()) return false;
     *out = jobs.front();
     jobs.pop_front();
@@ -70,22 +75,28 @@ struct WorkerQueue {
 class Watchdog {
  public:
   Watchdog(std::size_t workers, double deadline_ms)
-      : slots_(workers), deadline_ms_(deadline_ms) {
+      : deadline_ms_(deadline_ms) {
+    {
+      // The scanner thread starts below; locking keeps the guarded
+      // write visible to the thread-safety analysis.
+      const ds::MutexLock lock(mu_);
+      slots_.resize(workers);
+    }
     thread_ = std::thread([this] { Loop(); });
   }
 
   ~Watchdog() {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const ds::MutexLock lock(mu_);
       shutdown_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     thread_.join();
   }
 
   void Begin(std::size_t worker,
              std::shared_ptr<faults::CancelToken> token) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     slots_[worker].token = std::move(token);
     slots_[worker].deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -94,7 +105,7 @@ class Watchdog {
   }
 
   void End(std::size_t worker) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     slots_[worker].token.reset();
   }
 
@@ -107,15 +118,21 @@ class Watchdog {
   void Loop() {
     // Tick fast enough that a cancellation lands well inside the
     // deadline's own order of magnitude, but never busier than 1 kHz.
-    const auto tick = std::chrono::duration<double, std::milli>(
-        std::clamp(deadline_ms_ / 4.0, 1.0, 50.0));
-    std::unique_lock<std::mutex> lock(mu_);
+    const auto tick = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(
+            std::clamp(deadline_ms_ / 4.0, 1.0, 50.0)));
+    ds::MutexLock lock(mu_);
     while (!shutdown_) {
-      cv_.wait_for(lock, tick, [this] { return shutdown_; });
+      const auto wake = Clock::now() + tick;
+      while (!shutdown_) {
+        if (cv_.WaitUntil(lock, wake)) break;  // tick elapsed
+      }
       if (shutdown_) return;
       const auto now = Clock::now();
       for (Slot& slot : slots_) {
         if (slot.token != nullptr && now >= slot.deadline) {
+          // Cancel() takes the token's own leaf-level mutex beneath
+          // mu_ (kWatchdog -> kCancelToken, descending).
           slot.token->Cancel();
           slot.token.reset();  // cancel once; worker will End() anyway
         }
@@ -123,11 +140,11 @@ class Watchdog {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Slot> slots_;
+  ds::Mutex mu_{ds::locks::kWatchdog};
+  ds::CondVar cv_;
+  std::vector<Slot> slots_ DS_GUARDED_BY(mu_);
   double deadline_ms_;
-  bool shutdown_ = false;
+  bool shutdown_ DS_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -147,15 +164,15 @@ struct SharedState {
   double backoff_ms = 0.0;
   Watchdog* watchdog = nullptr;  // null when job_deadline_ms == 0
   const faults::ChaosInjector* chaos = nullptr;
-  std::mutex chaos_log_mu;
-  faults::FaultLog* chaos_log = nullptr;
+  ds::Mutex chaos_log_mu{ds::locks::kChaosLog};
+  faults::FaultLog* chaos_log DS_PT_GUARDED_BY(chaos_log_mu) = nullptr;
   std::atomic<std::size_t> jobs_retried{0};
   std::atomic<std::size_t> jobs_timed_out{0};
   std::atomic<std::size_t> jobs_quarantined{0};
   std::atomic<std::uint64_t> retries_total{0};
 
-  std::mutex journal_mu;
-  JournalWriter* journal = nullptr;
+  ds::Mutex journal_mu{ds::locks::kJournal};
+  JournalWriter* journal DS_PT_GUARDED_BY(journal_mu) = nullptr;
 
   // Observability: engine-emitted job-lifecycle events (resolved from
   // SweepOptions::events or the ambient bus) and the in-flight gauge
@@ -231,7 +248,7 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
               state.chaos->Decide(index, attempt - 1);
           if ((decision.fail || decision.delay) &&
               state.chaos_log != nullptr) {
-            const std::lock_guard<std::mutex> lock(state.chaos_log_mu);
+            const ds::MutexLock lock(state.chaos_log_mu);
             faults::ChaosInjector::LogDecision(*state.chaos_log, decision,
                                                index, attempt - 1);
           }
@@ -315,7 +332,7 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
       std::chrono::duration<double, std::milli>(Clock::now() - start)
           .count();
   if (state.journal != nullptr) {
-    const std::lock_guard<std::mutex> lock(state.journal_mu);
+    const ds::MutexLock lock(state.journal_mu);
     state.journal->Append(JournalLine(result));
   }
   if (state.events != nullptr) {
@@ -432,7 +449,7 @@ SweepOutcome SweepEngine::Run() {
 
   std::vector<WorkerQueue> queues(threads);
   for (std::size_t i = 0; i < pending.size(); ++i)
-    queues[i % threads].jobs.push_front(pending[i]);
+    queues[i % threads].PushFront(pending[i]);
   // push_front + owner PopBack => each worker drains its slice in
   // ascending index order, matching the serial engine's traversal.
 

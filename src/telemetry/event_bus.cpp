@@ -106,13 +106,21 @@ EventBus::EventBus(const std::string& path, Options options)
                              "'");
   owned_os_ = std::move(file);
   os_ = owned_os_.get();
-  ring_.resize(options_.capacity == 0 ? 1 : options_.capacity);
+  {
+    // No concurrency yet (the writer starts below); locking keeps the
+    // guarded-field write visible to the thread-safety analysis.
+    const ds::MutexLock lock(mu_);
+    ring_.resize(options_.capacity == 0 ? 1 : options_.capacity);
+  }
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
 EventBus::EventBus(std::ostream& os, Options options) : options_(options) {
   os_ = &os;
-  ring_.resize(options_.capacity == 0 ? 1 : options_.capacity);
+  {
+    const ds::MutexLock lock(mu_);
+    ring_.resize(options_.capacity == 0 ? 1 : options_.capacity);
+  }
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -120,29 +128,33 @@ EventBus::~EventBus() { Close(); }
 
 bool EventBus::Publish(const Event& event) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     if (closing_ || size_ == ring_.size()) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     ring_[(head_ + size_) % ring_.size()] = event;
     ++size_;
+    // Counted under mu_ so published == written + dropped holds at
+    // every instant, not just at quiescence: bumping it after the
+    // unlock left a window where the writer could drain (and count)
+    // the event before the publisher recorded it.
+    published_.fetch_add(1, std::memory_order_relaxed);
   }
-  published_.fetch_add(1, std::memory_order_relaxed);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void EventBus::Close() {
   // Serialized end-to-end: a second closer waits here until the first
   // has joined the writer and sealed the file, then returns.
-  const std::lock_guard<std::mutex> close_lock(close_mu_);
+  const ds::MutexLock close_lock(close_mu_);
   if (closed_) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     closing_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   writer_.join();
   closed_ = true;
   // The writer drained everything before exiting; append the final
@@ -170,8 +182,8 @@ void EventBus::WriterLoop() {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return size_ > 0 || closing_; });
+      ds::MutexLock lock(mu_);
+      while (size_ == 0 && !closing_) cv_.Wait(lock);
       while (size_ > 0 && batch.size() < batch.capacity()) {
         batch.push_back(ring_[head_]);
         head_ = (head_ + 1) % ring_.size();

@@ -33,15 +33,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::telemetry {
 
@@ -150,15 +151,16 @@ class EventBus {
   std::unique_ptr<std::ostream> owned_os_;  // file mode
   std::ostream* os_ = nullptr;              // either owned_os_ or caller's
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Event> ring_;
-  std::size_t head_ = 0;  // next slot to consume
-  std::size_t size_ = 0;  // queued events
-  bool closing_ = false;  // guarded by mu_
+  mutable Mutex mu_{locks::kEventBus};
+  CondVar cv_;
+  std::vector<Event> ring_ DS_GUARDED_BY(mu_);
+  std::size_t head_ DS_GUARDED_BY(mu_) = 0;  // next slot to consume
+  std::size_t size_ DS_GUARDED_BY(mu_) = 0;  // queued events
+  bool closing_ DS_GUARDED_BY(mu_) = false;
 
-  std::mutex close_mu_;   // serializes Close() end-to-end
-  bool closed_ = false;   // guarded by close_mu_
+  /// Serializes Close() end-to-end; always acquired before mu_.
+  Mutex close_mu_{locks::kShutdown};
+  bool closed_ DS_GUARDED_BY(close_mu_) = false;
 
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> dropped_{0};

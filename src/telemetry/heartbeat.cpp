@@ -30,13 +30,13 @@ HeartbeatReporter::~HeartbeatReporter() { Stop(); }
 void HeartbeatReporter::Stop() {
   // Serialized end-to-end: a concurrent second caller waits until the
   // first has joined the thread and written the final line.
-  const std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  const ds::MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
   // Final snapshot from the caller's thread, after the loop is done:
   // short runs always record at least one heartbeat, and the status
@@ -46,7 +46,7 @@ void HeartbeatReporter::Stop() {
 }
 
 std::size_t HeartbeatReporter::beats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   return beats_;
 }
 
@@ -64,14 +64,21 @@ std::string HeartbeatReporter::StatusLine(const std::string& label,
 }
 
 void HeartbeatReporter::Loop() {
-  const auto period = std::chrono::duration<double, std::milli>(
-      options_.period_ms);
-  std::unique_lock<std::mutex> lock(mu_);
+  const auto period =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(options_.period_ms));
   for (;;) {
-    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
-    lock.unlock();
+    {
+      ds::MutexLock lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() + period;
+      while (!stop_) {
+        if (cv_.WaitUntil(lock, deadline)) break;  // period elapsed
+      }
+      if (stop_) return;
+    }
+    // Sampling and rendering happen outside mu_ -- a blocked progress
+    // stream must never make Stop() wait on anything but the period.
     ReportOnce(/*final_line=*/false);
-    lock.lock();
   }
 }
 
@@ -111,7 +118,7 @@ void HeartbeatReporter::ReportOnce(bool final_line) {
     options_.progress->flush();
   }
 
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   ++beats_;
 }
 

@@ -17,14 +17,15 @@
 // worker.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::telemetry {
 
@@ -85,13 +86,14 @@ class HeartbeatReporter {
   std::function<HeartbeatSnapshot()> sampler_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;      // guarded by mu_
-  std::size_t beats_ = 0;  // guarded by mu_
+  mutable Mutex mu_{locks::kHeartbeat};
+  CondVar cv_;
+  bool stop_ DS_GUARDED_BY(mu_) = false;
+  std::size_t beats_ DS_GUARDED_BY(mu_) = 0;
 
-  std::mutex stop_mu_;     // serializes Stop() end-to-end
-  bool stopped_ = false;   // guarded by stop_mu_
+  /// Serializes Stop() end-to-end; always acquired before mu_.
+  Mutex stop_mu_{locks::kShutdown};
+  bool stopped_ DS_GUARDED_BY(stop_mu_) = false;
 
   std::thread thread_;
 };

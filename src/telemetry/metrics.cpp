@@ -150,14 +150,14 @@ std::vector<double> TimeBucketBoundsUs() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -165,14 +165,14 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 std::vector<MetricRow> MetricsRegistry::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   std::vector<MetricRow> rows;
   for (const auto& [name, c] : counters_)
     rows.push_back({name, "counter", "value",
@@ -233,7 +233,7 @@ void MetricsRegistry::PrintNonZero(std::ostream& os) const {
 }
 
 void MetricsRegistry::DumpOpenMetrics(std::ostream& os) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) {
     const std::string om = OpenMetricsName(name);
     os << "# TYPE " << om << " counter\n";
@@ -279,7 +279,7 @@ void MetricsRegistry::DumpOpenMetrics(std::ostream& os) const {
 }
 
 void MetricsRegistry::ResetValues() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
@@ -319,7 +319,7 @@ bool ValidateOpenMetrics(const std::string& text, std::string* error) {
         return fail(line_no, "histogram '" + family + "' missing +Inf bucket");
       if (!have_count)
         return fail(line_no, "histogram '" + family + "' missing _count");
-      if (inf_bucket != count_value)  // ds_lint: allow(float-equals)
+      if (inf_bucket != count_value)
         return fail(line_no, "histogram '" + family +
                                  "' +Inf bucket != _count");
     }

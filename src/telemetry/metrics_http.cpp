@@ -7,16 +7,23 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 #include "telemetry/telemetry.hpp"
 
 namespace ds::telemetry {
 
 namespace {
+
+/// Thread-safe strerror: std::strerror writes into shared static
+/// storage (clang-tidy concurrency-mt-unsafe); the error_code route
+/// formats without it.
+std::string ErrnoText(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
 
 /// Sends the whole buffer, tolerating short writes; MSG_NOSIGNAL so a
 /// client hangup surfaces as EPIPE instead of killing the process.
@@ -47,7 +54,7 @@ MetricsHttpServer::MetricsHttpServer(Options options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
     throw std::runtime_error("MetricsHttpServer: socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             ErrnoText(errno));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -57,7 +64,7 @@ MetricsHttpServer::MetricsHttpServer(Options options) {
   addr.sin_port = htons(options.port);
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = ErrnoText(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error(
@@ -65,7 +72,7 @@ MetricsHttpServer::MetricsHttpServer(Options options) {
         std::to_string(options.port) + ": " + why);
   }
   if (::listen(listen_fd_, 16) != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = ErrnoText(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("MetricsHttpServer: listen() failed: " + why);
@@ -78,7 +85,7 @@ MetricsHttpServer::MetricsHttpServer(Options options) {
   port_ = ntohs(bound.sin_port);
 
   if (::pipe(wake_pipe_) != 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = ErrnoText(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("MetricsHttpServer: pipe() failed: " + why);
@@ -90,7 +97,7 @@ MetricsHttpServer::MetricsHttpServer(Options options) {
 MetricsHttpServer::~MetricsHttpServer() { Stop(); }
 
 void MetricsHttpServer::Stop() {
-  const std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  const ds::MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
   const char wake = 'x';
   // Best-effort: the pipe is empty so one byte always fits.

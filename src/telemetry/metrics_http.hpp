@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <thread>
+
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::telemetry {
 
@@ -48,12 +50,18 @@ class MetricsHttpServer {
   void ServeLoop();
   void HandleClient(int client_fd);
 
+  // Shutdown audit (the poll+self-pipe handoff): listen_fd_ and
+  // wake_pipe_ are written by the constructor before the serve thread
+  // exists and not touched again until Stop() has joined it, so every
+  // cross-thread access is ordered by thread creation or join -- no
+  // capability needed. Stop() itself writes them under stop_mu_.
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() unblocks poll()
-  std::uint16_t port_ = 0;
+  std::uint16_t port_ = 0;       // written once in the constructor
 
-  std::mutex stop_mu_;    // serializes Stop() end-to-end
-  bool stopped_ = false;  // guarded by stop_mu_
+  /// Serializes Stop() end-to-end.
+  Mutex stop_mu_{locks::kShutdown};
+  bool stopped_ DS_GUARDED_BY(stop_mu_) = false;
 
   std::thread thread_;
 };

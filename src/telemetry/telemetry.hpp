@@ -22,9 +22,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
 
 // Compile-time gate: build with -DDS_TELEMETRY_COMPILED_IN=0 to strip
 // every instrumentation macro from the binary.
@@ -162,10 +164,14 @@ class MetricsRegistry {
   void ResetValues();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The metric objects themselves are atomic-only; mu_ guards the maps
+  // (creation on first use). Returned references outlive the lock by
+  // design -- unique_ptr keeps them stable across rehashing.
+  mutable Mutex mu_{locks::kMetrics};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ DS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DS_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every instrumentation macro records into.

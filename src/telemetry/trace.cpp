@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::telemetry {
 namespace {
@@ -17,8 +19,8 @@ std::atomic<std::size_t> g_buffer_capacity{65536};
 // (threads may outlive the collector's view of them); the mutex guards
 // registration and export only, never emission.
 struct BufferRegistry {
-  std::mutex mu;
-  std::vector<TraceBuffer*> buffers;
+  ds::Mutex mu{ds::locks::kTraceRegistry};
+  std::vector<TraceBuffer*> buffers DS_GUARDED_BY(mu);
 };
 
 BufferRegistry& Buffers() {
@@ -148,7 +150,7 @@ TraceBuffer& ThreadTraceBuffer() {
     auto* b = new TraceBuffer(  // ds_lint: allow(naked-new)
         g_buffer_capacity.load(std::memory_order_relaxed));
     BufferRegistry& reg = Buffers();
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const ds::MutexLock lock(reg.mu);
     reg.buffers.push_back(b);
     return b;
   }();
@@ -211,7 +213,7 @@ ScopedSpan::~ScopedSpan() {
 
 std::uint64_t TotalDroppedEvents() {
   BufferRegistry& reg = Buffers();
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const ds::MutexLock lock(reg.mu);
   std::uint64_t total = 0;
   for (const TraceBuffer* b : reg.buffers) total += b->dropped();
   return total;
@@ -219,7 +221,7 @@ std::uint64_t TotalDroppedEvents() {
 
 std::size_t TotalTraceEvents() {
   BufferRegistry& reg = Buffers();
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const ds::MutexLock lock(reg.mu);
   std::size_t total = 0;
   for (const TraceBuffer* b : reg.buffers) total += b->size();
   return total;
@@ -233,7 +235,7 @@ void WriteChromeTrace(std::ostream& os) {
   std::vector<Tagged> all;
   {
     BufferRegistry& reg = Buffers();
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const ds::MutexLock lock(reg.mu);
     int tid = 1;
     for (const TraceBuffer* b : reg.buffers) {
       for (const TraceEvent& e : b->Snapshot()) all.push_back({e, tid});
@@ -270,7 +272,7 @@ void WriteChromeTrace(const std::string& path) {
 
 void ClearTrace() {
   BufferRegistry& reg = Buffers();
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const ds::MutexLock lock(reg.mu);
   for (TraceBuffer* b : reg.buffers) b->Clear();
 }
 

@@ -104,7 +104,7 @@ StepPropagator::HoldOperator StepPropagator::Compose(
 std::shared_ptr<const StepPropagator::HoldOperator> StepPropagator::Hold(
     std::size_t k) const {
   DS_REQUIRE(k >= 1, "StepPropagator::Hold: k must be >= 1");
-  const std::lock_guard<std::mutex> lock(hold_mu_);
+  const ds::MutexLock lock(hold_mu_);
   const auto it = holds_.find(k);
   if (it != holds_.end()) {
     DS_TELEM_COUNT("thermal.hold_op_hits", 1);
@@ -149,7 +149,7 @@ std::shared_ptr<const StepPropagator::HoldOperator> StepPropagator::Hold(
 
 std::shared_ptr<const StepPropagator> PropagatorSet::For(const RcModel& model,
                                                          double dt_s) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   if (model_ == nullptr) {
     model_ = &model;
   } else {
@@ -167,7 +167,7 @@ std::shared_ptr<const StepPropagator> PropagatorSet::For(const RcModel& model,
 }
 
 std::size_t PropagatorSet::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const ds::MutexLock lock(mu_);
   return by_dt_.size();
 }
 
@@ -180,7 +180,7 @@ std::size_t StepPropagator::ApproxBytes() const {
   std::size_t bytes =
       sizeof(double) * (m_state_.rows() * m_state_.cols() +
                         m_in_.rows() * m_in_.cols() + c_amb_.size());
-  const std::lock_guard<std::mutex> lock(hold_mu_);
+  const ds::MutexLock lock(hold_mu_);
   std::set<const HoldOperator*> seen;
   for (const auto& hold : pow2_)
     if (hold != nullptr && seen.insert(hold.get()).second)
@@ -196,7 +196,7 @@ std::size_t StepPropagator::ApproxBytes() const {
 std::size_t PropagatorSet::ApproxBytes() const {
   std::vector<std::shared_ptr<const StepPropagator>> props;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const ds::MutexLock lock(mu_);
     props.reserve(by_dt_.size());
     for (const auto& [dt, prop] : by_dt_) {
       (void)dt;

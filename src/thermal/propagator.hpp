@@ -41,7 +41,9 @@
 #include <vector>
 
 #include "thermal/rc_model.hpp"
+#include "util/lock_levels.hpp"
 #include "util/matrix.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ds::thermal {
 
@@ -101,9 +103,11 @@ class StepPropagator {
   util::Matrix m_in_;
   std::vector<double> c_amb_;
 
-  mutable std::mutex hold_mu_;
-  mutable std::vector<std::shared_ptr<const HoldOperator>> pow2_;
-  mutable std::map<std::size_t, std::shared_ptr<const HoldOperator>> holds_;
+  mutable Mutex hold_mu_{locks::kPropagator};
+  mutable std::vector<std::shared_ptr<const HoldOperator>> pow2_
+      DS_GUARDED_BY(hold_mu_);
+  mutable std::map<std::size_t, std::shared_ptr<const HoldOperator>> holds_
+      DS_GUARDED_BY(hold_mu_);
 };
 
 /// Thread-safe dt -> StepPropagator cache for one RcModel. Platforms
@@ -126,9 +130,10 @@ class PropagatorSet {
   std::size_t ApproxBytes() const;
 
  private:
-  mutable std::mutex mu_;
-  mutable const RcModel* model_ = nullptr;
-  mutable std::map<double, std::shared_ptr<const StepPropagator>> by_dt_;
+  mutable Mutex mu_{locks::kPropagator};
+  mutable const RcModel* model_ DS_GUARDED_BY(mu_) = nullptr;
+  mutable std::map<double, std::shared_ptr<const StepPropagator>> by_dt_
+      DS_GUARDED_BY(mu_);
 };
 
 }  // namespace ds::thermal

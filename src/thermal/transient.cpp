@@ -23,7 +23,9 @@ bool AllFinite(std::span<const double> v) {
 /// for A/B runs; otherwise kAuto stays kAuto (lazy upgrade).
 StepKernel ResolveKernel(StepKernel requested) {
   if (requested != StepKernel::kAuto) return requested;
-  const char* env = std::getenv("DS_THERMAL_KERNEL");
+  // Read-only env lookup; nothing in this process calls setenv, so the
+  // getenv data race concurrency-mt-unsafe guards against cannot occur.
+  const char* env = std::getenv("DS_THERMAL_KERNEL");  // NOLINT(concurrency-mt-unsafe)
   if (env != nullptr) {
     const std::string_view name(env);
     if (name == "lu") return StepKernel::kLu;
@@ -35,7 +37,6 @@ StepKernel ResolveKernel(StepKernel requested) {
 }  // namespace
 
 // dt_s is validated by the propagator / legacy system build below.
-// ds_lint: allow(missing-contract)
 TransientSimulator::TransientSimulator(
     const RcModel& model, double dt_s, StepKernel kernel,
     std::shared_ptr<const PropagatorSet> shared)

@@ -1,0 +1,171 @@
+// Clang Thread Safety Analysis annotations and the annotated mutex
+// wrappers every concurrent layer of the repo is required to use.
+//
+// The DS_* macros expand to Clang `capability` attributes when the
+// compiler supports them (-Wthread-safety turns them into compile-time
+// lock-discipline errors) and to nothing everywhere else, so GCC
+// builds see plain std::mutex semantics with zero overhead. The CI
+// `thread-safety` job compiles src/ with
+// `-Wthread-safety -Wthread-safety-beta -Werror`, which makes the
+// annotations an enforced contract rather than documentation.
+//
+// Conventions (see DESIGN.md section 13):
+//   - Library code never declares a raw std::mutex / std::shared_mutex
+//     / std::condition_variable; it uses ds::Mutex / ds::CondVar. The
+//     ds_lint `unannotated-mutex` rule enforces this textually so the
+//     rule holds even for GCC-only builds.
+//   - Every field a mutex protects carries DS_GUARDED_BY(mu_) (or
+//     DS_PT_GUARDED_BY for the pointee of a shared pointer/handle).
+//   - Each long-lived mutex declares its level in the lock hierarchy
+//     (util/lock_levels.hpp); the ds_lint `lock-order` rule flags
+//     nested acquisitions that do not strictly descend.
+//   - Condition-variable predicates are written as explicit while
+//     loops in the caller (absl::CondVar style), never as predicate
+//     lambdas, so the analysis sees every guarded read under the lock
+//     that protects it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef DS_THREAD_ANNOTATION_ATTRIBUTE
+#define DS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability (lockable) type.
+#define DS_CAPABILITY(x) DS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define DS_SCOPED_CAPABILITY DS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field is protected by the given capability.
+#define DS_GUARDED_BY(x) DS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer/handle field whose *pointee* is protected by the capability
+/// (the pointer itself may be read freely, e.g. for null checks).
+#define DS_PT_GUARDED_BY(x) DS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define DS_REQUIRES(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define DS_ACQUIRE(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define DS_RELEASE(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; first argument is the
+/// return value that signals success.
+#define DS_TRY_ACQUIRE(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (anti-deadlock, e.g. on public
+/// entry points of a class whose methods lock internally).
+#define DS_EXCLUDES(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Documents acquisition order between mutexes (checked under
+/// -Wthread-safety-beta).
+#define DS_ACQUIRED_BEFORE(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define DS_ACQUIRED_AFTER(...) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the mutex that guards its result.
+#define DS_RETURN_CAPABILITY(x) \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// must carry a comment explaining why the analysis cannot see the
+/// synchronization (e.g. happens-before via thread join).
+#define DS_NO_THREAD_SAFETY_ANALYSIS \
+  DS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace ds {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated drop-in replacement for std::mutex. Same size, same
+/// cost: the optional hierarchy level is a pure declaration consumed
+/// by the ds_lint `lock-order` rule at lint time and discarded here.
+class DS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  /// Declares this mutex's level in the lock hierarchy (see
+  /// util/lock_levels.hpp). A thread holding a mutex at level L may
+  /// only acquire mutexes at levels strictly below L.
+  explicit Mutex(int /*level*/) noexcept {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DS_ACQUIRE() { mu_.lock(); }
+  void Unlock() DS_RELEASE() { mu_.unlock(); }
+  bool TryLock() DS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+
+  std::mutex mu_;  // ds_lint: allow(unannotated-mutex)
+};
+
+/// RAII scoped acquisition of a ds::Mutex; the only way library code
+/// takes a lock. Holds for the full scope -- there is deliberately no
+/// manual unlock/relock, which keeps the static analysis exact.
+class DS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() DS_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with ds::Mutex via MutexLock. Waits are
+/// predicate-free on purpose: callers loop `while (!cond) cv.Wait(l);`
+/// so every guarded read sits lexically under the MutexLock and the
+/// thread-safety analysis can check it (a predicate lambda would be
+/// analyzed as a lockless function and rejected).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically releases the lock and blocks until notified (or a
+  /// spurious wakeup); reacquires before returning.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// As Wait, but returns true if `deadline` passed without a
+  /// notification (the lock is reacquired either way).
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::timeout;
+  }
+
+ private:
+  std::condition_variable cv_;  // ds_lint: allow(unannotated-mutex)
+};
+
+}  // namespace ds

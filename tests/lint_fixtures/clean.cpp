@@ -1,0 +1,26 @@
+// ds_lint fixture: concurrency done by the book -- annotated mutexes
+// with a self-declared strictly-descending hierarchy, nested
+// acquisitions that follow it, and a thread the same stem joins. The
+// tests assert this file produces zero findings.
+
+namespace fixture {
+
+inline constexpr int kOuter = 50;
+inline constexpr int kInner = 10;
+
+struct Clean {
+  Mutex outer_mu{locks::kOuter};
+  Mutex inner_mu{locks::kInner};
+  std::thread worker;
+};
+
+void Nest(Clean& c) {
+  const MutexLock outer(c.outer_mu);
+  const MutexLock inner(c.inner_mu);
+}
+
+void Stop(Clean& c) {
+  if (c.worker.joinable()) c.worker.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// ds_lint fixture: a seeded lock-order inversion. The file declares
+// its own two-level hierarchy (the lock-order rule reads `constexpr
+// int kName` levels from any linted file, so fixtures are
+// self-contained) and then acquires against the grain. Never compiled;
+// only read by tests/test_ds_lint.cpp. Line numbers are asserted
+// exactly -- keep the layout stable.
+
+namespace fixture {
+
+inline constexpr int kHigh = 80;
+inline constexpr int kLow = 20;
+
+struct Pair {
+  Mutex high_mu{locks::kHigh};
+  Mutex low_mu{locks::kLow};
+};
+
+// Correct: strictly descending (80 -> 20).
+void Descending(Pair& p) {
+  const MutexLock outer(p.high_mu);
+  const MutexLock inner(p.low_mu);
+}
+
+// Inverted: acquires kHigh while holding kLow. The finding lands on
+// the inner acquisition (line 28).
+void Inverted(Pair& p) {
+  const MutexLock outer(p.low_mu);
+  const MutexLock inner(p.high_mu);
+}
+
+// Sequential (non-nested) acquisitions in one function are fine: the
+// first guard's scope closes before the second opens.
+void Sequential(Pair& p) {
+  {
+    const MutexLock outer(p.low_mu);
+  }
+  const MutexLock next(p.high_mu);
+}
+
+}  // namespace fixture

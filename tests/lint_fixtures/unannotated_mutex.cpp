@@ -1,0 +1,19 @@
+// ds_lint fixture: raw standard-library synchronization declarations.
+// Library code must declare ds::Mutex / ds::CondVar
+// (util/thread_annotations.hpp) so -Wthread-safety sees every
+// acquisition. Never compiled; line numbers are asserted exactly.
+
+namespace fixture {
+
+struct State {
+  std::mutex mu;                // finding: unannotated-mutex (line 9)
+  std::condition_variable cv;   // finding: unannotated-mutex (line 10)
+};
+
+// Template arguments and references are uses, not declarations -- the
+// rule must stay quiet on these.
+void Uses(std::mutex& external) {
+  std::unique_lock<std::mutex> lock(external);
+}
+
+}  // namespace fixture

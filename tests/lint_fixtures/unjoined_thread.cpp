@@ -1,0 +1,21 @@
+// ds_lint fixture: threads nobody joins. No file with this stem calls
+// .join(), so the declaration fires; the .detach() fires outright.
+// Never compiled; line numbers are asserted exactly.
+
+namespace fixture {
+
+struct Runner {
+  std::thread worker;           // finding: unjoined-thread (line 8)
+};
+
+void FireAndForget(Runner& r) {
+  r.worker.detach();            // finding: unjoined-thread (line 12)
+}
+
+// Temporaries, references and static member calls are not thread-owner
+// declarations -- the rule must stay quiet on these.
+unsigned Probe(std::thread& t) {
+  return std::thread::hardware_concurrency();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// ds_lint fixture: one stale suppression and one load-bearing one.
+// The allow(naked-new) on line 9 consumes the finding for the `new`
+// expression it sits on; the allow(io-in-library) on line 13 matches
+// nothing and must itself become an unused-suppression finding.
+// Never compiled; line numbers are asserted exactly.
+
+namespace fixture {
+
+double* Leak() { return new double(1.0); }  // ds_lint: allow(naked-new)
+
+int Answer() {
+  // ds_lint: allow(io-in-library)
+  return 42;
+}
+
+}  // namespace fixture

@@ -1,0 +1,184 @@
+// In-process tests for the ds_lint rule engine (tools/lint_core.*)
+// against tests/lint_fixtures/. Each fixture seeds one class of
+// violation and the tests assert the exact rule and line, so a rule
+// that silently stops firing (or starts over-firing) breaks the build
+// here rather than shipping a blind linter. The SARIF output is parsed
+// with the repository's own JSON parser.
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.hpp"
+#include "telemetry/json.hpp"
+
+namespace {
+
+using ds::lint::Finding;
+using ds::lint::LintPaths;
+using ds::lint::LintResult;
+
+std::string FixtureDir() { return DS_LINT_FIXTURE_DIR; }
+
+std::string Fixture(const std::string& name) {
+  return FixtureDir() + "/" + name;
+}
+
+TEST(DsLint, LockOrderInversionIsCaught) {
+  const LintResult r = LintPaths({Fixture("lock_order_inversion.cpp")});
+  ASSERT_EQ(r.findings.size(), 1u);
+  const Finding& f = r.findings[0];
+  EXPECT_EQ(f.rule, "lock-order");
+  EXPECT_EQ(f.line, 28u);
+  // The message names both mutexes and both levels, so the fix is
+  // actionable without opening lock_levels.hpp.
+  EXPECT_NE(f.message.find("high_mu"), std::string::npos);
+  EXPECT_NE(f.message.find("level 80"), std::string::npos);
+  EXPECT_NE(f.message.find("low_mu"), std::string::npos);
+  EXPECT_NE(f.message.find("level 20"), std::string::npos);
+}
+
+TEST(DsLint, UnannotatedMutexDeclarationsAreCaught) {
+  const LintResult r = LintPaths({Fixture("unannotated_mutex.cpp")});
+  ASSERT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.findings[0].rule, "unannotated-mutex");
+  EXPECT_EQ(r.findings[0].line, 9u);
+  EXPECT_NE(r.findings[0].message.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(r.findings[1].rule, "unannotated-mutex");
+  EXPECT_EQ(r.findings[1].line, 10u);
+  EXPECT_NE(r.findings[1].message.find("std::condition_variable"),
+            std::string::npos);
+}
+
+TEST(DsLint, UnjoinedThreadAndDetachAreCaught) {
+  const LintResult r = LintPaths({Fixture("unjoined_thread.cpp")});
+  ASSERT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.findings[0].rule, "unjoined-thread");
+  EXPECT_EQ(r.findings[0].line, 8u);
+  EXPECT_EQ(r.findings[1].rule, "unjoined-thread");
+  EXPECT_EQ(r.findings[1].line, 12u);
+  EXPECT_NE(r.findings[1].message.find("detach"), std::string::npos);
+}
+
+TEST(DsLint, UnusedSuppressionIsCaughtAndUsedOneIsNot) {
+  const LintResult r = LintPaths({Fixture("unused_suppression.cpp")});
+  // The allow(naked-new) on the Leak() line is consumed by the `new`
+  // it suppresses; only the stale allow(io-in-library) survives.
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "unused-suppression");
+  EXPECT_EQ(r.findings[0].line, 12u);
+  EXPECT_NE(r.findings[0].message.find("io-in-library"), std::string::npos);
+}
+
+TEST(DsLint, CleanFixtureIsClean) {
+  const LintResult r = LintPaths({Fixture("clean.cpp")});
+  EXPECT_EQ(r.files, 1u);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(DsLint, DirectoryScanAggregatesAndSorts) {
+  const LintResult r = LintPaths({FixtureDir()});
+  EXPECT_EQ(r.files, 5u);
+  EXPECT_EQ(r.findings.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(r.findings.begin(), r.findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               if (a.file != b.file) return a.file < b.file;
+                               return a.line <= b.line;
+                             }));
+}
+
+TEST(DsLint, MissingPathThrows) {
+  EXPECT_THROW(LintPaths({"/no/such/ds_lint_path"}), std::runtime_error);
+}
+
+TEST(DsLint, RuleTableCoversEveryEmittedRule) {
+  const LintResult r = LintPaths({FixtureDir()});
+  const std::vector<ds::lint::RuleInfo>& rules = ds::lint::Rules();
+  for (const Finding& f : r.findings) {
+    const bool known =
+        std::any_of(rules.begin(), rules.end(),
+                    [&](const ds::lint::RuleInfo& info) {
+                      return f.rule == info.id;
+                    });
+    EXPECT_TRUE(known) << "finding rule not in Rules(): " << f.rule;
+  }
+}
+
+TEST(DsLint, SarifIsValid210) {
+  const LintResult r = LintPaths({FixtureDir()});
+  const std::string sarif = ds::lint::ToSarif(r);
+  const ds::telemetry::JsonValue doc = ds::telemetry::ParseJson(sarif);
+  ASSERT_TRUE(doc.is_object());
+
+  const ds::telemetry::JsonValue* schema = doc.Find("$schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_NE(schema->str.find("sarif-2.1.0"), std::string::npos);
+  const ds::telemetry::JsonValue* version = doc.Find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->str, "2.1.0");
+
+  const ds::telemetry::JsonValue* runs = doc.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  ASSERT_EQ(runs->array.size(), 1u);
+  const ds::telemetry::JsonValue& run = runs->array[0];
+
+  const ds::telemetry::JsonValue* tool = run.Find("tool");
+  ASSERT_NE(tool, nullptr);
+  const ds::telemetry::JsonValue* driver = tool->Find("driver");
+  ASSERT_NE(driver, nullptr);
+  const ds::telemetry::JsonValue* name = driver->Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->str, "ds_lint");
+  const ds::telemetry::JsonValue* rules = driver->Find("rules");
+  ASSERT_NE(rules, nullptr);
+  ASSERT_TRUE(rules->is_array());
+  EXPECT_EQ(rules->array.size(), ds::lint::Rules().size());
+
+  const ds::telemetry::JsonValue* results = run.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_TRUE(results->is_array());
+  ASSERT_EQ(results->array.size(), r.findings.size());
+  for (std::size_t i = 0; i < results->array.size(); ++i) {
+    const ds::telemetry::JsonValue& res = results->array[i];
+    const ds::telemetry::JsonValue* rule_id = res.Find("ruleId");
+    ASSERT_NE(rule_id, nullptr);
+    EXPECT_EQ(rule_id->str, r.findings[i].rule);
+    // ruleIndex must point at the matching entry of the rules table.
+    const ds::telemetry::JsonValue* rule_index = res.Find("ruleIndex");
+    ASSERT_NE(rule_index, nullptr);
+    ASSERT_TRUE(rule_index->is_number());
+    const auto idx = static_cast<std::size_t>(rule_index->number);
+    ASSERT_LT(idx, rules->array.size());
+    const ds::telemetry::JsonValue* indexed_id = rules->array[idx].Find("id");
+    ASSERT_NE(indexed_id, nullptr);
+    EXPECT_EQ(indexed_id->str, rule_id->str);
+
+    const ds::telemetry::JsonValue* locations = res.Find("locations");
+    ASSERT_NE(locations, nullptr);
+    ASSERT_TRUE(locations->is_array());
+    ASSERT_EQ(locations->array.size(), 1u);
+    const ds::telemetry::JsonValue* physical =
+        locations->array[0].Find("physicalLocation");
+    ASSERT_NE(physical, nullptr);
+    const ds::telemetry::JsonValue* artifact =
+        physical->Find("artifactLocation");
+    ASSERT_NE(artifact, nullptr);
+    const ds::telemetry::JsonValue* uri = artifact->Find("uri");
+    ASSERT_NE(uri, nullptr);
+    EXPECT_FALSE(uri->str.empty());
+    const ds::telemetry::JsonValue* region = physical->Find("region");
+    ASSERT_NE(region, nullptr);
+    const ds::telemetry::JsonValue* start_line = region->Find("startLine");
+    ASSERT_NE(start_line, nullptr);
+    ASSERT_TRUE(start_line->is_number());
+    EXPECT_GE(start_line->number, 1.0);
+    EXPECT_EQ(static_cast<std::size_t>(start_line->number),
+              r.findings[i].line);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Runtime behavior of the annotated synchronization wrappers in
+// util/thread_annotations.hpp. The annotations themselves are checked
+// by Clang's -Wthread-safety in CI; these tests pin down what must
+// hold on every compiler: the wrappers are real locks (mutual
+// exclusion, condition signalling, deadline wakeups) with zero size
+// overhead versus the std primitives they wrap.
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+TEST(ThreadAnnotations, WrappersAddNoSize) {
+  static_assert(sizeof(ds::Mutex) == sizeof(std::mutex),
+                "ds::Mutex must be layout-free over std::mutex");
+  static_assert(sizeof(ds::MutexLock) ==
+                    sizeof(std::unique_lock<std::mutex>),
+                "ds::MutexLock must be layout-free over unique_lock");
+}
+
+TEST(ThreadAnnotations, LevelConstructorIsBehaviorFree) {
+  // The hierarchy level is documentation for ds_lint; at runtime the
+  // mutex is an ordinary mutex.
+  ds::Mutex mu{ds::locks::kMetrics};
+  mu.Lock();
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(ThreadAnnotations, TryLockReflectsOwnership) {
+  ds::Mutex mu;
+  mu.Lock();
+  bool acquired = true;
+  std::thread contender([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  contender.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  std::thread retry([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  retry.join();
+  EXPECT_TRUE(acquired);
+}
+
+// A guarded counter bumped from several threads: the canonical shape
+// every converted class in src/ uses (MutexLock guard, DS_GUARDED_BY
+// field). Runs under the TSan CI matrix, so a wrapper that failed to
+// actually lock would be caught here twice over.
+class GuardedCounter {
+ public:
+  void Add(int v) {
+    const ds::MutexLock lock(mu_);
+    total_ += v;
+  }
+  int Total() const {
+    const ds::MutexLock lock(mu_);
+    return total_;
+  }
+
+ private:
+  mutable ds::Mutex mu_{ds::locks::kMetrics};
+  int total_ DS_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotations, MutexLockExcludesConcurrentWriters) {
+  GuardedCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add(1);
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(counter.Total(), kThreads * kIncrements);
+}
+
+TEST(ThreadAnnotations, CondVarSignalsAcrossThreads) {
+  ds::Mutex mu;
+  ds::CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    const ds::MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    ds::MutexLock lock(mu);
+    // CondVar is deliberately predicate-free (the thread-safety
+    // analysis cannot see through predicate lambdas), so waits are
+    // written as explicit loops -- same as every caller in src/.
+    while (!ready) cv.Wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(ThreadAnnotations, WaitUntilReportsTimeout) {
+  ds::Mutex mu;
+  ds::CondVar cv;
+  ds::MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  bool timed_out = false;
+  while (!timed_out) timed_out = cv.WaitUntil(lock, deadline);
+  EXPECT_TRUE(timed_out);
+}
+
+}  // namespace

@@ -1,800 +1,67 @@
-// ds_lint: a zero-dependency style/correctness checker for the dark
-// silicon library tree. Runs as a ctest over src/ and fails the build
-// when a rule fires without a suppression.
+// ds_lint CLI: runs the rule engine in tools/lint_core.cpp over files
+// and directories and prints findings. See lint_core.hpp for the rule
+// catalogue and the suppression syntax.
 //
-// Rules
-//   bare-assert       `assert(` in library code outside src/util/.
-//                     Asserts compile out under NDEBUG, so a Release
-//                     build silently drops the check; library code must
-//                     use the DS_REQUIRE/DS_ENSURE/DS_INVARIANT macros
-//                     (src/util/contracts.hpp), which stay live.
-//   float-equals      `==` or `!=` with a floating-point literal
-//                     operand. Exact comparison against a float literal
-//                     is almost always a tolerance bug in numerical
-//                     code.
-//   io-in-library     printf/std::cout/std::cerr in library code.
-//                     Libraries report through return values, telemetry
-//                     or exceptions; only tools/ and benches print.
-//   raw-stderr        `stderr`/`stdout`/`std::clog`/`perror` in
-//                     src/runtime or src/telemetry. These are the two
-//                     layers that own structured reporting (the event
-//                     bus, metrics, RunSummary); a raw stream write
-//                     there bypasses the drop-accounted observability
-//                     plane and tears the --progress status line.
-//   naked-new         `new`/`delete` expressions. Ownership must go
-//                     through std::unique_ptr/std::make_unique; the few
-//                     intentional leaks (function-local singletons) are
-//                     suppressed explicitly.
-//   missing-contract  A constructor definition in a library .cpp that
-//                     takes `double` parameters (physical quantities)
-//                     but whose body neither checks a contract
-//                     (DS_REQUIRE/...) nor throws nor delegates to a
-//                     Validate() helper.
-//   static-mutable    A mutable function-local `static` in library
-//                     code. Hidden shared state breaks the sweep
-//                     engine's pure-job determinism contract and is a
-//                     data race waiting for a parallel caller. Statics
-//                     that are const/constexpr, references, or
-//                     std::atomic/std::mutex/std::once_flag (their own
-//                     synchronization) are fine.
-//   swallowed-catch   A `catch` handler in src/runtime/ whose body
-//                     neither rethrows nor records the failure (no
-//                     `throw`, telemetry count, Record/log call, or
-//                     assignment into an error field). The resilient
-//                     sweep runtime's whole contract is that every
-//                     failure is classified and surfaced -- a silent
-//                     catch there turns a poison job into a silently
-//                     wrong sweep row.
-//   alloc-in-loop     A std::vector or util::Matrix constructed inside
-//                     a loop body in src/thermal/. The transient
-//                     stepping path is called once per simulated
-//                     millisecond across every sweep job; per-iteration
-//                     heap allocation there is a measured hot-loop cost
-//                     (and allocator contention under the parallel
-//                     sweep engine). Hoist the buffer out of the loop
-//                     or reuse a member scratch vector. Cold loops
-//                     (one-time model construction) suppress with a
-//                     justification.
+// Usage: ds_lint [--sarif <path>] <file-or-directory>...
 //
-// Suppressions: append `// ds_lint: allow(<rule>)` to the offending
-// line, or place it alone on the line directly above. Every
-// suppression documents an intentional exception at the point of use.
+// --sarif <path> additionally writes the findings as a SARIF 2.1.0 log
+// (consumed by github/codeql-action/upload-sarif in CI, so findings
+// annotate the pull request diff).
 //
-// Usage: ds_lint <file-or-directory>...
 // Exit status: 0 when clean, 1 when any finding survives suppression,
 // 2 on usage/IO errors.
 
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
+#include <exception>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  std::size_t line;
-  std::string rule;
-  std::string message;
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Replaces comments, string literals and char literals with spaces so
-/// the rule scanners never match inside them. Line structure (newlines)
-/// is preserved. Suppression comments are collected before blanking.
-struct CleanSource {
-  std::string text;                 // blanked source, newlines kept
-  std::vector<std::string> allows;  // allows[i] = rules allowed on line i+1
-};
-
-CleanSource Blank(const std::string& raw) {
-  CleanSource out;
-  out.text = raw;
-  const std::size_t line_count =
-      1 + static_cast<std::size_t>(
-              std::count(raw.begin(), raw.end(), '\n'));
-  out.allows.assign(line_count, std::string());
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::size_t line = 0;
-  std::string comment;  // current comment text, for suppression parsing
-
-  auto record_allow = [&](const std::string& c, std::size_t at_line) {
-    const std::string tag = "ds_lint: allow(";
-    std::size_t pos = c.find(tag);
-    while (pos != std::string::npos) {
-      const std::size_t open = pos + tag.size();
-      const std::size_t close = c.find(')', open);
-      if (close == std::string::npos) break;
-      if (at_line < out.allows.size())
-        out.allows[at_line] += c.substr(open, close - open) + ",";
-      pos = c.find(tag, close);
-    }
-  };
-
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    const char c = raw[i];
-    const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          comment.clear();
-          out.text[i] = out.text[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          comment.clear();
-          out.text[i] = out.text[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-          out.text[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out.text[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          record_allow(comment, line);
-          state = State::kCode;
-        } else {
-          comment += c;
-          out.text[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          record_allow(comment, line);
-          state = State::kCode;
-          out.text[i] = out.text[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          comment += c;
-          out.text[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out.text[i] = ' ';
-          if (next != '\n') {
-            out.text[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-          out.text[i] = ' ';
-        } else if (c != '\n') {
-          out.text[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out.text[i] = ' ';
-          if (next != '\n') {
-            out.text[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-          out.text[i] = ' ';
-        } else if (c != '\n') {
-          out.text[i] = ' ';
-        }
-        break;
-    }
-    if (c == '\n') ++line;
-  }
-  return out;
-}
-
-bool Allowed(const CleanSource& src, std::size_t line_no,
-             std::string_view rule) {
-  auto has = [&](std::size_t idx) {
-    if (idx >= src.allows.size()) return false;
-    return src.allows[idx].find(rule) != std::string::npos;
-  };
-  // Same line, or the line directly above (a standalone comment).
-  return has(line_no) || (line_no > 0 && has(line_no - 1));
-}
-
-std::size_t LineOf(const std::string& text, std::size_t pos) {
-  return static_cast<std::size_t>(
-      std::count(text.begin(),
-                 text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
-}
-
-/// True if `text[pos..]` starts with `word` as a whole identifier.
-bool MatchWord(const std::string& text, std::size_t pos,
-               std::string_view word) {
-  if (text.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
-  const std::size_t end = pos + word.size();
-  return end >= text.size() || !IsIdentChar(text[end]);
-}
-
-bool IsUtilFile(const std::string& path) {
-  return path.find("/util/") != std::string::npos ||
-         path.rfind("util/", 0) == 0;
-}
-
-/// True if `pos` sits on a preprocessor line (`#include <new>` must not
-/// count as a `new` expression).
-bool OnPreprocessorLine(const std::string& text, std::size_t pos) {
-  std::size_t i = pos;
-  while (i > 0 && text[i - 1] != '\n') --i;
-  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
-  return i < text.size() && text[i] == '#';
-}
-
-// ---------------------------------------------------------------- rules
-
-void RuleBareAssert(const std::string& path, const CleanSource& src,
-                    std::vector<Finding>* findings) {
-  if (IsUtilFile(path)) return;  // contracts.hpp itself and util helpers
-  for (std::size_t pos = src.text.find("assert"); pos != std::string::npos;
-       pos = src.text.find("assert", pos + 1)) {
-    if (!MatchWord(src.text, pos, "assert")) continue;
-    std::size_t after = pos + 6;
-    while (after < src.text.size() && src.text[after] == ' ') ++after;
-    if (after >= src.text.size() || src.text[after] != '(') continue;
-    if (pos > 0 && src.text[pos - 1] == '_') continue;  // static_assert
-    const std::size_t line_no = LineOf(src.text, pos);
-    if (Allowed(src, line_no, "bare-assert")) continue;
-    findings->push_back({path, line_no + 1, "bare-assert",
-                         "assert() compiles out in Release; use DS_REQUIRE "
-                         "/ DS_ENSURE / DS_INVARIANT"});
-  }
-}
-
-bool LooksLikeFloatLiteral(std::string_view tok) {
-  // 1.0, .5, 1., 1e-9, 1.5e3, 0.0f -- but not plain integers and not
-  // member accesses (handled by the caller stripping identifiers).
-  bool digit = false, dot = false, exp = false;
-  for (std::size_t i = 0; i < tok.size(); ++i) {
-    const char c = tok[i];
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      digit = true;
-    } else if (c == '.') {
-      if (dot) return false;
-      dot = true;
-    } else if ((c == 'e' || c == 'E') && digit && i + 1 < tok.size()) {
-      exp = true;
-      if (tok[i + 1] == '+' || tok[i + 1] == '-') ++i;
-    } else if ((c == 'f' || c == 'F') && i == tok.size() - 1) {
-      // float suffix
-    } else {
-      return false;
-    }
-  }
-  return digit && (dot || exp);
-}
-
-/// Extracts the token adjacent to position `pos`, scanning left or right.
-std::string AdjacentToken(const std::string& text, std::size_t pos,
-                          bool left) {
-  std::string tok;
-  if (left) {
-    std::size_t i = pos;
-    while (i > 0) {
-      const char c = text[i - 1];
-      if (c == ' ' && tok.empty()) {
-        --i;
-        continue;
-      }
-      if (IsIdentChar(c) || c == '.' || c == '+' || c == '-') {
-        tok.insert(tok.begin(), c);
-        --i;
-      } else {
-        break;
-      }
-    }
-  } else {
-    std::size_t i = pos;
-    while (i < text.size()) {
-      const char c = text[i];
-      if (c == ' ' && tok.empty()) {
-        ++i;
-        continue;
-      }
-      if (IsIdentChar(c) || c == '.' || c == '+' || c == '-') {
-        tok += c;
-        ++i;
-      } else {
-        break;
-      }
-    }
-  }
-  // Strip a leading sign.
-  if (!tok.empty() && (tok[0] == '+' || tok[0] == '-')) tok.erase(0, 1);
-  return tok;
-}
-
-void RuleFloatEquals(const std::string& path, const CleanSource& src,
-                     std::vector<Finding>* findings) {
-  const std::string& t = src.text;
-  for (std::size_t pos = 0; pos + 1 < t.size(); ++pos) {
-    if (t[pos + 1] != '=') continue;
-    if (t[pos] != '=' && t[pos] != '!') continue;
-    // Exclude <=, >=, ==>, = =, === and compound contexts: require the
-    // char before to not be another comparison/assignment char.
-    if (pos > 0 && (t[pos - 1] == '<' || t[pos - 1] == '>' ||
-                    t[pos - 1] == '=' || t[pos - 1] == '!'))
-      continue;
-    if (pos + 2 < t.size() && t[pos + 2] == '=') continue;
-    const std::string lhs = AdjacentToken(t, pos, /*left=*/true);
-    const std::string rhs = AdjacentToken(t, pos + 2, /*left=*/false);
-    if (!LooksLikeFloatLiteral(lhs) && !LooksLikeFloatLiteral(rhs)) continue;
-    const std::size_t line_no = LineOf(t, pos);
-    if (Allowed(src, line_no, "float-equals")) continue;
-    findings->push_back({path, line_no + 1, "float-equals",
-                         "exact comparison with a floating-point literal; "
-                         "compare against a tolerance"});
-  }
-}
-
-void RuleIoInLibrary(const std::string& path, const CleanSource& src,
-                     std::vector<Finding>* findings) {
-  const std::string& t = src.text;
-  static const std::string_view kPatterns[] = {"printf", "fprintf",
-                                               "std::cout", "std::cerr"};
-  for (const std::string_view pat : kPatterns) {
-    for (std::size_t pos = t.find(pat); pos != std::string::npos;
-         pos = t.find(pat, pos + 1)) {
-      if (IsIdentChar(t[pos > 0 ? pos - 1 : 0]) && pos > 0) continue;
-      const std::size_t end = pos + pat.size();
-      if (end < t.size() && IsIdentChar(t[end])) continue;
-      const std::size_t line_no = LineOf(t, pos);
-      if (Allowed(src, line_no, "io-in-library")) continue;
-      findings->push_back({path, line_no + 1, "io-in-library",
-                           "library code must not print; return data or "
-                           "use telemetry"});
-    }
-  }
-}
-
-/// Flags raw stream handles in the two structured-reporting layers.
-/// src/runtime and src/telemetry own the observability plane (event
-/// bus, metrics, heartbeat); anything they report must flow through it
-/// -- a stray fprintf(stderr, ...) is unaccounted, unparseable, and
-/// interleaves with the `\r`-rewritten --progress line. Streams handed
-/// in by the caller (std::ostream* parameters) are fine; the rule only
-/// matches the global handles.
-void RuleRawStderr(const std::string& path, const CleanSource& src,
-                   std::vector<Finding>* findings) {
-  const bool scoped = path.find("/runtime/") != std::string::npos ||
-                      path.rfind("runtime/", 0) == 0 ||
-                      path.find("/telemetry/") != std::string::npos ||
-                      path.rfind("telemetry/", 0) == 0;
-  if (!scoped) return;
-  const std::string& t = src.text;
-  static const std::string_view kHandles[] = {"stderr", "stdout", "std::clog",
-                                              "perror"};
-  for (const std::string_view pat : kHandles) {
-    for (std::size_t pos = t.find(pat); pos != std::string::npos;
-         pos = t.find(pat, pos + 1)) {
-      if (pos > 0 && (IsIdentChar(t[pos - 1]) || t[pos - 1] == ':')) continue;
-      const std::size_t end = pos + pat.size();
-      if (end < t.size() && (IsIdentChar(t[end]) || t[end] == ':')) continue;
-      const std::size_t line_no = LineOf(t, pos);
-      if (Allowed(src, line_no, "raw-stderr")) continue;
-      findings->push_back(
-          {path, line_no + 1, "raw-stderr",
-           std::string(pat) +
-               " in a structured-reporting layer; emit through the event "
-               "bus / telemetry, or take a std::ostream* from the caller"});
-    }
-  }
-}
-
-void RuleNakedNew(const std::string& path, const CleanSource& src,
-                  std::vector<Finding>* findings) {
-  const std::string& t = src.text;
-  for (const std::string_view word : {"new", "delete"}) {
-    for (std::size_t pos = t.find(word); pos != std::string::npos;
-         pos = t.find(word, pos + 1)) {
-      if (!MatchWord(t, pos, word)) continue;
-      if (OnPreprocessorLine(t, pos)) continue;  // #include <new>
-      // `= delete` / `= default` declarations are not expressions.
-      std::size_t before = pos;
-      while (before > 0 && t[before - 1] == ' ') --before;
-      if (before > 0 && t[before - 1] == '=') continue;
-      const std::size_t line_no = LineOf(t, pos);
-      if (Allowed(src, line_no, "naked-new")) continue;
-      findings->push_back(
-          {path, line_no + 1, "naked-new",
-           std::string("naked `") + std::string(word) +
-               "`; use std::make_unique / RAII ownership"});
-    }
-  }
-}
-
-/// Finds constructor definitions `Class::Class(...)` whose parameter
-/// list mentions `double` and whose body (up to the matching brace)
-/// contains no contract check.
-void RuleMissingContract(const std::string& path, const CleanSource& src,
-                         std::vector<Finding>* findings) {
-  if (path.size() < 4 || path.compare(path.size() - 4, 4, ".cpp") != 0)
-    return;
-  const std::string& t = src.text;
-  for (std::size_t pos = t.find("::"); pos != std::string::npos;
-       pos = t.find("::", pos + 2)) {
-    // Name before :: and after :: must match -> constructor.
-    std::size_t ls = pos;
-    while (ls > 0 && IsIdentChar(t[ls - 1])) --ls;
-    const std::string name = t.substr(ls, pos - ls);
-    if (name.empty()) continue;
-    const std::size_t after = pos + 2;
-    if (t.compare(after, name.size(), name) != 0) continue;
-    std::size_t paren = after + name.size();
-    while (paren < t.size() && t[paren] == ' ') ++paren;
-    if (paren >= t.size() || t[paren] != '(') continue;
-    // Capture the parameter list.
-    int depth = 1;
-    std::size_t i = paren + 1;
-    const std::size_t params_begin = i;
-    while (i < t.size() && depth > 0) {
-      if (t[i] == '(') ++depth;
-      if (t[i] == ')') --depth;
-      ++i;
-    }
-    if (depth != 0) continue;
-    const std::string params = t.substr(params_begin, i - 1 - params_begin);
-    if (params.find("double") == std::string::npos) continue;
-    // Find the body start `{` (skip over the init list), then the body.
-    std::size_t body = i;
-    while (body < t.size() && t[body] != '{' && t[body] != ';') ++body;
-    if (body >= t.size() || t[body] == ';') continue;  // declaration
-    depth = 1;
-    std::size_t j = body + 1;
-    while (j < t.size() && depth > 0) {
-      if (t[j] == '{') ++depth;
-      if (t[j] == '}') --depth;
-      ++j;
-    }
-    // A constructor taking physical quantities must validate: either
-    // directly (contract macro / throw) or by delegating (Validate,
-    // or construction of members that check -- init list counts).
-    const std::string whole = t.substr(ls, j - ls);
-    if (whole.find("DS_REQUIRE") != std::string::npos ||
-        whole.find("DS_ENSURE") != std::string::npos ||
-        whole.find("DS_INVARIANT") != std::string::npos ||
-        whole.find("throw ") != std::string::npos ||
-        whole.find("Validate") != std::string::npos ||
-        whole.find("CheckInvariants") != std::string::npos)
-      continue;
-    const std::size_t line_no = LineOf(t, ls);
-    if (Allowed(src, line_no, "missing-contract")) continue;
-    findings->push_back(
-        {path, line_no + 1, "missing-contract",
-         name + "::" + name +
-             " takes double (physical quantity) parameters but neither "
-             "checks a DS_* contract nor throws nor calls Validate()"});
-  }
-}
-
-/// Finds `static` declarations at function scope whose declaration
-/// carries neither constness nor its own synchronization. Scope is
-/// tracked with a brace stack: a `{` after `)` or `]` opens a function
-/// (or lambda) body, `namespace`/`class`/`struct`/`enum`/`union` open
-/// non-function scopes, and control-flow/initializer braces inherit
-/// the enclosing scope -- so macro bodies at namespace scope (the
-/// DS_TELEM_* do-while idiom) do not fire.
-void RuleStaticMutable(const std::string& path, const CleanSource& src,
-                       std::vector<Finding>* findings) {
-  enum class Scope { kNamespace, kType, kFunction };
-  const std::string& t = src.text;
-  std::vector<Scope> stack;  // file scope (empty stack) == kNamespace
-
-  auto effective = [&]() {
-    return stack.empty() ? Scope::kNamespace : stack.back();
-  };
-  auto head_has = [&](std::string_view head, std::string_view word) {
-    for (std::size_t p = head.find(word); p != std::string_view::npos;
-         p = head.find(word, p + 1)) {
-      const bool left_ok = p == 0 || !IsIdentChar(head[p - 1]);
-      const std::size_t end = p + word.size();
-      const bool right_ok = end >= head.size() || !IsIdentChar(head[end]);
-      if (left_ok && right_ok) return true;
-    }
-    return false;
-  };
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const char c = t[i];
-    if (c == '}') {
-      if (!stack.empty()) stack.pop_back();
-      continue;
-    }
-    if (c == '{') {
-      // The introducer: everything since the last ; { or }.
-      std::size_t start = i;
-      while (start > 0 && t[start - 1] != ';' && t[start - 1] != '{' &&
-             t[start - 1] != '}')
-        --start;
-      const std::string_view head(&t[start], i - start);
-      std::size_t last = head.size();
-      while (last > 0 && std::isspace(static_cast<unsigned char>(
-                             head[last - 1])) != 0)
-        --last;
-      const char prev = last > 0 ? head[last - 1] : '\0';
-      Scope opened;
-      if (head_has(head, "namespace")) {
-        opened = Scope::kNamespace;
-      } else if (head_has(head, "class") || head_has(head, "struct") ||
-                 head_has(head, "union") || head_has(head, "enum")) {
-        opened = Scope::kType;
-      } else if (head_has(head, "if") || head_has(head, "for") ||
-                 head_has(head, "while") || head_has(head, "switch") ||
-                 head_has(head, "catch") || head_has(head, "do") ||
-                 head_has(head, "else") || head_has(head, "try")) {
-        opened = effective();  // control block: same scope kind
-      } else if (prev == ')' || prev == ']') {
-        opened = Scope::kFunction;  // function, ctor, or lambda body
-      } else {
-        opened = effective();  // initializer list, requires, etc.
-      }
-      stack.push_back(opened);
-      continue;
-    }
-    if (c != 's' || !MatchWord(t, i, "static")) continue;
-    if (effective() != Scope::kFunction) continue;
-    // The declaration: `static` up to the terminating ';'. The part
-    // before any '=' is the declarator (where a '&' means reference).
-    const std::size_t semi = t.find(';', i);
-    if (semi == std::string::npos) continue;
-    const std::string_view decl(&t[i], semi - i);
-    const std::size_t eq = decl.find('=');
-    const std::string_view declarator =
-        decl.substr(0, eq == std::string_view::npos ? decl.size() : eq);
-    if (head_has(declarator, "const") || head_has(declarator, "constexpr") ||
-        head_has(declarator, "thread_local") ||
-        head_has(declarator, "atomic") || head_has(declarator, "mutex") ||
-        head_has(declarator, "once_flag") ||
-        declarator.find('&') != std::string_view::npos)
-      continue;
-    const std::size_t line_no = LineOf(t, i);
-    if (Allowed(src, line_no, "static-mutable")) continue;
-    findings->push_back(
-        {path, line_no + 1, "static-mutable",
-         "mutable function-local static; hidden shared state breaks "
-         "parallel-sweep determinism -- make it const, synchronize it, or "
-         "pass state explicitly"});
-  }
-}
-
-/// Flags `catch` handlers under src/runtime/ that swallow the failure:
-/// the handler body contains no rethrow, no telemetry, no Record/log
-/// call and no assignment into an error field. The runtime layer is
-/// the failure-classification boundary (retry vs quarantine vs abort);
-/// an exception that dies silently there breaks the "every failure is
-/// surfaced" contract the journal and ResultSink depend on.
-void RuleSwallowedCatch(const std::string& path, const CleanSource& src,
-                        std::vector<Finding>* findings) {
-  if (path.find("/runtime/") == std::string::npos &&
-      path.rfind("runtime/", 0) != 0)
-    return;
-  const std::string& t = src.text;
-  for (std::size_t pos = t.find("catch"); pos != std::string::npos;
-       pos = t.find("catch", pos + 1)) {
-    if (!MatchWord(t, pos, "catch")) continue;
-    // Skip the exception-declaration parens.
-    std::size_t i = pos + 5;
-    while (i < t.size() &&
-           std::isspace(static_cast<unsigned char>(t[i])) != 0)
-      ++i;
-    if (i >= t.size() || t[i] != '(') continue;
-    int depth = 1;
-    ++i;
-    while (i < t.size() && depth > 0) {
-      if (t[i] == '(') ++depth;
-      if (t[i] == ')') --depth;
-      ++i;
-    }
-    while (i < t.size() &&
-           std::isspace(static_cast<unsigned char>(t[i])) != 0)
-      ++i;
-    if (i >= t.size() || t[i] != '{') continue;
-    // Capture the handler body up to the matching brace.
-    depth = 1;
-    const std::size_t body_begin = ++i;
-    while (i < t.size() && depth > 0) {
-      if (t[i] == '{') ++depth;
-      if (t[i] == '}') --depth;
-      ++i;
-    }
-    const std::string_view body(&t[body_begin], i - 1 - body_begin);
-    auto has = [&](std::string_view w) {
-      return body.find(w) != std::string_view::npos;
-    };
-    // Any of these marks the failure as handled: rethrown, counted,
-    // recorded into a sink/journal, or stored in an error field.
-    if (has("throw") || has("DS_TELEM") || has("Record") || has("error") ||
-        has("Error") || has("log") || has("Log"))
-      continue;
-    const std::size_t line_no = LineOf(t, pos);
-    if (Allowed(src, line_no, "swallowed-catch")) continue;
-    findings->push_back(
-        {path, line_no + 1, "swallowed-catch",
-         "catch handler in the sweep runtime swallows the exception; "
-         "rethrow, record it (telemetry / journal / sink), or store it "
-         "in an error field"});
-  }
-}
-
-/// Flags owning std::vector / util::Matrix declarations inside loop
-/// bodies under src/thermal/. Loop scopes are tracked with the same
-/// brace-stack technique as RuleStaticMutable: a `{` whose introducer
-/// contains `for`, `while` or `do` opens a loop scope; inner braces
-/// inherit it. References (`&` declarators) and uses of an existing
-/// object (member access, calls) never match -- only a declaration
-/// `std::vector<...> name ...` / `Matrix name(...)` that constructs a
-/// fresh buffer each iteration.
-void RuleAllocInLoop(const std::string& path, const CleanSource& src,
-                     std::vector<Finding>* findings) {
-  if (path.find("/thermal/") == std::string::npos &&
-      path.rfind("thermal/", 0) != 0)
-    return;
-  const std::string& t = src.text;
-
-  auto head_has = [&](std::string_view head, std::string_view word) {
-    for (std::size_t p = head.find(word); p != std::string_view::npos;
-         p = head.find(word, p + 1)) {
-      const bool left_ok = p == 0 || !IsIdentChar(head[p - 1]);
-      const std::size_t end = p + word.size();
-      const bool right_ok = end >= head.size() || !IsIdentChar(head[end]);
-      if (left_ok && right_ok) return true;
-    }
-    return false;
-  };
-
-  // depth of loop nesting per brace level; loop_depth > 0 == in a loop.
-  std::vector<bool> stack;  // true: this brace level is a loop body
-  std::size_t loop_depth = 0;
-
-  auto flag = [&](std::size_t pos, std::string_view what) {
-    const std::size_t line_no = LineOf(t, pos);
-    if (Allowed(src, line_no, "alloc-in-loop")) return;
-    findings->push_back(
-        {path, line_no + 1, "alloc-in-loop",
-         std::string(what) +
-             " constructed inside a loop body; per-iteration heap "
-             "allocation in the thermal hot path -- hoist or reuse a "
-             "scratch buffer"});
-  };
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const char c = t[i];
-    if (c == '}') {
-      if (!stack.empty()) {
-        if (stack.back()) --loop_depth;
-        stack.pop_back();
-      }
-      continue;
-    }
-    if (c == '{') {
-      // Introducer: back to the last top-level ; { or }. Unlike the
-      // static-mutable scan, semicolons inside parentheses must not
-      // terminate, or `for (a; b; c)` loses its `for`.
-      std::size_t start = i;
-      int parens = 0;
-      while (start > 0) {
-        const char p = t[start - 1];
-        if (p == ')') ++parens;
-        if (p == '(' && parens > 0) --parens;
-        if (parens == 0 && (p == ';' || p == '{' || p == '}')) break;
-        --start;
-      }
-      const std::string_view head(&t[start], i - start);
-      const bool is_loop = head_has(head, "for") || head_has(head, "while") ||
-                           head_has(head, "do");
-      stack.push_back(is_loop);
-      if (is_loop) ++loop_depth;
-      continue;
-    }
-    if (loop_depth == 0) continue;
-
-    // A declaration `std::vector<...> name` (not a reference binding).
-    if (c == 's' && MatchWord(t, i, "std") &&
-        t.compare(i, 12, "std::vector<") == 0) {
-      std::size_t j = i + 12;
-      int angle = 1;
-      while (j < t.size() && angle > 0) {
-        if (t[j] == '<') ++angle;
-        if (t[j] == '>') --angle;
-        ++j;
-      }
-      while (j < t.size() && t[j] == ' ') ++j;
-      if (j < t.size() && IsIdentChar(t[j])) flag(i, "std::vector");
-      i = j;
-      continue;
-    }
-    // A declaration `Matrix name(...)` / `util::Matrix name(...)`.
-    if (c == 'M' && MatchWord(t, i, "Matrix")) {
-      std::size_t j = i + 6;
-      while (j < t.size() && t[j] == ' ') ++j;
-      if (j < t.size() && IsIdentChar(t[j])) flag(i, "util::Matrix");
-      i = j;
-      continue;
-    }
-  }
-}
-
-// ------------------------------------------------------------- driver
-
-void LintFile(const fs::path& path, std::vector<Finding>* findings) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    findings->push_back({path.string(), 0, "io-error", "cannot read file"});
-    return;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const CleanSource src = Blank(buf.str());
-  const std::string p = path.generic_string();
-  RuleBareAssert(p, src, findings);
-  RuleFloatEquals(p, src, findings);
-  RuleIoInLibrary(p, src, findings);
-  RuleRawStderr(p, src, findings);
-  RuleNakedNew(p, src, findings);
-  RuleMissingContract(p, src, findings);
-  RuleStaticMutable(p, src, findings);
-  RuleSwallowedCatch(p, src, findings);
-  RuleAllocInLoop(p, src, findings);
-}
-
-bool IsSourceFile(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
-}
-
-}  // namespace
+#include "lint_core.hpp"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: ds_lint <file-or-directory>...\n";
+  std::string sarif_path;
+  std::vector<std::string> paths;
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--sarif") {
+      if (a + 1 >= argc) {
+        std::cerr << "ds_lint: --sarif requires a path\n";
+        return 2;
+      }
+      sarif_path = argv[++a];
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: ds_lint [--sarif <path>] <file-or-directory>...\n";
     return 2;
   }
-  std::vector<Finding> findings;
-  std::size_t files = 0;
-  for (int a = 1; a < argc; ++a) {
-    const fs::path root(argv[a]);
-    std::error_code ec;
-    if (fs::is_directory(root, ec)) {
-      std::vector<fs::path> paths;
-      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
-        if (entry.is_regular_file() && IsSourceFile(entry.path()))
-          paths.push_back(entry.path());
-      }
-      std::sort(paths.begin(), paths.end());
-      for (const fs::path& p : paths) {
-        LintFile(p, &findings);
-        ++files;
-      }
-    } else if (fs::is_regular_file(root, ec)) {
-      LintFile(root, &findings);
-      ++files;
-    } else {
-      std::cerr << "ds_lint: no such file or directory: " << root << "\n";
+
+  ds::lint::LintResult result;
+  try {
+    result = ds::lint::LintPaths(paths);
+  } catch (const std::exception& err) {
+    std::cerr << "ds_lint: " << err.what() << "\n";
+    return 2;
+  }
+
+  for (const ds::lint::Finding& f : result.findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  std::cout << "ds_lint: " << result.files << " files, "
+            << result.findings.size() << " finding(s)\n";
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    out << ds::lint::ToSarif(result);
+    out.flush();
+    if (!out) {
+      std::cerr << "ds_lint: cannot write SARIF log: " << sarif_path << "\n";
       return 2;
     }
   }
-  for (const Finding& f : findings)
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  std::cout << "ds_lint: " << files << " files, " << findings.size()
-            << " finding(s)\n";
-  return findings.empty() ? 0 : 1;
+  return result.findings.empty() ? 0 : 1;
 }

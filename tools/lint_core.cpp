@@ -1,0 +1,1219 @@
+// Implementation of the ds_lint rule engine; see lint_core.hpp for
+// the rule catalogue and tools/ds_lint.cpp for the CLI. Everything is
+// textual: rules scan comment/string-blanked source, so the linter
+// builds in one translation unit with no compiler dependency.
+
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace ds::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// One `// ds_lint: allow(<rule>)` comment. `line` is 0-based; `used`
+/// flips when a rule consults the suppression, and survivors become
+/// unused-suppression findings.
+struct Suppression {
+  std::string rule;
+  std::size_t line = 0;
+  bool used = false;
+};
+
+/// Replaces comments, string literals and char literals with spaces so
+/// the rule scanners never match inside them. Line structure (newlines)
+/// is preserved. Suppression comments are collected before blanking.
+struct CleanSource {
+  std::string text;  // blanked source, newlines kept
+  std::vector<Suppression> suppressions;
+};
+
+CleanSource Blank(const std::string& raw) {
+  CleanSource out;
+  out.text = raw;
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::size_t line = 0;
+  std::string comment;  // current comment text, for suppression parsing
+
+  auto record_allow = [&](const std::string& c, std::size_t at_line) {
+    const std::string tag = "ds_lint: allow(";
+    std::size_t pos = c.find(tag);
+    while (pos != std::string::npos) {
+      const std::size_t open = pos + tag.size();
+      const std::size_t close = c.find(')', open);
+      if (close == std::string::npos) break;
+      // The paren contents name one or more rules, comma-separated.
+      std::string rules = c.substr(open, close - open);
+      std::size_t start = 0;
+      while (start <= rules.size()) {
+        std::size_t comma = rules.find(',', start);
+        if (comma == std::string::npos) comma = rules.size();
+        std::string rule = rules.substr(start, comma - start);
+        const auto trim = [](std::string& s) {
+          while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                                   s.front())) != 0)
+            s.erase(s.begin());
+          while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                                   s.back())) != 0)
+            s.pop_back();
+        };
+        trim(rule);
+        if (!rule.empty()) out.suppressions.push_back({rule, at_line, false});
+        start = comma + 1;
+      }
+      pos = c.find(tag, close);
+    }
+  };
+
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          out.text[i] = out.text[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          out.text[i] = out.text[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out.text[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.text[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          record_allow(comment, line);
+          state = State::kCode;
+        } else {
+          comment += c;
+          out.text[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          record_allow(comment, line);
+          state = State::kCode;
+          out.text[i] = out.text[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          comment += c;
+          out.text[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out.text[i] = ' ';
+          if (next != '\n') {
+            out.text[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out.text[i] = ' ';
+        } else if (c != '\n') {
+          out.text[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out.text[i] = ' ';
+          if (next != '\n') {
+            out.text[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.text[i] = ' ';
+        } else if (c != '\n') {
+          out.text[i] = ' ';
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  // A line comment on the last line of a file with no trailing newline.
+  if (state == State::kLineComment) record_allow(comment, line);
+  return out;
+}
+
+/// True (and marks the suppression used) when `rule` is allowed on
+/// `line_no` -- same line, or the line directly above (a standalone
+/// comment).
+bool Allowed(CleanSource& src, std::size_t line_no, std::string_view rule) {
+  bool hit = false;
+  for (Suppression& s : src.suppressions) {
+    if (s.rule != rule) continue;
+    if (s.line == line_no || s.line + 1 == line_no) {
+      s.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+std::size_t LineOf(const std::string& text, std::size_t pos) {
+  return static_cast<std::size_t>(
+      std::count(text.begin(),
+                 text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+/// True if `text[pos..]` starts with `word` as a whole identifier.
+bool MatchWord(const std::string& text, std::size_t pos,
+               std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !IsIdentChar(text[end]);
+}
+
+bool IsUtilFile(const std::string& path) {
+  return path.find("/util/") != std::string::npos ||
+         path.rfind("util/", 0) == 0;
+}
+
+/// True if `pos` sits on a preprocessor line (`#include <new>` must not
+/// count as a `new` expression).
+bool OnPreprocessorLine(const std::string& text, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && text[i - 1] != '\n') --i;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  return i < text.size() && text[i] == '#';
+}
+
+// ---------------------------------------------------------- file rules
+
+void RuleBareAssert(const std::string& path, CleanSource& src,
+                    std::vector<Finding>* findings) {
+  if (IsUtilFile(path)) return;  // contracts.hpp itself and util helpers
+  for (std::size_t pos = src.text.find("assert"); pos != std::string::npos;
+       pos = src.text.find("assert", pos + 1)) {
+    if (!MatchWord(src.text, pos, "assert")) continue;
+    std::size_t after = pos + 6;
+    while (after < src.text.size() && src.text[after] == ' ') ++after;
+    if (after >= src.text.size() || src.text[after] != '(') continue;
+    if (pos > 0 && src.text[pos - 1] == '_') continue;  // static_assert
+    const std::size_t line_no = LineOf(src.text, pos);
+    if (Allowed(src, line_no, "bare-assert")) continue;
+    findings->push_back({path, line_no + 1, "bare-assert",
+                         "assert() compiles out in Release; use DS_REQUIRE "
+                         "/ DS_ENSURE / DS_INVARIANT"});
+  }
+}
+
+bool LooksLikeFloatLiteral(std::string_view tok) {
+  // 1.0, .5, 1., 1e-9, 1.5e3, 0.0f -- but not plain integers and not
+  // member accesses (handled by the caller stripping identifiers).
+  bool digit = false, dot = false, exp = false;
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c == '.') {
+      if (dot) return false;
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digit && i + 1 < tok.size()) {
+      exp = true;
+      if (tok[i + 1] == '+' || tok[i + 1] == '-') ++i;
+    } else if ((c == 'f' || c == 'F') && i == tok.size() - 1) {
+      // float suffix
+    } else {
+      return false;
+    }
+  }
+  return digit && (dot || exp);
+}
+
+/// Extracts the token adjacent to position `pos`, scanning left or right.
+std::string AdjacentToken(const std::string& text, std::size_t pos,
+                          bool left) {
+  std::string tok;
+  if (left) {
+    std::size_t i = pos;
+    while (i > 0) {
+      const char c = text[i - 1];
+      if (c == ' ' && tok.empty()) {
+        --i;
+        continue;
+      }
+      if (IsIdentChar(c) || c == '.' || c == '+' || c == '-') {
+        tok.insert(tok.begin(), c);
+        --i;
+      } else {
+        break;
+      }
+    }
+  } else {
+    std::size_t i = pos;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (c == ' ' && tok.empty()) {
+        ++i;
+        continue;
+      }
+      if (IsIdentChar(c) || c == '.' || c == '+' || c == '-') {
+        tok += c;
+        ++i;
+      } else {
+        break;
+      }
+    }
+  }
+  // Strip a leading sign.
+  if (!tok.empty() && (tok[0] == '+' || tok[0] == '-')) tok.erase(0, 1);
+  return tok;
+}
+
+void RuleFloatEquals(const std::string& path, CleanSource& src,
+                     std::vector<Finding>* findings) {
+  const std::string& t = src.text;
+  for (std::size_t pos = 0; pos + 1 < t.size(); ++pos) {
+    if (t[pos + 1] != '=') continue;
+    if (t[pos] != '=' && t[pos] != '!') continue;
+    // Exclude <=, >=, ==>, = =, === and compound contexts: require the
+    // char before to not be another comparison/assignment char.
+    if (pos > 0 && (t[pos - 1] == '<' || t[pos - 1] == '>' ||
+                    t[pos - 1] == '=' || t[pos - 1] == '!'))
+      continue;
+    if (pos + 2 < t.size() && t[pos + 2] == '=') continue;
+    const std::string lhs = AdjacentToken(t, pos, /*left=*/true);
+    const std::string rhs = AdjacentToken(t, pos + 2, /*left=*/false);
+    if (!LooksLikeFloatLiteral(lhs) && !LooksLikeFloatLiteral(rhs)) continue;
+    const std::size_t line_no = LineOf(t, pos);
+    if (Allowed(src, line_no, "float-equals")) continue;
+    findings->push_back({path, line_no + 1, "float-equals",
+                         "exact comparison with a floating-point literal; "
+                         "compare against a tolerance"});
+  }
+}
+
+void RuleIoInLibrary(const std::string& path, CleanSource& src,
+                     std::vector<Finding>* findings) {
+  const std::string& t = src.text;
+  static const std::string_view kPatterns[] = {"printf", "fprintf",
+                                               "std::cout", "std::cerr"};
+  for (const std::string_view pat : kPatterns) {
+    for (std::size_t pos = t.find(pat); pos != std::string::npos;
+         pos = t.find(pat, pos + 1)) {
+      if (IsIdentChar(t[pos > 0 ? pos - 1 : 0]) && pos > 0) continue;
+      const std::size_t end = pos + pat.size();
+      if (end < t.size() && IsIdentChar(t[end])) continue;
+      const std::size_t line_no = LineOf(t, pos);
+      if (Allowed(src, line_no, "io-in-library")) continue;
+      findings->push_back({path, line_no + 1, "io-in-library",
+                           "library code must not print; return data or "
+                           "use telemetry"});
+    }
+  }
+}
+
+/// Flags raw stream handles in the two structured-reporting layers.
+/// src/runtime and src/telemetry own the observability plane (event
+/// bus, metrics, heartbeat); anything they report must flow through it
+/// -- a stray fprintf(stderr, ...) is unaccounted, unparseable, and
+/// interleaves with the `\r`-rewritten --progress line. Streams handed
+/// in by the caller (std::ostream* parameters) are fine; the rule only
+/// matches the global handles.
+void RuleRawStderr(const std::string& path, CleanSource& src,
+                   std::vector<Finding>* findings) {
+  const bool scoped = path.find("/runtime/") != std::string::npos ||
+                      path.rfind("runtime/", 0) == 0 ||
+                      path.find("/telemetry/") != std::string::npos ||
+                      path.rfind("telemetry/", 0) == 0;
+  if (!scoped) return;
+  const std::string& t = src.text;
+  static const std::string_view kHandles[] = {"stderr", "stdout", "std::clog",
+                                              "perror"};
+  for (const std::string_view pat : kHandles) {
+    for (std::size_t pos = t.find(pat); pos != std::string::npos;
+         pos = t.find(pat, pos + 1)) {
+      if (pos > 0 && (IsIdentChar(t[pos - 1]) || t[pos - 1] == ':')) continue;
+      const std::size_t end = pos + pat.size();
+      if (end < t.size() && (IsIdentChar(t[end]) || t[end] == ':')) continue;
+      const std::size_t line_no = LineOf(t, pos);
+      if (Allowed(src, line_no, "raw-stderr")) continue;
+      findings->push_back(
+          {path, line_no + 1, "raw-stderr",
+           std::string(pat) +
+               " in a structured-reporting layer; emit through the event "
+               "bus / telemetry, or take a std::ostream* from the caller"});
+    }
+  }
+}
+
+void RuleNakedNew(const std::string& path, CleanSource& src,
+                  std::vector<Finding>* findings) {
+  const std::string& t = src.text;
+  for (const std::string_view word : {"new", "delete"}) {
+    for (std::size_t pos = t.find(word); pos != std::string::npos;
+         pos = t.find(word, pos + 1)) {
+      if (!MatchWord(t, pos, word)) continue;
+      if (OnPreprocessorLine(t, pos)) continue;  // #include <new>
+      // `= delete` declarations are not expressions -- but the same
+      // cannot be said of `= new`, which is exactly the assignment
+      // form the rule exists to catch.
+      if (word == "delete") {
+        std::size_t before = pos;
+        while (before > 0 && t[before - 1] == ' ') --before;
+        if (before > 0 && t[before - 1] == '=') continue;
+      }
+      const std::size_t line_no = LineOf(t, pos);
+      if (Allowed(src, line_no, "naked-new")) continue;
+      findings->push_back(
+          {path, line_no + 1, "naked-new",
+           std::string("naked `") + std::string(word) +
+               "`; use std::make_unique / RAII ownership"});
+    }
+  }
+}
+
+/// Finds constructor definitions `Class::Class(...)` whose parameter
+/// list mentions `double` and whose body (up to the matching brace)
+/// contains no contract check.
+void RuleMissingContract(const std::string& path, CleanSource& src,
+                         std::vector<Finding>* findings) {
+  if (path.size() < 4 || path.compare(path.size() - 4, 4, ".cpp") != 0)
+    return;
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find("::"); pos != std::string::npos;
+       pos = t.find("::", pos + 2)) {
+    // Name before :: and after :: must match -> constructor.
+    std::size_t ls = pos;
+    while (ls > 0 && IsIdentChar(t[ls - 1])) --ls;
+    const std::string name = t.substr(ls, pos - ls);
+    if (name.empty()) continue;
+    const std::size_t after = pos + 2;
+    if (t.compare(after, name.size(), name) != 0) continue;
+    std::size_t paren = after + name.size();
+    while (paren < t.size() && t[paren] == ' ') ++paren;
+    if (paren >= t.size() || t[paren] != '(') continue;
+    // Capture the parameter list.
+    int depth = 1;
+    std::size_t i = paren + 1;
+    const std::size_t params_begin = i;
+    while (i < t.size() && depth > 0) {
+      if (t[i] == '(') ++depth;
+      if (t[i] == ')') --depth;
+      ++i;
+    }
+    if (depth != 0) continue;
+    const std::string params = t.substr(params_begin, i - 1 - params_begin);
+    if (params.find("double") == std::string::npos) continue;
+    // Find the body start `{` (skip over the init list), then the body.
+    std::size_t body = i;
+    while (body < t.size() && t[body] != '{' && t[body] != ';') ++body;
+    if (body >= t.size() || t[body] == ';') continue;  // declaration
+    depth = 1;
+    std::size_t j = body + 1;
+    while (j < t.size() && depth > 0) {
+      if (t[j] == '{') ++depth;
+      if (t[j] == '}') --depth;
+      ++j;
+    }
+    // A constructor taking physical quantities must validate: either
+    // directly (contract macro / throw) or by delegating (Validate,
+    // or construction of members that check -- init list counts).
+    const std::string whole = t.substr(ls, j - ls);
+    if (whole.find("DS_REQUIRE") != std::string::npos ||
+        whole.find("DS_ENSURE") != std::string::npos ||
+        whole.find("DS_INVARIANT") != std::string::npos ||
+        whole.find("throw ") != std::string::npos ||
+        whole.find("Validate") != std::string::npos ||
+        whole.find("CheckInvariants") != std::string::npos)
+      continue;
+    const std::size_t line_no = LineOf(t, ls);
+    if (Allowed(src, line_no, "missing-contract")) continue;
+    findings->push_back(
+        {path, line_no + 1, "missing-contract",
+         name + "::" + name +
+             " takes double (physical quantity) parameters but neither "
+             "checks a DS_* contract nor throws nor calls Validate()"});
+  }
+}
+
+/// Finds `static` declarations at function scope whose declaration
+/// carries neither constness nor its own synchronization. Scope is
+/// tracked with a brace stack: a `{` after `)` or `]` opens a function
+/// (or lambda) body, `namespace`/`class`/`struct`/`enum`/`union` open
+/// non-function scopes, and control-flow/initializer braces inherit
+/// the enclosing scope -- so macro bodies at namespace scope (the
+/// DS_TELEM_* do-while idiom) do not fire.
+void RuleStaticMutable(const std::string& path, CleanSource& src,
+                       std::vector<Finding>* findings) {
+  enum class Scope { kNamespace, kType, kFunction };
+  const std::string& t = src.text;
+  std::vector<Scope> stack;  // file scope (empty stack) == kNamespace
+
+  auto effective = [&]() {
+    return stack.empty() ? Scope::kNamespace : stack.back();
+  };
+  auto head_has = [&](std::string_view head, std::string_view word) {
+    for (std::size_t p = head.find(word); p != std::string_view::npos;
+         p = head.find(word, p + 1)) {
+      const bool left_ok = p == 0 || !IsIdentChar(head[p - 1]);
+      const std::size_t end = p + word.size();
+      const bool right_ok = end >= head.size() || !IsIdentChar(head[end]);
+      if (left_ok && right_ok) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (c == '{') {
+      // The introducer: everything since the last ; { or }.
+      std::size_t start = i;
+      while (start > 0 && t[start - 1] != ';' && t[start - 1] != '{' &&
+             t[start - 1] != '}')
+        --start;
+      const std::string_view head(&t[start], i - start);
+      std::size_t last = head.size();
+      while (last > 0 && std::isspace(static_cast<unsigned char>(
+                             head[last - 1])) != 0)
+        --last;
+      const char prev = last > 0 ? head[last - 1] : '\0';
+      Scope opened;
+      if (head_has(head, "namespace")) {
+        opened = Scope::kNamespace;
+      } else if (head_has(head, "class") || head_has(head, "struct") ||
+                 head_has(head, "union") || head_has(head, "enum")) {
+        opened = Scope::kType;
+      } else if (head_has(head, "if") || head_has(head, "for") ||
+                 head_has(head, "while") || head_has(head, "switch") ||
+                 head_has(head, "catch") || head_has(head, "do") ||
+                 head_has(head, "else") || head_has(head, "try")) {
+        opened = effective();  // control block: same scope kind
+      } else if (prev == ')' || prev == ']') {
+        opened = Scope::kFunction;  // function, ctor, or lambda body
+      } else {
+        opened = effective();  // initializer list, requires, etc.
+      }
+      stack.push_back(opened);
+      continue;
+    }
+    if (c != 's' || !MatchWord(t, i, "static")) continue;
+    if (effective() != Scope::kFunction) continue;
+    // The declaration: `static` up to the terminating ';'. The part
+    // before any '=' is the declarator (where a '&' means reference).
+    const std::size_t semi = t.find(';', i);
+    if (semi == std::string::npos) continue;
+    const std::string_view decl(&t[i], semi - i);
+    const std::size_t eq = decl.find('=');
+    const std::string_view declarator =
+        decl.substr(0, eq == std::string_view::npos ? decl.size() : eq);
+    if (head_has(declarator, "const") || head_has(declarator, "constexpr") ||
+        head_has(declarator, "thread_local") ||
+        head_has(declarator, "atomic") || head_has(declarator, "mutex") ||
+        head_has(declarator, "once_flag") ||
+        declarator.find('&') != std::string_view::npos)
+      continue;
+    const std::size_t line_no = LineOf(t, i);
+    if (Allowed(src, line_no, "static-mutable")) continue;
+    findings->push_back(
+        {path, line_no + 1, "static-mutable",
+         "mutable function-local static; hidden shared state breaks "
+         "parallel-sweep determinism -- make it const, synchronize it, or "
+         "pass state explicitly"});
+  }
+}
+
+/// Flags `catch` handlers under src/runtime/ that swallow the failure:
+/// the handler body contains no rethrow, no telemetry, no Record/log
+/// call and no assignment into an error field. The runtime layer is
+/// the failure-classification boundary (retry vs quarantine vs abort);
+/// an exception that dies silently there breaks the "every failure is
+/// surfaced" contract the journal and ResultSink depend on.
+void RuleSwallowedCatch(const std::string& path, CleanSource& src,
+                        std::vector<Finding>* findings) {
+  if (path.find("/runtime/") == std::string::npos &&
+      path.rfind("runtime/", 0) != 0)
+    return;
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find("catch"); pos != std::string::npos;
+       pos = t.find("catch", pos + 1)) {
+    if (!MatchWord(t, pos, "catch")) continue;
+    // Skip the exception-declaration parens.
+    std::size_t i = pos + 5;
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    if (i >= t.size() || t[i] != '(') continue;
+    int depth = 1;
+    ++i;
+    while (i < t.size() && depth > 0) {
+      if (t[i] == '(') ++depth;
+      if (t[i] == ')') --depth;
+      ++i;
+    }
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    if (i >= t.size() || t[i] != '{') continue;
+    // Capture the handler body up to the matching brace.
+    depth = 1;
+    const std::size_t body_begin = ++i;
+    while (i < t.size() && depth > 0) {
+      if (t[i] == '{') ++depth;
+      if (t[i] == '}') --depth;
+      ++i;
+    }
+    const std::string_view body(&t[body_begin], i - 1 - body_begin);
+    auto has = [&](std::string_view w) {
+      return body.find(w) != std::string_view::npos;
+    };
+    // Any of these marks the failure as handled: rethrown, counted,
+    // recorded into a sink/journal, or stored in an error field.
+    if (has("throw") || has("DS_TELEM") || has("Record") || has("error") ||
+        has("Error") || has("log") || has("Log"))
+      continue;
+    const std::size_t line_no = LineOf(t, pos);
+    if (Allowed(src, line_no, "swallowed-catch")) continue;
+    findings->push_back(
+        {path, line_no + 1, "swallowed-catch",
+         "catch handler in the sweep runtime swallows the exception; "
+         "rethrow, record it (telemetry / journal / sink), or store it "
+         "in an error field"});
+  }
+}
+
+/// Flags owning std::vector / util::Matrix declarations inside loop
+/// bodies under src/thermal/. Loop scopes are tracked with the same
+/// brace-stack technique as RuleStaticMutable: a `{` whose introducer
+/// contains `for`, `while` or `do` opens a loop scope; inner braces
+/// inherit it. References (`&` declarators) and uses of an existing
+/// object (member access, calls) never match -- only a declaration
+/// `std::vector<...> name ...` / `Matrix name(...)` that constructs a
+/// fresh buffer each iteration.
+void RuleAllocInLoop(const std::string& path, CleanSource& src,
+                     std::vector<Finding>* findings) {
+  if (path.find("/thermal/") == std::string::npos &&
+      path.rfind("thermal/", 0) != 0)
+    return;
+  const std::string& t = src.text;
+
+  auto head_has = [&](std::string_view head, std::string_view word) {
+    for (std::size_t p = head.find(word); p != std::string_view::npos;
+         p = head.find(word, p + 1)) {
+      const bool left_ok = p == 0 || !IsIdentChar(head[p - 1]);
+      const std::size_t end = p + word.size();
+      const bool right_ok = end >= head.size() || !IsIdentChar(head[end]);
+      if (left_ok && right_ok) return true;
+    }
+    return false;
+  };
+
+  // depth of loop nesting per brace level; loop_depth > 0 == in a loop.
+  std::vector<bool> stack;  // true: this brace level is a loop body
+  std::size_t loop_depth = 0;
+
+  auto flag = [&](std::size_t pos, std::string_view what) {
+    const std::size_t line_no = LineOf(t, pos);
+    if (Allowed(src, line_no, "alloc-in-loop")) return;
+    findings->push_back(
+        {path, line_no + 1, "alloc-in-loop",
+         std::string(what) +
+             " constructed inside a loop body; per-iteration heap "
+             "allocation in the thermal hot path -- hoist or reuse a "
+             "scratch buffer"});
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '}') {
+      if (!stack.empty()) {
+        if (stack.back()) --loop_depth;
+        stack.pop_back();
+      }
+      continue;
+    }
+    if (c == '{') {
+      // Introducer: back to the last top-level ; { or }. Unlike the
+      // static-mutable scan, semicolons inside parentheses must not
+      // terminate, or `for (a; b; c)` loses its `for`.
+      std::size_t start = i;
+      int parens = 0;
+      while (start > 0) {
+        const char p = t[start - 1];
+        if (p == ')') ++parens;
+        if (p == '(' && parens > 0) --parens;
+        if (parens == 0 && (p == ';' || p == '{' || p == '}')) break;
+        --start;
+      }
+      const std::string_view head(&t[start], i - start);
+      const bool is_loop = head_has(head, "for") || head_has(head, "while") ||
+                           head_has(head, "do");
+      stack.push_back(is_loop);
+      if (is_loop) ++loop_depth;
+      continue;
+    }
+    if (loop_depth == 0) continue;
+
+    // A declaration `std::vector<...> name` (not a reference binding).
+    if (c == 's' && MatchWord(t, i, "std") &&
+        t.compare(i, 12, "std::vector<") == 0) {
+      std::size_t j = i + 12;
+      int angle = 1;
+      while (j < t.size() && angle > 0) {
+        if (t[j] == '<') ++angle;
+        if (t[j] == '>') --angle;
+        ++j;
+      }
+      while (j < t.size() && t[j] == ' ') ++j;
+      if (j < t.size() && IsIdentChar(t[j])) flag(i, "std::vector");
+      i = j;
+      continue;
+    }
+    // A declaration `Matrix name(...)` / `util::Matrix name(...)`.
+    if (c == 'M' && MatchWord(t, i, "Matrix")) {
+      std::size_t j = i + 6;
+      while (j < t.size() && t[j] == ' ') ++j;
+      if (j < t.size() && IsIdentChar(t[j])) flag(i, "util::Matrix");
+      i = j;
+      continue;
+    }
+  }
+}
+
+// --------------------------------------------------- concurrency rules
+//
+// These need the whole file set before they can run: hierarchy levels
+// come from `constexpr int kName = N;` wherever it appears, mutex
+// declarations usually live in a header while the acquisitions live in
+// the matching .cpp, and a std::thread member declared in a header is
+// joined in its implementation file. Mutex and join lookups therefore
+// resolve within a file *stem* (event_bus.hpp + event_bus.cpp share
+// "event_bus").
+
+/// One annotated-mutex declaration `Mutex name{...::kLevel};`.
+struct MutexDecl {
+  std::string var;
+  int level = kUnknownLevel;
+
+  static constexpr int kUnknownLevel = -1;
+  static constexpr int kAmbiguous = -2;  // same name, conflicting levels
+};
+
+/// Collects `constexpr int kName = N;` hierarchy levels. First
+/// declaration wins; the linted tree declares each level exactly once
+/// (util/lock_levels.hpp) and fixtures self-declare their own.
+void CollectLevels(const CleanSource& src, std::map<std::string, int>* out) {
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find("constexpr"); pos != std::string::npos;
+       pos = t.find("constexpr", pos + 9)) {
+    if (!MatchWord(t, pos, "constexpr")) continue;
+    std::size_t i = pos + 9;
+    auto skip_ws = [&]() {
+      while (i < t.size() &&
+             std::isspace(static_cast<unsigned char>(t[i])) != 0)
+        ++i;
+    };
+    skip_ws();
+    if (!MatchWord(t, i, "int")) continue;
+    i += 3;
+    skip_ws();
+    const std::size_t name_begin = i;
+    while (i < t.size() && IsIdentChar(t[i])) ++i;
+    if (i == name_begin) continue;
+    const std::string name = t.substr(name_begin, i - name_begin);
+    skip_ws();
+    if (i >= t.size() || t[i] != '=') continue;
+    ++i;
+    skip_ws();
+    bool negative = false;
+    if (i < t.size() && t[i] == '-') {
+      negative = true;
+      ++i;
+    }
+    const std::size_t digits_begin = i;
+    int value = 0;
+    while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) {
+      value = value * 10 + (t[i] - '0');
+      ++i;
+    }
+    if (i == digits_begin) continue;
+    skip_ws();
+    if (i >= t.size() || t[i] != ';') continue;
+    out->emplace(name, negative ? -value : value);
+  }
+}
+
+/// Reads the `kLevelName` identifier out of a mutex brace initializer
+/// like `{locks::kJournal}`.
+std::string LevelNameIn(std::string_view init) {
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    if (init[i] != 'k') continue;
+    if (i > 0 && IsIdentChar(init[i - 1])) continue;
+    if (i + 1 >= init.size() ||
+        std::isupper(static_cast<unsigned char>(init[i + 1])) == 0)
+      continue;
+    std::size_t end = i + 1;
+    while (end < init.size() && IsIdentChar(init[end])) ++end;
+    return std::string(init.substr(i, end - i));
+  }
+  return {};
+}
+
+/// Collects `Mutex name{...};` declarations (ds::Mutex included; the
+/// keyword match is on the unqualified word). Declarations without a
+/// recognizable level stay at kUnknownLevel -- they cannot be checked,
+/// but they do not poison names that are declared with one.
+void CollectMutexDecls(const CleanSource& src,
+                       const std::map<std::string, int>& levels,
+                       std::map<std::string, int>* out) {
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find("Mutex"); pos != std::string::npos;
+       pos = t.find("Mutex", pos + 5)) {
+    if (!MatchWord(t, pos, "Mutex")) continue;
+    std::size_t i = pos + 5;
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    if (i >= t.size() || !IsIdentChar(t[i]) ||
+        std::isdigit(static_cast<unsigned char>(t[i])) != 0)
+      continue;  // class definition, param, constructor -- not a decl
+    const std::size_t var_begin = i;
+    while (i < t.size() && IsIdentChar(t[i])) ++i;
+    const std::string var = t.substr(var_begin, i - var_begin);
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    int level = MutexDecl::kUnknownLevel;
+    if (i < t.size() && t[i] == '{') {
+      int depth = 1;
+      const std::size_t init_begin = ++i;
+      while (i < t.size() && depth > 0) {
+        if (t[i] == '{') ++depth;
+        if (t[i] == '}') --depth;
+        ++i;
+      }
+      const std::string name = LevelNameIn(
+          std::string_view(&t[init_begin], i - 1 - init_begin));
+      const auto it = levels.find(name);
+      if (it != levels.end()) level = it->second;
+    }
+    if (level == MutexDecl::kUnknownLevel) continue;
+    const auto [it, inserted] = out->emplace(var, level);
+    if (!inserted && it->second != level) it->second = MutexDecl::kAmbiguous;
+  }
+}
+
+/// The identifier a MutexLock argument resolves to: the trailing
+/// identifier of the expression (`mu_`, `reg.mu` -> `mu`,
+/// `entry->tsp_mu` -> `tsp_mu`).
+std::string TrailingIdent(std::string_view expr) {
+  std::size_t end = expr.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(expr[end - 1])) != 0)
+    --end;
+  std::size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+  return std::string(expr.substr(begin, end - begin));
+}
+
+/// Checks every `MutexLock guard(expr);` acquisition against the locks
+/// still held in the enclosing brace scopes: each new level must be
+/// strictly below every held level (util/lock_levels.hpp). Scoped
+/// locks release at the closing brace of the block that declared them,
+/// which a brace stack models exactly.
+void RuleLockOrder(const std::string& path, CleanSource& src,
+                   const std::map<std::string, int>& mutexes,
+                   std::vector<Finding>* findings) {
+  const std::string& t = src.text;
+  struct Held {
+    std::string var;
+    int level;
+    int depth;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+    if (c != 'M' || !MatchWord(t, i, "MutexLock")) continue;
+    std::size_t j = i + 9;
+    while (j < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[j])) != 0)
+      ++j;
+    // Require `MutexLock <guard-name> (` -- the class definition,
+    // constructor and `MutexLock&` parameters all fail this shape.
+    if (j >= t.size() || !IsIdentChar(t[j])) continue;
+    while (j < t.size() && IsIdentChar(t[j])) ++j;
+    while (j < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[j])) != 0)
+      ++j;
+    if (j >= t.size() || t[j] != '(') continue;
+    int parens = 1;
+    const std::size_t expr_begin = ++j;
+    while (j < t.size() && parens > 0) {
+      if (t[j] == '(') ++parens;
+      if (t[j] == ')') --parens;
+      ++j;
+    }
+    const std::string var =
+        TrailingIdent(std::string_view(&t[expr_begin], j - 1 - expr_begin));
+    const auto it = mutexes.find(var);
+    i = j - 1;
+    if (it == mutexes.end() || it->second == MutexDecl::kAmbiguous) continue;
+    const int level = it->second;
+    const std::size_t line_no = LineOf(t, expr_begin);
+    for (const Held& h : held) {
+      if (level < h.level) continue;
+      if (Allowed(src, line_no, "lock-order")) break;
+      std::ostringstream msg;
+      msg << "acquiring '" << var << "' (level " << level
+          << ") while holding '" << h.var << "' (level " << h.level
+          << "); the lock hierarchy (util/lock_levels.hpp) requires "
+             "strictly descending levels";
+      findings->push_back({path, line_no + 1, "lock-order", msg.str()});
+      break;
+    }
+    held.push_back({var, level, depth});
+  }
+}
+
+/// Flags raw standard-library synchronization declarations. Library
+/// code declares ds::Mutex / ds::CondVar so the Clang thread-safety
+/// analysis (and the lock-order rule above) can see every acquisition;
+/// the only raw declarations live inside the wrappers themselves,
+/// explicitly suppressed.
+void RuleUnannotatedMutex(const std::string& path, CleanSource& src,
+                          std::vector<Finding>* findings) {
+  const std::string& t = src.text;
+  static const std::string_view kTypes[] = {
+      "std::mutex",        "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex", "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any"};
+  for (const std::string_view type : kTypes) {
+    for (std::size_t pos = t.find(type); pos != std::string::npos;
+         pos = t.find(type, pos + 1)) {
+      if (!MatchWord(t, pos, type)) continue;
+      std::size_t i = pos + type.size();
+      while (i < t.size() &&
+             std::isspace(static_cast<unsigned char>(t[i])) != 0)
+        ++i;
+      // Only a declaration `std::mutex name` counts; template
+      // arguments (`std::unique_lock<std::mutex>`), references and
+      // qualified uses all continue with punctuation.
+      if (i >= t.size() || !IsIdentChar(t[i]) ||
+          std::isdigit(static_cast<unsigned char>(t[i])) != 0)
+        continue;
+      const std::size_t line_no = LineOf(t, pos);
+      if (Allowed(src, line_no, "unannotated-mutex")) continue;
+      findings->push_back(
+          {path, line_no + 1, "unannotated-mutex",
+           std::string("raw `") + std::string(type) +
+               "` declaration; use ds::Mutex / ds::CondVar "
+               "(util/thread_annotations.hpp) so -Wthread-safety and the "
+               "lock-order lint can see it"});
+    }
+  }
+}
+
+/// Flags named std::thread declarations whose file stem never joins,
+/// and every .detach() call. A thread that outlives its owner tears
+/// the shutdown order the annotations document (stop flag under the
+/// kShutdown mutex, then join, then close fds).
+void RuleUnjoinedThread(const std::string& path, CleanSource& src,
+                        bool stem_joins, std::vector<Finding>* findings) {
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find("std::thread"); pos != std::string::npos;
+       pos = t.find("std::thread", pos + 1)) {
+    if (!MatchWord(t, pos, "std::thread")) continue;
+    std::size_t i = pos + 11;
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    // Declarations only: `std::thread name`. Temporaries
+    // (`std::thread(...)`), references, vector elements and
+    // `std::thread::hardware_concurrency()` continue with punctuation.
+    if (i >= t.size() || !IsIdentChar(t[i]) ||
+        std::isdigit(static_cast<unsigned char>(t[i])) != 0)
+      continue;
+    if (stem_joins) continue;
+    const std::size_t line_no = LineOf(t, pos);
+    if (Allowed(src, line_no, "unjoined-thread")) continue;
+    findings->push_back(
+        {path, line_no + 1, "unjoined-thread",
+         "std::thread declared but this file stem never calls .join(); "
+         "join it in the owner's shutdown path"});
+  }
+  for (const std::string_view pat : {".detach(", "->detach("}) {
+    for (std::size_t pos = t.find(pat); pos != std::string::npos;
+         pos = t.find(pat, pos + 1)) {
+      const std::size_t line_no = LineOf(t, pos);
+      if (Allowed(src, line_no, "unjoined-thread")) continue;
+      findings->push_back(
+          {path, line_no + 1, "unjoined-thread",
+           "detached thread; nothing can join it, so it races the "
+           "process shutdown order -- keep the handle and join"});
+    }
+  }
+}
+
+/// Every suppression must pay its way: a `// ds_lint: allow(<rule>)`
+/// that no finding consumed is stale and hides the next real finding
+/// on that line. Deliberately not suppressible -- the fix is deletion.
+void RuleUnusedSuppression(const std::string& path, const CleanSource& src,
+                           std::vector<Finding>* findings) {
+  for (const Suppression& s : src.suppressions) {
+    if (s.used) continue;
+    findings->push_back(
+        {path, s.line + 1, "unused-suppression",
+         "suppression `allow(" + s.rule +
+             ")` matches no finding; delete the stale comment"});
+  }
+}
+
+// ------------------------------------------------------------- driver
+
+struct FileUnit {
+  std::string path;  // generic (forward-slash) path, as reported
+  std::string stem;  // filename without extension, for sibling lookup
+  CleanSource src;
+};
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"bare-assert",
+       "assert() compiles out under NDEBUG; use the DS_* contract macros"},
+      {"float-equals",
+       "exact ==/!= against a floating-point literal; compare against a "
+       "tolerance"},
+      {"io-in-library",
+       "library code must not print; return data or use telemetry"},
+      {"raw-stderr",
+       "raw stream handle in a structured-reporting layer (src/runtime, "
+       "src/telemetry)"},
+      {"naked-new", "naked new/delete; use std::make_unique / RAII"},
+      {"missing-contract",
+       "constructor takes double (physical quantity) parameters without a "
+       "DS_* contract check"},
+      {"static-mutable",
+       "mutable function-local static; hidden shared state breaks "
+       "parallel-sweep determinism"},
+      {"swallowed-catch",
+       "catch handler in the sweep runtime drops the failure unrecorded"},
+      {"alloc-in-loop",
+       "per-iteration heap allocation in the thermal hot path"},
+      {"lock-order",
+       "mutex acquisition violates the declared lock hierarchy "
+       "(util/lock_levels.hpp): levels must strictly descend"},
+      {"unannotated-mutex",
+       "raw std::mutex / std::shared_mutex / std::condition_variable; use "
+       "ds::Mutex / ds::CondVar (util/thread_annotations.hpp)"},
+      {"unjoined-thread",
+       "std::thread never joined in its file stem, or detached outright"},
+      {"unused-suppression",
+       "a ds_lint: allow(...) comment that no finding consumed; delete it"},
+      {"io-error", "a file passed to the linter could not be read"},
+  };
+  return kRules;
+}
+
+LintResult LintPaths(const std::vector<std::string>& paths) {
+  std::vector<fs::path> files;
+  for (const std::string& arg : paths) {
+    const fs::path root(arg);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      std::vector<fs::path> dir_files;
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path()))
+          dir_files.push_back(entry.path());
+      }
+      std::sort(dir_files.begin(), dir_files.end());
+      files.insert(files.end(), dir_files.begin(), dir_files.end());
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      throw std::runtime_error("no such file or directory: " + arg);
+    }
+  }
+
+  LintResult result;
+  std::vector<FileUnit> units;
+  units.reserve(files.size());
+  for (const fs::path& path : files) {
+    ++result.files;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      result.findings.push_back(
+          {path.generic_string(), 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    units.push_back(
+        {path.generic_string(), path.stem().string(), Blank(buf.str())});
+  }
+
+  for (FileUnit& u : units) {
+    RuleBareAssert(u.path, u.src, &result.findings);
+    RuleFloatEquals(u.path, u.src, &result.findings);
+    RuleIoInLibrary(u.path, u.src, &result.findings);
+    RuleRawStderr(u.path, u.src, &result.findings);
+    RuleNakedNew(u.path, u.src, &result.findings);
+    RuleMissingContract(u.path, u.src, &result.findings);
+    RuleStaticMutable(u.path, u.src, &result.findings);
+    RuleSwallowedCatch(u.path, u.src, &result.findings);
+    RuleAllocInLoop(u.path, u.src, &result.findings);
+  }
+
+  // The concurrency pass: gather levels, per-stem mutex declarations
+  // and per-stem join evidence across the whole set, then check each
+  // file against its stem's declarations.
+  std::map<std::string, int> levels;
+  for (const FileUnit& u : units) CollectLevels(u.src, &levels);
+  std::map<std::string, std::map<std::string, int>> decls_by_stem;
+  std::set<std::string> join_stems;
+  for (const FileUnit& u : units) {
+    CollectMutexDecls(u.src, levels, &decls_by_stem[u.stem]);
+    if (u.src.text.find(".join(") != std::string::npos ||
+        u.src.text.find("->join(") != std::string::npos)
+      join_stems.insert(u.stem);
+  }
+  for (FileUnit& u : units) {
+    RuleLockOrder(u.path, u.src, decls_by_stem[u.stem], &result.findings);
+    RuleUnannotatedMutex(u.path, u.src, &result.findings);
+    RuleUnjoinedThread(u.path, u.src, join_stems.count(u.stem) != 0,
+                       &result.findings);
+  }
+
+  // Last: anything still unconsumed is a stale suppression.
+  for (const FileUnit& u : units)
+    RuleUnusedSuppression(u.path, u.src, &result.findings);
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+std::string ToSarif(const LintResult& result) {
+  const std::vector<RuleInfo>& rules = Rules();
+  std::map<std::string_view, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    rule_index.emplace(rules[i].id, i);
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"ds_lint\",\n"
+      << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << rules[i].id
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(rules[i].summary) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out << "        {\"ruleId\": \"" << JsonEscape(f.rule) << "\"";
+    const auto it = rule_index.find(f.rule);
+    if (it != rule_index.end()) out << ", \"ruleIndex\": " << it->second;
+    out << ", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line == 0 ? 1 : f.line) << "}}}]}"
+        << (i + 1 < result.findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace ds::lint

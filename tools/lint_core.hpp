@@ -1,0 +1,88 @@
+// Core of ds_lint, the zero-dependency style/correctness checker for
+// the dark silicon library tree. The linting engine lives in this
+// library (ds_lint_core) so tests/test_ds_lint.cpp can run the rules
+// in-process against tests/lint_fixtures/ and assert exact findings;
+// tools/ds_lint.cpp is the thin CLI on top.
+//
+// Per-file rules (scanned over comment/string-blanked source):
+//   bare-assert        assert() in library code outside src/util/.
+//   float-equals       ==/!= against a floating-point literal.
+//   io-in-library      printf/std::cout/std::cerr in library code.
+//   raw-stderr         raw stream handles in src/runtime, src/telemetry.
+//   naked-new          new/delete expressions outside RAII owners.
+//   missing-contract   ctor taking double params with no DS_* check.
+//   static-mutable     mutable function-local static.
+//   swallowed-catch    catch in src/runtime that drops the failure.
+//   alloc-in-loop      vector/Matrix built per-iteration in src/thermal.
+//
+// Concurrency rules (need the whole file set -- levels, declarations
+// and join sites can live in a sibling of the file being checked):
+//   lock-order         a ds::MutexLock acquisition whose mutex's
+//                      declared hierarchy level (util/lock_levels.hpp)
+//                      is not strictly below every level already held
+//                      in the enclosing scopes. Levels are read from
+//                      `constexpr int kName = N;` declarations and
+//                      mutexes from `Mutex name{locks::kName};`
+//                      declarators anywhere in the linted set; mutex
+//                      names resolve within their file stem (hpp
+//                      declares, cpp locks).
+//   unannotated-mutex  a raw std::mutex / std::shared_mutex /
+//                      std::condition_variable declaration. Library
+//                      code uses ds::Mutex / ds::CondVar
+//                      (util/thread_annotations.hpp) so Clang's
+//                      -Wthread-safety can see every acquisition.
+//   unjoined-thread    a named std::thread whose file stem never calls
+//                      .join(), or any .detach() call -- a detached
+//                      thread outlives the telemetry/runtime shutdown
+//                      order the annotations document.
+//   unused-suppression a `// ds_lint: allow(<rule>)` comment that no
+//                      finding consumed. Stale suppressions hide the
+//                      next real finding on that line; delete them.
+//                      Not itself suppressible -- the fix is removal.
+//
+// Suppressions: append `// ds_lint: allow(<rule>)` to the offending
+// line, or place it alone on the line directly above. Every
+// suppression documents an intentional exception at the point of use.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ds::lint {
+
+/// One rule violation at a source location. `line` is 1-based (0 for
+/// whole-file conditions such as io-error).
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Outcome of one linting run over a set of files.
+struct LintResult {
+  std::vector<Finding> findings;
+  std::size_t files = 0;  // files actually scanned
+};
+
+/// Static rule metadata, surfaced in the SARIF rules table.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule ds_lint can emit, in stable order (SARIF ruleIndex
+/// refers into this list).
+const std::vector<RuleInfo>& Rules();
+
+/// Lints files and directories (directories recurse over
+/// .cpp/.hpp/.h/.cc, sorted for deterministic output). Unreadable
+/// files produce an `io-error` finding; a path that does not exist at
+/// all throws std::runtime_error (the CLI maps that to exit 2).
+LintResult LintPaths(const std::vector<std::string>& paths);
+
+/// Renders a result as a SARIF 2.1.0 log (one run, tool "ds_lint").
+std::string ToSarif(const LintResult& result);
+
+}  // namespace ds::lint
