@@ -1,0 +1,245 @@
+#include "net/http.hpp"
+
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+namespace ds::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Strict non-negative decimal parse for Content-Length; rejects
+/// signs, whitespace and trailing junk (a sloppy length is a request
+/// smuggling vector, not a formatting nit).
+bool ParseDecimal(std::string_view s, std::size_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  std::size_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string ErrnoText(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // client went away; nothing to salvage
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string_view HttpRequest::Header(std::string_view name_lower) const {
+  for (const auto& [name, value] : headers)
+    if (name == name_lower) return value;
+  return {};
+}
+
+HttpRequestParser::Status HttpRequestParser::Fail(std::string_view status,
+                                                  std::string_view reason) {
+  state_ = Status::kError;
+  error_status_ = status;
+  error_reason_ = reason;
+  buffer_.clear();
+  return state_;
+}
+
+HttpRequestParser::Status HttpRequestParser::ParseHeaders() {
+  // buffer_ holds the full header block (terminated by CRLFCRLF).
+  const std::size_t block_end = buffer_.find("\r\n\r\n");
+  const std::string_view block =
+      std::string_view(buffer_).substr(0, block_end + 2);
+
+  const std::size_t line_end = block.find("\r\n");
+  const std::string_view line = block.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1)
+    return Fail("400 Bad Request", "malformed request line");
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0)
+    return Fail("400 Bad Request", "unsupported protocol version");
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+
+  std::size_t pos = line_end + 2;
+  while (pos < block.size()) {
+    const std::size_t eol = block.find("\r\n", pos);
+    const std::string_view header = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return Fail("400 Bad Request", "malformed header field");
+    request_.headers.emplace_back(ToLower(header.substr(0, colon)),
+                                  std::string(Trim(header.substr(colon + 1))));
+  }
+
+  const std::string_view te = request_.Header("transfer-encoding");
+  if (!te.empty())
+    return Fail("501 Not Implemented",
+                "chunked request bodies are not supported");
+  const std::string_view cl = request_.Header("content-length");
+  if (!cl.empty() && !ParseDecimal(cl, &content_length_))
+    return Fail("400 Bad Request", "unparseable content-length");
+  if (content_length_ > limits_.max_body_bytes)
+    return Fail("413 Content Too Large",
+                "request body exceeds the configured limit");
+
+  headers_done_ = true;
+  buffer_.erase(0, block_end + 4);
+  return Status::kNeedMore;
+}
+
+HttpRequestParser::Status HttpRequestParser::Feed(std::string_view data) {
+  if (state_ == Status::kError) return state_;
+  if (state_ == Status::kComplete) {
+    excess_bytes_ += data.size();
+    return state_;
+  }
+
+  buffer_.append(data);
+
+  if (!headers_done_) {
+    const std::size_t block_end = buffer_.find("\r\n\r\n");
+    if (block_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes)
+        return Fail("431 Request Header Fields Too Large",
+                    "header block exceeds the configured limit");
+      return Status::kNeedMore;
+    }
+    // The limit also applies to a block that arrived complete in one
+    // read -- otherwise a single large recv() bypasses it.
+    if (block_end + 4 > limits_.max_header_bytes)
+      return Fail("431 Request Header Fields Too Large",
+                  "header block exceeds the configured limit");
+    if (ParseHeaders() == Status::kError) return state_;
+  }
+
+  if (buffer_.size() < content_length_) return Status::kNeedMore;
+
+  request_.body = buffer_.substr(0, content_length_);
+  excess_bytes_ += buffer_.size() - content_length_;
+  buffer_.clear();
+  state_ = Status::kComplete;
+  return state_;
+}
+
+std::string HttpResponse(std::string_view status,
+                         std::string_view content_type,
+                         std::string_view body,
+                         std::string_view extra_headers) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n";
+  out += extra_headers;
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string ChunkedResponseHead(std::string_view status,
+                                std::string_view content_type,
+                                std::string_view extra_headers) {
+  std::string out;
+  out += "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nTransfer-Encoding: chunked\r\n";
+  out += extra_headers;
+  out += "Connection: close\r\n\r\n";
+  return out;
+}
+
+std::string Chunk(std::string_view data) {
+  char head[24];
+  std::snprintf(head, sizeof(head), "%zx\r\n", data.size());
+  std::string out(head);
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+ChunkedDecoder::Status ChunkedDecoder::Feed(std::string_view data,
+                                            std::string* out) {
+  if (done_) return Status::kComplete;
+  buffer_.append(data);
+  for (;;) {
+    if (in_payload_) {
+      // Payload plus its trailing CRLF.
+      const std::size_t want = chunk_remaining_ + 2;
+      if (buffer_.size() < want) return Status::kNeedMore;
+      out->append(buffer_, 0, chunk_remaining_);
+      if (buffer_[chunk_remaining_] != '\r' ||
+          buffer_[chunk_remaining_ + 1] != '\n')
+        return Status::kError;
+      buffer_.erase(0, want);
+      in_payload_ = false;
+      continue;
+    }
+    const std::size_t eol = buffer_.find("\r\n");
+    if (eol == std::string::npos) return Status::kNeedMore;
+    // Chunk-size line (chunk extensions after ';' are ignored).
+    std::size_t size = 0;
+    std::size_t i = 0;
+    for (; i < eol && buffer_[i] != ';'; ++i) {
+      const char c = buffer_[i];
+      int digit = -1;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      if (digit < 0) return Status::kError;
+      size = size * 16 + static_cast<std::size_t>(digit);
+    }
+    if (i == 0) return Status::kError;
+    buffer_.erase(0, eol + 2);
+    if (size == 0) {
+      // Terminal chunk; any trailer section is ignored.
+      done_ = true;
+      return Status::kComplete;
+    }
+    chunk_remaining_ = size;
+    in_payload_ = true;
+  }
+}
+
+}  // namespace ds::net

@@ -1,0 +1,138 @@
+// Minimal HTTP/1.1 building blocks shared by the loopback servers and
+// the `darksilicon submit` client: an *incremental* request parser
+// (bytes arrive in arbitrary splits -- torn request lines, torn
+// headers, bodies trickling in), response/chunk builders, and a
+// chunked-transfer decoder for the client side.
+//
+// Scope is deliberately small -- exactly what the sweep service and
+// the metrics endpoint need:
+//   - requests: one method + target + headers + optional
+//     Content-Length body per connection; a pipelined second request
+//     is *ignored* (we answer the first and close);
+//   - responses: either a single Content-Length message or a chunked
+//     stream (for live row/event streaming); always
+//     `Connection: close`.
+// No TLS, no keep-alive, no Transfer-Encoding on requests, no
+// multipart. Loopback only by policy of the callers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ds::net {
+
+/// Thread-safe strerror: std::strerror writes into shared static
+/// storage (clang-tidy concurrency-mt-unsafe); the error_code route
+/// formats without it.
+std::string ErrnoText(int err);
+
+/// Sends the whole buffer, tolerating short writes; MSG_NOSIGNAL so a
+/// client hangup surfaces as EPIPE instead of killing the process.
+/// Returns false once the peer is gone (callers stop streaming).
+bool SendAll(int fd, std::string_view data);
+
+/// A parsed request. Header names are lower-cased at parse time so
+/// lookups are case-insensitive per RFC 9110.
+struct HttpRequest {
+  std::string method;  // e.g. "GET", "POST", "DELETE"
+  std::string target;  // raw request-target, e.g. "/v1/sweeps/abc/rows"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of the first header with this (lower-case) name, or "".
+  std::string_view Header(std::string_view name_lower) const;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed() it whatever the socket
+/// produced; it answers "need more", "complete", or "error" with the
+/// HTTP status line to send back. Limits are enforced as data arrives,
+/// so an oversized body is rejected from its Content-Length header
+/// before a single body byte is buffered.
+class HttpRequestParser {
+ public:
+  struct Limits {
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 1024 * 1024;
+  };
+
+  enum class Status { kNeedMore, kComplete, kError };
+
+  HttpRequestParser() : HttpRequestParser(Limits{}) {}
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Consumes the next slice of bytes off the wire. Once kComplete or
+  /// kError has been returned, further Feed() calls return the same
+  /// status without consuming anything (a pipelined second request is
+  /// counted in excess_bytes() and otherwise ignored).
+  Status Feed(std::string_view data);
+
+  /// Valid after Feed() returned kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid after kError: the status line to answer with (e.g.
+  /// "400 Bad Request", "413 Content Too Large") and a one-line reason
+  /// for the response body.
+  const std::string& error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Bytes received beyond the first complete request (pipelining);
+  /// always ignored, surfaced for tests.
+  std::size_t excess_bytes() const { return excess_bytes_; }
+
+ private:
+  Status Fail(std::string_view status, std::string_view reason);
+  Status ParseHeaders();
+
+  Limits limits_;
+  std::string buffer_;
+  bool headers_done_ = false;
+  std::size_t content_length_ = 0;
+  std::size_t excess_bytes_ = 0;
+  Status state_ = Status::kNeedMore;
+  HttpRequest request_;
+  std::string error_status_;
+  std::string error_reason_;
+};
+
+/// A complete single-shot response (status line, Content-Type,
+/// Content-Length, Connection: close). `extra_headers` is spliced in
+/// verbatim and must be ""- or CRLF-terminated lines
+/// ("Retry-After: 2\r\n").
+std::string HttpResponse(std::string_view status,
+                         std::string_view content_type,
+                         std::string_view body,
+                         std::string_view extra_headers = {});
+
+/// Head of a chunked streaming response; follow with Chunk() payloads
+/// and finish with kLastChunk.
+std::string ChunkedResponseHead(std::string_view status,
+                                std::string_view content_type,
+                                std::string_view extra_headers = {});
+
+/// One chunk frame (hex length, CRLF, payload, CRLF). Never call with
+/// empty data -- a zero-length chunk terminates the stream.
+std::string Chunk(std::string_view data);
+
+/// The terminal chunk closing a chunked response.
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+/// Client-side decoder for chunked transfer coding: Feed() raw body
+/// bytes, decoded payload is appended to `out`. Returns kComplete once
+/// the terminal chunk was consumed.
+class ChunkedDecoder {
+ public:
+  enum class Status { kNeedMore, kComplete, kError };
+
+  Status Feed(std::string_view data, std::string* out);
+
+ private:
+  std::string buffer_;
+  std::size_t chunk_remaining_ = 0;  // payload bytes still owed
+  bool in_payload_ = false;
+  bool done_ = false;
+};
+
+}  // namespace ds::net

@@ -1,0 +1,187 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <stdexcept>
+
+#include "net/http.hpp"
+
+namespace ds::net {
+
+namespace {
+
+/// Closes the fd on every exit path (the parse code below throws).
+struct FdCloser {
+  int fd;
+  ~FdCloser() { ::close(fd); }
+};
+
+int Connect(std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("http client: socket() failed: " +
+                             ErrnoText(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = ErrnoText(errno);
+    ::close(fd);
+    throw std::runtime_error("http client: cannot connect 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Reads more bytes into `buf`; returns false on orderly EOF, throws
+/// on timeout/reset.
+bool ReadMore(int fd, std::string* buf) {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n == 0) return false;
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw std::runtime_error("http client: receive timed out");
+    throw std::runtime_error("http client: recv() failed: " +
+                             ErrnoText(errno));
+  }
+  buf->append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+}  // namespace
+
+std::string_view ClientResponse::Header(std::string_view name_lower) const {
+  for (const auto& [name, value] : headers)
+    if (name == name_lower) return value;
+  return {};
+}
+
+ClientResponse Fetch(std::uint16_t port, std::string_view method,
+                     std::string_view target, std::string_view body,
+                     const FetchOptions& options) {
+  const int fd = Connect(port, options.recv_timeout_ms);
+  const FdCloser closer{fd};
+
+  std::string request;
+  request += method;
+  request += " ";
+  request += target;
+  request += " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [name, value] : options.headers)
+    request += std::string(name) + ": " + value + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT")
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!SendAll(fd, request))
+    throw std::runtime_error("http client: send failed (peer closed)");
+
+  // Head: status line + headers, terminated by CRLFCRLF.
+  std::string buf;
+  std::size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (!ReadMore(fd, &buf))
+      throw std::runtime_error("http client: connection closed mid-header");
+    if (buf.size() > 64 * 1024)
+      throw std::runtime_error("http client: oversized response header");
+  }
+
+  ClientResponse response;
+  const std::string_view head = std::string_view(buf).substr(0, head_end);
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  response.status_line = std::string(head.substr(0, line_end));
+  const std::size_t sp = response.status_line.find(' ');
+  if (sp != std::string::npos)
+    response.status_code = std::atoi(response.status_line.c_str() + sp + 1);
+
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    response.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                  std::string(Trim(line.substr(colon + 1))));
+  }
+  buf.erase(0, head_end + 4);
+
+  auto deliver = [&](std::string_view data) {
+    if (data.empty()) return;
+    if (options.body_sink)
+      options.body_sink(data);
+    else
+      response.body.append(data);
+  };
+
+  if (response.Header("transfer-encoding") == "chunked") {
+    ChunkedDecoder decoder;
+    std::string decoded;
+    ChunkedDecoder::Status status = decoder.Feed(buf, &decoded);
+    deliver(decoded);
+    while (status == ChunkedDecoder::Status::kNeedMore) {
+      buf.clear();
+      if (!ReadMore(fd, &buf))
+        throw std::runtime_error("http client: connection closed mid-chunk");
+      decoded.clear();
+      status = decoder.Feed(buf, &decoded);
+      deliver(decoded);
+    }
+    if (status == ChunkedDecoder::Status::kError)
+      throw std::runtime_error("http client: malformed chunked body");
+    return response;
+  }
+
+  const std::string_view content_length = response.Header("content-length");
+  if (!content_length.empty()) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::atoll(std::string(content_length).c_str()));
+    while (buf.size() < want) {
+      if (!ReadMore(fd, &buf))
+        throw std::runtime_error("http client: connection closed mid-body");
+    }
+    deliver(std::string_view(buf).substr(0, want));
+    return response;
+  }
+
+  // No framing: the body runs to EOF (Connection: close semantics).
+  deliver(buf);
+  buf.clear();
+  while (ReadMore(fd, &buf)) {
+    deliver(buf);
+    buf.clear();
+  }
+  return response;
+}
+
+}  // namespace ds::net

@@ -1,0 +1,221 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ds::net {
+
+bool HttpServer::ResponseWriter::Send(std::string_view status,
+                                      std::string_view content_type,
+                                      std::string_view body,
+                                      std::string_view extra_headers) {
+  if (sent_) return alive_;
+  sent_ = true;
+  alive_ = SendAll(fd_, HttpResponse(status, content_type, body,
+                                     extra_headers));
+  return alive_;
+}
+
+bool HttpServer::ResponseWriter::BeginChunked(std::string_view status,
+                                              std::string_view content_type,
+                                              std::string_view extra_headers) {
+  if (sent_) return alive_;
+  sent_ = true;
+  chunked_ = true;
+  alive_ = SendAll(fd_, ChunkedResponseHead(status, content_type,
+                                            extra_headers));
+  return alive_;
+}
+
+bool HttpServer::ResponseWriter::WriteChunk(std::string_view data) {
+  if (!chunked_ || !alive_ || data.empty()) return alive_;
+  alive_ = SendAll(fd_, Chunk(data));
+  return alive_;
+}
+
+bool HttpServer::ResponseWriter::EndChunked() {
+  if (!chunked_ || !alive_) return alive_;
+  chunked_ = false;
+  alive_ = SendAll(fd_, kLastChunk);
+  return alive_;
+}
+
+HttpServer::HttpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("HttpServer: socket() failed: " +
+                             ErrnoText(errno));
+  // SO_REUSEADDR before bind: a restart on a fixed port must not fail
+  // with EADDRINUSE while the previous instance's sockets sit in
+  // TIME_WAIT (CI restarts daemons on fixed ports back to back).
+  const int one = 1;
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    const std::string why = ErrnoText(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: setsockopt(SO_REUSEADDR): " + why);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = ErrnoText(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: cannot bind 127.0.0.1:" +
+                             std::to_string(options_.port) + ": " + why);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string why = ErrnoText(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: listen() failed: " + why);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    const std::string why = ErrnoText(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: pipe() failed: " + why);
+  }
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  const ds::MutexLock stop_lock(stop_mu_);
+  if (stopped_) return;
+  const char wake = 'x';
+  // Best-effort: the pipe is empty so one byte always fits.
+  (void)!::write(wake_pipe_[1], &wake, 1);
+  accept_thread_.join();
+  // The acceptor is gone, so conns_ can only shrink; move the
+  // remaining handles out and join them without holding the lock.
+  std::vector<std::unique_ptr<Conn>> remaining;
+  {
+    const ds::MutexLock conns_lock(conns_mu_);
+    remaining.swap(conns_);
+  }
+  for (const auto& conn : remaining) conn->thread.join();
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = -1;
+  stopped_ = true;
+}
+
+std::size_t HttpServer::ReapFinished() {
+  std::vector<std::unique_ptr<Conn>> finished;
+  std::size_t live = 0;
+  {
+    const ds::MutexLock conns_lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->done.load(std::memory_order_acquire))
+        finished.push_back(std::move(conn));
+      else
+        ++live;
+    }
+    std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) { return !c; });
+  }
+  for (const auto& conn : finished) conn->thread.join();
+  return live;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() signalled
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    const std::size_t live = ReapFinished();
+    if (live >= options_.max_connections) {
+      SendAll(client, HttpResponse("503 Service Unavailable",
+                                   "text/plain; charset=utf-8",
+                                   "connection limit reached\n",
+                                   "Retry-After: 1\r\n"));
+      ::close(client);
+      continue;
+    }
+
+    auto conn = std::make_unique<Conn>();
+    Conn* raw = conn.get();
+    {
+      const ds::MutexLock conns_lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, client, raw] {
+      HandleConnection(client);
+      ::close(client);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void HttpServer::HandleConnection(int client_fd) {
+  HttpRequestParser parser(HttpRequestParser::Limits{
+      .max_header_bytes = 16 * 1024,
+      .max_body_bytes = options_.max_body_kb * 1024});
+  char buf[4096];
+  for (;;) {
+    pollfd pf{client_fd, POLLIN, 0};
+    if (::poll(&pf, 1, options_.idle_timeout_ms) <= 0) return;
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // client closed before completing a request
+    const HttpRequestParser::Status status =
+        parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (status == HttpRequestParser::Status::kError) {
+      SendAll(client_fd,
+              HttpResponse(parser.error_status(), "text/plain; charset=utf-8",
+                           parser.error_reason() + "\n"));
+      return;
+    }
+    if (status == HttpRequestParser::Status::kComplete) break;
+  }
+
+  ResponseWriter writer(client_fd);
+  try {
+    handler_(parser.request(), writer);
+    // The 500 below carries e.what() to the client -- the failure is
+    // surfaced, just over the wire instead of a telemetry sink.
+    // ds_lint: allow(swallowed-catch)
+  } catch (const std::exception& e) {
+    if (!writer.sent())
+      writer.Send("500 Internal Server Error", "text/plain; charset=utf-8",
+                  std::string("internal error: ") + e.what() + "\n");
+    return;
+  }
+  if (!writer.sent())
+    writer.Send("500 Internal Server Error", "text/plain; charset=utf-8",
+                "handler produced no response\n");
+}
+
+}  // namespace ds::net

@@ -1,0 +1,133 @@
+// Threaded loopback HTTP/1.1 server: one acceptor thread (poll +
+// self-pipe shutdown, the pattern proven in telemetry/metrics_http),
+// one short-lived thread per connection, one request per connection,
+// `Connection: close` always. Handlers either send a single response
+// or stream a chunked one (live row/event streaming for the sweep
+// service).
+//
+// Binds 127.0.0.1 only -- this serves a local daemon and its loopback
+// clients, not the open network.
+//
+// Shutdown contract: Stop() joins the acceptor first (no new
+// connections), then every connection thread. A handler that blocks on
+// an external condition (e.g. a result stream) must be unblocked
+// *before* Stop() is called -- SweepService::Stop() terminalizes all
+// streams for exactly this reason.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "util/lock_levels.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ds::net {
+
+class HttpServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (tests) --
+    /// read the bound port back with port().
+    std::uint16_t port = 0;
+
+    /// Request body cap; a larger Content-Length is answered 413
+    /// before any body byte is buffered.
+    std::size_t max_body_kb = 1024;
+
+    /// Concurrent connection threads; excess connections are answered
+    /// 503 from the acceptor without spawning a thread.
+    std::size_t max_connections = 64;
+
+    /// A connection with an incomplete request and no new bytes for
+    /// this long is dropped.
+    int idle_timeout_ms = 5000;
+  };
+
+  /// Streams one response on one connection. Use Send() for a complete
+  /// message, or BeginChunked()/WriteChunk()/EndChunked() to stream.
+  /// Write methods return false once the client hung up (stop
+  /// producing); exactly one response may be started.
+  class ResponseWriter {
+   public:
+    bool Send(std::string_view status, std::string_view content_type,
+              std::string_view body, std::string_view extra_headers = {});
+    bool BeginChunked(std::string_view status, std::string_view content_type,
+                      std::string_view extra_headers = {});
+    bool WriteChunk(std::string_view data);
+    bool EndChunked();
+
+    /// A response has been started (the handler is done routing).
+    bool sent() const { return sent_; }
+
+   private:
+    friend class HttpServer;
+    explicit ResponseWriter(int fd) : fd_(fd) {}
+
+    int fd_;
+    bool sent_ = false;
+    bool chunked_ = false;
+    bool alive_ = true;
+  };
+
+  using Handler = std::function<void(const HttpRequest&, ResponseWriter&)>;
+
+  /// Binds (SO_REUSEADDR, checked, so an immediate rebind of a
+  /// just-stopped port does not trip over TIME_WAIT) and starts the
+  /// acceptor. Throws std::runtime_error when the socket cannot be
+  /// created or bound.
+  HttpServer(Handler handler, Options options);
+
+  /// Stop()s if the caller did not.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Shuts the listener down, joins the acceptor and every connection
+  /// thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves ephemeral requests).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  /// One connection thread's handle; `done` flips when the thread is
+  /// about to exit so the acceptor can reap (join) it.
+  struct Conn {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+  std::size_t ReapFinished() DS_EXCLUDES(conns_mu_);
+
+  Handler handler_;
+  Options options_;
+
+  // listen_fd_ and wake_pipe_ are written by the constructor before
+  // the acceptor thread exists and not touched again until Stop() has
+  // joined it, so every cross-thread access is ordered by thread
+  // creation or join -- no capability needed.
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() unblocks poll()
+  std::uint16_t port_ = 0;       // written once in the constructor
+
+  /// Serializes Stop() end-to-end.
+  Mutex stop_mu_{locks::kShutdown};
+  bool stopped_ DS_GUARDED_BY(stop_mu_) = false;
+
+  /// Live connection threads; reaped by the acceptor between accepts,
+  /// drained by Stop() after the acceptor has joined.
+  Mutex conns_mu_{locks::kNetConnections};
+  std::vector<std::unique_ptr<Conn>> conns_ DS_GUARDED_BY(conns_mu_);
+
+  std::thread accept_thread_;
+};
+
+}  // namespace ds::net

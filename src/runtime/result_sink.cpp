@@ -103,37 +103,74 @@ std::vector<std::string> ResultSink::Header(
   return header;
 }
 
+std::string ResultSink::CsvHeaderLine(const JobResult* first_ok) const {
+  std::string line = "job,status";
+  for (const std::string& col : param_columns_) {
+    line += ",";
+    line += col;
+  }
+  if (first_ok != nullptr) {
+    for (const auto& [key, value] : first_ok->metrics) {
+      (void)value;
+      line += ",";
+      line += key;
+    }
+  }
+  line += "\n";
+  return line;
+}
+
+std::size_t ResultSink::MetricColumns(const JobResult* first_ok) {
+  return first_ok != nullptr ? first_ok->metrics.size() : 0;
+}
+
+std::string ResultSink::CsvRowLine(const JobResult& r,
+                                   std::size_t metric_cols) const {
+  DS_REQUIRE(r.index < jobs_.size(),
+             "ResultSink: row " << r.index << " of " << jobs_.size()
+                                << " jobs");
+  std::string line = std::to_string(r.index);
+  line += ",";
+  line += StatusOf(r);
+  for (const auto& [field, value] : jobs_[r.index]) {
+    (void)field;
+    line += ",";
+    line += value;
+  }
+  if (r.ok && !r.skipped) {
+    DS_REQUIRE(r.metrics.size() == metric_cols,
+               "ResultSink: job " << r.index << " has " << r.metrics.size()
+                                  << " metrics, header has " << metric_cols);
+    for (const auto& [key, value] : r.metrics) {
+      (void)key;
+      line += ",";
+      line += ExactNumber(value);
+    }
+  } else {
+    line.append(metric_cols, ',');
+  }
+  line += "\n";
+  return line;
+}
+
 void ResultSink::WriteCsv(std::ostream& os,
                           const std::vector<JobResult>& results) const {
   DS_REQUIRE(results.size() == jobs_.size(),
              "ResultSink: " << results.size() << " results for "
                             << jobs_.size() << " jobs");
-  const std::vector<std::string> header = Header(results);
-  for (std::size_t c = 0; c < header.size(); ++c)
-    os << (c > 0 ? "," : "") << header[c];
-  os << "\n";
-  const std::size_t metric_cols = header.size() - 2 - param_columns_.size();
+  const JobResult* first_ok = nullptr;
+  for (const JobResult& r : results) {
+    if (!r.ok || r.skipped) continue;
+    first_ok = &r;
+    break;
+  }
+  os << CsvHeaderLine(first_ok);
+  const std::size_t metric_cols = MetricColumns(first_ok);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JobResult& r = results[i];
     DS_REQUIRE(r.index == i, "ResultSink: result " << r.index << " at row "
                                                    << i);
-    os << i << "," << StatusOf(r);
-    for (const auto& [field, value] : jobs_[i]) {
-      (void)field;
-      os << "," << value;
-    }
-    if (r.ok && !r.skipped) {
-      DS_REQUIRE(r.metrics.size() == metric_cols,
-                 "ResultSink: job " << i << " has " << r.metrics.size()
-                                    << " metrics, header has " << metric_cols);
-      for (const auto& [key, value] : r.metrics) {
-        (void)key;
-        os << "," << ExactNumber(value);
-      }
-    } else {
-      for (std::size_t c = 0; c < metric_cols; ++c) os << ",";
-    }
-    os << "\n";
+    os << CsvRowLine(r, metric_cols);
     if ((i + 1) % kFlushEveryRows == 0) CheckStream(os, i + 1, "CSV");
   }
   CheckStream(os, results.size(), "CSV");

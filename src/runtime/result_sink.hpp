@@ -96,6 +96,23 @@ class ResultSink {
   void WriteJsonRows(const std::string& path,
                      const std::vector<JobResult>& results) const;
 
+  // --- Incremental emission (the streaming sweep service) ---
+  // WriteCsv is implemented on top of these two, so a stream assembled
+  // row by row as jobs complete is byte-identical to the batch file by
+  // construction.
+
+  /// The CSV header line (with trailing newline). `first_ok` is the
+  /// first `ok && !skipped` result in index order, or nullptr when the
+  /// sweep produced none (header then carries no metric columns).
+  std::string CsvHeaderLine(const JobResult* first_ok) const;
+
+  /// One CSV data row (with trailing newline) for job `result.index`.
+  std::string CsvRowLine(const JobResult& result,
+                         std::size_t metric_cols) const;
+
+  /// Metric-column count implied by `first_ok` (see CsvHeaderLine).
+  static std::size_t MetricColumns(const JobResult* first_ok);
+
   std::size_t num_jobs() const { return jobs_.size(); }
 
   /// Rows between flush-and-check points in WriteCsv/WriteJsonRows.

@@ -179,6 +179,10 @@ struct SharedState {
   // the heartbeat sampler reads.
   telemetry::EventBus* events = nullptr;
   std::atomic<std::size_t> in_flight{0};
+
+  // Streaming hook + cooperative cancellation (see SweepOptions).
+  const std::function<void(const JobResult&)>* on_result = nullptr;
+  const faults::CancelToken* cancel = nullptr;
 };
 
 /// Publishes to the engine's resolved bus; no-op without one. Dropped
@@ -347,6 +351,9 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
     e.AddField("wall_ms", result.wall_ms);
     PublishEvent(state, e);
   }
+  // After the journal append (a crash can't stream a row it would not
+  // resume) and outside every engine lock.
+  if (state.on_result != nullptr) (*state.on_result)(result);
   state.completed.fetch_add(1, std::memory_order_relaxed);
   state.in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -358,6 +365,7 @@ void WorkerLoop(SharedState& state, std::size_t self) {
     if (state.stop_after != 0 &&
         state.completed.load(std::memory_order_relaxed) >= state.stop_after)
       return;
+    if (state.cancel != nullptr && state.cancel->cancelled()) return;
     std::size_t index = 0;
     if (queues[self].PopBack(&index)) {
       ExecuteJob(state, self, index);
@@ -428,6 +436,13 @@ SweepOutcome SweepEngine::Run() {
     out.stats.journal_dedup_drops = load_stats.dedup_drops;
   }
 
+  // Stream resumed rows exactly once each, in index order, before any
+  // worker can race new completions into the callback.
+  if (options_.on_result) {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (done[i]) options_.on_result(out.results[i]);
+  }
+
   // Open (or continue) the journal before spawning workers so an
   // unwritable path fails the run up front, not mid-sweep.
   JournalWriter journal;
@@ -463,6 +478,8 @@ SweepOutcome SweepEngine::Run() {
   state.max_attempts = 1 + options_.job_retries;
   state.backoff_ms = options_.retry_backoff_ms;
   if (journal.is_open()) state.journal = &journal;
+  if (options_.on_result) state.on_result = &options_.on_result;
+  if (options_.cancel != nullptr) state.cancel = options_.cancel.get();
   state.events = options_.events != nullptr ? options_.events
                                             : telemetry::ProcessEventBus();
 

@@ -37,7 +37,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,20 @@ struct SweepOptions {
   /// Heartbeat sampling period. The reporter runs whenever
   /// progress_stream is set or an event bus is active.
   double heartbeat_ms = 500.0;
+
+  /// Called once per finished job with its final row: resumed rows
+  /// fire from Run()'s thread (ascending index order) before workers
+  /// start; executed rows fire from whichever worker retired the job,
+  /// in completion order. Called with no engine lock held; must be
+  /// thread-safe. The streaming sweep service reorders these into the
+  /// byte-exact CSV stream. Empty disables.
+  std::function<void(const JobResult&)> on_result;
+
+  /// Cooperative cancellation: once cancelled, workers stop claiming
+  /// new jobs (in-flight attempts still finish -- the watchdog owns
+  /// per-attempt interruption); unclaimed jobs are recorded as pending
+  /// ("not executed"). nullptr disables.
+  std::shared_ptr<faults::CancelToken> cancel;
 };
 
 struct SweepStats {

@@ -67,6 +67,11 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kCompleted: return "completed";
     case EventKind::kHeartbeat: return "heartbeat";
     case EventKind::kRunEnd: return "run_end";
+    case EventKind::kSubmit: return "submit";
+    case EventKind::kReject: return "reject";
+    case EventKind::kSweepStart: return "sweep_start";
+    case EventKind::kSweepEnd: return "sweep_end";
+    case EventKind::kCancel: return "cancel";
     case EventKind::kBusClose: return "bus_close";
   }
   return "?";
@@ -241,7 +246,8 @@ bool ValidateEventFile(const std::string& text, std::size_t* num_events,
       "run_start",   "scheduled",    "started",   "retry",
       "backoff",     "quarantined",  "cache_evict", "journal_skip",
       "chaos_inject", "completed",   "heartbeat", "run_end",
-      "bus_close"};
+      "submit",      "reject",       "sweep_start", "sweep_end",
+      "cancel",      "bus_close"};
   static const std::set<std::string> kJobScoped = {
       "scheduled", "started", "retry", "backoff", "quarantined",
       "chaos_inject", "completed"};

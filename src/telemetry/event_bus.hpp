@@ -60,6 +60,13 @@ enum class EventKind : std::uint8_t {
   kCompleted,    // job reached its final outcome
   kHeartbeat,    // periodic progress snapshot (HeartbeatReporter)
   kRunEnd,       // sweep finished: stats summary
+  // Service plane (darksilicon serve). `job` carries the sweep's
+  // admission sequence number; detail carries the client id.
+  kSubmit,       // sweep admitted: jobs_total, queued
+  kReject,       // admission refused: queue_full/client_cap, retry_after_s
+  kSweepStart,   // sweep left the queue: queue_wait_ms
+  kSweepEnd,     // sweep reached a terminal state: run_ms, rows, ...
+  kCancel,       // DELETE cancelled a queued or running sweep
   kBusClose,     // writer shutdown record (emitted by the bus itself)
 };
 

@@ -1,16 +1,8 @@
 #include "telemetry/metrics_http.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <system_error>
 
 #include "telemetry/telemetry.hpp"
 
@@ -18,153 +10,36 @@ namespace ds::telemetry {
 
 namespace {
 
-/// Thread-safe strerror: std::strerror writes into shared static
-/// storage (clang-tidy concurrency-mt-unsafe); the error_code route
-/// formats without it.
-std::string ErrnoText(int err) {
-  return std::error_code(err, std::generic_category()).message();
-}
-
-/// Sends the whole buffer, tolerating short writes; MSG_NOSIGNAL so a
-/// client hangup surfaces as EPIPE instead of killing the process.
-void SendAll(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away; nothing to salvage
-    off += static_cast<std::size_t>(n);
+void Route(const net::HttpRequest& request,
+           net::HttpServer::ResponseWriter& writer) {
+  if (request.method == "GET" && request.target == "/metrics") {
+    std::ostringstream body;
+    Registry().DumpOpenMetrics(body);
+    writer.Send("200 OK",
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                body.str());
+  } else if (request.method == "GET" && request.target == "/healthz") {
+    writer.Send("200 OK", "text/plain; charset=utf-8", "ok\n");
+  } else {
+    writer.Send("404 Not Found", "text/plain; charset=utf-8", "not found\n");
   }
-}
-
-std::string HttpResponse(const char* status, const char* content_type,
-                         const std::string& body) {
-  std::ostringstream out;
-  out << "HTTP/1.1 " << status << "\r\n"
-      << "Content-Type: " << content_type << "\r\n"
-      << "Content-Length: " << body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << body;
-  return out.str();
 }
 
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(Options options) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0)
-    throw std::runtime_error("MetricsHttpServer: socket() failed: " +
-                             ErrnoText(errno));
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options.port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const std::string why = ErrnoText(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error(
-        "MetricsHttpServer: cannot bind 127.0.0.1:" +
-        std::to_string(options.port) + ": " + why);
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    const std::string why = ErrnoText(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("MetricsHttpServer: listen() failed: " + why);
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                &bound_len);
-  port_ = ntohs(bound.sin_port);
-
-  if (::pipe(wake_pipe_) != 0) {
-    const std::string why = ErrnoText(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("MetricsHttpServer: pipe() failed: " + why);
-  }
-
-  thread_ = std::thread([this] { ServeLoop(); });
-}
-
-MetricsHttpServer::~MetricsHttpServer() { Stop(); }
-
-void MetricsHttpServer::Stop() {
-  const ds::MutexLock stop_lock(stop_mu_);
-  if (stopped_) return;
-  const char wake = 'x';
-  // Best-effort: the pipe is empty so one byte always fits.
-  (void)!::write(wake_pipe_[1], &wake, 1);
-  thread_.join();
-  ::close(listen_fd_);
-  ::close(wake_pipe_[0]);
-  ::close(wake_pipe_[1]);
-  listen_fd_ = -1;
-  stopped_ = true;
-}
-
-void MetricsHttpServer::ServeLoop() {
-  for (;;) {
-    pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() signalled
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    HandleClient(client);
-    ::close(client);
+  net::HttpServer::Options server_options;
+  server_options.port = options.port;
+  server_options.max_body_kb = 4;  // scrape requests carry no body
+  try {
+    server_ = std::make_unique<net::HttpServer>(Route, server_options);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("MetricsHttpServer: ") + e.what());
   }
 }
 
-void MetricsHttpServer::HandleClient(int client_fd) {
-  // One bounded read is enough: we only route on the request line and
-  // never read a body. A silent client is dropped after 2 s so it can
-  // delay other scrapes only briefly.
-  pollfd pf{client_fd, POLLIN, 0};
-  if (::poll(&pf, 1, 2000) <= 0) return;
-  char buf[2048];
-  const ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  const std::string request(buf);
-  const std::size_t line_end = request.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
+MetricsHttpServer::~MetricsHttpServer() = default;
 
-  auto is_get = [&](const char* path) {
-    return line.rfind(std::string("GET ") + path + " ", 0) == 0;
-  };
-
-  if (is_get("/metrics")) {
-    std::ostringstream body;
-    Registry().DumpOpenMetrics(body);
-    SendAll(client_fd,
-            HttpResponse(
-                "200 OK",
-                "application/openmetrics-text; version=1.0.0; "
-                "charset=utf-8",
-                body.str()));
-  } else if (is_get("/healthz")) {
-    SendAll(client_fd,
-            HttpResponse("200 OK", "text/plain; charset=utf-8", "ok\n"));
-  } else {
-    SendAll(client_fd, HttpResponse("404 Not Found",
-                                    "text/plain; charset=utf-8",
-                                    "not found\n"));
-  }
-}
+void MetricsHttpServer::Stop() { server_->Stop(); }
 
 }  // namespace ds::telemetry

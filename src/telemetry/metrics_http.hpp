@@ -1,23 +1,23 @@
-// Minimal embedded HTTP listener exposing the metrics registry in
-// OpenMetrics text format, the scrape plane behind `darksilicon sweep
+// Embedded HTTP listener exposing the metrics registry in OpenMetrics
+// text format, the scrape plane behind `darksilicon sweep
 // --metrics-port N`:
 //
 //   GET /metrics  -> 200, DumpOpenMetrics() exposition
 //   GET /healthz  -> 200, "ok\n" (liveness: the serve thread is up)
 //   anything else -> 404
 //
-// Scope is deliberately tiny: one accept thread, one request per
-// connection, loopback only (binds 127.0.0.1 -- this is a local
-// observability tap, not a service). Serving reads the same atomics
-// the workers bump, so a scrape never perturbs the sweep; a slow or
-// stalled client can delay at most other *scrapes*, never a worker.
+// Since PR 9 this is a thin route table over the shared net::HttpServer
+// core (one acceptor, loopback only, SO_REUSEADDR so a stop/rebind
+// cycle on a fixed port never trips over TIME_WAIT). Serving reads the
+// same atomics the workers bump, so a scrape never perturbs the sweep;
+// a slow or stalled client can delay at most other *scrapes*, never a
+// worker.
 #pragma once
 
 #include <cstdint>
-#include <thread>
+#include <memory>
 
-#include "util/lock_levels.hpp"
-#include "util/thread_annotations.hpp"
+#include "net/http_server.hpp"
 
 namespace ds::telemetry {
 
@@ -44,26 +44,10 @@ class MetricsHttpServer {
   void Stop();
 
   /// The bound port (resolves ephemeral requests).
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return server_->port(); }
 
  private:
-  void ServeLoop();
-  void HandleClient(int client_fd);
-
-  // Shutdown audit (the poll+self-pipe handoff): listen_fd_ and
-  // wake_pipe_ are written by the constructor before the serve thread
-  // exists and not touched again until Stop() has joined it, so every
-  // cross-thread access is ordered by thread creation or join -- no
-  // capability needed. Stop() itself writes them under stop_mu_.
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() unblocks poll()
-  std::uint16_t port_ = 0;       // written once in the constructor
-
-  /// Serializes Stop() end-to-end.
-  Mutex stop_mu_{locks::kShutdown};
-  bool stopped_ DS_GUARDED_BY(stop_mu_) = false;
-
-  std::thread thread_;
+  std::unique_ptr<net::HttpServer> server_;
 };
 
 }  // namespace ds::telemetry

@@ -14,6 +14,9 @@
 //
 //   kShutdown    -> kEventBus            (EventBus::Close publishes)
 //   kShutdown    -> kHeartbeat           (Stop's final ReportOnce)
+//   kShutdown    -> kNetConnections      (HttpServer::Stop drains conns)
+//   kServiceRegistry -> kServiceSweep    (admission updates a sweep)
+//   kServiceSweep -> kEventBus, kMetrics (row emission telemetry)
 //   kSweepQueue   / kWatchdog / kModelCache are peers; never nested
 //   kWatchdog    -> kCancelToken         (watchdog cancels an attempt)
 //   kModelCache  -> kMetrics             (eviction bumps counters)
@@ -30,6 +33,19 @@ namespace ds::locks {
 /// are held across joins and may publish final events, so they sit
 /// above everything else.
 inline constexpr int kShutdown = 90;
+
+/// SweepService admission queue + sweep registry
+/// (SweepService::registry_mu_); above every per-sweep lock because
+/// the scheduler holds it while transitioning a sweep's state.
+inline constexpr int kServiceRegistry = 85;
+
+/// Per-sweep streaming state -- row buffer, event log, subscriber
+/// condvar (SweepService Sweep::mu).
+inline constexpr int kServiceSweep = 75;
+
+/// HttpServer connection-thread registry (HttpServer::conns_mu_);
+/// below kShutdown because Stop() drains it.
+inline constexpr int kNetConnections = 72;
 
 /// Per-worker sweep deques (anonymous WorkerQueue::mu).
 inline constexpr int kSweepQueue = 70;

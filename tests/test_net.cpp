@@ -1,0 +1,282 @@
+// src/net tests: the incremental HTTP/1.1 parser on torn and hostile
+// input (split header reads, oversized bodies and headers, malformed
+// request lines, pipelined second requests), chunked-transfer framing
+// round-trips, and the HttpServer/Fetch pair over real loopback
+// sockets -- including the stop-and-immediately-rebind regression that
+// SO_REUSEADDR exists for, on both HttpServer and the MetricsHttpServer
+// built on top of it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
+#include "telemetry/metrics_http.hpp"
+
+namespace ds::net {
+namespace {
+
+// ------------------------------------------------ request parsing
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  const auto status =
+      parser.Feed("GET /v1/sweeps HTTP/1.1\r\nHost: x\r\nX-Client: a\r\n\r\n");
+  ASSERT_EQ(status, HttpRequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/v1/sweeps");
+  EXPECT_EQ(parser.request().Header("x-client"), "a");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, ReassemblesTornHeaderReads) {
+  // Byte-at-a-time delivery: the parser must buffer across reads and
+  // only complete at the final byte.
+  const std::string raw =
+      "POST /v1/sweeps HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  HttpRequestParser parser;
+  for (std::size_t i = 0; i + 1 < raw.size(); ++i)
+    ASSERT_EQ(parser.Feed(raw.substr(i, 1)),
+              HttpRequestParser::Status::kNeedMore)
+        << "completed early at byte " << i;
+  ASSERT_EQ(parser.Feed(raw.substr(raw.size() - 1)),
+            HttpRequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParserTest, TornReadSplitInsideCrlfCrlf) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nHost: x\r"),
+            HttpRequestParser::Status::kNeedMore);
+  EXPECT_EQ(parser.Feed("\n\r"), HttpRequestParser::Status::kNeedMore);
+  EXPECT_EQ(parser.Feed("\n"), HttpRequestParser::Status::kComplete);
+}
+
+TEST(HttpParserTest, RejectsOversizedBodyBeforeBuffering) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpRequestParser parser(limits);
+  // The Content-Length header alone must trigger the rejection; no
+  // body byte is ever fed.
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            HttpRequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), "413 Content Too Large");
+}
+
+TEST(HttpParserTest, RejectsOversizedHeaders) {
+  HttpRequestParser::Limits limits;
+  limits.max_header_bytes = 64;
+  HttpRequestParser parser(limits);
+  const std::string big(128, 'h');
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nX-Big: " + big + "\r\n\r\n"),
+            HttpRequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(),
+            "431 Request Header Fields Too Large");
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLines) {
+  for (const char* raw :
+       {"GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / SPDY/9\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: 4x\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n"}) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Feed(raw), HttpRequestParser::Status::kError) << raw;
+    EXPECT_EQ(parser.error_status(), "400 Bad Request") << raw;
+  }
+}
+
+TEST(HttpParserTest, RejectsTransferEncodingRequests) {
+  HttpRequestParser parser;
+  EXPECT_EQ(
+      parser.Feed(
+          "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      HttpRequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), "501 Not Implemented");
+}
+
+TEST(HttpParserTest, CountsPipelinedSecondRequestAsExcess) {
+  HttpRequestParser parser;
+  const auto status = parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(status, HttpRequestParser::Status::kComplete);
+  // One request per connection: the first parses, the tail is counted
+  // but never interpreted.
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_GT(parser.excess_bytes(), 0u);
+}
+
+// ------------------------------------------------- chunked framing
+
+TEST(ChunkedCodecTest, RoundTripsAcrossTornReads) {
+  const std::string wire = Chunk("hello ") + Chunk("chunked ") +
+                           Chunk("world") + std::string(kLastChunk);
+  ChunkedDecoder decoder;
+  std::string out;
+  // The decoder completes at the "0\r\n" terminal-size line; the two
+  // trailer-terminator bytes after it are consumed as no-ops.
+  const std::size_t complete_at = wire.size() - 3;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const auto status = decoder.Feed(wire.substr(i, 1), &out);
+    if (i < complete_at)
+      ASSERT_EQ(status, ChunkedDecoder::Status::kNeedMore) << "byte " << i;
+    else
+      ASSERT_EQ(status, ChunkedDecoder::Status::kComplete) << "byte " << i;
+  }
+  EXPECT_EQ(out, "hello chunked world");
+}
+
+TEST(ChunkedCodecTest, RejectsGarbageSizeLines) {
+  ChunkedDecoder decoder;
+  std::string out;
+  EXPECT_EQ(decoder.Feed("zz\r\n", &out), ChunkedDecoder::Status::kError);
+}
+
+// ------------------------------------------------- server + client
+
+TEST(HttpServerTest, ServesRoutedResponsesOverRealSockets) {
+  HttpServer server(
+      [](const HttpRequest& req, HttpServer::ResponseWriter& w) {
+        if (req.target == "/hello")
+          w.Send("200 OK", "text/plain", "hi " + req.body);
+        else
+          w.Send("404 Not Found", "text/plain", "nope\n");
+      },
+      HttpServer::Options{});
+  const ClientResponse ok =
+      Fetch(server.port(), "POST", "/hello", "there");
+  EXPECT_EQ(ok.status_code, 200);
+  EXPECT_EQ(ok.body, "hi there");
+  const ClientResponse missing = Fetch(server.port(), "GET", "/other");
+  EXPECT_EQ(missing.status_code, 404);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StreamsChunkedResponsesIncrementally) {
+  HttpServer server(
+      [](const HttpRequest&, HttpServer::ResponseWriter& w) {
+        w.BeginChunked("200 OK", "text/csv");
+        w.WriteChunk("a,b\n");
+        w.WriteChunk("1,2\n");
+        w.EndChunked();
+      },
+      HttpServer::Options{});
+  std::vector<std::string> pieces;
+  FetchOptions options;
+  options.body_sink = [&pieces](std::string_view chunk) {
+    pieces.emplace_back(chunk);
+  };
+  const ClientResponse r = Fetch(server.port(), "GET", "/", {}, options);
+  EXPECT_EQ(r.status_code, 200);
+  std::string joined;
+  for (const std::string& p : pieces) joined += p;
+  EXPECT_EQ(joined, "a,b\n1,2\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, Returns413ForOversizedBodies) {
+  HttpServer::Options options;
+  options.max_body_kb = 1;
+  HttpServer server(
+      [](const HttpRequest&, HttpServer::ResponseWriter& w) {
+        w.Send("200 OK", "text/plain", "unreachable");
+      },
+      options);
+  const ClientResponse r = Fetch(server.port(), "POST", "/",
+                                 std::string(2048, 'x'));
+  EXPECT_EQ(r.status_code, 413);
+  server.Stop();
+}
+
+TEST(HttpServerTest, Returns500WhenHandlerThrows) {
+  HttpServer server(
+      [](const HttpRequest&, HttpServer::ResponseWriter&) {
+        throw std::runtime_error("boom");
+      },
+      HttpServer::Options{});
+  const ClientResponse r = Fetch(server.port(), "GET", "/");
+  EXPECT_EQ(r.status_code, 500);
+  EXPECT_NE(r.body.find("boom"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, Returns500WhenHandlerSendsNothing) {
+  HttpServer server([](const HttpRequest&, HttpServer::ResponseWriter&) {},
+                    HttpServer::Options{});
+  const ClientResponse r = Fetch(server.port(), "GET", "/");
+  EXPECT_EQ(r.status_code, 500);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopThenImmediateRebindOnSamePort) {
+  // The SO_REUSEADDR regression: a just-stopped port must be
+  // rebindable at once, not after TIME_WAIT expires.
+  const HttpServer::Handler handler =
+      [](const HttpRequest&, HttpServer::ResponseWriter& w) {
+        w.Send("200 OK", "text/plain", "gen\n");
+      };
+  auto first = std::make_unique<HttpServer>(handler, HttpServer::Options{});
+  const std::uint16_t port = first->port();
+  // Serve one request so the socket has seen traffic (which is what
+  // parks a closed listener's connections in TIME_WAIT).
+  EXPECT_EQ(Fetch(port, "GET", "/").status_code, 200);
+  first->Stop();
+  first.reset();
+
+  HttpServer::Options options;
+  options.port = port;
+  HttpServer second(handler, options);  // must not throw EADDRINUSE
+  EXPECT_EQ(second.port(), port);
+  EXPECT_EQ(Fetch(port, "GET", "/").status_code, 200);
+  second.Stop();
+}
+
+TEST(MetricsHttpTest, StopThenImmediateRebindOnSamePort) {
+  // Same regression one layer up: the MetricsHttpServer wrapper must
+  // inherit the rebind behavior.
+  auto first = std::make_unique<telemetry::MetricsHttpServer>();
+  const std::uint16_t port = first->port();
+  EXPECT_EQ(Fetch(port, "GET", "/healthz").status_code, 200);
+  first->Stop();
+  first.reset();
+
+  telemetry::MetricsHttpServer::Options options;
+  options.port = port;
+  telemetry::MetricsHttpServer second(options);
+  EXPECT_EQ(second.port(), port);
+  EXPECT_EQ(Fetch(port, "GET", "/healthz").status_code, 200);
+  second.Stop();
+}
+
+TEST(HttpServerTest, ManyConcurrentClientsAllGetResponses) {
+  std::atomic<int> served{0};
+  HttpServer server(
+      [&served](const HttpRequest& req, HttpServer::ResponseWriter& w) {
+        served.fetch_add(1);
+        w.Send("200 OK", "text/plain", "echo:" + req.body);
+      },
+      HttpServer::Options{});
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    threads.emplace_back([&, c] {
+      const ClientResponse r = Fetch(server.port(), "POST", "/",
+                                     "c" + std::to_string(c));
+      if (r.status_code == 200 && r.body == "echo:c" + std::to_string(c))
+        ok.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_EQ(served.load(), kClients);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ds::net

@@ -14,14 +14,21 @@
 //   sweep <spec.json> [--threads n] [--out csv] [--json path]
 //         [--checkpoint path] [--resume]
 //                                      parallel scenario sweep
+//   serve [--port p] [--max-clients n] [--queue-depth n]
+//         [--journal-dir d]            persistent multi-tenant daemon
+//   submit <spec.json> --port p        submit to a daemon + stream rows
 //
 // Nodes: 16nm | 11nm | 8nm (paper platforms: 100/198/361 cores).
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "apps/app_profile.hpp"
 #include "arch/platform.hpp"
@@ -30,12 +37,16 @@
 #include "core/mapping.hpp"
 #include "core/ntc.hpp"
 #include "core/tsp.hpp"
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
 #include "runtime/model_cache.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "runtime/sweep_spec.hpp"
+#include "service/sweep_service.hpp"
 #include "sim/chip_sim.hpp"
 #include "telemetry/event_bus.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/metrics_http.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/scoped.hpp"
@@ -82,6 +93,13 @@ int Usage() {
       "      [--events-out path] [--progress] [--heartbeat-ms t]\n"
       "      [--metrics-port p] [--summary-json path]\n"
       "      [--trace-out path] [--trace-level off|decision|span|verbose]\n"
+      "  serve [--port p] [--max-clients n] [--queue-depth n]\n"
+      "      [--per-client n] [--aging-ms t] [--threads n]\n"
+      "      [--journal-dir d] [--cache-budget-mb m] [--max-body-kb n]\n"
+      "      [--max-connections n] [--job-retries n] [--job-deadline-ms t]\n"
+      "      [--journal-sync none|batch|always] [--events-out path]\n"
+      "  submit <spec.json> --port p [--client name] [--out csv]\n"
+      "      [--no-wait]\n"
       "nodes: 16nm 11nm 8nm; apps: x264 blackscholes bodytrack ferret\n"
       "canneal dedup swaptions; policies: contiguous spread checkerboard\n"
       "densest; fault rates are per control step (per core where\n"
@@ -90,7 +108,11 @@ int Usage() {
       "chaos rates are per job attempt (transient failure / delay\n"
       "injection into the sweep executor); --events-out streams\n"
       "JSON-lines job-lifecycle events; --metrics-port serves live\n"
-      "OpenMetrics on 127.0.0.1 at /metrics (+ /healthz), 0 = ephemeral\n";
+      "OpenMetrics on 127.0.0.1 at /metrics (+ /healthz), 0 = ephemeral;\n"
+      "serve runs the persistent multi-tenant daemon (POST /v1/sweeps,\n"
+      "GET /v1/sweeps/{id}/rows streams CSV byte-identical to batch\n"
+      "sweep, DELETE cancels; --port 0 = ephemeral, printed on stderr);\n"
+      "submit posts a spec and streams the rows until the sweep ends\n";
   return 2;
 }
 
@@ -575,6 +597,150 @@ int CmdSweep(const util::ArgParser& args) {
   return s.jobs_failed > 0 ? 1 : 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+extern "C" void ServeSignalHandler(int) { g_serve_stop.store(true); }
+
+int CmdServe(const util::ArgParser& args) {
+  telemetry::SetEnabled(true);
+
+  // Ambient event bus, same lifetime discipline as CmdSweep.
+  const std::string events_path = args.GetString("events-out");
+  std::unique_ptr<telemetry::EventBus> events;
+  struct AmbientBusGuard {
+    bool active = false;
+    ~AmbientBusGuard() {
+      if (active) telemetry::SetProcessEventBus(nullptr);
+    }
+  };
+  AmbientBusGuard bus_guard;
+  if (!events_path.empty()) {
+    events = std::make_unique<telemetry::EventBus>(events_path);
+    telemetry::SetProcessEventBus(events.get());
+    bus_guard.active = true;
+  }
+
+  service::SweepService::Options so;
+  so.engine_threads = static_cast<std::size_t>(args.GetInt("threads", 0));
+  so.queue_depth = static_cast<std::size_t>(args.GetInt("queue-depth", 16));
+  so.per_client = static_cast<std::size_t>(args.GetInt("per-client", 4));
+  so.max_clients = static_cast<std::size_t>(args.GetInt("max-clients", 16));
+  so.aging_ms = args.GetDouble("aging-ms", 2000.0);
+  so.journal_dir = args.GetString("journal-dir");
+  so.cache_budget_mb = args.GetDouble("cache-budget-mb", 0.0);
+  so.job_retries = static_cast<std::size_t>(args.GetInt("job-retries", 2));
+  so.job_deadline_ms = args.GetDouble("job-deadline-ms", 0.0);
+  so.journal_sync =
+      runtime::JournalSyncByName(args.GetString("journal-sync", "batch"));
+  service::SweepService service(so);
+  if (service.recovered() > 0)
+    std::cerr << "recovered " << service.recovered()
+              << " unfinished sweep(s) from " << so.journal_dir << "\n";
+
+  net::HttpServer::Options ho;
+  ho.port = static_cast<std::uint16_t>(args.GetInt("port", 0));
+  ho.max_body_kb = static_cast<std::size_t>(args.GetInt("max-body-kb", 1024));
+  ho.max_connections =
+      static_cast<std::size_t>(args.GetInt("max-connections", 64));
+  net::HttpServer server(service.HttpHandler(), ho);
+  std::cerr << "darksilicon serve: http://127.0.0.1:" << server.port()
+            << " (POST /v1/sweeps, GET /v1/sweeps/{id}/rows, /metrics)\n";
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::cerr << "darksilicon serve: shutting down\n";
+
+  // Streams first, then the listener (HttpServer's shutdown contract).
+  service.Stop();
+  server.Stop();
+  if (events != nullptr) {
+    telemetry::SetProcessEventBus(nullptr);
+    bus_guard.active = false;
+    events->Close();
+    const telemetry::EventBusStats es = events->stats();
+    std::cerr << "events: " << es.written << " written, " << es.dropped
+              << " dropped -> " << events_path << "\n";
+  }
+  return 0;
+}
+
+int CmdSubmit(const util::ArgParser& args) {
+  if (args.positionals().size() < 2) return Usage();
+  const int port = args.GetInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::cerr << "error: submit requires --port <daemon port>\n";
+    return 2;
+  }
+
+  std::ifstream in(args.positionals()[1], std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot open " + args.positionals()[1]);
+  std::string spec_text((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+
+  net::FetchOptions post;
+  post.headers.emplace_back("X-Client", args.GetString("client", "cli"));
+  const net::ClientResponse admission =
+      net::Fetch(static_cast<std::uint16_t>(port), "POST", "/v1/sweeps",
+                 spec_text, post);
+  if (admission.status_code != 202) {
+    std::cerr << "submit rejected: " << admission.status_line << " "
+              << admission.body;
+    const std::string_view retry = admission.Header("retry-after");
+    if (!retry.empty())
+      std::cerr << "retry after " << retry << " s\n";
+    return 1;
+  }
+  std::string id;
+  const telemetry::JsonValue doc = telemetry::ParseJson(admission.body);
+  if (const telemetry::JsonValue* v = doc.Find("id");
+      v != nullptr && v->is_string())
+    id = v->str;
+  if (id.empty()) throw std::runtime_error("daemon returned no sweep id");
+  std::cerr << "submitted " << id << "\n";
+  if (args.Has("no-wait")) {
+    std::cout << id << "\n";
+    return 0;
+  }
+
+  const std::string out_path = args.GetString("out");
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  if (!out_path.empty()) {
+    file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot open " + out_path);
+    os = &file;
+  }
+  net::FetchOptions stream;
+  stream.body_sink = [os](std::string_view chunk) {
+    os->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  };
+  const net::ClientResponse rows =
+      net::Fetch(static_cast<std::uint16_t>(port), "GET",
+                 "/v1/sweeps/" + id + "/rows", {}, stream);
+  os->flush();
+  if (rows.status_code != 200 || !os->good())
+    throw std::runtime_error("row stream failed: " + rows.status_line);
+
+  const net::ClientResponse status =
+      net::Fetch(static_cast<std::uint16_t>(port), "GET",
+                 "/v1/sweeps/" + id + "/status");
+  std::string state = "unknown";
+  if (status.status_code == 200) {
+    const telemetry::JsonValue s = telemetry::ParseJson(status.body);
+    if (const telemetry::JsonValue* v = s.Find("state");
+        v != nullptr && v->is_string())
+      state = v->str;
+  }
+  std::cerr << "sweep " << id << ": " << state;
+  if (!out_path.empty()) std::cerr << ", rows -> " << out_path;
+  std::cerr << "\n";
+  return state == "done" ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -591,6 +757,8 @@ int main(int argc, char** argv) {
     if (cmd == "characterize") return CmdCharacterize(args);
     if (cmd == "sim") return CmdSim(args);
     if (cmd == "sweep") return CmdSweep(args);
+    if (cmd == "serve") return CmdServe(args);
+    if (cmd == "submit") return CmdSubmit(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -2,6 +2,7 @@
 //
 // Usage:
 //   ds_report <events.jsonl> [--summary summary.json] [--json out.json]
+//   ds_report --serve <events.jsonl>
 //   ds_report --bench BENCH_sweep.json --baseline base.json
 //             [--max-regress pct] [--json out.json]
 //
@@ -15,10 +16,17 @@
 // nonzero, which is how CI proves the event stream is a faithful
 // record and not a lossy approximation.
 //
+// Serve mode reads the event stream a `darksilicon serve` daemon wrote
+// (--events-out) and breaks the service plane down per client and per
+// sweep: queue-wait vs run latency, admission rejects by reason, and
+// cancellations -- who got capacity, who got turned away, and how long
+// everyone waited.
+//
 // Bench mode diffs two BENCH_*.json perf reports (same schema as
 // bench_common.hpp WriteSweepReport) and exits nonzero when any
-// bench's jobs_per_s regressed by more than --max-regress percent
-// (default 10).
+// bench's throughput regressed by more than --max-regress percent
+// (default 10). Each entry gates on its native throughput metric:
+// rows_per_s when present (BENCH_serve.json), jobs_per_s otherwise.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -43,6 +51,7 @@ int Usage() {
   std::cerr
       << "usage: ds_report <events.jsonl> [--summary summary.json]\n"
          "                 [--json out.json]\n"
+         "       ds_report --serve <events.jsonl>\n"
          "       ds_report --bench BENCH.json --baseline base.json\n"
          "                 [--max-regress pct] [--json out.json]\n";
   return 2;
@@ -374,6 +383,141 @@ int RunEventsMode(const ds::util::ArgParser& args) {
   return 0;
 }
 
+/// Per-client aggregation of the service-plane events.
+struct ServeClient {
+  std::size_t submits = 0;
+  std::size_t rejects = 0;
+  std::size_t cancels = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  double rows = 0.0;
+  std::vector<double> queue_wait_ms;
+  std::vector<double> run_ms;
+};
+
+/// Per-sweep lifecycle joined across submit/sweep_start/sweep_end.
+struct ServeSweep {
+  std::string client;
+  double jobs_total = 0.0;
+  double queue_wait_ms = -1.0;  // -1: never left the queue
+  double run_ms = -1.0;
+  double rows = 0.0;
+  std::string outcome = "queued";
+};
+
+int RunServeMode(const ds::util::ArgParser& args) {
+  const std::string events_path = args.GetString("serve");
+  std::string text;
+  if (!ReadFile(events_path, &text)) {
+    std::cerr << "ds_report: cannot open " << events_path << "\n";
+    return 1;
+  }
+
+  std::map<std::string, ServeClient> clients;
+  std::map<std::int64_t, ServeSweep> sweeps;
+  std::size_t service_events = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue ev;
+    try {
+      ev = ParseJson(line);
+    } catch (const std::exception& e) {
+      std::cerr << "ds_report: " << events_path << ": line "
+                << std::to_string(line_no) << ": " << e.what() << "\n";
+      return 1;
+    }
+    if (!ev.is_object()) continue;
+    const std::string kind = StrField(ev, "ev");
+    const std::string client = StrField(ev, "detail");
+    const auto seq = static_cast<std::int64_t>(NumField(ev, "job", -1.0));
+    if (kind == "submit") {
+      ++service_events;
+      ++clients[client].submits;
+      sweeps[seq].client = client;
+      sweeps[seq].jobs_total = NumField(ev, "jobs_total");
+    } else if (kind == "reject") {
+      ++service_events;
+      ++clients[client].rejects;
+    } else if (kind == "cancel") {
+      ++service_events;
+      ++clients[client].cancels;
+    } else if (kind == "sweep_start") {
+      ++service_events;
+      const double wait = NumField(ev, "queue_wait_ms");
+      clients[client].queue_wait_ms.push_back(wait);
+      sweeps[seq].client = client;
+      sweeps[seq].queue_wait_ms = wait;
+      if (sweeps[seq].outcome == "queued") sweeps[seq].outcome = "running";
+    } else if (kind == "sweep_end") {
+      ++service_events;
+      ServeClient& c = clients[client];
+      ServeSweep& s = sweeps[seq];
+      s.client = client;
+      s.run_ms = NumField(ev, "run_ms");
+      s.rows = NumField(ev, "rows");
+      c.run_ms.push_back(s.run_ms);
+      c.rows += s.rows;
+      if (NumField(ev, "cancelled") > 0.0) {
+        s.outcome = "cancelled";
+        ++c.cancelled;
+      } else if (NumField(ev, "failed") > 0.0) {
+        s.outcome = "failed";
+        ++c.failed;
+      } else {
+        s.outcome = "done";
+        ++c.done;
+      }
+    }
+  }
+  if (service_events == 0) {
+    std::cerr << "ds_report: " << events_path
+              << ": no service-plane events (submit/sweep_start/...)\n";
+    return 1;
+  }
+
+  ds::util::Table by_client({"client", "submits", "rejects", "cancels",
+                             "done", "failed", "cancelled", "rows",
+                             "p50 wait [ms]", "p50 run [ms]"});
+  for (auto& [name, c] : clients) {
+    std::sort(c.queue_wait_ms.begin(), c.queue_wait_ms.end());
+    std::sort(c.run_ms.begin(), c.run_ms.end());
+    by_client.Row()
+        .Cell(name.empty() ? "(none)" : name)
+        .Cell(c.submits)
+        .Cell(c.rejects)
+        .Cell(c.cancels)
+        .Cell(c.done)
+        .Cell(c.failed)
+        .Cell(c.cancelled)
+        .Cell(static_cast<std::size_t>(c.rows))
+        .Cell(Percentile(c.queue_wait_ms, 50.0), 3)
+        .Cell(Percentile(c.run_ms, 50.0), 3);
+  }
+  by_client.Print(std::cout);
+
+  ds::util::Table by_sweep(
+      {"seq", "client", "jobs", "wait [ms]", "run [ms]", "outcome"});
+  for (const auto& [seq, s] : sweeps)
+    by_sweep.Row()
+        .Cell(static_cast<std::size_t>(seq))
+        .Cell(s.client)
+        .Cell(static_cast<std::size_t>(s.jobs_total))
+        .Cell(std::max(s.queue_wait_ms, 0.0), 3)
+        .Cell(std::max(s.run_ms, 0.0), 3)
+        .Cell(s.outcome);
+  std::cout << "\n";
+  by_sweep.Print(std::cout);
+  return 0;
+}
+
 int RunBenchMode(const ds::util::ArgParser& args) {
   const std::string bench_path = args.GetString("bench");
   const std::string base_path = args.GetString("baseline");
@@ -401,23 +545,28 @@ int RunBenchMode(const ds::util::ArgParser& args) {
     std::cerr << "ds_report: bench reports must be JSON objects\n";
     return 1;
   }
-  ds::util::Table t({"bench", "base jobs/s", "now jobs/s", "delta %"});
+  ds::util::Table t({"bench", "metric", "base", "now", "delta %"});
   int regressions = 0;
   for (const auto& [name, entry] : bench.object) {
     if (!entry.is_object()) continue;  // schema_version / git stamps
-    const double now = NumField(entry, "jobs_per_s");
+    // Each entry gates on its native throughput metric: the serve
+    // bench reports rows_per_s, the sweep benches jobs_per_s.
+    const char* metric =
+        entry.Find("rows_per_s") != nullptr ? "rows_per_s" : "jobs_per_s";
+    const double now = NumField(entry, metric);
     const JsonValue* base_entry = base.Find(name);
     if (base_entry == nullptr || !base_entry->is_object()) {
-      t.Row().Cell(name).Cell("(new)").Cell(now, 3).Cell("-");
+      t.Row().Cell(name).Cell(metric).Cell("(new)").Cell(now, 3).Cell("-");
       continue;
     }
-    const double was = NumField(*base_entry, "jobs_per_s");
+    const double was = NumField(*base_entry, metric);
     const double delta_pct = was > 0.0 ? 100.0 * (now - was) / was : 0.0;
-    t.Row().Cell(name).Cell(was, 3).Cell(now, 3).Cell(delta_pct, 2);
+    t.Row().Cell(name).Cell(metric).Cell(was, 3).Cell(now, 3).Cell(delta_pct,
+                                                                   2);
     if (was > 0.0 && delta_pct < -max_regress) {
-      std::cerr << "ds_report: REGRESSION " << name << ": jobs_per_s " << was
-                << " -> " << now << " (" << delta_pct << "% < -" << max_regress
-                << "%)\n";
+      std::cerr << "ds_report: REGRESSION " << name << ": " << metric << " "
+                << was << " -> " << now << " (" << delta_pct << "% < -"
+                << max_regress << "%)\n";
       ++regressions;
     }
   }
@@ -434,6 +583,10 @@ int main(int argc, char** argv) {
     if (args.GetString("bench").empty() || args.GetString("baseline").empty())
       return Usage();
     return RunBenchMode(args);
+  }
+  if (args.Has("serve")) {
+    if (args.GetString("serve").empty()) return Usage();
+    return RunServeMode(args);
   }
   if (args.positionals().empty()) return Usage();
   return RunEventsMode(args);

@@ -332,8 +332,9 @@ void RuleIoInLibrary(const std::string& path, CleanSource& src,
 }
 
 /// Flags raw stream handles in the two structured-reporting layers.
-/// src/runtime and src/telemetry own the observability plane (event
-/// bus, metrics, heartbeat); anything they report must flow through it
+/// src/runtime, src/telemetry, src/net and src/service own the
+/// observability and service planes (event bus, metrics, heartbeat,
+/// the serve daemon); anything they report must flow through it
 /// -- a stray fprintf(stderr, ...) is unaccounted, unparseable, and
 /// interleaves with the `\r`-rewritten --progress line. Streams handed
 /// in by the caller (std::ostream* parameters) are fine; the rule only
@@ -343,7 +344,11 @@ void RuleRawStderr(const std::string& path, CleanSource& src,
   const bool scoped = path.find("/runtime/") != std::string::npos ||
                       path.rfind("runtime/", 0) == 0 ||
                       path.find("/telemetry/") != std::string::npos ||
-                      path.rfind("telemetry/", 0) == 0;
+                      path.rfind("telemetry/", 0) == 0 ||
+                      path.find("/net/") != std::string::npos ||
+                      path.rfind("net/", 0) == 0 ||
+                      path.find("/service/") != std::string::npos ||
+                      path.rfind("service/", 0) == 0;
   if (!scoped) return;
   const std::string& t = src.text;
   static const std::string_view kHandles[] = {"stderr", "stdout", "std::clog",
@@ -545,7 +550,8 @@ void RuleStaticMutable(const std::string& path, CleanSource& src,
   }
 }
 
-/// Flags `catch` handlers under src/runtime/ that swallow the failure:
+/// Flags `catch` handlers under src/runtime/, src/net/ and
+/// src/service/ that swallow the failure:
 /// the handler body contains no rethrow, no telemetry, no Record/log
 /// call and no assignment into an error field. The runtime layer is
 /// the failure-classification boundary (retry vs quarantine vs abort);
@@ -554,7 +560,11 @@ void RuleStaticMutable(const std::string& path, CleanSource& src,
 void RuleSwallowedCatch(const std::string& path, CleanSource& src,
                         std::vector<Finding>* findings) {
   if (path.find("/runtime/") == std::string::npos &&
-      path.rfind("runtime/", 0) != 0)
+      path.rfind("runtime/", 0) != 0 &&
+      path.find("/net/") == std::string::npos &&
+      path.rfind("net/", 0) != 0 &&
+      path.find("/service/") == std::string::npos &&
+      path.rfind("service/", 0) != 0)
     return;
   const std::string& t = src.text;
   for (std::size_t pos = t.find("catch"); pos != std::string::npos;
