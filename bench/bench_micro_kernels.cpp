@@ -6,9 +6,11 @@
 // The main() is custom: before the google-benchmark run it executes a
 // hand-timed A/B harness over the thermal step kernels -- dense
 // propagator vs legacy LU stepping, k-step power-hold vs explicit
-// loops, blocked multi-RHS influence build vs per-column solves, and
-// shortened end-to-end fig11-boosting / ext-online closed loops under
-// both kernels -- and records the measured speedups in
+// loops, blocked multi-RHS influence build vs per-column solves,
+// batched lockstep cohorts (BatchStepPropagator) vs k independent GEMV
+// simulators at k in {1, 4, 16, 64}, and shortened end-to-end
+// fig11-boosting / ext-online closed loops under both kernels -- and
+// records the measured speedups in
 // BENCH_thermal.json (path override: DS_BENCH_THERMAL_JSON). CI runs
 // this as a smoke step and archives the JSON, so a kernel regression
 // shows up as a speedup ratio sliding toward 1, not as a vague "the
@@ -26,6 +28,7 @@
 #include "apps/app_profile.hpp"
 #include "arch/platform.hpp"
 #include "core/boosting.hpp"
+#include "thermal/batch_propagator.hpp"
 #include "core/mapping.hpp"
 #include "core/online_manager.hpp"
 #include "core/tsp.hpp"
@@ -239,6 +242,14 @@ struct ThermalReport {
   double fig11_wall_s_lu = 0.0;
   double online_wall_s_propagator = 0.0;
   double online_wall_s_lu = 0.0;
+  // Batched lockstep stepping (BatchStepPropagator) vs k independent
+  // GEMV simulators, per member-step, at each measured cohort width.
+  struct BatchPoint {
+    std::size_t k = 0;
+    double scalar_us_per_member_step = 0.0;
+    double batch_us_per_member_step = 0.0;
+  };
+  std::vector<BatchPoint> batch;
 };
 
 /// Per-step cost of `kernel` on the 100-core paper platform, in
@@ -265,6 +276,41 @@ double MeasureHoldUsPerStep(std::size_t k, std::size_t reps) {
   const telemetry::WallTimer timer;
   for (std::size_t r = 0; r < reps; ++r) sim.StepHold(p, k);
   return 1e6 * timer.Seconds() / static_cast<double>(reps * k);
+}
+
+/// Aggregate per-member-step cost of k INDEPENDENT propagator (GEMV)
+/// simulators advancing in a round-robin -- the scalar baseline a
+/// cohort replaces. Microseconds per member-step.
+double MeasureScalarAggregateUs(std::size_t k, std::size_t steps) {
+  std::vector<thermal::TransientSimulator> sims;
+  sims.reserve(k);
+  for (std::size_t j = 0; j < k; ++j)
+    sims.emplace_back(Plat16().thermal_model(), 1e-3,
+                      thermal::StepKernel::kPropagator);
+  const std::vector<double> p(100, 2.5);
+  for (auto& s : sims) s.Step(p);  // touch everything once
+  const telemetry::WallTimer timer;
+  for (std::size_t i = 0; i < steps; ++i)
+    for (auto& s : sims) s.Step(p);
+  return 1e6 * timer.Seconds() / static_cast<double>(steps * k);
+}
+
+/// Per-member-step cost of one BatchStepPropagator advancing k members
+/// in lockstep (one panel pass over M_state / M_in per step).
+double MeasureBatchUs(std::size_t k, std::size_t steps) {
+  const auto prop =
+      Plat16().propagators()->For(Plat16().thermal_model(), 1e-3);
+  thermal::BatchStepPropagator batch(prop, k);
+  const std::vector<double> state(prop->num_nodes(), 45.0);
+  const std::vector<double> p(100, 2.5);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t h = batch.AddMember(state);
+    batch.SetPowers(h, p);
+  }
+  batch.Step();  // touch everything once
+  const telemetry::WallTimer timer;
+  for (std::size_t i = 0; i < steps; ++i) batch.Step();
+  return 1e6 * timer.Seconds() / static_cast<double>(steps * k);
 }
 
 double MeasureInfluenceMs(bool solve_many, std::size_t reps) {
@@ -353,8 +399,7 @@ void WriteThermalReport(const ThermalReport& r) {
       "  \"fig11_speedup\": %.3f,\n"
       "  \"online_wall_s_propagator\": %.4f,\n"
       "  \"online_wall_s_lu\": %.4f,\n"
-      "  \"online_speedup\": %.3f\n"
-      "}\n",
+      "  \"online_speedup\": %.3f",
       git, r.step_us_propagator, r.step_us_lu, r.step_us_auto,
       ratio(r.step_us_lu, r.step_us_auto),
       ratio(r.step_us_lu, r.step_us_propagator), r.hold_us_per_step,
@@ -365,10 +410,25 @@ void WriteThermalReport(const ThermalReport& r) {
       ratio(r.fig11_wall_s_lu, r.fig11_wall_s_propagator),
       r.online_wall_s_propagator, r.online_wall_s_lu,
       ratio(r.online_wall_s_lu, r.online_wall_s_propagator));
+  std::string doc(body);
+  for (const ThermalReport::BatchPoint& pt : r.batch) {
+    char extra[256];
+    std::snprintf(
+        extra, sizeof(extra),
+        ",\n"
+        "  \"batch_scalar_us_k%zu\": %.4f,\n"
+        "  \"batch_us_k%zu\": %.4f,\n"
+        "  \"batch_k%zu_speedup\": %.3f",
+        pt.k, pt.scalar_us_per_member_step, pt.k,
+        pt.batch_us_per_member_step, pt.k,
+        ratio(pt.scalar_us_per_member_step, pt.batch_us_per_member_step));
+    doc += extra;
+  }
+  doc += "\n}\n";
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << body;
+  out << doc;
   std::cout << "[thermal kernels] report written to " << path << "\n"
-            << body;
+            << doc;
 }
 
 /// Runs the hand-timed A/B harness and returns false when a gated
@@ -381,6 +441,14 @@ void WriteThermalReport(const ThermalReport& r) {
 ///                              TransientSimulator, so A and B run the
 ///                              same code; 0.95 is a documented noise
 ///                              floor, not a performance target.
+///   batch_k16      >= 3.0   -- a 16-member lockstep cohort must beat
+///                              16 independent GEMV simulators by 3x
+///                              per member-step; this is the headline
+///                              win the batched scheduler exists for.
+///   batch_k1       >= 0.95  -- the degenerate 1-member cohort must
+///                              not lose to a plain GEMV step beyond
+///                              measurement noise (same memory
+///                              traffic, panel bookkeeping amortized).
 bool RunThermalHarness() {
   ThermalReport r;
   const std::size_t steps = FastMode() ? 500 : 2000;
@@ -419,6 +487,34 @@ bool RunThermalHarness() {
   r.online_wall_s_lu = online_lu;
   r.online_wall_s_propagator = online_auto;
 
+  // Batched lockstep A/B: k independent GEMV simulators vs one
+  // BatchStepPropagator cohort of width k, interleaved best-of-3, cost
+  // reported per member-step. The step count shrinks with k so every
+  // (k, side, pass) cell does a comparable number of member-steps.
+  for (const std::size_t kv : {std::size_t{1}, std::size_t{4},
+                               std::size_t{16}, std::size_t{64}}) {
+    ThermalReport::BatchPoint pt;
+    pt.k = kv;
+    pt.scalar_us_per_member_step = 1e300;
+    pt.batch_us_per_member_step = 1e300;
+    r.batch.push_back(pt);
+  }
+  // Best-of-5 (the other harness sections use 3): both sides of the
+  // small-k points are memory-bound, so a background-load burst that
+  // outlives one pass would otherwise decide the gate.
+  const std::size_t member_steps = FastMode() ? 3200 : 12800;
+  for (int pass = 0; pass < 5; ++pass) {
+    for (ThermalReport::BatchPoint& pt : r.batch) {
+      const std::size_t bsteps =
+          std::max<std::size_t>(50, member_steps / pt.k);
+      pt.scalar_us_per_member_step =
+          std::min(pt.scalar_us_per_member_step,
+                   MeasureScalarAggregateUs(pt.k, bsteps));
+      pt.batch_us_per_member_step =
+          std::min(pt.batch_us_per_member_step, MeasureBatchUs(pt.k, bsteps));
+    }
+  }
+
   WriteThermalReport(r);
 
   bool ok = true;
@@ -432,6 +528,14 @@ bool RunThermalHarness() {
   };
   gate("fig11", r.fig11_wall_s_lu, r.fig11_wall_s_propagator, 1.0);
   gate("online", r.online_wall_s_lu, r.online_wall_s_propagator, 0.95);
+  for (const ThermalReport::BatchPoint& pt : r.batch) {
+    if (pt.k == 16)
+      gate("batch_k16", pt.scalar_us_per_member_step,
+           pt.batch_us_per_member_step, 3.0);
+    if (pt.k == 1)
+      gate("batch_k1", pt.scalar_us_per_member_step,
+           pt.batch_us_per_member_step, 0.95);
+  }
   return ok;
 }
 

@@ -105,6 +105,17 @@ class BoostingSimulator {
   /// Aggregate performance [GIPS] of the workload at a ladder level.
   double GipsAtLevel(std::size_t level) const;
 
+  /// Per-core power vector of the active mapping at `level` given the
+  /// current die temperatures (leakage feedback) -- the same numbers
+  /// the internal closed loops step with. Public for the batched
+  /// transient boosting runner (runtime/scenarios.cpp),
+  /// which drives cohort members through a shared lockstep stepper
+  /// outside this class.
+  std::vector<double> CorePowersAt(std::size_t level,
+                                   std::vector<double>& die_temps) const {
+    return CorePowers(level, die_temps);
+  }
+
   /// Steady-state estimate at a ladder level (power, peak temperature).
   Estimate SteadyAtLevel(std::size_t level) const;
 

@@ -1,9 +1,13 @@
 #include "runtime/scenarios.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 #include "apps/app_profile.hpp"
 #include "core/boosting.hpp"
+#include "thermal/batch_propagator.hpp"
+#include "thermal/steady_state.hpp"
 #include "core/estimator.hpp"
 #include "core/mapping.hpp"
 #include "core/tsp.hpp"
@@ -140,6 +144,82 @@ void RunBoost(const SweepPoint& p, ModelCache& cache, JobResult* result) {
   };
 }
 
+/// boost_transient: settle steps at the base level between the steady
+/// warm start and the closed loop. Advanced through the batched hold
+/// operator (one application) on every lane, so the hold fast path is
+/// exercised in production, not just in benches.
+constexpr std::size_t kBtSettleSteps = 8;
+
+/// One boost_transient member's control state. The platform lives on
+/// the heap so the BoostingSimulator's internal pointer stays stable
+/// while the member vector grows.
+struct BtMember {
+  const SweepPoint* p = nullptr;
+  JobResult* result = nullptr;
+  std::unique_ptr<arch::Platform> platform;
+  std::unique_ptr<core::BoostingSimulator> sim;
+  std::size_t handle = 0;  // BatchStepPropagator member handle
+  std::size_t level = 0;
+  bool stepping = false;  // in the lockstep loop (not skipped/detached)
+  double gips_acc = 0.0;
+  double energy_acc = 0.0;
+  double max_power_w = 0.0;
+  double max_temp_c = 0.0;
+};
+
+/// Per-control-period control decision + power update for one member;
+/// mirrors BoostingSimulator::RunBoosting's loop body against the
+/// member's panel column instead of a private TransientSimulator.
+void BtControlStep(BtMember& m, thermal::BatchStepPropagator& batch,
+                   double dt_s, std::vector<double>& temps_buf,
+                   std::vector<double>& powers_buf) {
+  const power::DvfsLadder& ladder = m.platform->ladder();
+  const double threshold_c = m.platform->tdtm_c();
+  const double peak = batch.PeakDieTemp(m.handle);
+  auto member_state = batch.MemberState(m.handle);
+  temps_buf.assign(member_state.begin(),
+                   member_state.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           m.platform->num_cores()));
+  if (peak < threshold_c) {
+    const std::size_t up = ladder.StepUp(m.level);
+    if (up != m.level) {
+      powers_buf = m.sim->CorePowersAt(up, temps_buf);
+      double total_up = 0.0;
+      for (const double w : powers_buf) total_up += w;
+      if (total_up <= m.p->power_cap_w) m.level = up;
+    }
+  } else {
+    m.level = ladder.StepDown(m.level);
+  }
+  powers_buf = m.sim->CorePowersAt(m.level, temps_buf);
+  double total_power = 0.0;
+  for (const double w : powers_buf) total_power += w;
+  batch.SetPowers(m.handle, powers_buf);
+
+  const double gips = m.sim->GipsAtLevel(m.level);
+  m.gips_acc += gips;
+  m.energy_acc += total_power * dt_s;
+  m.max_power_w = std::max(m.max_power_w, total_power);
+  m.max_temp_c = std::max(m.max_temp_c, peak);
+}
+
+void BtFinishMember(BtMember& m, thermal::BatchStepPropagator& batch,
+                    std::size_t steps, double duration_s) {
+  const double peak = batch.PeakDieTemp(m.handle);
+  m.max_temp_c = std::max(m.max_temp_c, peak);
+  m.result->metrics = {
+      {"avg_gips", m.gips_acc / static_cast<double>(steps)},
+      {"avg_power_w", m.energy_acc / duration_s},
+      {"energy_j", m.energy_acc},
+      {"max_power_w", m.max_power_w},
+      {"max_temp_c", m.max_temp_c},
+      {"final_peak_c", peak},
+      {"final_freq_ghz", m.platform->ladder()[m.level].freq},
+  };
+  m.result->ok = true;
+}
+
 void RunCharacterize(const SweepPoint& p, JobResult* result) {
   const uarch::Characterization c =
       uarch::Characterize(uarch::TraceParamsByName(p.app));
@@ -173,6 +253,117 @@ void RunSpeedup(const SweepPoint& p, JobResult* result) {
 
 }  // namespace
 
+void RunBoostTransientCohort(
+    std::span<const SweepJob* const> jobs, ModelCache& cache,
+    std::span<JobResult* const> results,
+    const std::function<bool(std::size_t)>& should_detach,
+    std::vector<bool>* detached) {
+  DS_REQUIRE(jobs.size() == results.size() && !jobs.empty(),
+             "RunBoostTransientCohort: " << jobs.size() << " jobs, "
+                                         << results.size() << " results");
+  DS_REQUIRE(detached != nullptr && detached->size() == jobs.size(),
+             "RunBoostTransientCohort: detached vector size mismatch");
+  const bool cohort_mode = static_cast<bool>(should_detach);
+  const std::size_t k = jobs.size();
+
+  const double dt_s = jobs[0]->point.control_ms * 1e-3;
+  const std::size_t steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(jobs[0]->point.duration_s / dt_s)));
+  const double duration_s = static_cast<double>(steps) * dt_s;
+
+  std::vector<BtMember> members(k);
+  std::unique_ptr<thermal::BatchStepPropagator> batch;
+  // Shared scratch, hoisted out of every loop: member phases fully
+  // overwrite them, so sharing is safe and the hot path stays
+  // allocation-light.
+  std::vector<double> temps_buf;
+  std::vector<double> powers_buf;
+  std::vector<double> state_buf;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    BtMember& m = members[i];
+    m.p = &jobs[i]->point;
+    m.result = results[i];
+    try {
+      m.platform =
+          std::make_unique<arch::Platform>(MakePlatform(*m.p, cache));
+      const apps::AppProfile& app = apps::AppByName(m.p->app);
+      m.sim = std::make_unique<core::BoostingSimulator>(
+          *m.platform, app, m.p->instances, m.p->threads,
+          PolicyByName(m.p->mapping));
+      std::size_t level = 0;
+      if (!m.sim->MaxSafeConstantLevel(m.p->power_cap_w, &level)) {
+        m.result->skipped = true;
+        m.result->ok = true;
+        continue;
+      }
+      m.level = level;
+      // Leakage/temperature fixed point, as in BoostingSimulator's
+      // closed loops; SteadyStateSolver is deterministic, so every
+      // lane and cohort size starts from bitwise the same state.
+      const thermal::SteadyStateSolver solver(m.platform->thermal_model());
+      temps_buf.assign(m.platform->num_cores(),
+                       m.platform->thermal_model().ambient_c());
+      for (int it = 0; it < 3; ++it) {
+        powers_buf = m.sim->CorePowersAt(level, temps_buf);
+        state_buf = solver.SolveFull(powers_buf);
+        temps_buf.assign(state_buf.begin(),
+                         state_buf.begin() + static_cast<std::ptrdiff_t>(
+                                                 m.platform->num_cores()));
+      }
+      if (batch == nullptr) {
+        // One folded propagator serves the whole cohort; the shared
+        // PropagatorSet memoizes it across cohorts and sweep threads.
+        batch = std::make_unique<thermal::BatchStepPropagator>(
+            m.platform->propagators()->For(m.platform->thermal_model(),
+                                           dt_s),
+            k);
+      }
+      m.handle = batch->AddMember(state_buf);
+      batch->SetPowers(m.handle, powers_buf);
+      m.stepping = true;
+    } catch (...) {
+      if (!cohort_mode) throw;
+      (*detached)[i] = true;
+    }
+  }
+
+  if (batch == nullptr) return;  // every member skipped or detached
+
+  // Settle segment at the base level: one batched hold application
+  // bridges the steady warm start and the closed loop.
+  batch->StepN(kBtSettleSteps);
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::size_t stepping = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      BtMember& m = members[i];
+      if (!m.stepping) continue;
+      if (cohort_mode && should_detach(i)) {
+        batch->RemoveMember(m.handle);
+        m.stepping = false;
+        (*detached)[i] = true;
+        continue;
+      }
+      try {
+        BtControlStep(m, *batch, dt_s, temps_buf, powers_buf);
+        ++stepping;
+      } catch (...) {
+        if (!cohort_mode) throw;
+        batch->RemoveMember(m.handle);
+        m.stepping = false;
+        (*detached)[i] = true;
+      }
+    }
+    if (stepping == 0) return;
+    batch->Step();
+  }
+
+  for (BtMember& m : members)
+    if (m.stepping) BtFinishMember(m, *batch, steps, duration_s);
+}
+
 void RunScenario(SweepKind kind, const SweepJob& job, ModelCache& cache,
                  JobResult* result) {
   result->index = job.index;
@@ -183,8 +374,41 @@ void RunScenario(SweepKind kind, const SweepJob& job, ModelCache& cache,
     case SweepKind::kBoost: RunBoost(job.point, cache, result); break;
     case SweepKind::kCharacterize: RunCharacterize(job.point, result); break;
     case SweepKind::kSpeedup: RunSpeedup(job.point, result); break;
+    case SweepKind::kBoostTransient: {
+      // Scalar lane = a cohort of one through the same panel-kernel
+      // code, which is what keeps sweep CSVs byte-identical at any
+      // --batch-max-k. A null detach predicate lets exceptions
+      // propagate to the engine's retry classification.
+      const SweepJob* jp = &job;
+      JobResult* rp = result;
+      std::vector<bool> detached(1, false);
+      RunBoostTransientCohort(std::span<const SweepJob* const>(&jp, 1),
+                              cache, std::span<JobResult* const>(&rp, 1),
+                              nullptr, &detached);
+      break;
+    }
   }
   result->ok = true;
+}
+
+bool KindIsBatchable(SweepKind kind) {
+  return kind == SweepKind::kBoostTransient;
+}
+
+std::string BatchCohortKey(SweepKind kind, const SweepPoint& point) {
+  if (!KindIsBatchable(kind)) return "";
+  // (node, cores) pins the floorplan/package content -- and therefore
+  // the model hash -- and control_ms pins dt; tdtm_c does not enter the
+  // RC model but DOES change ThermalAssets installation inputs, so it
+  // is included conservatively.
+  std::string key = point.node;
+  key += '/';
+  key += CanonicalNumber(static_cast<double>(point.cores));
+  key += '/';
+  key += CanonicalNumber(point.control_ms);
+  key += '/';
+  key += CanonicalNumber(point.tdtm_c);
+  return key;
 }
 
 std::vector<std::string> MetricColumns(SweepKind kind) {
@@ -209,6 +433,10 @@ std::vector<std::string> MetricColumns(SweepKind kind) {
       return {"s2",  "s4",  "s8",
               "s16", "s64", "serial_frac_fit",
               "lock_wait_frac", "barrier_wait_frac"};
+    case SweepKind::kBoostTransient:
+      return {"avg_gips",    "avg_power_w", "energy_j",
+              "max_power_w", "max_temp_c",  "final_peak_c",
+              "final_freq_ghz"};
   }
   DS_REQUIRE(false, "MetricColumns: invalid kind");
 }

@@ -6,6 +6,8 @@
 // guarantee rests on this file.
 #pragma once
 
+#include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,5 +27,41 @@ void RunScenario(SweepKind kind, const SweepJob& job, ModelCache& cache,
 
 /// The metric column names RunScenario emits for `kind`, in order.
 std::vector<std::string> MetricColumns(SweepKind kind);
+
+/// True when `kind` steps a thermal model per job and can join a
+/// lockstep cohort (see RunBoostTransientCohort / DESIGN.md §15).
+bool KindIsBatchable(SweepKind kind);
+
+/// Conservative cohort key for a batchable job: equal keys guarantee
+/// the jobs share one (model content hash, dt) pair and therefore one
+/// folded propagator. Built from spec fields only (node, cores,
+/// control period) so grouping never has to construct a platform.
+/// Returns "" for non-batchable kinds.
+std::string BatchCohortKey(SweepKind kind, const SweepPoint& point);
+
+/// Runs a cohort of boost_transient jobs in lockstep over one shared
+/// propagator: one panel pass over M_state/M_in advances every member
+/// per control period. All jobs must share BatchCohortKey. Fills
+/// results[i] for jobs[i] and sets ok on completion.
+///
+/// `should_detach` (nullable) is polled once per control period per
+/// member; returning true detaches that member (its deadline passed or
+/// its cancel token fired). A detached member -- and any member whose
+/// setup or stepping throws, when `should_detach` is non-null -- is
+/// reported via detached[i] with its result slot left untouched, so
+/// the engine can re-run it through the scalar retry ladder. With
+/// `should_detach == nullptr` (the scalar lane, k = 1), member
+/// exceptions propagate to the caller exactly like every other runner.
+///
+/// Determinism: members step through the panel kernels whose per-
+/// element summation order is independent of k, so a job's metrics are
+/// bitwise identical at any cohort size, including the k = 1 scalar
+/// lane -- this is what keeps sweep CSV output byte-identical at any
+/// --batch-max-k.
+void RunBoostTransientCohort(
+    std::span<const SweepJob* const> jobs, ModelCache& cache,
+    std::span<JobResult* const> results,
+    const std::function<bool(std::size_t)>& should_detach,
+    std::vector<bool>* detached);
 
 }  // namespace ds::runtime

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 
 #include "runtime/scenarios.hpp"
 #include "telemetry/event_bus.hpp"
@@ -39,12 +42,36 @@ std::uint64_t Mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Per-worker job queue. Owner pops LIFO from the back; thieves take
-/// FIFO from the front. Coarse-grained (one mutex per deque) is plenty:
-/// jobs are milliseconds-to-seconds, so queue ops are noise.
+/// How eagerly the engine forms lockstep cohorts for batchable kinds.
+/// The top rung of the thermal kernel ladder (lu -> propagator ->
+/// batch), driven by the same DS_THERMAL_KERNEL env var the transient
+/// simulator reads, so one knob pins the whole ladder for A/B runs.
+enum class BatchMode {
+  kOff,     // lu / propagator pinned: scalar lane only
+  kAuto,    // batch a cohort key only once >= 2 of its jobs are pending
+  kAlways,  // DS_THERMAL_KERNEL=batch: form cohorts eagerly
+};
+
+BatchMode ResolveBatchMode() {
+  // Read-only env lookup; nothing in this process calls setenv, so the
+  // getenv data race concurrency-mt-unsafe guards against cannot occur.
+  const char* env = std::getenv("DS_THERMAL_KERNEL");  // NOLINT(concurrency-mt-unsafe)
+  if (env != nullptr) {
+    const std::string_view name(env);
+    if (name == "lu" || name == "propagator") return BatchMode::kOff;
+    if (name == "batch") return BatchMode::kAlways;
+  }
+  return BatchMode::kAuto;
+}
+
+/// Per-worker queue of chunk ids. A chunk is one unit of worker work:
+/// a singleton job (scalar lane) or a lockstep cohort. Owner pops LIFO
+/// from the back; thieves take FIFO from the front. Coarse-grained
+/// (one mutex per deque) is plenty: chunks are milliseconds-to-
+/// seconds, so queue ops are noise.
 struct WorkerQueue {
   ds::Mutex mu{ds::locks::kSweepQueue};
-  std::deque<std::size_t> jobs DS_GUARDED_BY(mu);  // job indices
+  std::deque<std::size_t> jobs DS_GUARDED_BY(mu);  // chunk ids
 
   void PushFront(std::size_t index) {
     const ds::MutexLock lock(mu);
@@ -96,8 +123,17 @@ class Watchdog {
 
   void Begin(std::size_t worker,
              std::shared_ptr<faults::CancelToken> token) {
+    BeginGroup(worker, {std::move(token)});
+  }
+
+  /// One deadline for a whole lockstep cohort: members start together,
+  /// so the group shares a single expiry. On expiry every member token
+  /// is cancelled; each member detaches to the scalar retry ladder
+  /// individually (see ExecuteCohort).
+  void BeginGroup(std::size_t worker,
+                  std::vector<std::shared_ptr<faults::CancelToken>> tokens) {
     const ds::MutexLock lock(mu_);
-    slots_[worker].token = std::move(token);
+    slots_[worker].tokens = std::move(tokens);
     slots_[worker].deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
@@ -106,12 +142,13 @@ class Watchdog {
 
   void End(std::size_t worker) {
     const ds::MutexLock lock(mu_);
-    slots_[worker].token.reset();
+    slots_[worker].tokens.clear();
   }
 
  private:
   struct Slot {
-    std::shared_ptr<faults::CancelToken> token;  // null = idle
+    // Empty = idle; one token per attempt (scalar) or cohort member.
+    std::vector<std::shared_ptr<faults::CancelToken>> tokens;
     Clock::time_point deadline;
   };
 
@@ -130,11 +167,11 @@ class Watchdog {
       if (shutdown_) return;
       const auto now = Clock::now();
       for (Slot& slot : slots_) {
-        if (slot.token != nullptr && now >= slot.deadline) {
+        if (!slot.tokens.empty() && now >= slot.deadline) {
           // Cancel() takes the token's own leaf-level mutex beneath
           // mu_ (kWatchdog -> kCancelToken, descending).
-          slot.token->Cancel();
-          slot.token.reset();  // cancel once; worker will End() anyway
+          for (const auto& token : slot.tokens) token->Cancel();
+          slot.tokens.clear();  // cancel once; worker will End() anyway
         }
       }
     }
@@ -154,6 +191,9 @@ struct SharedState {
   ModelCache* cache = nullptr;
   std::vector<JobResult>* results = nullptr;
   std::vector<WorkerQueue>* queues = nullptr;
+  // Units of work the queues index into: singleton = scalar job,
+  // larger = lockstep cohort (all members share a BatchCohortKey).
+  const std::vector<std::vector<std::size_t>>* chunks = nullptr;
 
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::size_t> completed{0};
@@ -170,6 +210,7 @@ struct SharedState {
   std::atomic<std::size_t> jobs_timed_out{0};
   std::atomic<std::size_t> jobs_quarantined{0};
   std::atomic<std::uint64_t> retries_total{0};
+  std::atomic<std::size_t> batch_detached{0};
 
   ds::Mutex journal_mu{ds::locks::kJournal};
   JournalWriter* journal DS_PT_GUARDED_BY(journal_mu) = nullptr;
@@ -212,6 +253,46 @@ void BackoffBeforeRetry(const SharedState& state, std::size_t index,
   }
   std::this_thread::sleep_for(
       std::chrono::duration<double, std::milli>(wait_ms));
+}
+
+/// Final accounting for a job whose result is settled: resilience
+/// counters, wall clock, journal append, completion event, streaming
+/// callback, completed/in-flight gauges. Shared by the scalar attempt
+/// ladder and cohort retirement so both lanes retire rows identically.
+void RetireJob(SharedState& state, JobResult& result,
+               Clock::time_point start, bool ever_timed_out) {
+  if (result.attempts > 1)
+    state.jobs_retried.fetch_add(1, std::memory_order_relaxed);
+  if (ever_timed_out)
+    state.jobs_timed_out.fetch_add(1, std::memory_order_relaxed);
+  if (result.quarantined) {
+    state.jobs_quarantined.fetch_add(1, std::memory_order_relaxed);
+    DS_TELEM_COUNT("sweep.quarantined", 1);
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  if (state.journal != nullptr) {
+    const ds::MutexLock lock(state.journal_mu);
+    state.journal->Append(JournalLine(result));
+  }
+  if (state.events != nullptr) {
+    telemetry::Event e = telemetry::MakeEvent(
+        telemetry::EventKind::kCompleted,
+        static_cast<std::int64_t>(result.index),
+        static_cast<std::int32_t>(result.attempts));
+    e.SetDetail(result.quarantined ? "quarantined"
+                : !result.ok       ? "failed"
+                : result.skipped   ? "skipped"
+                                   : "ok");
+    e.AddField("wall_ms", result.wall_ms);
+    PublishEvent(state, e);
+  }
+  // After the journal append (a crash can't stream a row it would not
+  // resume) and outside every engine lock.
+  if (state.on_result != nullptr) (*state.on_result)(result);
+  state.completed.fetch_add(1, std::memory_order_relaxed);
+  state.in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
 
 /// Runs one job to its final outcome: up to max_attempts attempts with
@@ -324,38 +405,99 @@ void ExecuteJob(SharedState& state, std::size_t worker, std::size_t index) {
       BackoffBeforeRetry(state, index, attempt);
     }
   }
-  if (result.attempts > 1)
-    state.jobs_retried.fetch_add(1, std::memory_order_relaxed);
-  if (ever_timed_out)
-    state.jobs_timed_out.fetch_add(1, std::memory_order_relaxed);
-  if (result.quarantined) {
-    state.jobs_quarantined.fetch_add(1, std::memory_order_relaxed);
-    DS_TELEM_COUNT("sweep.quarantined", 1);
+  RetireJob(state, result, start, ever_timed_out);
+}
+
+/// Runs one lockstep cohort: every member advances through one shared
+/// BatchStepPropagator panel pass per control period (see
+/// RunBoostTransientCohort). Members are pre-screened to have no chaos
+/// injections on any attempt, so a member only leaves the happy path
+/// by detaching -- watchdog cancellation or a member-level exception --
+/// after which it re-runs through ExecuteJob's full scalar retry
+/// ladder. Rows are byte-identical either way (both lanes run the same
+/// panel kernels), so detachment costs time, never determinism. Never
+/// throws.
+void ExecuteCohort(SharedState& state, std::size_t worker,
+                   const std::vector<std::size_t>& members) {
+  const std::size_t k = members.size();
+  const auto start = Clock::now();
+  state.in_flight.fetch_add(k, std::memory_order_relaxed);
+  std::vector<const SweepJob*> job_ptrs(k, nullptr);
+  std::vector<JobResult*> result_ptrs(k, nullptr);
+  std::vector<std::shared_ptr<faults::CancelToken>> tokens(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    const std::size_t index = members[m];
+    job_ptrs[m] = &(*state.jobs)[index];
+    JobResult& result = (*state.results)[index];
+    result = JobResult{};
+    result.index = index;
+    result.attempts = 1;
+    result_ptrs[m] = &result;
+    tokens[m] = std::make_shared<faults::CancelToken>();
+    if (state.events != nullptr)
+      PublishEvent(state, telemetry::MakeEvent(
+                              telemetry::EventKind::kStarted,
+                              static_cast<std::int64_t>(index),
+                              static_cast<std::int32_t>(1)));
   }
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - start)
-          .count();
-  if (state.journal != nullptr) {
-    const ds::MutexLock lock(state.journal_mu);
-    state.journal->Append(JournalLine(result));
+  std::vector<bool> detached(k, false);
+  bool cohort_failed = false;
+  {
+    DS_TELEM_SPAN_ARG("runtime", "sweep_cohort",
+                      ds::telemetry::TraceLevel::kSpan, "k",
+                      static_cast<double>(k));
+    if (state.watchdog != nullptr) state.watchdog->BeginGroup(worker, tokens);
+    const auto should_detach = [&tokens](std::size_t m) {
+      return tokens[m]->cancelled();
+    };
+    try {
+      RunBoostTransientCohort(job_ptrs, *state.cache, result_ptrs,
+                              should_detach, &detached);
+    } catch (...) {
+      // Cohort-level failure (e.g. the shared fold threw): nobody's
+      // row is trustworthy; every member re-runs scalar, where the
+      // per-attempt ladder records the real error per row.
+      DS_TELEM_COUNT("sweep.cohort_failures", 1);
+      cohort_failed = true;
+    }
+    if (state.watchdog != nullptr) state.watchdog->End(worker);
   }
-  if (state.events != nullptr) {
-    telemetry::Event e = telemetry::MakeEvent(
-        telemetry::EventKind::kCompleted,
-        static_cast<std::int64_t>(index),
-        static_cast<std::int32_t>(result.attempts));
-    e.SetDetail(result.quarantined ? "quarantined"
-                : !result.ok       ? "failed"
-                : result.skipped   ? "skipped"
-                                   : "ok");
-    e.AddField("wall_ms", result.wall_ms);
-    PublishEvent(state, e);
+  for (std::size_t m = 0; m < k; ++m) {
+    // A cancellation landing after the member's last detach poll still
+    // voids the row, matching the scalar lane's late-cancel check --
+    // rows never depend on host speed vs. an enabled deadline.
+    if (cohort_failed || tokens[m]->cancelled()) detached[m] = true;
   }
-  // After the journal append (a crash can't stream a row it would not
-  // resume) and outside every engine lock.
-  if (state.on_result != nullptr) (*state.on_result)(result);
-  state.completed.fetch_add(1, std::memory_order_relaxed);
-  state.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  for (std::size_t m = 0; m < k; ++m) {
+    const std::size_t index = members[m];
+    if (!detached[m]) {
+      RetireJob(state, (*state.results)[index], start,
+                /*ever_timed_out=*/false);
+      continue;
+    }
+    state.batch_detached.fetch_add(1, std::memory_order_relaxed);
+    DS_TELEM_COUNT("sweep.batch_detached", 1);
+    if (state.events != nullptr) {
+      telemetry::Event e = telemetry::MakeEvent(
+          telemetry::EventKind::kRetry, static_cast<std::int64_t>(index),
+          static_cast<std::int32_t>(1));
+      e.SetDetail("cohort detach");
+      PublishEvent(state, e);
+    }
+    // ExecuteJob re-takes the in-flight gauge and runs the member's
+    // fresh scalar attempt ladder (attempt 1, deadline, retries).
+    state.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    ExecuteJob(state, worker, index);
+  }
+}
+
+/// Dispatches one claimed chunk to its lane.
+void RunChunk(SharedState& state, std::size_t worker, std::size_t id) {
+  const std::vector<std::size_t>& chunk = (*state.chunks)[id];
+  if (chunk.size() == 1)
+    ExecuteJob(state, worker, chunk.front());
+  else
+    ExecuteCohort(state, worker, chunk);
 }
 
 void WorkerLoop(SharedState& state, std::size_t self) {
@@ -366,20 +508,20 @@ void WorkerLoop(SharedState& state, std::size_t self) {
         state.completed.load(std::memory_order_relaxed) >= state.stop_after)
       return;
     if (state.cancel != nullptr && state.cancel->cancelled()) return;
-    std::size_t index = 0;
-    if (queues[self].PopBack(&index)) {
-      ExecuteJob(state, self, index);
+    std::size_t id = 0;
+    if (queues[self].PopBack(&id)) {
+      RunChunk(state, self, id);
       continue;
     }
     bool stole = false;
     for (std::size_t k = 1; k < workers && !stole; ++k) {
-      if (queues[(self + k) % workers].StealFront(&index)) {
+      if (queues[(self + k) % workers].StealFront(&id)) {
         state.steals.fetch_add(1, std::memory_order_relaxed);
         stole = true;
       }
     }
     if (!stole) return;  // every queue empty: done
-    ExecuteJob(state, self, index);
+    RunChunk(state, self, id);
   }
 }
 
@@ -456,15 +598,89 @@ SweepOutcome SweepEngine::Run() {
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
 
-  // Pending jobs, round-robin across worker deques in index order.
+  // Pending jobs in index order.
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < jobs.size(); ++i)
     if (!done[i]) pending.push_back(i);
-  threads = std::min(threads, std::max<std::size_t>(pending.size(), 1));
+
+  // Chaos is constructed before chunk formation: the injector's
+  // Decide() is pure, so the formation pass can pre-screen jobs that
+  // will see an injection on *any* attempt and route them down the
+  // scalar lane, where the retry/quarantine ladder (whose outcome IS a
+  // CSV column) behaves bitwise like a batching-off run.
+  std::unique_ptr<faults::ChaosInjector> chaos;
+  if (options_.chaos.AnyChaosPossible())
+    chaos = std::make_unique<faults::ChaosInjector>(options_.chaos);
+
+  // Chunk formation: a chunk is one unit of worker work -- a singleton
+  // job index (the scalar lane) or a lockstep cohort of batchable jobs
+  // sharing a BatchCohortKey (one model content hash + dt, hence one
+  // shared folded propagator). DS_THERMAL_KERNEL=batch forms cohorts
+  // eagerly; auto (default) batches a key only once >= 2 of its jobs
+  // are pending, mirroring the transient simulator's lazy kAuto
+  // upgrade; lu/propagator pin the scalar lane for A/B runs.
+  std::vector<std::vector<std::size_t>> chunks;
+  chunks.reserve(pending.size());
+  const std::size_t max_k = std::max<std::size_t>(options_.batch_max_k, 1);
+  const BatchMode mode = (max_k >= 2 && KindIsBatchable(spec_.kind()))
+                             ? ResolveBatchMode()
+                             : BatchMode::kOff;
+  if (mode == BatchMode::kOff) {
+    for (const std::size_t i : pending) chunks.push_back({i});
+  } else {
+    const std::size_t max_attempts = 1 + options_.job_retries;
+    const auto chaos_touched = [&](std::size_t index) {
+      if (chaos == nullptr) return false;
+      for (std::size_t a = 0; a < max_attempts; ++a) {
+        const faults::ChaosDecision d = chaos->Decide(index, a);
+        if (d.fail || d.delay) return true;
+      }
+      return false;
+    };
+    std::vector<std::string> keys(pending.size());
+    std::vector<bool> scalar_only(pending.size(), false);
+    std::unordered_map<std::string, std::size_t> key_pending;
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      if (chaos_touched(pending[p])) {
+        scalar_only[p] = true;
+        continue;
+      }
+      keys[p] = BatchCohortKey(spec_.kind(), jobs[pending[p]].point);
+      ++key_pending[keys[p]];
+    }
+    std::unordered_map<std::string, std::size_t> open;  // key -> chunk
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      const std::size_t i = pending[p];
+      const bool batch = !scalar_only[p] &&
+                         (mode == BatchMode::kAlways ||
+                          key_pending[keys[p]] >= 2);
+      if (!batch) {
+        chunks.push_back({i});
+        continue;
+      }
+      const auto it = open.find(keys[p]);
+      if (it != open.end() && chunks[it->second].size() < max_k) {
+        chunks[it->second].push_back(i);
+      } else {
+        open[keys[p]] = chunks.size();  // start (or replace a full) chunk
+        chunks.push_back({i});
+      }
+    }
+  }
+  for (const std::vector<std::size_t>& chunk : chunks) {
+    if (chunk.size() < 2) continue;
+    ++out.stats.batch_cohorts;
+    out.stats.batch_cohort_members += chunk.size();
+    DS_TELEM_COUNT("thermal.batch.cohorts", 1);
+    DS_TELEM_COUNT("thermal.batch.cohort_members", chunk.size());
+  }
+
+  // Chunks round-robin across worker deques in formation order.
+  threads = std::min(threads, std::max<std::size_t>(chunks.size(), 1));
 
   std::vector<WorkerQueue> queues(threads);
-  for (std::size_t i = 0; i < pending.size(); ++i)
-    queues[i % threads].PushFront(pending[i]);
+  for (std::size_t c = 0; c < chunks.size(); ++c)
+    queues[c % threads].PushFront(c);
   // push_front + owner PopBack => each worker drains its slice in
   // ascending index order, matching the serial engine's traversal.
 
@@ -474,6 +690,7 @@ SweepOutcome SweepEngine::Run() {
   state.cache = &cache;
   state.results = &out.results;
   state.queues = &queues;
+  state.chunks = &chunks;
   state.stop_after = options_.stop_after_jobs;
   state.max_attempts = 1 + options_.job_retries;
   state.backoff_ms = options_.retry_backoff_ms;
@@ -498,9 +715,7 @@ SweepOutcome SweepEngine::Run() {
                                         static_cast<std::int64_t>(i)));
   }
 
-  std::unique_ptr<faults::ChaosInjector> chaos;
-  if (options_.chaos.AnyChaosPossible()) {
-    chaos = std::make_unique<faults::ChaosInjector>(options_.chaos);
+  if (chaos != nullptr) {
     state.chaos = chaos.get();
     state.chaos_log = &out.chaos_log;
   }
@@ -569,6 +784,7 @@ SweepOutcome SweepEngine::Run() {
   out.stats.jobs_timed_out = state.jobs_timed_out.load();
   out.stats.jobs_quarantined = state.jobs_quarantined.load();
   out.stats.retries_total = state.retries_total.load();
+  out.stats.batch_detached = state.batch_detached.load();
   for (const JobResult& r : out.results) {
     if (r.ok) {
       if (r.skipped) ++out.stats.jobs_skipped;

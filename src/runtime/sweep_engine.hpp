@@ -122,6 +122,15 @@ struct SweepOptions {
   /// per-attempt interruption); unclaimed jobs are recorded as pending
   /// ("not executed"). nullptr disables.
   std::shared_ptr<faults::CancelToken> cancel;
+
+  /// Largest lockstep cohort formed for batchable kinds (boost_transient):
+  /// ready jobs sharing a BatchCohortKey advance through one panel pass
+  /// per control period instead of k separate GEMV sweeps. 1 disables
+  /// batching. Results are byte-identical at any value (the scalar lane
+  /// runs the same k = 1 panel kernels); DS_THERMAL_KERNEL=batch forms
+  /// cohorts eagerly, auto (default) only when >= 2 jobs share a key,
+  /// lu/propagator disable cohorts for A/B runs.
+  std::size_t batch_max_k = 16;
 };
 
 struct SweepStats {
@@ -150,6 +159,11 @@ struct SweepStats {
   // ModelCache budget accounting (deltas/absolute at end of run).
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_bytes = 0;
+
+  // Lockstep batching (boost_transient cohorts; this run only).
+  std::size_t batch_cohorts = 0;        // cohorts formed with k >= 2
+  std::size_t batch_cohort_members = 0; // jobs executed inside them
+  std::size_t batch_detached = 0;       // members detached to scalar rerun
 
   double wall_s = 0.0;
 };

@@ -19,7 +19,8 @@ constexpr std::string_view kStringFields[] = {"node", "app", "constraint",
 constexpr std::string_view kCountFields[] = {"cores", "threads", "instances",
                                              "count"};
 constexpr std::string_view kDoubleFields[] = {
-    "freq_ghz", "tdp_w", "power_cap_w", "dark_pct", "tdtm_c"};
+    "freq_ghz", "tdp_w",  "power_cap_w", "dark_pct",
+    "tdtm_c",   "duration_s", "control_ms"};
 
 bool Contains(std::span<const std::string_view> set, std::string_view v) {
   for (const std::string_view s : set)
@@ -89,6 +90,14 @@ void ApplyField(SweepPoint* point, const std::string& field,
   } else if (field == "tdtm_c") {
     point->tdtm_c = ParseNumber(field, value);
     DS_REQUIRE(point->tdtm_c >= 0.0, "SweepSpec: tdtm_c must be >= 0");
+  } else if (field == "duration_s") {
+    point->duration_s = ParseNumber(field, value);
+    DS_REQUIRE(point->duration_s > 0.0,
+               "SweepSpec: duration_s must be positive");
+  } else if (field == "control_ms") {
+    point->control_ms = ParseNumber(field, value);
+    DS_REQUIRE(point->control_ms > 0.0,
+               "SweepSpec: control_ms must be positive");
   } else {
     DS_REQUIRE(false, "SweepSpec: unknown field '" << field << "'");
   }
@@ -126,6 +135,7 @@ const char* SweepKindName(SweepKind kind) {
     case SweepKind::kBoost: return "boost";
     case SweepKind::kCharacterize: return "characterize";
     case SweepKind::kSpeedup: return "speedup";
+    case SweepKind::kBoostTransient: return "boost_transient";
   }
   DS_REQUIRE(false, "SweepKindName: invalid kind");
 }
@@ -137,6 +147,7 @@ SweepKind SweepKindByName(std::string_view name) {
   if (name == "boost") return SweepKind::kBoost;
   if (name == "characterize") return SweepKind::kCharacterize;
   if (name == "speedup") return SweepKind::kSpeedup;
+  if (name == "boost_transient") return SweepKind::kBoostTransient;
   DS_REQUIRE(false, "SweepSpec: unknown kind '" << name << "'");
 }
 
@@ -194,6 +205,7 @@ SweepSpec SweepSpec::FromJsonText(std::string_view text) {
     for (const auto& [field, values] : axes->object) {
       DS_REQUIRE(values.is_array(),
                  "SweepSpec: axis '" << field << "' must be an array");
+      // ds_lint: allow(alloc-in-loop) -- one-shot spec parse, not stepping
       std::vector<std::string> vals;
       vals.reserve(values.array.size());
       for (const telemetry::JsonValue& v : values.array)
@@ -204,6 +216,7 @@ SweepSpec SweepSpec::FromJsonText(std::string_view text) {
     DS_REQUIRE(points->is_array(), "SweepSpec: 'points' must be an array");
     for (const telemetry::JsonValue& p : points->array) {
       DS_REQUIRE(p.is_object(), "SweepSpec: each point must be an object");
+      // ds_lint: allow(alloc-in-loop) -- one-shot spec parse, not stepping
       std::vector<std::pair<std::string, std::string>> fields;
       fields.reserve(p.object.size());
       for (const auto& [field, value] : p.object)
@@ -313,6 +326,7 @@ std::vector<SweepJob> SweepSpec::Jobs() const {
       job.point = base;
       // First axis outermost: decompose the index right-to-left.
       std::size_t rest = index;
+      // ds_lint: allow(alloc-in-loop) -- one-shot grid expansion
       std::vector<std::size_t> pick(axes_.size(), 0);
       for (std::size_t a = axes_.size(); a-- > 0;) {
         pick[a] = rest % axes_[a].values.size();

@@ -7,7 +7,8 @@
 //   {
 //     "name": "fig05a",
 //     "kind": "estimate",          // estimate | tsp_curve | tsp_perf |
-//                                  // boost | characterize | speedup
+//                                  // boost | characterize | speedup |
+//                                  // boost_transient
 //     "seed": 1,                   // optional, default 1
 //     "base": {"node": "16nm", "tdp_w": 220},   // optional overrides
 //     "axes": {"app": ["x264", "ferret"], "freq_ghz": [2.8, 3.6]},
@@ -37,6 +38,7 @@ enum class SweepKind {
   kBoost,         // boosting vs constant-frequency comparison
   kCharacterize,  // uarch first-principles app characterization
   kSpeedup,       // lock/barrier speed-up curve + Amdahl fit
+  kBoostTransient,  // closed-loop transient boosting (batchable stepping)
 };
 
 const char* SweepKindName(SweepKind kind);
@@ -58,6 +60,8 @@ struct SweepPoint {
   double dark_pct = 0.0;               // tsp_perf
   std::size_t count = 1;               // tsp_curve active cores
   double tdtm_c = 0.0;                 // 0 = platform default (80 C)
+  double duration_s = 0.25;            // boost_transient simulated time
+  double control_ms = 1.0;  // boost_transient control period = step dt
 };
 
 /// An expanded job: the bound point plus its stable identity. `params`

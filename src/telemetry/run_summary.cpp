@@ -21,6 +21,13 @@ void RunSummary::CollectTelemetry() {
   sweep_retries = Registry().GetCounter("sweep.retries").value();
   sweep_timeouts = Registry().GetCounter("sweep.job_timeouts").value();
   sweep_quarantined = Registry().GetCounter("sweep.quarantined").value();
+  batch_cohorts = Registry().GetCounter("thermal.batch.cohorts").value();
+  batch_cohort_members =
+      Registry().GetCounter("thermal.batch.cohort_members").value();
+  batch_gemm_steps = Registry().GetCounter("thermal.batch.gemm_steps").value();
+  batch_gemv_steps = Registry().GetCounter("thermal.batch.gemv_steps").value();
+  batch_hold_steps = Registry().GetCounter("thermal.batch.hold_steps").value();
+  batch_detached = Registry().GetCounter("thermal.batch.detached").value();
   cache_evictions = Registry().GetCounter("modelcache.evictions").value();
   cache_bytes =
       static_cast<std::uint64_t>(Registry().GetGauge("modelcache.bytes").value());
@@ -60,6 +67,16 @@ void RunSummary::Print(std::ostream& os) const {
   if (sweep_retries > 0) line("sweep retries", sweep_retries);
   if (sweep_timeouts > 0) line("sweep timeouts", sweep_timeouts);
   if (sweep_quarantined > 0) line("jobs quarantined", sweep_quarantined);
+  if (batch_cohorts > 0) {
+    line("batch cohorts", batch_cohorts);
+    line("batch cohort jobs", batch_cohort_members);
+    line("batch mean k", static_cast<double>(batch_cohort_members) /
+                             static_cast<double>(batch_cohorts));
+  }
+  if (batch_gemm_steps > 0) line("batch GEMM steps", batch_gemm_steps);
+  if (batch_gemv_steps > 0) line("batch GEMV steps", batch_gemv_steps);
+  if (batch_hold_steps > 0) line("batch hold steps", batch_hold_steps);
+  if (batch_detached > 0) line("batch detached", batch_detached);
   if (journal_corrupt_records > 0)
     line("journal corrupt recs", journal_corrupt_records);
   if (journal_truncated_bytes > 0)
@@ -109,6 +126,12 @@ void RunSummary::WriteJson(std::ostream& os) const {
   field("sweep_retries", static_cast<double>(sweep_retries));
   field("sweep_timeouts", static_cast<double>(sweep_timeouts));
   field("sweep_quarantined", static_cast<double>(sweep_quarantined));
+  field("batch_cohorts", static_cast<double>(batch_cohorts));
+  field("batch_cohort_members", static_cast<double>(batch_cohort_members));
+  field("batch_gemm_steps", static_cast<double>(batch_gemm_steps));
+  field("batch_gemv_steps", static_cast<double>(batch_gemv_steps));
+  field("batch_hold_steps", static_cast<double>(batch_hold_steps));
+  field("batch_detached", static_cast<double>(batch_detached));
   field("cache_evictions", static_cast<double>(cache_evictions));
   field("cache_bytes", static_cast<double>(cache_bytes));
   field("sweep_jobs_total", static_cast<double>(sweep_jobs_total));

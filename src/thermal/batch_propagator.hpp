@@ -1,0 +1,139 @@
+// Batched lockstep stepping: k scenarios sharing one (model, dt)
+// propagator advance together with a single pass over M_state / M_in.
+//
+// The per-job propagator path (thermal/propagator.hpp) is memory-bound:
+// every Step streams the ~n^2 M_state operator from cache/memory to
+// produce one n-vector. A sweep runs hundreds of jobs over the SAME
+// operator (BENCH_sweep.json shows 86-99% ModelCache hit rates), so a
+// worker holding k ready jobs can pack their state vectors into a
+// column-major n x k panel (util/panel.hpp) and advance all of them
+// with one operator pass -- the interval-batched stepping idiom CoMeT
+// uses to keep full-system thermal simulation tractable. Each operator
+// row is then reused k times while L1-hot, turning the hot loop from
+// memory-bound into compute-bound.
+//
+// Determinism: the panel kernels compute every output element with a
+// fixed, k-independent summation order in an IEEE (no fast-math) TU,
+// so a member's trajectory is bitwise identical at any cohort size --
+// including k = 1, which is exactly the scalar lane. Batched hold
+// operators are the propagator's own memoized Hold(k) matrices, shared
+// with the per-job path.
+//
+// Membership is dynamic: a job that hits its deadline, gets cancelled,
+// or throws detaches mid-flight (swap-last column compaction, safe
+// because column bits never depend on column position) and the rest of
+// the cohort keeps stepping.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "thermal/propagator.hpp"
+#include "util/panel.hpp"
+
+namespace ds::thermal {
+
+/// Advances up to k_max state columns in lockstep over one shared
+/// StepPropagator. Not thread-safe: one instance per worker/cohort.
+/// Allocation-free after construction (panels are pre-sized to k_max;
+/// Hold(n) may allocate once per distinct n inside the shared
+/// propagator's memoized cache, same as the per-job path).
+class BatchStepPropagator {
+ public:
+  /// An invalid member handle (returned by none; useful as a sentinel).
+  static constexpr std::size_t kNoMember = static_cast<std::size_t>(-1);
+
+  BatchStepPropagator(std::shared_ptr<const StepPropagator> prop,
+                      std::size_t k_max);
+
+  std::size_t k() const { return k_; }
+  std::size_t k_max() const { return state_.k_max(); }
+  std::size_t num_nodes() const { return prop_->num_nodes(); }
+  std::size_t num_cores() const { return prop_->num_cores(); }
+  double dt() const { return prop_->dt(); }
+  const StepPropagator& propagator() const { return *prop_; }
+
+  /// Adds a member with the given initial node-temperature state
+  /// (size num_nodes()). Returns a stable member handle. Requires
+  /// k() < k_max(). The member's powers start at zero.
+  std::size_t AddMember(std::span<const double> initial_state);
+
+  /// Detaches a member mid-cohort (swap-last compaction). The handle
+  /// becomes inactive; remaining members are unaffected bitwise.
+  void RemoveMember(std::size_t member);
+
+  bool IsActive(std::size_t member) const;
+
+  /// Sets the member's per-core powers for subsequent steps. Throws
+  /// std::invalid_argument on non-finite input, matching
+  /// TransientSimulator::Step.
+  void SetPowers(std::size_t member, std::span<const double> core_powers);
+
+  /// Copies the member's current node state into `out` (num_nodes()).
+  void CopyState(std::size_t member, std::span<double> out) const;
+
+  /// Contiguous view of the member's current state column.
+  std::span<const double> MemberState(std::size_t member) const;
+
+  double PeakDieTemp(std::size_t member) const;
+
+  /// One lockstep step for every active member: one panel pass over
+  /// M_state and M_in plus the ambient broadcast. No-op at k() == 0.
+  void Step();
+
+  /// n lockstep steps under each member's current (constant) powers.
+  /// n > 1 routes through the propagator's memoized Hold(n) operator:
+  /// one batched application instead of n.
+  void StepN(std::size_t n);
+
+  /// Steps advanced so far (per member; members step in lockstep).
+  std::size_t steps() const { return steps_; }
+
+ private:
+  std::size_t ColumnOf(std::size_t member) const;
+
+  std::shared_ptr<const StepPropagator> prop_;
+  // Transposed step operators, cached inside the shared propagator
+  // (built lazily once per (model, dt)); valid as long as prop_ lives.
+  const util::Matrix* state_t_ = nullptr;
+  const util::Matrix* in_t_ = nullptr;
+  std::size_t k_ = 0;
+  std::size_t steps_ = 0;
+  util::ColPanel state_;    // n x k_max, column j = member state
+  util::ColPanel scratch_;  // step output, swapped in
+  util::ColPanel powers_;   // num_cores x k_max
+  std::vector<std::size_t> col_of_member_;  // handle -> column or kNoMember
+  std::vector<std::size_t> member_of_col_;  // column -> handle
+};
+
+/// TransientSimulator-compatible facade over a single-member batch
+/// (the scalar lane, k = 1). Offers the same stepping surface --
+/// Step / StepN / StepHold / DieTemps / PeakDieTemp / state -- backed
+/// by the panel kernels, so per-job code and tests can drive the
+/// batched path without knowing about cohorts. A member stepped
+/// through this facade produces bitwise the same trajectory as the
+/// same job inside a k > 1 cohort.
+class BatchTransientFacade {
+ public:
+  BatchTransientFacade(std::shared_ptr<const StepPropagator> prop,
+                       std::span<const double> initial_state);
+
+  void Step(std::span<const double> core_powers);
+  void StepN(std::span<const double> core_powers, std::size_t n);
+  void StepHold(std::span<const double> core_powers, std::size_t k);
+
+  std::vector<double> DieTemps() const;
+  double PeakDieTemp() const;
+  std::span<const double> state() const { return batch_.MemberState(0); }
+  double dt() const { return batch_.dt(); }
+  double time() const {
+    return static_cast<double>(batch_.steps()) * batch_.dt();
+  }
+
+ private:
+  BatchStepPropagator batch_;
+};
+
+}  // namespace ds::thermal

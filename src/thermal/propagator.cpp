@@ -18,6 +18,15 @@ bool AllFinite(std::span<const double> v) {
   return true;
 }
 
+util::Matrix Transposed(const util::Matrix& a) {
+  util::Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i).data();
+    for (std::size_t c = 0; c < a.cols(); ++c) t(c, i) = row[c];
+  }
+  return t;
+}
+
 }  // namespace
 
 StepPropagator::StepPropagator(const RcModel& model, double dt_s)
@@ -88,6 +97,26 @@ void StepPropagator::ApplyHold(const HoldOperator& hold,
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += hold.amb_op[i];
 }
 
+const util::Matrix& StepPropagator::state_operator_t() const {
+  const ds::MutexLock lock(hold_mu_);
+  if (m_state_t_.rows() == 0) {
+    DS_TELEM_TIMER("thermal.operator_transpose_us");
+    m_state_t_ = Transposed(m_state_);
+    m_in_t_ = Transposed(m_in_);
+  }
+  return m_state_t_;
+}
+
+const util::Matrix& StepPropagator::input_operator_t() const {
+  const ds::MutexLock lock(hold_mu_);
+  if (m_state_t_.rows() == 0) {
+    DS_TELEM_TIMER("thermal.operator_transpose_us");
+    m_state_t_ = Transposed(m_state_);
+    m_in_t_ = Transposed(m_in_);
+  }
+  return m_in_t_;
+}
+
 StepPropagator::HoldOperator StepPropagator::Compose(
     const HoldOperator& b, const HoldOperator& a) const {
   HoldOperator out;
@@ -102,12 +131,23 @@ StepPropagator::HoldOperator StepPropagator::Compose(
 }
 
 std::shared_ptr<const StepPropagator::HoldOperator> StepPropagator::Hold(
-    std::size_t k) const {
+    std::size_t k, bool for_batch) const {
   DS_REQUIRE(k >= 1, "StepPropagator::Hold: k must be >= 1");
+  // Fills the batch-path transposes exactly once, in place, under
+  // hold_mu_. Safe even when the operator is already shared: GEMV-path
+  // readers never touch the *_t members, and every batch reader gets
+  // its pointer from a Hold(k, true) call that happens-after the fill.
+  const auto ensure_transposes = [](HoldOperator* hold) {
+    if (hold->t_op_t.rows() != 0) return;
+    DS_TELEM_TIMER("thermal.operator_transpose_us");
+    hold->t_op_t = Transposed(hold->t_op);
+    hold->in_op_t = Transposed(hold->in_op);
+  };
   const ds::MutexLock lock(hold_mu_);
   const auto it = holds_.find(k);
   if (it != holds_.end()) {
     DS_TELEM_COUNT("thermal.hold_op_hits", 1);
+    if (for_batch) ensure_transposes(it->second.get());
     return it->second;
   }
   DS_TELEM_COUNT("thermal.hold_op_builds", 1);
@@ -128,8 +168,7 @@ std::shared_ptr<const StepPropagator::HoldOperator> StepPropagator::Hold(
   while (bits != 0) {
     while (level >= pow2_.size()) {
       const HoldOperator& prev = *pow2_.back();
-      pow2_.push_back(
-          std::make_shared<const HoldOperator>(Compose(prev, prev)));
+      pow2_.push_back(std::make_shared<HoldOperator>(Compose(prev, prev)));
     }
     if ((bits & 1u) != 0) {
       const HoldOperator& factor = *pow2_[level];
@@ -142,9 +181,9 @@ std::shared_ptr<const StepPropagator::HoldOperator> StepPropagator::Hold(
     bits >>= 1u;
     ++level;
   }
-  std::shared_ptr<const HoldOperator> result = std::move(acc);
-  holds_.emplace(k, result);
-  return result;
+  if (for_batch) ensure_transposes(acc.get());
+  holds_.emplace(k, acc);
+  return acc;
 }
 
 std::shared_ptr<const StepPropagator> PropagatorSet::For(const RcModel& model,
@@ -175,12 +214,16 @@ std::size_t StepPropagator::ApproxBytes() const {
   const auto operator_bytes = [](const HoldOperator& h) {
     return sizeof(double) * (h.t_op.rows() * h.t_op.cols() +
                              h.in_op.rows() * h.in_op.cols() +
-                             h.amb_op.size());
+                             h.amb_op.size() +
+                             h.t_op_t.rows() * h.t_op_t.cols() +
+                             h.in_op_t.rows() * h.in_op_t.cols());
   };
   std::size_t bytes =
       sizeof(double) * (m_state_.rows() * m_state_.cols() +
                         m_in_.rows() * m_in_.cols() + c_amb_.size());
   const ds::MutexLock lock(hold_mu_);
+  bytes += sizeof(double) * (m_state_t_.rows() * m_state_t_.cols() +
+                             m_in_t_.rows() * m_in_t_.cols());
   std::set<const HoldOperator*> seen;
   for (const auto& hold : pow2_)
     if (hold != nullptr && seen.insert(hold.get()).second)

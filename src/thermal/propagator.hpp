@@ -50,11 +50,17 @@ namespace ds::thermal {
 class StepPropagator {
  public:
   /// One k-step affine operator: T_{+k} = t_op T + in_op P + amb_op.
+  /// The *_t members are transposed copies for the outer-product panel
+  /// kernels (util/panel.hpp); they are filled only when the operator
+  /// was requested via Hold(k, /*for_batch=*/true), so holds that only
+  /// ever serve the per-job GEMV path stay half the size.
   struct HoldOperator {
     std::size_t k = 0;
     util::Matrix t_op;             // n x n
     util::Matrix in_op;            // n x num_cores
     std::vector<double> amb_op;    // n
+    util::Matrix t_op_t;           // n x n, t_op transposed (batch only)
+    util::Matrix in_op_t;          // num_cores x n (batch only)
   };
 
   /// Folds the implicit-Euler step of `model` at step `dt_s` into the
@@ -77,8 +83,12 @@ class StepPropagator {
                  std::span<double> out) const;
 
   /// Memoized k-step hold operator (k >= 1), built by binary powering
-  /// over a cached chain of power-of-two holds. Thread-safe.
-  std::shared_ptr<const HoldOperator> Hold(std::size_t k) const;
+  /// over a cached chain of power-of-two holds. Thread-safe. Pass
+  /// for_batch = true to also populate (once) the transposed copies the
+  /// batched panel path applies; a hold already memoized without them
+  /// gains them in place under the cache lock.
+  std::shared_ptr<const HoldOperator> Hold(std::size_t k,
+                                           bool for_batch = false) const;
 
   /// Approximate resident bytes: the operator triple plus the memoized
   /// hold operators (deduplicated -- holds_ aliases pow2_ entries).
@@ -93,6 +103,14 @@ class StepPropagator {
   const util::Matrix& input_operator() const { return m_in_; }
   std::span<const double> ambient_operator() const { return c_amb_; }
 
+  /// Transposed copies of M_state / M_in for the outer-product panel
+  /// kernels: state_operator_t()(c, i) == state_operator()(i, c). Built
+  /// lazily on first use (both at once, under the hold-cache lock),
+  /// immutable afterwards; the returned references stay valid for the
+  /// propagator's lifetime. Thread-safe.
+  const util::Matrix& state_operator_t() const;
+  const util::Matrix& input_operator_t() const;
+
  private:
   /// hold_out = b o a (apply `a` first, then `b`).
   HoldOperator Compose(const HoldOperator& b, const HoldOperator& a) const;
@@ -103,10 +121,20 @@ class StepPropagator {
   util::Matrix m_in_;
   std::vector<double> c_amb_;
 
+  // Lazily-built transposes of m_state_ / m_in_. Written exactly once
+  // under hold_mu_; every reader obtains its reference from an accessor
+  // that takes the lock first, so post-publication reads are safe
+  // without annotation (annotating would flag the returned references).
+  mutable util::Matrix m_state_t_;
+  mutable util::Matrix m_in_t_;
+
   mutable Mutex hold_mu_{locks::kPropagator};
-  mutable std::vector<std::shared_ptr<const HoldOperator>> pow2_
+  // Non-const entries so Hold(k, for_batch=true) can fill transposes
+  // into an already-memoized operator in place (under hold_mu_); the
+  // public surface still hands out shared_ptr<const HoldOperator>.
+  mutable std::vector<std::shared_ptr<HoldOperator>> pow2_
       DS_GUARDED_BY(hold_mu_);
-  mutable std::map<std::size_t, std::shared_ptr<const HoldOperator>> holds_
+  mutable std::map<std::size_t, std::shared_ptr<HoldOperator>> holds_
       DS_GUARDED_BY(hold_mu_);
 };
 

@@ -20,7 +20,12 @@ bool AllFinite(std::span<const double> v) {
 }
 
 /// kAuto resolution: DS_THERMAL_KERNEL=lu|propagator pins the kernel
-/// for A/B runs; otherwise kAuto stays kAuto (lazy upgrade).
+/// for A/B runs; otherwise kAuto stays kAuto (lazy upgrade). The two
+/// batch-ladder values are also understood here so one env var drives
+/// the whole kernel ladder (lu -> propagator -> batch): "batch" means
+/// the sweep engine forms lockstep cohorts eagerly, and for a lone
+/// TransientSimulator it implies the eager propagator (the batch path's
+/// underlying operator); "auto" keeps the lazy default at both levels.
 StepKernel ResolveKernel(StepKernel requested) {
   if (requested != StepKernel::kAuto) return requested;
   // Read-only env lookup; nothing in this process calls setenv, so the
@@ -29,7 +34,9 @@ StepKernel ResolveKernel(StepKernel requested) {
   if (env != nullptr) {
     const std::string_view name(env);
     if (name == "lu") return StepKernel::kLu;
-    if (name == "propagator") return StepKernel::kPropagator;
+    if (name == "propagator" || name == "batch")
+      return StepKernel::kPropagator;
+    if (name == "auto") return StepKernel::kAuto;
   }
   return StepKernel::kAuto;
 }

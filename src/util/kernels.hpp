@@ -35,11 +35,17 @@ void Gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
 void GemvAdd(const Matrix& a, std::span<const double> x,
              std::span<double> y);
 
-/// c = A B (c is overwritten). Requires a.cols() == b.rows() and c
-/// pre-sized to a.rows() x b.cols(); c must not alias a or b.
+/// c = A B (c is overwritten). All three matrices must be dense
+/// row-major with 64-byte-aligned backing storage (util::Matrix
+/// guarantees both). Requires a.cols() == b.rows(), c non-null and
+/// pre-sized to a.rows() x b.cols(); c must not alias a or b. The
+/// shape and null-output preconditions are enforced as DS_REQUIRE
+/// contracts, same as Gemv. Allocation-free.
 void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
 
-/// c += A B. Same requirements as Gemm.
+/// c += A B. Same layout/alignment/shape requirements as Gemm, and the
+/// same DS_REQUIRE contracts (checked before any element of c is
+/// touched). Allocation-free.
 void GemmAdd(const Matrix& a, const Matrix& b, Matrix* c);
 
 }  // namespace ds::util

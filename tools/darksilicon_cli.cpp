@@ -86,7 +86,7 @@ int Usage() {
       "      [--checkpoint path] [--resume] [--metrics-out path]\n"
       "      [--stop-after n] [--job-deadline-ms t] [--job-retries n]\n"
       "      [--retry-backoff-ms t] [--journal-sync none|batch|always]\n"
-      "      [--cache-budget-mb m]\n"
+      "      [--cache-budget-mb m] [--batch-max-k k]\n"
       "      [--chaos-fail r] [--chaos-delay r] [--chaos-delay-ms t]\n"
       "      [--chaos-seed n] [--chaos-max-faulty-attempts k]\n"
       "      [--chaos-log-csv path]\n"
@@ -481,6 +481,7 @@ int CmdSweep(const util::ArgParser& args) {
       opts.chaos.fail_rate > 0.0 || opts.chaos.delay_rate > 0.0;
   if (args.Has("progress")) opts.progress_stream = &std::cerr;
   opts.heartbeat_ms = args.GetDouble("heartbeat-ms", 500.0);
+  opts.batch_max_k = static_cast<std::size_t>(args.GetInt("batch-max-k", 16));
 
   // The event bus outlives the ambient-pointer guard below
   // (declaration order), so the pointer is always uninstalled --
@@ -537,6 +538,15 @@ int CmdSweep(const util::ArgParser& args) {
                      static_cast<double>(s.cache_bytes) / (1024.0 * 1024.0), 2)
               << " MiB resident";
   std::cerr << "; steals: " << s.steals << "\n";
+  if (s.batch_cohorts > 0 || s.batch_detached > 0)
+    std::cerr << "batching: " << s.batch_cohorts << " cohorts over "
+              << s.batch_cohort_members << " jobs (mean k "
+              << util::FormatFixed(
+                     static_cast<double>(s.batch_cohort_members) /
+                         static_cast<double>(std::max<std::size_t>(
+                             s.batch_cohorts, 1)),
+                     1)
+              << "), " << s.batch_detached << " detached\n";
   if (s.jobs_retried > 0 || s.jobs_timed_out > 0 || s.jobs_quarantined > 0 ||
       s.retries_total > 0)
     std::cerr << "resilience: " << s.retries_total << " retries over "

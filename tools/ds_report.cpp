@@ -27,6 +27,9 @@
 // bench's throughput regressed by more than --max-regress percent
 // (default 10). Each entry gates on its native throughput metric:
 // rows_per_s when present (BENCH_serve.json), jobs_per_s otherwise.
+// BENCH_thermal.json's flat batch_{scalar_,}us_k<k> pairs get their
+// own section: batched lockstep member-steps/s vs the scalar GEMV
+// lane, with the per-k speedup gated against the baseline.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -571,6 +574,53 @@ int RunBenchMode(const ds::util::ArgParser& args) {
     }
   }
   t.Print(std::cout);
+
+  // Flat thermal kernel reports (BENCH_thermal.json) carry the batched
+  // lockstep A/B section as per-k scalar/batched us-per-member-step
+  // pairs. Convert to member-steps/s, show batched vs the scalar GEMV
+  // baseline, and gate the batched speedup against --baseline so a
+  // panel-kernel regression fails CI the same way a throughput
+  // regression in the sweep benches does.
+  ds::util::Table bt({"cohort", "scalar steps/s", "batched steps/s",
+                      "speedup", "base speedup"});
+  static const std::string kBatchUs = "batch_us_k";
+  bool have_batch = false;
+  for (const auto& [name, entry] : bench.object) {
+    if (!entry.is_number() || name.rfind(kBatchUs, 0) != 0) continue;
+    const std::string k = name.substr(kBatchUs.size());
+    const double batch_us = entry.number;
+    const double scalar_us = NumField(bench, "batch_scalar_us_k" + k);
+    if (batch_us <= 0.0 || scalar_us <= 0.0) continue;
+    have_batch = true;
+    const double speedup = scalar_us / batch_us;
+    double base_speedup = 0.0;
+    const JsonValue* base_us = base.Find(name);
+    if (base_us != nullptr && base_us->is_number() && base_us->number > 0.0) {
+      const double base_scalar = NumField(base, "batch_scalar_us_k" + k);
+      if (base_scalar > 0.0) base_speedup = base_scalar / base_us->number;
+    }
+    bt.Row()
+        .Cell("k=" + k)
+        .Cell(1e6 / scalar_us, 0)
+        .Cell(1e6 / batch_us, 0)
+        .Cell(speedup, 2);
+    if (base_speedup > 0.0) {
+      bt.Cell(base_speedup, 2);
+      const double delta_pct = 100.0 * (speedup - base_speedup) / base_speedup;
+      if (delta_pct < -max_regress) {
+        std::cerr << "ds_report: REGRESSION batch k=" << k << ": speedup "
+                  << base_speedup << "x -> " << speedup << "x (" << delta_pct
+                  << "% < -" << max_regress << "%)\n";
+        ++regressions;
+      }
+    } else {
+      bt.Cell("-");
+    }
+  }
+  if (have_batch) {
+    std::cout << "\nbatched lockstep stepping (vs scalar GEMV lane)\n";
+    bt.Print(std::cout);
+  }
   return regressions > 0 ? 1 : 0;
 }
 

@@ -615,18 +615,23 @@ void RuleSwallowedCatch(const std::string& path, CleanSource& src,
 }
 
 /// Flags owning std::vector / util::Matrix declarations inside loop
-/// bodies under src/thermal/. Loop scopes are tracked with the same
-/// brace-stack technique as RuleStaticMutable: a `{` whose introducer
-/// contains `for`, `while` or `do` opens a loop scope; inner braces
-/// inherit it. References (`&` declarators) and uses of an existing
-/// object (member access, calls) never match -- only a declaration
+/// bodies under src/thermal/ and src/runtime/ -- the stepping kernels
+/// and the batch gather/scatter loops that feed them (cohort panel
+/// staging in the sweep engine and scenario runners must hoist their
+/// buffers). Loop scopes are tracked with the same brace-stack
+/// technique as RuleStaticMutable: a `{` whose introducer contains
+/// `for`, `while` or `do` opens a loop scope; inner braces inherit it.
+/// References (`&` declarators) and uses of an existing object (member
+/// access, calls) never match -- only a declaration
 /// `std::vector<...> name ...` / `Matrix name(...)` that constructs a
 /// fresh buffer each iteration.
 void RuleAllocInLoop(const std::string& path, CleanSource& src,
                      std::vector<Finding>* findings) {
-  if (path.find("/thermal/") == std::string::npos &&
-      path.rfind("thermal/", 0) != 0)
-    return;
+  const bool thermal = path.find("/thermal/") != std::string::npos ||
+                       path.rfind("thermal/", 0) == 0;
+  const bool runtime = path.find("/runtime/") != std::string::npos ||
+                       path.rfind("runtime/", 0) == 0;
+  if (!thermal && !runtime) return;
   const std::string& t = src.text;
 
   auto head_has = [&](std::string_view head, std::string_view word) {
@@ -1081,7 +1086,8 @@ const std::vector<RuleInfo>& Rules() {
       {"swallowed-catch",
        "catch handler in the sweep runtime drops the failure unrecorded"},
       {"alloc-in-loop",
-       "per-iteration heap allocation in the thermal hot path"},
+       "per-iteration heap allocation in the thermal / batch-stepping "
+       "hot path"},
       {"lock-order",
        "mutex acquisition violates the declared lock hierarchy "
        "(util/lock_levels.hpp): levels must strictly descend"},
