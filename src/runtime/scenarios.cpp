@@ -271,6 +271,15 @@ void RunBoostTransientCohort(
       1, static_cast<std::size_t>(
              std::lround(jobs[0]->point.duration_s / dt_s)));
   const double duration_s = static_cast<double>(steps) * dt_s;
+  // dt and step count are cohort-wide (derived from jobs[0]), so the
+  // cohort key MUST split on both; enforce it here so a key regression
+  // is a loud cohort failure (-> scalar re-run), never silent rows
+  // simulated for the wrong horizon.
+  for (std::size_t i = 1; i < k; ++i)
+    DS_REQUIRE(jobs[i]->point.control_ms == jobs[0]->point.control_ms &&
+                   jobs[i]->point.duration_s == jobs[0]->point.duration_s,
+               "RunBoostTransientCohort: member " << i
+                   << " mixes control_ms/duration_s with member 0");
 
   std::vector<BtMember> members(k);
   std::unique_ptr<thermal::BatchStepPropagator> batch;
@@ -285,6 +294,7 @@ void RunBoostTransientCohort(
     BtMember& m = members[i];
     m.p = &jobs[i]->point;
     m.result = results[i];
+    bool added = false;
     try {
       m.platform =
           std::make_unique<arch::Platform>(MakePlatform(*m.p, cache));
@@ -321,9 +331,14 @@ void RunBoostTransientCohort(
             k);
       }
       m.handle = batch->AddMember(state_buf);
+      added = true;
       batch->SetPowers(m.handle, powers_buf);
       m.stepping = true;
     } catch (...) {
+      // Evict a half-initialized member (e.g. SetPowers rejected a
+      // non-finite power after AddMember succeeded) so the cohort does
+      // not step a ghost column for the whole run.
+      if (added && batch != nullptr) batch->RemoveMember(m.handle);
       if (!cohort_mode) throw;
       (*detached)[i] = true;
     }
@@ -398,14 +413,19 @@ bool KindIsBatchable(SweepKind kind) {
 std::string BatchCohortKey(SweepKind kind, const SweepPoint& point) {
   if (!KindIsBatchable(kind)) return "";
   // (node, cores) pins the floorplan/package content -- and therefore
-  // the model hash -- and control_ms pins dt; tdtm_c does not enter the
-  // RC model but DOES change ThermalAssets installation inputs, so it
-  // is included conservatively.
+  // the model hash -- and control_ms pins dt; duration_s pins the step
+  // count (RunBoostTransientCohort derives it from jobs[0], so a
+  // mixed-duration cohort would run every member for the first
+  // member's horizon); tdtm_c does not enter the RC model but DOES
+  // change ThermalAssets installation inputs, so it is included
+  // conservatively.
   std::string key = point.node;
   key += '/';
   key += CanonicalNumber(static_cast<double>(point.cores));
   key += '/';
   key += CanonicalNumber(point.control_ms);
+  key += '/';
+  key += CanonicalNumber(point.duration_s);
   key += '/';
   key += CanonicalNumber(point.tdtm_c);
   return key;

@@ -127,17 +127,25 @@ class Watchdog {
   }
 
   /// One deadline for a whole lockstep cohort: members start together,
-  /// so the group shares a single expiry. On expiry every member token
-  /// is cancelled; each member detaches to the scalar retry ladder
-  /// individually (see ExecuteCohort).
+  /// so the group shares a single expiry. The budget scales with the
+  /// group size -- a k-member cohort legitimately takes several times
+  /// one job's wall clock (the panel pass amortizes operator traffic,
+  /// it does not divide the work k ways), so job_deadline_ms stays
+  /// calibrated for single jobs and a healthy cohort never trips it;
+  /// k jobs' worth of budget still bounds a hung cohort. On expiry
+  /// every member token is cancelled; each member detaches to the
+  /// scalar retry ladder individually (see ExecuteCohort).
   void BeginGroup(std::size_t worker,
                   std::vector<std::shared_ptr<faults::CancelToken>> tokens) {
+    const double budget_ms =
+        deadline_ms_ *
+        static_cast<double>(std::max<std::size_t>(tokens.size(), 1));
     const ds::MutexLock lock(mu_);
     slots_[worker].tokens = std::move(tokens);
     slots_[worker].deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
-                               deadline_ms_));
+                               budget_ms));
   }
 
   void End(std::size_t worker) {
@@ -434,11 +442,18 @@ void ExecuteCohort(SharedState& state, std::size_t worker,
     result.attempts = 1;
     result_ptrs[m] = &result;
     tokens[m] = std::make_shared<faults::CancelToken>();
-    if (state.events != nullptr)
-      PublishEvent(state, telemetry::MakeEvent(
-                              telemetry::EventKind::kStarted,
-                              static_cast<std::int64_t>(index),
-                              static_cast<std::int32_t>(1)));
+    // Tagged "cohort" so consumers can tell this lane's start from the
+    // untagged scalar kStarted a detached member re-publishes through
+    // ExecuteJob -- per-index accounting stays exact either way: one
+    // untagged start per scalar attempt, one "cohort" start per cohort
+    // membership.
+    if (state.events != nullptr) {
+      telemetry::Event e = telemetry::MakeEvent(
+          telemetry::EventKind::kStarted, static_cast<std::int64_t>(index),
+          static_cast<std::int32_t>(1));
+      e.SetDetail("cohort");
+      PublishEvent(state, e);
+    }
   }
   std::vector<bool> detached(k, false);
   bool cohort_failed = false;

@@ -21,6 +21,7 @@
 
 #include "runtime/model_cache.hpp"
 #include "runtime/result_sink.hpp"
+#include "runtime/scenarios.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "runtime/sweep_spec.hpp"
 #include "thermal/floorplan.hpp"
@@ -330,14 +331,9 @@ namespace {
 
 /// The engine-level contract: CSV bytes do not depend on --batch-max-k
 /// or thread count, and cohorts actually form for batchable kinds.
-std::string BoostCsv(std::size_t batch_max_k, std::size_t threads,
-                     SweepStats* stats = nullptr) {
-  const SweepSpec spec = SweepSpec::FromJsonText(R"({
-    "name": "bt_unit", "kind": "boost_transient", "seed": 3,
-    "base": {"node": "16nm", "duration_s": 0.02, "control_ms": 1.0},
-    "axes": {"app": ["x264", "ferret"], "instances": [1, 2],
-             "power_cap_w": [300, 500]}
-  })");
+std::string SweepCsv(const char* spec_text, std::size_t batch_max_k,
+                     std::size_t threads, SweepStats* stats = nullptr) {
+  const SweepSpec spec = SweepSpec::FromJsonText(spec_text);
   ModelCache cache;
   SweepOptions opts;
   opts.threads = threads;
@@ -349,6 +345,18 @@ std::string BoostCsv(std::size_t batch_max_k, std::size_t threads,
   std::ostringstream os;
   sink.WriteCsv(os, out.results);
   return os.str();
+}
+
+constexpr const char* kBtUnitSpec = R"({
+  "name": "bt_unit", "kind": "boost_transient", "seed": 3,
+  "base": {"node": "16nm", "duration_s": 0.02, "control_ms": 1.0},
+  "axes": {"app": ["x264", "ferret"], "instances": [1, 2],
+           "power_cap_w": [300, 500]}
+})";
+
+std::string BoostCsv(std::size_t batch_max_k, std::size_t threads,
+                     SweepStats* stats = nullptr) {
+  return SweepCsv(kBtUnitSpec, batch_max_k, threads, stats);
 }
 
 TEST(SweepEngineBatchTest, CsvBytesIndependentOfBatchKAndThreads) {
@@ -364,6 +372,35 @@ TEST(SweepEngineBatchTest, CsvBytesIndependentOfBatchKAndThreads) {
   EXPECT_GE(batched_stats.batch_cohorts, 1u);
   EXPECT_GE(batched_stats.batch_cohort_members, 2u);
   EXPECT_EQ(scalar_stats.jobs_executed, 8u);
+  EXPECT_EQ(batched_stats.jobs_executed, 8u);
+  EXPECT_EQ(batched_stats.jobs_failed, 0u);
+}
+
+// duration_s is a sweepable axis and RunBoostTransientCohort derives
+// the cohort-wide step count from jobs[0], so the cohort key must
+// split on it: jobs differing only in duration_s must never share a
+// cohort (they would all be simulated for the first member's horizon).
+TEST(SweepEngineBatchTest, MixedDurationJobsNeverShareACohort) {
+  SweepPoint a;
+  SweepPoint b = a;
+  b.duration_s = 2.0 * a.duration_s;
+  EXPECT_NE(BatchCohortKey(SweepKind::kBoostTransient, a),
+            BatchCohortKey(SweepKind::kBoostTransient, b));
+
+  constexpr const char* kMixedSpec = R"({
+    "name": "bt_mixed_dur", "kind": "boost_transient", "seed": 3,
+    "base": {"node": "16nm", "control_ms": 1.0},
+    "axes": {"duration_s": [0.01, 0.02], "app": ["x264", "ferret"],
+             "power_cap_w": [300, 500]}
+  })";
+  SweepStats scalar_stats, batched_stats;
+  const std::string scalar = SweepCsv(kMixedSpec, 1, 1, &scalar_stats);
+  const std::string batched = SweepCsv(kMixedSpec, 8, 2, &batched_stats);
+  EXPECT_EQ(scalar, batched);
+  EXPECT_EQ(scalar_stats.batch_cohorts, 0u);
+  // Cohorts still form, but only within each duration group (4 jobs
+  // per duration share a key), never across.
+  EXPECT_GE(batched_stats.batch_cohorts, 2u);
   EXPECT_EQ(batched_stats.jobs_executed, 8u);
   EXPECT_EQ(batched_stats.jobs_failed, 0u);
 }

@@ -105,7 +105,8 @@ struct RunReport {
 
   // Per-kind tallies.
   std::size_t scheduled = 0;
-  std::size_t started = 0;
+  std::size_t started = 0;        // scalar attempt starts (untagged)
+  std::size_t cohort_starts = 0;  // cohort-lane starts (detail "cohort")
   std::size_t retries = 0;
   std::size_t backoffs = 0;
   std::size_t heartbeats = 0;
@@ -175,7 +176,13 @@ RunReport ParseEvents(const std::string& text) {
     } else if (kind == "scheduled") {
       ++r.scheduled;
     } else if (kind == "started") {
-      ++r.started;
+      // A detached cohort member re-runs scalar and publishes a second,
+      // untagged start; keeping the lanes separate keeps per-attempt
+      // accounting exact (untagged starts == scalar attempts).
+      if (StrField(ev, "detail") == "cohort")
+        ++r.cohort_starts;
+      else
+        ++r.started;
     } else if (kind == "retry") {
       ++r.retries;
       ++retries_by_job[job];
